@@ -1,0 +1,31 @@
+# Convenience targets for the Ruby reproduction.
+
+PYTHON ?= python
+
+.PHONY: install test bench bench-fast examples experiments clean
+
+install:
+	$(PYTHON) setup.py develop
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s
+
+bench-fast:
+	$(PYTHON) -m pytest benchmarks/test_table1_mapspace_sizes.py \
+	    benchmarks/test_fig08_padding_sweep.py \
+	    benchmarks/test_fig09_alexnet_handcrafted.py \
+	    benchmarks/test_ablations.py --benchmark-only -s
+
+examples:
+	@for f in examples/*.py; do echo "== $$f =="; $(PYTHON) $$f; done
+
+experiments:
+	$(PYTHON) -m repro experiment table1
+	$(PYTHON) -m repro experiment fig9
+
+clean:
+	find . -name __pycache__ -type d -exec rm -rf {} + 2>/dev/null || true
+	rm -rf .pytest_cache .benchmarks src/repro.egg-info

@@ -1,0 +1,54 @@
+"""Ablation benches for the reproduction's design choices (see DESIGN.md).
+
+Not a paper artifact — these justify modelling decisions:
+
+* per-axis (2-D mesh) spatial modelling is what creates the misalignment
+  Ruby-S exploits;
+* the structured imperfect-bound sampler lets Ruby-S recover PFM-quality
+  mappings on aligned layers at small budgets;
+* better search (genetic) composes with the Ruby-S mapspace, supporting
+  the paper's orthogonality claim.
+"""
+
+from conftest import run_once
+
+from repro.experiments.ablations import (
+    format_mesh_ablation,
+    format_sampler_ablation,
+    format_search_ablation,
+    run_mesh_ablation,
+    run_sampler_ablation,
+    run_search_ablation,
+)
+
+
+def test_mesh_ablation(benchmark, bench_scale):
+    result = run_once(
+        benchmark,
+        lambda: run_mesh_ablation(max_evaluations=3_000 * bench_scale),
+    )
+    print("\n" + format_mesh_ablation(result))
+    # Flattening the mesh rescues PFM: most of the misalignment gap closes.
+    assert result.pfm_flat.utilization > result.pfm_mesh.utilization * 1.15
+    # On the real 2-D mesh only Ruby-S reaches flat-PFM territory.
+    assert result.ruby_s_mesh.utilization > result.pfm_mesh.utilization * 1.15
+
+
+def test_sampler_ablation(benchmark, bench_scale):
+    result = run_once(
+        benchmark,
+        lambda: run_sampler_ablation(max_evaluations=3_000 * bench_scale),
+    )
+    print("\n" + format_sampler_ablation(result))
+    # Structured sampling is at least as good as uniform on aligned layers.
+    assert result.structured.edp <= result.uniform.edp * 1.001
+    # And lands within 25% of the PFM reference (uniform typically doesn't).
+    assert result.structured.edp <= result.pfm_reference.edp * 1.25
+
+
+def test_search_ablation(benchmark, bench_scale):
+    result = run_once(benchmark, lambda: run_search_ablation())
+    print("\n" + format_search_ablation(result))
+    # The genetic search composes with Ruby-S: at an equal evaluation
+    # budget it is at least competitive with random sampling.
+    assert result.genetic.edp <= result.random.edp * 1.05

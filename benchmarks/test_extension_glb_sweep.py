@@ -1,0 +1,71 @@
+"""Extension: co-design along the buffer axis (GLB-capacity sweep).
+
+Not a paper artifact — Figs. 13/14 sweep the PE array; this sweeps the
+other big lever, the global-buffer capacity, on the fixed 14x12 array.
+Claims checked:
+
+* Ruby-S's advantage persists across GLB sizes (its wins come from the
+  spatial mesh misalignment, which buffer capacity does not change);
+* the Ruby-S points dominate the PFM points in (area, EDP) along this
+  axis too.
+"""
+
+from conftest import run_once
+
+from repro.core import sweep_glb_sizes
+from repro.core.report import format_table
+from repro.mapspace.constraints import eyeriss_row_stationary
+from repro.mapspace.generator import MapspaceKind
+from repro.utils.pareto import ParetoPoint, frontier_dominates
+from repro.zoo import deepbench_representative
+
+GLB_SIZES = (32 * 1024, 64 * 1024, 128 * 1024, 256 * 1024)
+
+
+def test_extension_glb_sweep(benchmark, bench_scale):
+    result = run_once(
+        benchmark,
+        lambda: sweep_glb_sizes(
+            deepbench_representative(),
+            glb_bytes_options=GLB_SIZES,
+            constraints=eyeriss_row_stationary(),
+            max_evaluations=1_500 * bench_scale,
+            patience=500 * bench_scale,
+            seed=0,
+            restarts=2,
+        ),
+    )
+    improvements = result.improvement_by_shape(
+        MapspaceKind.RUBY_S, MapspaceKind.PFM
+    )
+    rows = [
+        [
+            point.shape_label,
+            point.area_mm2,
+            point.edp,
+            improvements.get(point.shape_label, 0.0),
+        ]
+        for point in result.of_kind(MapspaceKind.PFM)
+    ]
+    print(
+        "\n"
+        + format_table(
+            ["GLB", "area mm^2", "EDP pfm", "ruby-s improvement %"],
+            rows,
+            title="Extension: GLB-capacity sweep on 14x12 (DeepBench subset)",
+        )
+    )
+    # The advantage holds at every buffer size.
+    average = sum(improvements.values()) / len(improvements)
+    assert average > 5.0, improvements
+    assert min(improvements.values()) > -10.0, improvements
+    # And Ruby-S dominates along this axis too (3% search-noise tolerance).
+    ruby = [
+        ParetoPoint(p.area_mm2, p.edp * 0.97)
+        for p in result.of_kind(MapspaceKind.RUBY_S)
+    ]
+    pfm = [
+        ParetoPoint(p.area_mm2, p.edp)
+        for p in result.of_kind(MapspaceKind.PFM)
+    ]
+    assert frontier_dominates(ruby, pfm)

@@ -1,0 +1,65 @@
+"""Extension workloads beyond the paper: MobileNetV1 and BERT-base.
+
+Not paper artifacts — these probe whether the paper's conclusion
+generalizes to workload families it did not evaluate:
+
+* MobileNet's pointwise/depthwise mix should benefit like ResNet's
+  pointwise layers do (channel counts misaligned with 14x12);
+* BERT-base GEMMs have 3-heavy dims (768 = 2^8 x 3, 12 heads) that tile a
+  14-wide axis poorly;
+* VGG-16 (checked in the unit tier) is the aligned control group.
+"""
+
+from conftest import run_once
+
+from repro.arch import eyeriss_like
+from repro.experiments.fig10 import compare_network, format_fig10
+from repro.mapspace.constraints import eyeriss_row_stationary
+from repro.zoo import bert_representative, mobilenet_representative
+
+
+def test_extension_mobilenet(benchmark, bench_scale):
+    comparison = run_once(
+        benchmark,
+        lambda: compare_network(
+            eyeriss_like(),
+            mobilenet_representative(),
+            constraints=eyeriss_row_stationary(),
+            seeds=(1, 2),
+            max_evaluations=2_500 * bench_scale,
+            patience=800 * bench_scale,
+        ),
+    )
+    print(
+        "\n"
+        + format_fig10(
+            comparison,
+            title="Extension: MobileNetV1 on Eyeriss-like (normalized to PFM)",
+        )
+    )
+    assert comparison.network_edp_ratio < 1.0
+    assert comparison.best_layer_edp_ratio < 0.9
+
+
+def test_extension_bert(benchmark, bench_scale):
+    comparison = run_once(
+        benchmark,
+        lambda: compare_network(
+            eyeriss_like(),
+            bert_representative(),
+            constraints=None,  # GEMMs: no conv dataflow constraint
+            seeds=(1, 2),
+            max_evaluations=2_500 * bench_scale,
+            patience=800 * bench_scale,
+        ),
+    )
+    print(
+        "\n"
+        + format_fig10(
+            comparison,
+            title="Extension: BERT-base GEMMs on Eyeriss-like "
+            "(normalized to PFM)",
+        )
+    )
+    assert comparison.network_edp_ratio < 1.05
+    assert comparison.best_layer_edp_ratio < 1.0

@@ -1,0 +1,65 @@
+"""E1-E4 (Fig. 7): mapspace-quality convergence on toy problems.
+
+Paper claims checked per subplot:
+
+* (a) matmul, 5 PEs (aligned): PFM converges to a good mapping quickly;
+  Ruby-S converges to (essentially) the same quality; the unconstrained
+  spaces are slower early on.
+* (b) matmul, 16 PEs (misaligned): imperfect factorization finds better
+  mappings than PFM.
+* (c) conv, 8 PEs (aligned, C/M spatial only): PFM delivers high quality;
+  Ruby-S approaches it; Ruby/Ruby-T lag at small budgets.
+* (d) conv, 15 PEs (misaligned): Ruby-S outperforms PFM while searching
+  more easily than Ruby/Ruby-T.
+"""
+
+from conftest import run_once
+
+from repro.experiments.fig07 import SCENARIOS, format_fig7, run_fig7_scenario
+
+EVALUATIONS = 3_000
+RUNS = 3
+
+
+def _run(scenario_key: str, scale: int):
+    return run_fig7_scenario(
+        SCENARIOS[scenario_key](),
+        evaluations=EVALUATIONS * scale,
+        runs=RUNS,
+    )
+
+
+def test_fig7a_aligned_matmul(benchmark, bench_scale):
+    result = run_once(benchmark, lambda: _run("a", bench_scale))
+    print("\n" + format_fig7(result))
+    # Aligned problem: Ruby-S ends within a few percent of PFM.
+    assert result.final_edp("ruby-s") <= result.final_edp("pfm") * 1.05
+    # Early on, PFM's small space is at least competitive with full Ruby.
+    assert result.edp_after("pfm", 200) <= result.edp_after("ruby", 200) * 1.10
+
+
+def test_fig7b_misaligned_matmul(benchmark, bench_scale):
+    result = run_once(benchmark, lambda: _run("b", bench_scale))
+    print("\n" + format_fig7(result))
+    # Misaligned problem: the best imperfect mapspace beats PFM.
+    best_imperfect = min(
+        result.final_edp(kind) for kind in ("ruby", "ruby-s", "ruby-t")
+    )
+    assert best_imperfect < result.final_edp("pfm")
+    assert result.final_edp("ruby-s") <= result.final_edp("pfm") * 1.02
+
+
+def test_fig7c_aligned_conv(benchmark, bench_scale):
+    result = run_once(benchmark, lambda: _run("c", bench_scale))
+    print("\n" + format_fig7(result))
+    # PFM delivers high quality; Ruby-S approaches within 10%.
+    assert result.final_edp("ruby-s") <= result.final_edp("pfm") * 1.10
+    # The unconstrained mapspaces are not better here (alignment).
+    assert result.final_edp("pfm") <= result.edp_after("ruby", 500)
+
+
+def test_fig7d_misaligned_conv(benchmark, bench_scale):
+    result = run_once(benchmark, lambda: _run("d", bench_scale))
+    print("\n" + format_fig7(result))
+    # Ruby-S exploits the mismatch and at least matches PFM.
+    assert result.final_edp("ruby-s") <= result.final_edp("pfm") * 1.02

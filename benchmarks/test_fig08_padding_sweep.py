@@ -1,0 +1,87 @@
+"""E6 (Fig. 8): Ruby-S vs PFM vs PFM+padding over dimension sizes.
+
+Claims checked (16-PE linear array):
+
+* at the prime D = 127, PFM cannot parallelize (serial, 127 cycles) while
+  padding to 128 and Ruby-S both run 8 cycles; padding's single zero
+  element costs almost nothing there;
+* at D = 113, padding wastes ~12% of computations and loses measurably in
+  EDP, while Ruby-S packs 8 cycles with no waste;
+* Ruby-S is never worse than either alternative across the sweep.
+"""
+
+from conftest import run_once
+
+from repro.experiments.fig08 import format_fig8, run_fig8
+
+SIZES = (96, 100, 108, 113, 116, 120, 127, 128)
+
+
+def test_fig8_padding_sweep(benchmark, bench_scale):
+    result = run_once(
+        benchmark,
+        lambda: run_fig8(
+            sizes=SIZES, max_evaluations=1_500 * bench_scale
+        ),
+    )
+    print("\n" + format_fig8(result))
+
+    index_127 = result.sizes.index(127)
+    index_113 = result.sizes.index(113)
+
+    # Prime 127: PFM is serial, the others pack the array into 8 cycles.
+    assert result.cycles["pfm"][index_127] == 127
+    assert result.cycles["ruby-s"][index_127] == 8
+    assert result.cycles["pfm+pad"][index_127] == 8
+    # Padding by one element costs < 2% EDP at 127.
+    assert result.normalized("pfm+pad", 127) < 1.02
+
+    # D = 113: ~12% of padded MACs are zeros -> visible EDP overhead.
+    assert result.cycles["ruby-s"][index_113] == 8
+    assert result.normalized("pfm+pad", 113) > 1.08
+    assert result.normalized("pfm", 113) > 5.0
+
+    # Ruby-S forms the lower envelope everywhere.
+    for i, _ in enumerate(result.sizes):
+        ruby = result.edp["ruby-s"][i]
+        assert ruby <= result.edp["pfm"][i] * 1.001
+        assert ruby <= result.edp["pfm+pad"][i] * 1.001
+
+
+def test_fig8_sparsity_caveat(benchmark, bench_scale):
+    """The paper's caveat: with ideal single-operand zero-gating hardware,
+    padding performs comparably to Ruby-S."""
+    from repro.arch import toy_linear_architecture
+    from repro.core import find_best_mapping
+    from repro.energy import estimate_energy_table
+    from repro.model.sparsity import gated_evaluation
+    from repro.problem import pad_dimension
+    from repro.zoo.toy import fig8_workload
+
+    def run():
+        arch = toy_linear_architecture(16)
+        table = estimate_energy_table(arch)
+        rows = {}
+        for size in (100, 113, 127):
+            workload = fig8_workload(size)
+            padded = pad_dimension(workload, "D", 16)
+
+            def best(wl, kind):
+                return find_best_mapping(
+                    arch, wl, kind=kind, seed=0,
+                    max_evaluations=1_500 * bench_scale,
+                    patience=400 * bench_scale,
+                ).best
+
+            ruby = best(workload, "ruby-s")
+            gated = gated_evaluation(
+                arch, best(padded.workload, "pfm"),
+                padded.effectual_fraction, table,
+            )
+            rows[size] = gated.edp / ruby.edp
+        return rows
+
+    rows = run_once(benchmark, run)
+    print("\nFig. 8 caveat: gated-padding EDP / Ruby-S EDP:", rows)
+    for size, ratio in rows.items():
+        assert 0.95 <= ratio <= 1.05, (size, ratio)

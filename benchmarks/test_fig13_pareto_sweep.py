@@ -1,0 +1,39 @@
+"""E11 (Fig. 13): architectural sweep — Ruby-S forms the Pareto frontier.
+
+PE arrays from 2x7 to 16x16 on ResNet-50 (a) and a DeepBench subselection
+(b). Claim checked: every PFM design point is weakly dominated by some
+Ruby-S point in (area, EDP) — Ruby-S forms a new Pareto frontier at or
+below the PFM frontier.
+"""
+
+from conftest import run_once
+
+from repro.experiments.fig13 import format_fig13, run_fig13
+
+
+def test_fig13a_resnet50_pareto(benchmark, bench_scale):
+    result = run_once(
+        benchmark,
+        lambda: run_fig13(
+            suite="resnet50",
+            max_evaluations=2_000 * bench_scale,
+            patience=600 * bench_scale,
+        ),
+    )
+    print("\n" + format_fig13(result))
+    assert result.ruby_s_dominates()
+    # The frontier is non-trivial: multiple shapes on it.
+    assert len(result.ruby_s_frontier()) >= 2
+
+
+def test_fig13b_deepbench_pareto(benchmark, bench_scale):
+    result = run_once(
+        benchmark,
+        lambda: run_fig13(
+            suite="deepbench",
+            max_evaluations=2_000 * bench_scale,
+            patience=600 * bench_scale,
+        ),
+    )
+    print("\n" + format_fig13(result))
+    assert result.ruby_s_dominates()

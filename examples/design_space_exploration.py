@@ -1,0 +1,41 @@
+#!/usr/bin/env python3
+"""Architectural co-design with Ruby-S: the Fig. 13 / Fig. 14 sweep.
+
+Sweeps Eyeriss-like PE arrays from 2x7 to 16x16, searches PFM and Ruby-S
+for each design over a DeepBench subselection, and reports:
+
+* area vs EDP per design and mapspace (the Fig. 13 scatter),
+* which designs sit on each Pareto frontier,
+* per-configuration EDP improvements (the Fig. 14 bars).
+
+Run:  python examples/design_space_exploration.py
+"""
+
+from repro.experiments.fig13 import format_fig13, run_fig13
+
+
+def main() -> None:
+    result = run_fig13(
+        suite="deepbench",
+        max_evaluations=1500,
+        patience=500,
+    )
+    print(format_fig13(result))
+    print()
+
+    print("Ruby-S Pareto frontier (area mm^2 -> EDP):")
+    for point in result.ruby_s_frontier():
+        print(f"  {point.payload['shape']:>7}: {point.x:8.3f} mm^2  "
+              f"EDP {point.y:.3e}")
+    print()
+    print("PFM Pareto frontier:")
+    for point in result.pfm_frontier():
+        print(f"  {point.payload['shape']:>7}: {point.x:8.3f} mm^2  "
+              f"EDP {point.y:.3e}")
+    print()
+    verdict = "forms" if result.ruby_s_dominates() else "does NOT form"
+    print(f"Ruby-S {verdict} a new Pareto frontier over PFM (paper: forms).")
+
+
+if __name__ == "__main__":
+    main()

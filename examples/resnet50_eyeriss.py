@@ -1,0 +1,39 @@
+#!/usr/bin/env python3
+"""ResNet-50 on an Eyeriss-like accelerator: the Fig. 10 experiment.
+
+Searches PFM and Ruby-S mapspaces for a representative per-stage selection
+of ResNet-50 layers (count-weighted to the full network), then prints the
+per-layer and network-level comparison the paper reports: EDP, energy,
+and cycles normalized to PFM, plus utilizations.
+
+Run:  python examples/resnet50_eyeriss.py          (representative subset)
+      python examples/resnet50_eyeriss.py --full   (all 25 unique layers)
+"""
+
+import sys
+
+from repro.experiments.fig10 import format_fig10, run_fig10
+
+
+def main() -> None:
+    full = "--full" in sys.argv
+    comparison = run_fig10(
+        representative=not full,
+        seeds=(1, 2),
+        max_evaluations=2500,
+        patience=800,
+    )
+    print(format_fig10(comparison))
+    print()
+    improvement = 100.0 * (1.0 - comparison.network_edp_ratio)
+    cycles = 100.0 * (1.0 - comparison.network_cycles_ratio)
+    energy = 100.0 * (comparison.network_energy_ratio - 1.0)
+    print(
+        f"Network summary: Ruby-S improves EDP by {improvement:.1f}% "
+        f"(paper: 14%), cuts cycles by {cycles:.1f}% (paper: 17%), "
+        f"energy change {energy:+.1f}% (paper: +2%)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,114 @@
+"""repro: Ruby — imperfect-factorization mapspaces for tensor accelerators.
+
+A from-scratch Python reproduction of "Ruby: Improving Hardware Efficiency
+for Tensor Algebra Accelerators Through Imperfect Factorization"
+(ISPASS 2022), including the Timeloop-style mapping evaluation stack it
+builds on: workload algebra, architecture specs, an Accelergy-like energy
+model, mapspace generation (PFM / Ruby / Ruby-S / Ruby-T), an exact
+remainder-aware analytical cost model, and search.
+
+Quickstart::
+
+    from repro import ConvLayer, eyeriss_like, find_best_mapping
+
+    arch = eyeriss_like()
+    layer = ConvLayer("conv", c=64, m=64, p=56, q=56, r=3, s=3)
+    result = find_best_mapping(arch, layer.workload(), kind="ruby-s", seed=0)
+    print(result.best.edp, result.best.utilization)
+"""
+
+from repro.arch import (
+    Architecture,
+    ComputeLevel,
+    StorageLevel,
+    eyeriss_like,
+    simba_like,
+    toy_glb_architecture,
+    toy_linear_architecture,
+)
+from repro.core import (
+    Mapper,
+    MapperConfig,
+    find_best_mapping,
+    sweep_pe_arrays,
+)
+from repro.energy import (
+    EnergyTable,
+    estimate_area_mm2,
+    estimate_energy_table,
+)
+from repro.mapping import (
+    Loop,
+    Mapping,
+    is_valid_mapping,
+    render_mapping,
+)
+from repro.mapspace import (
+    ConstraintSet,
+    MapSpace,
+    MapspaceKind,
+    count_mapspace_sizes,
+    make_mapspace,
+    pfm_mapspace,
+    ruby_mapspace,
+    ruby_s_mapspace,
+    ruby_t_mapspace,
+)
+from repro.model import Evaluation, Evaluator
+from repro.problem import (
+    ConvLayer,
+    GemmLayer,
+    TensorSpec,
+    Workload,
+    pad_dimension,
+)
+from repro.search import (
+    ExhaustiveSearch,
+    GeneticSearch,
+    RandomSearch,
+    SearchResult,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Architecture",
+    "ComputeLevel",
+    "StorageLevel",
+    "eyeriss_like",
+    "simba_like",
+    "toy_glb_architecture",
+    "toy_linear_architecture",
+    "Mapper",
+    "MapperConfig",
+    "find_best_mapping",
+    "sweep_pe_arrays",
+    "EnergyTable",
+    "estimate_area_mm2",
+    "estimate_energy_table",
+    "Loop",
+    "Mapping",
+    "is_valid_mapping",
+    "render_mapping",
+    "ConstraintSet",
+    "MapSpace",
+    "MapspaceKind",
+    "count_mapspace_sizes",
+    "make_mapspace",
+    "pfm_mapspace",
+    "ruby_mapspace",
+    "ruby_s_mapspace",
+    "ruby_t_mapspace",
+    "Evaluation",
+    "Evaluator",
+    "ConvLayer",
+    "GemmLayer",
+    "TensorSpec",
+    "Workload",
+    "pad_dimension",
+    "SearchResult",
+    "RandomSearch",
+    "ExhaustiveSearch",
+    "GeneticSearch",
+    "__version__",
+]

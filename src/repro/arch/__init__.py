@@ -1,0 +1,27 @@
+"""Architecture specifications: memory hierarchies with spatial fanouts.
+
+An :class:`~repro.arch.spec.Architecture` is an ordered list of storage
+levels (outermost/DRAM first) ending at a compute level (the MAC units).
+Each storage level may fan out spatially to multiple instances of the level
+below it — that fanout is where spatial (``parFor``) loops live.
+
+Presets reproduce the designs of the paper: an Eyeriss-like 14x12 row-
+stationary accelerator, a Simba-like multi-PE vector-MAC accelerator, and
+the toy linear arrays of Section III.
+"""
+
+from repro.arch.level import ComputeLevel, StorageLevel
+from repro.arch.spec import Architecture
+from repro.arch.eyeriss import eyeriss_like
+from repro.arch.simba import simba_like
+from repro.arch.toy import toy_glb_architecture, toy_linear_architecture
+
+__all__ = [
+    "ComputeLevel",
+    "StorageLevel",
+    "Architecture",
+    "eyeriss_like",
+    "simba_like",
+    "toy_glb_architecture",
+    "toy_linear_architecture",
+]

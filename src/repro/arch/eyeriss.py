@@ -1,0 +1,91 @@
+"""Eyeriss-like architecture preset (the paper's baseline, Fig. 2).
+
+Hierarchy (paper Section II-B):
+
+* DRAM (off-chip, unbounded)
+* Global buffer (GLB), 128 KiB shared — holds inputs and outputs; model
+  parameters (weights) stream past it directly into the PE weight spads.
+* 14x12 PE array (spatial fanout 168)
+* Per-PE operand-private scratchpads: input buffer depth 12, partial-sum
+  buffer depth 16, weight buffer depth 224 (16-bit words).
+* 16-bit integer MAC per PE.
+
+Run-length encoding is not modelled, matching the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.arch.level import ComputeLevel, StorageLevel
+from repro.arch.spec import Architecture
+
+GLB_BYTES_DEFAULT = 128 * 1024
+PE_INPUT_DEPTH = 12
+PE_PSUM_DEPTH = 16
+PE_WEIGHT_DEPTH = 224
+WORD_BITS = 16
+
+
+def eyeriss_like(
+    mesh_x: int = 14,
+    mesh_y: int = 12,
+    glb_bytes: int = GLB_BYTES_DEFAULT,
+    pe_input_depth: int = PE_INPUT_DEPTH,
+    pe_psum_depth: int = PE_PSUM_DEPTH,
+    pe_weight_depth: int = PE_WEIGHT_DEPTH,
+    flat_mesh: bool = False,
+    name: Optional[str] = None,
+) -> Architecture:
+    """Build an Eyeriss-like accelerator.
+
+    Args:
+        mesh_x: PE columns (14 in the original design).
+        mesh_y: PE rows (12 in the original design).
+        glb_bytes: shared global-buffer capacity in bytes (128 KiB default).
+        pe_input_depth: per-PE input scratchpad depth in words.
+        pe_psum_depth: per-PE partial-sum scratchpad depth in words.
+        pe_weight_depth: per-PE weight scratchpad depth in words.
+        flat_mesh: treat the array as a 1-D fanout of ``mesh_x * mesh_y``
+            PEs instead of a 2-D mesh. This is an *ablation* switch: with a
+            flat fanout, spatial factors only have to fit the PE count, so
+            much of the dimension/array misalignment Ruby-S exploits
+            disappears. Real Eyeriss is a 2-D mesh.
+        name: override the auto-generated name.
+
+    The architectural sweep of Figs. 13/14 varies ``mesh_x`` x ``mesh_y``
+    from 2x7 to 16x16 while keeping the PE microarchitecture fixed.
+    """
+    glb_words = glb_bytes * 8 // WORD_BITS
+    dram = StorageLevel.build(
+        name="DRAM",
+        capacity_words=None,
+        word_bits=WORD_BITS,
+    )
+    glb = StorageLevel.build(
+        name="GlobalBuffer",
+        capacity_words=glb_words,
+        word_bits=WORD_BITS,
+        # Weights bypass the GLB (streamed straight to PE weight spads).
+        keeps={"Inputs", "Outputs"},
+        fanout=mesh_x * mesh_y,
+        fanout_x=None if flat_mesh else mesh_x,
+        fanout_y=None if flat_mesh else mesh_y,
+    )
+    pe = StorageLevel.build(
+        name="PEBuffer",
+        word_bits=WORD_BITS,
+        per_tensor_capacity={
+            "Inputs": pe_input_depth,
+            "Outputs": pe_psum_depth,
+            "Weights": pe_weight_depth,
+        },
+        keeps={"Inputs", "Outputs", "Weights"},
+    )
+    return Architecture(
+        name=name or f"eyeriss-like-{mesh_x}x{mesh_y}",
+        levels=(dram, glb, pe),
+        compute=ComputeLevel(name="MAC", word_bits=WORD_BITS),
+        mesh_x=mesh_x,
+        mesh_y=mesh_y,
+    )

@@ -1,0 +1,160 @@
+"""Building blocks of an architecture: storage and compute levels."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, Mapping, Optional, Tuple
+
+from repro.exceptions import SpecError
+
+
+@dataclass(frozen=True)
+class StorageLevel:
+    """One level of the (logical) memory hierarchy.
+
+    Attributes:
+        name: e.g. ``"DRAM"``, ``"GlobalBuffer"``, ``"PEBuffer"``.
+        capacity_words: shared capacity in words, or ``None`` for unbounded
+            (DRAM). When ``per_tensor_capacity`` is given it overrides this
+            with operand-private buffers (as in Eyeriss PEs).
+        word_bits: word width in bits.
+        keeps: tensor names this level may hold. ``None`` means all tensors;
+            a tensor not in ``keeps`` bypasses this level (e.g. weights skip
+            the Eyeriss GLB and stream straight into the PE weight spads).
+        per_tensor_capacity: optional ``{tensor_name: words}`` for levels
+            built from operand-private buffers. Tensors listed here must be
+            a subset of ``keeps`` (when ``keeps`` is set).
+        fanout: number of instances of the next-inner level fed by each
+            instance of this level (1 = no spatial fanout below this level).
+        fanout_x / fanout_y: optional physical mesh shape with
+            ``fanout_x * fanout_y == fanout``; used by area reporting and by
+            mesh-aware constraints. Defaults to a 1-D arrangement.
+        spatial_dims: problem dims that may be mapped spatially below this
+            level (``None`` = any). Captures dataflow restrictions like
+            Simba's C/M-only PE parallelism.
+        bandwidth_words_per_cycle: read bandwidth toward the child level;
+            ``None`` disables the bandwidth stall model for this level.
+    """
+
+    name: str
+    capacity_words: Optional[int] = None
+    word_bits: int = 16
+    keeps: Optional[FrozenSet[str]] = None
+    per_tensor_capacity: Optional[Tuple[Tuple[str, int], ...]] = None
+    fanout: int = 1
+    fanout_x: Optional[int] = None
+    fanout_y: Optional[int] = None
+    spatial_dims: Optional[FrozenSet[str]] = None
+    bandwidth_words_per_cycle: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SpecError("storage level name must be non-empty")
+        if self.capacity_words is not None and self.capacity_words < 1:
+            raise SpecError(
+                f"level {self.name}: capacity_words must be >= 1 or None, "
+                f"got {self.capacity_words}"
+            )
+        if self.word_bits < 1:
+            raise SpecError(f"level {self.name}: word_bits must be >= 1")
+        if self.fanout < 1:
+            raise SpecError(f"level {self.name}: fanout must be >= 1")
+        if (self.fanout_x is None) != (self.fanout_y is None):
+            raise SpecError(
+                f"level {self.name}: fanout_x and fanout_y must be set together"
+            )
+        if self.fanout_x is not None:
+            if self.fanout_x * self.fanout_y != self.fanout:
+                raise SpecError(
+                    f"level {self.name}: fanout_x*fanout_y "
+                    f"({self.fanout_x}x{self.fanout_y}) != fanout ({self.fanout})"
+                )
+        if self.per_tensor_capacity is not None:
+            for tensor, words in self.per_tensor_capacity:
+                if words < 1:
+                    raise SpecError(
+                        f"level {self.name}: capacity for {tensor} must be >= 1"
+                    )
+                if self.keeps is not None and tensor not in self.keeps:
+                    raise SpecError(
+                        f"level {self.name}: per-tensor capacity for {tensor} "
+                        f"but {tensor} not in keeps"
+                    )
+
+    @staticmethod
+    def build(
+        name: str,
+        capacity_words: Optional[int] = None,
+        word_bits: int = 16,
+        keeps: Optional[FrozenSet[str]] = None,
+        per_tensor_capacity: Optional[Mapping[str, int]] = None,
+        fanout: int = 1,
+        fanout_x: Optional[int] = None,
+        fanout_y: Optional[int] = None,
+        spatial_dims: Optional[FrozenSet[str]] = None,
+        bandwidth_words_per_cycle: Optional[float] = None,
+    ) -> "StorageLevel":
+        """Convenience constructor accepting plain containers."""
+        return StorageLevel(
+            name=name,
+            capacity_words=capacity_words,
+            word_bits=word_bits,
+            keeps=frozenset(keeps) if keeps is not None else None,
+            per_tensor_capacity=(
+                tuple(sorted(per_tensor_capacity.items()))
+                if per_tensor_capacity is not None
+                else None
+            ),
+            fanout=fanout,
+            fanout_x=fanout_x,
+            fanout_y=fanout_y,
+            spatial_dims=frozenset(spatial_dims) if spatial_dims is not None else None,
+            bandwidth_words_per_cycle=bandwidth_words_per_cycle,
+        )
+
+    def keeps_tensor(self, tensor_name: str) -> bool:
+        """True if this level is allowed to buffer ``tensor_name``."""
+        return self.keeps is None or tensor_name in self.keeps
+
+    def tensor_capacity(self, tensor_name: str) -> Optional[int]:
+        """Private capacity for ``tensor_name`` if this level is partitioned."""
+        if self.per_tensor_capacity is None:
+            return None
+        for name, words in self.per_tensor_capacity:
+            if name == tensor_name:
+                return words
+        return None
+
+    @property
+    def is_partitioned(self) -> bool:
+        return self.per_tensor_capacity is not None
+
+    @property
+    def total_capacity_words(self) -> Optional[int]:
+        """Total words this level can hold (summing private partitions)."""
+        if self.per_tensor_capacity is not None:
+            return sum(words for _, words in self.per_tensor_capacity)
+        return self.capacity_words
+
+
+@dataclass(frozen=True)
+class ComputeLevel:
+    """The innermost (arithmetic) level: scalar or vector MAC units.
+
+    Attributes:
+        name: e.g. ``"MAC"``.
+        word_bits: operand precision (16-bit integer in the paper).
+        ops_per_cycle: MACs issued per unit per cycle (1 for a scalar MAC).
+    """
+
+    name: str = "MAC"
+    word_bits: int = 16
+    ops_per_cycle: int = 1
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SpecError("compute level name must be non-empty")
+        if self.word_bits < 1:
+            raise SpecError("compute word_bits must be >= 1")
+        if self.ops_per_cycle < 1:
+            raise SpecError("ops_per_cycle must be >= 1")

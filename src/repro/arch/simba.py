@@ -1,0 +1,83 @@
+"""Simba-like architecture preset (paper Section IV-C, Fig. 12).
+
+Simba [Shao et al., MICRO'19] builds PEs around vector MACs with shared
+local weight/input/accumulation buffers. The paper evaluates a 15-PE
+configuration whose PEs each contain four 4-wide vector MACs (16 lanes),
+and a 9-PE configuration with three 3-wide vector MACs (9 lanes). PE-level
+parallelism is restricted to the input-channel (C) and output-channel (M)
+dimensions, matching Simba's data access patterns.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.arch.level import ComputeLevel, StorageLevel
+from repro.arch.spec import Architecture
+
+WORD_BITS = 16
+GLB_BYTES_DEFAULT = 64 * 1024
+PE_WEIGHT_BYTES = 32 * 1024
+PE_INPUT_BYTES = 8 * 1024
+PE_ACCUM_BYTES = 3 * 1024
+
+
+def simba_like(
+    num_pes: int = 15,
+    vector_macs_per_pe: int = 4,
+    vector_width: int = 4,
+    glb_bytes: int = GLB_BYTES_DEFAULT,
+    pe_weight_bytes: int = PE_WEIGHT_BYTES,
+    pe_input_bytes: int = PE_INPUT_BYTES,
+    pe_accum_bytes: int = PE_ACCUM_BYTES,
+    name: Optional[str] = None,
+) -> Architecture:
+    """Build a Simba-like accelerator.
+
+    Args:
+        num_pes: number of PEs (the paper uses 15, and also 9).
+        vector_macs_per_pe: vector MAC units per PE (4 in the 15-PE config).
+        vector_width: lanes per vector MAC (4 in the 15-PE config).
+        glb_bytes: shared global buffer size.
+        pe_weight_bytes / pe_input_bytes / pe_accum_bytes: per-PE buffer
+            capacities for the weight, input, and accumulation buffers.
+        name: override the auto-generated name.
+
+    The intra-PE lanes (``vector_macs_per_pe * vector_width``) appear as a
+    second spatial fanout below the PE buffers, restricted to the C and M
+    dimensions like the inter-PE fanout.
+    """
+    lanes = vector_macs_per_pe * vector_width
+    dram = StorageLevel.build(name="DRAM", capacity_words=None, word_bits=WORD_BITS)
+    glb = StorageLevel.build(
+        name="GlobalBuffer",
+        capacity_words=glb_bytes * 8 // WORD_BITS,
+        word_bits=WORD_BITS,
+        keeps={"Inputs", "Outputs"},
+        fanout=num_pes,
+        spatial_dims={"C", "M", "K"},
+    )
+    # Vector-MAC lanes read operands straight out of the PE buffers through
+    # the distribution network, so the lane fanout hangs off the PE level
+    # (there is no per-lane storage to model).
+    pe = StorageLevel.build(
+        name="PEBuffer",
+        word_bits=WORD_BITS,
+        per_tensor_capacity={
+            "Weights": pe_weight_bytes * 8 // WORD_BITS,
+            "Inputs": pe_input_bytes * 8 // WORD_BITS,
+            "Outputs": pe_accum_bytes * 8 // WORD_BITS,
+        },
+        keeps={"Inputs", "Outputs", "Weights"},
+        fanout=lanes,
+        fanout_x=vector_macs_per_pe,
+        fanout_y=vector_width,
+        spatial_dims={"C", "M", "K"},
+    )
+    return Architecture(
+        name=name or f"simba-like-{num_pes}pe-{vector_macs_per_pe}x{vector_width}",
+        levels=(dram, glb, pe),
+        compute=ComputeLevel(name="VectorMAC", word_bits=WORD_BITS),
+        mesh_x=num_pes,
+        mesh_y=1,
+    )

@@ -1,0 +1,76 @@
+"""Toy architectures used by the paper's Section II-D / III studies.
+
+Two shapes appear in the paper:
+
+* Fig. 4/5: a global buffer (1 KiB) fanning out to a small grid of PEs with
+  no local storage — used for the 100-element distribution example.
+* Fig. 7 / Table I / Fig. 8: a two-level hierarchy where each PE of a linear
+  array owns a 1 KiB scratchpad — used for the mapspace-expansion studies.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.arch.level import ComputeLevel, StorageLevel
+from repro.arch.spec import Architecture
+
+WORD_BITS = 16
+
+
+def toy_glb_architecture(
+    num_pes: int = 6,
+    glb_bytes: int = 1024,
+    name: Optional[str] = None,
+) -> Architecture:
+    """DRAM -> small GLB -> ``num_pes`` storage-less PEs (Figs. 4 and 5).
+
+    PEs without local storage are modelled as tiny (4-word) staging
+    registers — just enough to latch one element per operand — so every
+    operand streams from the GLB each cycle.
+    """
+    dram = StorageLevel.build(name="DRAM", capacity_words=None, word_bits=WORD_BITS)
+    glb = StorageLevel.build(
+        name="GlobalBuffer",
+        capacity_words=glb_bytes * 8 // WORD_BITS,
+        word_bits=WORD_BITS,
+        fanout=num_pes,
+    )
+    pe = StorageLevel.build(name="PERegister", capacity_words=4, word_bits=WORD_BITS)
+    return Architecture(
+        name=name or f"toy-glb-{num_pes}pe",
+        levels=(dram, glb, pe),
+        compute=ComputeLevel(),
+        mesh_x=num_pes,
+        mesh_y=1,
+    )
+
+
+def toy_linear_architecture(
+    num_pes: int,
+    pe_buffer_bytes: int = 1024,
+    name: Optional[str] = None,
+) -> Architecture:
+    """DRAM -> linear array of ``num_pes`` PEs, each with a private buffer.
+
+    This is the two-level toy of Fig. 7 ("each linear-PE allocated a 1 KiB
+    scratchpad buffer"), Table I (fanout 9), and Fig. 8 (16 PEs).
+    """
+    dram = StorageLevel.build(
+        name="DRAM",
+        capacity_words=None,
+        word_bits=WORD_BITS,
+        fanout=num_pes,
+    )
+    pe = StorageLevel.build(
+        name="PEBuffer",
+        capacity_words=pe_buffer_bytes * 8 // WORD_BITS,
+        word_bits=WORD_BITS,
+    )
+    return Architecture(
+        name=name or f"toy-linear-{num_pes}pe",
+        levels=(dram, pe),
+        compute=ComputeLevel(),
+        mesh_x=num_pes,
+        mesh_y=1,
+    )

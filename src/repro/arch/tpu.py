@@ -1,0 +1,89 @@
+"""TPU-like systolic-array preset (an extension beyond the paper).
+
+A weight-stationary systolic array in the spirit of the TPU v1: one large
+unified activation buffer feeding a big square MAC array with a dedicated
+accumulator memory. Interesting for imperfect factorization because the
+array is *large* (128x128 here): small or odd layer dimensions leave huge
+fractions idle under perfect factorization, and the relative gains from
+remainders grow with array size.
+
+The systolic dataflow is approximated with the usual constraints: the
+array unrolls the reduction dim (K or C) along one axis and the output
+dim (M) along the other.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.arch.level import ComputeLevel, StorageLevel
+from repro.arch.spec import Architecture
+from repro.mapspace.constraints import ConstraintSet
+
+WORD_BITS = 16
+UNIFIED_BUFFER_BYTES = 4 * 1024 * 1024
+ACCUMULATOR_BYTES = 128 * 1024
+
+
+def tpu_like(
+    array_dim: int = 128,
+    unified_buffer_bytes: int = UNIFIED_BUFFER_BYTES,
+    accumulator_bytes: int = ACCUMULATOR_BYTES,
+    name: Optional[str] = None,
+) -> Architecture:
+    """Build a TPU-like weight-stationary accelerator.
+
+    Args:
+        array_dim: systolic array side (128 gives a 16K-MAC array; the
+            real TPU v1 uses 256).
+        unified_buffer_bytes: on-chip activation buffer.
+        accumulator_bytes: per-column accumulator storage, modelled as the
+            output partition of the PE-level storage.
+        name: override the auto-generated name.
+    """
+    dram = StorageLevel.build(name="DRAM", capacity_words=None, word_bits=WORD_BITS)
+    unified = StorageLevel.build(
+        name="UnifiedBuffer",
+        capacity_words=unified_buffer_bytes * 8 // WORD_BITS,
+        word_bits=WORD_BITS,
+        keeps={"Inputs", "Outputs", "A", "C"},
+        fanout=array_dim * array_dim,
+        fanout_x=array_dim,
+        fanout_y=array_dim,
+    )
+    pe = StorageLevel.build(
+        name="PERegisters",
+        word_bits=WORD_BITS,
+        per_tensor_capacity={
+            "Weights": 8,
+            "B": 8,
+            "Inputs": 4,
+            "A": 4,
+            "Outputs": max(1, accumulator_bytes * 8 // WORD_BITS // (array_dim**2)),
+            "C": max(1, accumulator_bytes * 8 // WORD_BITS // (array_dim**2)),
+        },
+    )
+    return Architecture(
+        name=name or f"tpu-like-{array_dim}x{array_dim}",
+        levels=(dram, unified, pe),
+        compute=ComputeLevel(name="MAC", word_bits=WORD_BITS),
+        mesh_x=array_dim,
+        mesh_y=array_dim,
+    )
+
+
+def tpu_weight_stationary_constraints() -> ConstraintSet:
+    """Systolic weight-stationary split: reduction dims along Y, output
+    channels along X.
+
+    Covers both convs (C reduced, M output) and GEMMs (K reduced, M
+    output); feature-map dims stay temporal, streaming through the array.
+    """
+    return ConstraintSet.build(
+        axis_dims={
+            "UnifiedBuffer": (
+                frozenset({"M"}),
+                frozenset({"C", "K", "R", "S"}),
+            )
+        },
+    )

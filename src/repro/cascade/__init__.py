@@ -1,0 +1,23 @@
+"""Multi-layer cascades: composing per-layer mappings with fusion.
+
+The paper's introduction situates Ruby among fine-grained per-operation
+optimizations and notes they compose with coarse-grained vertical
+scheduling (operator fusion, TVM/Tangram-style). This package provides
+that composition: evaluate a chain of layers whose intermediate
+activations can stay on-chip, skipping the DRAM round trip, on top of
+whatever per-layer mappings the mapper found.
+"""
+
+from repro.cascade.fusion import (
+    CascadeResult,
+    CascadeStage,
+    evaluate_cascade,
+    format_cascade,
+)
+
+__all__ = [
+    "CascadeResult",
+    "CascadeStage",
+    "evaluate_cascade",
+    "format_cascade",
+]

@@ -1,0 +1,161 @@
+"""Inter-layer fusion accounting over a chain of evaluated layers.
+
+Model: consecutive layers ``i -> i+1`` are *fusable* when layer ``i``'s
+full output tensor fits in a reserved slice of the staging buffer (the
+first bounded on-chip level). A fused boundary keeps the activation
+on-chip: layer ``i`` stops writing it to DRAM and layer ``i+1`` stops
+reading it back, saving
+
+    ``words x (DRAM write energy + DRAM read energy)``
+
+and the corresponding DRAM traffic. Per-layer compute and on-chip traffic
+are unchanged — fusion composes with, rather than replaces, the per-layer
+mapping choice (which is the paper's framing of coarse- vs fine-grained
+optimization).
+
+This is deliberately a first-order model: it does not re-tile layers
+jointly (pipelined fusion), and it reserves buffer capacity statically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from repro.arch.spec import Architecture
+from repro.core.report import format_table
+from repro.energy.accelergy import estimate_energy_table
+from repro.energy.table import EnergyTable
+from repro.exceptions import SpecError
+from repro.model.evaluator import Evaluation
+from repro.problem.workload import Workload
+
+
+@dataclass(frozen=True)
+class CascadeStage:
+    """One layer of a cascade: its workload and its evaluated mapping."""
+
+    workload: Workload
+    evaluation: Evaluation
+
+    def __post_init__(self) -> None:
+        if not self.evaluation.valid:
+            raise SpecError(
+                f"cascade stage {self.workload.name} has an invalid evaluation"
+            )
+
+    @property
+    def output_words(self) -> int:
+        return self.workload.tensor_size(self.workload.output.name)
+
+
+@dataclass
+class CascadeResult:
+    """Outcome of evaluating a layer chain with fusion.
+
+    ``fused`` flags each inter-stage boundary; totals include the fusion
+    savings. ``baseline_energy_pj`` is the unfused sum for comparison.
+    """
+
+    stages: List[CascadeStage] = field(default_factory=list)
+    fused: List[bool] = field(default_factory=list)
+    baseline_energy_pj: float = 0.0
+    energy_pj: float = 0.0
+    cycles: int = 0
+    dram_words_saved: int = 0
+
+    @property
+    def edp(self) -> float:
+        return self.energy_pj * self.cycles
+
+    @property
+    def baseline_edp(self) -> float:
+        return self.baseline_energy_pj * self.cycles
+
+    @property
+    def energy_saving_fraction(self) -> float:
+        if self.baseline_energy_pj == 0:
+            return 0.0
+        return 1.0 - self.energy_pj / self.baseline_energy_pj
+
+
+def _staging_level(arch: Architecture):
+    """The first bounded level under DRAM — where activations would stay."""
+    for level in arch.levels[1:]:
+        if level.total_capacity_words is not None:
+            return level
+    raise SpecError(f"architecture {arch.name} has no bounded staging level")
+
+
+def evaluate_cascade(
+    arch: Architecture,
+    stages: Sequence[Tuple[Workload, Evaluation]],
+    energy_table: Optional[EnergyTable] = None,
+    reserve_fraction: float = 0.5,
+) -> CascadeResult:
+    """Evaluate a chain of layers with inter-layer fusion where it fits.
+
+    Args:
+        arch: the accelerator (all stages run on it sequentially).
+        stages: ``(workload, evaluation)`` per layer, in dataflow order.
+        energy_table: pricing for the saved DRAM accesses (estimated when
+            omitted).
+        reserve_fraction: fraction of the staging buffer that may hold a
+            resident inter-layer activation (the rest keeps serving the
+            running layer's tiles).
+    """
+    if not 0.0 < reserve_fraction <= 1.0:
+        raise SpecError("reserve_fraction must be in (0, 1]")
+    table = energy_table or estimate_energy_table(arch)
+    staging = _staging_level(arch)
+    budget = int(staging.total_capacity_words * reserve_fraction)
+    dram = arch.levels[0]
+
+    result = CascadeResult(
+        stages=[CascadeStage(w, e) for w, e in stages],
+    )
+    result.baseline_energy_pj = sum(e.energy_pj for _, e in stages)
+    result.energy_pj = result.baseline_energy_pj
+    result.cycles = sum(e.cycles for _, e in stages)
+
+    dram_round_trip_pj = table.write_pj(dram.name) + table.read_pj(dram.name)
+    for producer, consumer in zip(result.stages, result.stages[1:]):
+        intermediate_words = producer.output_words
+        fits = intermediate_words <= budget
+        keeps = staging.keeps_tensor(producer.workload.output.name)
+        fused = fits and keeps
+        result.fused.append(fused)
+        if fused:
+            result.dram_words_saved += 2 * intermediate_words
+            result.energy_pj -= intermediate_words * dram_round_trip_pj
+    return result
+
+
+def format_cascade(result: CascadeResult) -> str:
+    """Render the cascade: per stage, plus fusion boundaries and totals."""
+    rows = []
+    for index, stage in enumerate(result.stages):
+        fused_in = result.fused[index - 1] if index > 0 else False
+        rows.append(
+            [
+                stage.workload.name,
+                stage.evaluation.energy_pj,
+                stage.evaluation.cycles,
+                stage.output_words,
+                "on-chip" if fused_in else ("-" if index == 0 else "DRAM"),
+            ]
+        )
+    rows.append(
+        [
+            "TOTAL (fused)",
+            result.energy_pj,
+            result.cycles,
+            result.dram_words_saved,
+            f"-{result.energy_saving_fraction:.1%} energy",
+        ]
+    )
+    return format_table(
+        ["layer", "energy pJ", "cycles", "output words", "input from"],
+        rows,
+        title="Cascade with inter-layer fusion",
+    )

@@ -1,0 +1,280 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``search`` — find the best mapping of a conv/GEMM on a preset
+  architecture and print it as a loopnest (optionally save it as JSON).
+* ``evaluate`` — re-evaluate a saved mapping JSON against saved (or
+  preset) architecture and workload specs.
+* ``experiment`` — run one of the paper-reproduction harnesses
+  (fig7a..fig7d, table1, fig8, fig9, fig10, fig11, fig12, fig13) and
+  print its report.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Dict, List, Optional
+
+from repro.arch import eyeriss_like, simba_like, toy_linear_architecture
+from repro.core.mapper import find_best_mapping
+from repro.io import (
+    architecture_from_dict,
+    load_json,
+    mapping_from_dict,
+    mapping_to_dict,
+    save_json,
+    workload_from_dict,
+    workload_to_dict,
+)
+from repro.mapping.render import render_mapping
+from repro.mapspace.constraints import eyeriss_row_stationary
+from repro.model.evaluator import Evaluator
+from repro.problem.conv import ConvLayer
+from repro.problem.gemm import GemmLayer
+
+ARCH_PRESETS = {
+    "eyeriss": lambda: eyeriss_like(),
+    "simba": lambda: simba_like(),
+    "toy16": lambda: toy_linear_architecture(16),
+    "toy9": lambda: toy_linear_architecture(9),
+}
+
+
+def _parse_shape(text: str) -> Dict[str, int]:
+    """Parse ``C=512,M=128,P=28`` into a dict."""
+    shape: Dict[str, int] = {}
+    for chunk in text.split(","):
+        if not chunk:
+            continue
+        key, _, value = chunk.partition("=")
+        if not value:
+            raise argparse.ArgumentTypeError(
+                f"bad shape fragment {chunk!r}; expected DIM=SIZE"
+            )
+        shape[key.strip().upper()] = int(value)
+    return shape
+
+
+def _build_workload(args: argparse.Namespace):
+    if args.workload_json:
+        return workload_from_dict(load_json(args.workload_json))
+    if args.conv:
+        shape = _parse_shape(args.conv)
+        return ConvLayer(
+            name=args.name,
+            n=shape.get("N", 1),
+            c=shape.get("C", 1),
+            m=shape.get("M", 1),
+            p=shape.get("P", 1),
+            q=shape.get("Q", 1),
+            r=shape.get("R", 1),
+            s=shape.get("S", 1),
+        ).workload()
+    if args.gemm:
+        shape = _parse_shape(args.gemm)
+        return GemmLayer(
+            name=args.name,
+            m=shape.get("M", 1),
+            n=shape.get("N", 1),
+            k=shape.get("K", 1),
+        ).workload()
+    raise SystemExit("specify one of --conv, --gemm, or --workload-json")
+
+
+def _build_arch(args: argparse.Namespace):
+    if args.arch_json:
+        return architecture_from_dict(load_json(args.arch_json))
+    return ARCH_PRESETS[args.arch]()
+
+
+def _cmd_search(args: argparse.Namespace) -> int:
+    arch = _build_arch(args)
+    workload = _build_workload(args)
+    constraints = (
+        eyeriss_row_stationary()
+        if args.arch == "eyeriss" and args.row_stationary
+        else None
+    )
+    if args.workers > 1:
+        from repro.search.parallel import parallel_random_search
+
+        result = parallel_random_search(
+            arch,
+            workload,
+            kind=args.kind,
+            constraints=constraints,
+            objective=args.objective,
+            max_evaluations=args.budget,
+            patience=args.patience,
+            workers=args.workers,
+            seed=args.seed,
+        )
+    else:
+        result = find_best_mapping(
+            arch,
+            workload,
+            kind=args.kind,
+            objective=args.objective,
+            seed=args.seed,
+            max_evaluations=args.budget,
+            patience=args.patience,
+            constraints=constraints,
+        )
+    if result.best is None:
+        print("no valid mapping found", file=sys.stderr)
+        return 1
+    best = result.best
+    print(arch.describe())
+    print()
+    print(workload.describe())
+    print()
+    print(render_mapping(best.mapping))
+    print()
+    print(
+        f"objective={args.objective}  EDP={best.edp:.4e}  "
+        f"energy={best.energy_pj:.4e} pJ  cycles={best.cycles:,}  "
+        f"utilization={best.utilization:.1%}  "
+        f"({result.num_valid}/{result.num_evaluated} valid mappings, "
+        f"stopped by {result.terminated_by})"
+    )
+    if args.save_mapping:
+        save_json(mapping_to_dict(best.mapping), args.save_mapping)
+        print(f"mapping saved to {args.save_mapping}")
+    if args.save_workload:
+        save_json(workload_to_dict(workload), args.save_workload)
+        print(f"workload saved to {args.save_workload}")
+    return 0
+
+
+def _cmd_evaluate(args: argparse.Namespace) -> int:
+    arch = _build_arch(args)
+    workload = _build_workload(args)
+    mapping = mapping_from_dict(load_json(args.mapping))
+    evaluation = Evaluator(arch, workload).evaluate(mapping)
+    if not evaluation.valid:
+        print("INVALID mapping:", file=sys.stderr)
+        for violation in evaluation.violations:
+            print(f"  - {violation}", file=sys.stderr)
+        return 1
+    print(render_mapping(mapping))
+    print()
+    print(
+        f"EDP={evaluation.edp:.4e}  energy={evaluation.energy_pj:.4e} pJ  "
+        f"cycles={evaluation.cycles:,}  "
+        f"utilization={evaluation.utilization:.1%}"
+    )
+    for component, energy in sorted(evaluation.energy_breakdown_pj.items()):
+        print(f"  {component:<16} {energy:.4e} pJ")
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    from repro import experiments as ex
+
+    name = args.name
+    if name.startswith("fig7"):
+        from repro.experiments.fig07 import SCENARIOS
+
+        key = name[-1]
+        if key not in SCENARIOS:
+            raise SystemExit(f"unknown fig7 scenario {name!r}")
+        result = ex.run_fig7_scenario(
+            SCENARIOS[key](), evaluations=args.budget, runs=args.runs
+        )
+        print(ex.format_fig7(result))
+    elif name == "table1":
+        print(ex.format_table1(ex.run_table1()))
+    elif name == "fig8":
+        print(ex.format_fig8(ex.run_fig8(max_evaluations=args.budget)))
+    elif name == "fig9":
+        print(ex.format_fig9(ex.run_fig9(max_evaluations=args.budget)))
+    elif name == "fig10":
+        print(ex.format_fig10(ex.run_fig10(max_evaluations=args.budget)))
+    elif name == "fig11":
+        print(ex.format_fig11(ex.run_fig11(max_evaluations=args.budget)))
+    elif name == "fig12":
+        print(ex.format_fig12(ex.run_fig12(max_evaluations=args.budget)))
+    elif name in ("fig13", "fig14"):
+        print(
+            ex.format_fig13(
+                ex.run_fig13(suite=args.suite, max_evaluations=args.budget)
+            )
+        )
+    else:
+        raise SystemExit(f"unknown experiment {name!r}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the argparse CLI (search / evaluate / experiment)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Ruby imperfect-factorization mapper (ISPASS'22 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_common(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--arch", choices=sorted(ARCH_PRESETS), default="eyeriss",
+            help="architecture preset",
+        )
+        p.add_argument("--arch-json", help="architecture spec JSON (overrides --arch)")
+        p.add_argument("--conv", help="conv shape, e.g. C=512,M=128,P=28,Q=28,R=1,S=1")
+        p.add_argument("--gemm", help="GEMM shape, e.g. M=1024,N=16,K=1024")
+        p.add_argument("--workload-json", help="workload spec JSON")
+        p.add_argument("--name", default="workload", help="workload name")
+
+    search = sub.add_parser("search", help="find the best mapping")
+    add_common(search)
+    search.add_argument(
+        "--kind", choices=["pfm", "ruby", "ruby-s", "ruby-t"], default="ruby-s"
+    )
+    search.add_argument(
+        "--objective", choices=["edp", "energy", "delay"], default="edp"
+    )
+    search.add_argument("--budget", type=int, default=5000)
+    search.add_argument("--patience", type=int, default=1500)
+    search.add_argument("--seed", type=int, default=0)
+    search.add_argument(
+        "--workers", type=int, default=1,
+        help="independent parallel search processes (paper: 24 threads)",
+    )
+    search.add_argument(
+        "--row-stationary", action="store_true",
+        help="apply the Eyeriss row-stationary constraint set",
+    )
+    search.add_argument("--save-mapping", help="write best mapping JSON here")
+    search.add_argument("--save-workload", help="write workload JSON here")
+    search.set_defaults(func=_cmd_search)
+
+    evaluate = sub.add_parser("evaluate", help="evaluate a saved mapping")
+    add_common(evaluate)
+    evaluate.add_argument("--mapping", required=True, help="mapping JSON")
+    evaluate.set_defaults(func=_cmd_evaluate)
+
+    experiment = sub.add_parser("experiment", help="run a paper experiment")
+    experiment.add_argument(
+        "name",
+        help="fig7a|fig7b|fig7c|fig7d|table1|fig8|fig9|fig10|fig11|fig12|fig13",
+    )
+    experiment.add_argument("--budget", type=int, default=2500)
+    experiment.add_argument("--runs", type=int, default=3)
+    experiment.add_argument(
+        "--suite", choices=["resnet50", "deepbench"], default="resnet50"
+    )
+    experiment.set_defaults(func=_cmd_experiment)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

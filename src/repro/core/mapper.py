@@ -1,0 +1,139 @@
+"""The Mapper facade: one call from (architecture, workload) to a mapping.
+
+Ties together the three Timeloop subproblems — mapspace generation, search,
+and cost modelling — behind a single configuration object. This is the
+primary entry point of the library:
+
+    >>> from repro import eyeriss_like, ConvLayer, find_best_mapping
+    >>> arch = eyeriss_like()
+    >>> layer = ConvLayer("conv", c=64, m=64, p=56, q=56, r=3, s=3)
+    >>> result = find_best_mapping(arch, layer.workload(), kind="ruby-s")
+    >>> result.best.edp  # doctest: +SKIP
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+from repro.arch.spec import Architecture
+from repro.energy.table import EnergyTable
+from repro.exceptions import SearchError
+from repro.mapspace.constraints import ConstraintSet
+from repro.mapspace.factory import make_mapspace
+from repro.mapspace.generator import MapspaceKind
+from repro.model.evaluator import Evaluator
+from repro.problem.workload import Workload
+from repro.search.exhaustive import ExhaustiveSearch
+from repro.search.genetic import GeneticSearch
+from repro.search.random_search import RandomSearch
+from repro.search.result import SearchResult
+
+
+@dataclass(frozen=True)
+class MapperConfig:
+    """Configuration for a :class:`Mapper` run.
+
+    Attributes:
+        kind: mapspace variant ("pfm", "ruby", "ruby-s", "ruby-t").
+        objective: "edp" (paper default), "energy", or "delay".
+        strategy: "random" (Timeloop-style), "exhaustive", or "genetic".
+        max_evaluations: budget for the random strategy.
+        patience: consecutive-non-improving termination (random strategy);
+            the paper uses 3000.
+        seed: RNG seed for reproducibility.
+        constraints: dataflow constraints applied to the mapspace.
+    """
+
+    kind: Union[str, MapspaceKind] = MapspaceKind.RUBY_S
+    objective: str = "edp"
+    strategy: str = "random"
+    max_evaluations: int = 10_000
+    patience: Optional[int] = 1_000
+    seed: Optional[int] = None
+    constraints: Optional[ConstraintSet] = None
+
+
+class Mapper:
+    """Find good mappings of a workload onto an architecture."""
+
+    def __init__(
+        self,
+        arch: Architecture,
+        workload: Workload,
+        config: Optional[MapperConfig] = None,
+        energy_table: Optional[EnergyTable] = None,
+    ) -> None:
+        self.arch = arch
+        self.workload = workload
+        self.config = config or MapperConfig()
+        self.evaluator = Evaluator(arch, workload, energy_table)
+        self.mapspace = make_mapspace(
+            arch, workload, self.config.kind, self.config.constraints
+        )
+
+    def run(self, seed: Optional[Union[int, random.Random]] = None) -> SearchResult:
+        """Run the configured search; ``seed`` overrides the config seed."""
+        effective_seed = seed if seed is not None else self.config.seed
+        strategy = self.config.strategy
+        if strategy == "random":
+            return RandomSearch(
+                self.mapspace,
+                self.evaluator,
+                objective=self.config.objective,
+                max_evaluations=self.config.max_evaluations,
+                patience=self.config.patience,
+                seed=effective_seed,
+            ).run()
+        if strategy == "exhaustive":
+            return ExhaustiveSearch(
+                self.mapspace,
+                self.evaluator,
+                objective=self.config.objective,
+            ).run()
+        if strategy == "genetic":
+            return GeneticSearch(
+                self.mapspace,
+                self.evaluator,
+                objective=self.config.objective,
+                seed=effective_seed,
+            ).run()
+        if strategy == "annealing":
+            from repro.search.annealing import SimulatedAnnealing
+
+            return SimulatedAnnealing(
+                self.mapspace,
+                self.evaluator,
+                objective=self.config.objective,
+                steps=self.config.max_evaluations,
+                seed=effective_seed,
+            ).run()
+        raise SearchError(
+            f"unknown strategy {strategy!r}; use random, exhaustive, "
+            f"genetic, or annealing"
+        )
+
+
+def find_best_mapping(
+    arch: Architecture,
+    workload: Workload,
+    kind: Union[str, MapspaceKind] = MapspaceKind.RUBY_S,
+    objective: str = "edp",
+    max_evaluations: int = 10_000,
+    patience: Optional[int] = 1_000,
+    seed: Optional[int] = None,
+    constraints: Optional[ConstraintSet] = None,
+    strategy: str = "random",
+) -> SearchResult:
+    """One-call mapping search (see :class:`MapperConfig` for parameters)."""
+    config = MapperConfig(
+        kind=kind,
+        objective=objective,
+        strategy=strategy,
+        max_evaluations=max_evaluations,
+        patience=patience,
+        seed=seed,
+        constraints=constraints,
+    )
+    return Mapper(arch, workload, config).run()

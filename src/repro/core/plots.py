@@ -1,0 +1,138 @@
+"""Terminal (ASCII) charts for experiment reports.
+
+The benchmark harnesses print the same series the paper plots; these
+renderers make the shapes visible directly in a terminal without any
+plotting dependency: log-scale line charts for convergence curves (Fig. 7),
+scatter plots for Pareto sweeps (Fig. 13), and bar charts for normalized
+comparisons (Figs. 10-12, 14).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+MARKERS = "ox+*#@%&"
+
+
+def _scale(value: float, lo: float, hi: float, steps: int, log: bool) -> int:
+    """Map ``value`` in [lo, hi] onto 0..steps-1 (optionally log-scaled)."""
+    if hi <= lo:
+        return 0
+    if log:
+        value, lo, hi = math.log10(value), math.log10(lo), math.log10(hi)
+    fraction = (value - lo) / (hi - lo)
+    return min(steps - 1, max(0, round(fraction * (steps - 1))))
+
+
+def ascii_line_chart(
+    series: Mapping[str, Sequence[float]],
+    width: int = 72,
+    height: int = 16,
+    log_y: bool = True,
+    title: str = "",
+) -> str:
+    """Render best-so-far style curves, one marker per series.
+
+    Every series is resampled to ``width`` columns; the y-axis spans the
+    finite values of all series (log scale by default — EDP curves span
+    decades).
+    """
+    finite = [
+        v for values in series.values() for v in values if math.isfinite(v) and v > 0
+    ]
+    if not finite:
+        return (title + "\n" if title else "") + "(no finite data)"
+    lo, hi = min(finite), max(finite)
+    grid = [[" "] * width for _ in range(height)]
+    for index, (name, values) in enumerate(series.items()):
+        marker = MARKERS[index % len(MARKERS)]
+        n = len(values)
+        for col in range(width):
+            sample = values[min(n - 1, col * n // width)]
+            if not (math.isfinite(sample) and sample > 0):
+                continue
+            row = height - 1 - _scale(sample, lo, hi, height, log_y)
+            grid[row][col] = marker
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"{hi:.3e} +" + "-" * width)
+    for row in grid:
+        lines.append("          |" + "".join(row))
+    lines.append(f"{lo:.3e} +" + "-" * width)
+    legend = "  ".join(
+        f"{MARKERS[i % len(MARKERS)]}={name}" for i, name in enumerate(series)
+    )
+    lines.append("          " + legend)
+    return "\n".join(lines)
+
+
+def ascii_scatter(
+    series: Mapping[str, Sequence[Tuple[float, float]]],
+    width: int = 72,
+    height: int = 18,
+    log_y: bool = True,
+    title: str = "",
+) -> str:
+    """Render (x, y) point sets, one marker per series (Fig. 13 style)."""
+    xs = [x for points in series.values() for x, _ in points]
+    ys = [y for points in series.values() for _, y in points if y > 0]
+    if not xs or not ys:
+        return (title + "\n" if title else "") + "(no data)"
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    grid = [[" "] * width for _ in range(height)]
+    for index, (name, points) in enumerate(series.items()):
+        marker = MARKERS[index % len(MARKERS)]
+        for x, y in points:
+            col = _scale(x, x_lo, x_hi, width, False)
+            row = height - 1 - _scale(y, y_lo, y_hi, height, log_y)
+            grid[row][col] = marker
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"{y_hi:.3e} +" + "-" * width)
+    for row in grid:
+        lines.append("          |" + "".join(row))
+    lines.append(f"{y_lo:.3e} +" + "-" * width)
+    lines.append(f"          x: {x_lo:.3g} .. {x_hi:.3g}")
+    legend = "  ".join(
+        f"{MARKERS[i % len(MARKERS)]}={name}" for i, name in enumerate(series)
+    )
+    lines.append("          " + legend)
+    return "\n".join(lines)
+
+
+def ascii_bar_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    width: int = 50,
+    title: str = "",
+    reference: Optional[float] = None,
+) -> str:
+    """Horizontal bars, one per label; ``reference`` draws a marker line.
+
+    Used for normalized-EDP charts where ``reference=1.0`` is the PFM
+    baseline.
+    """
+    if len(labels) != len(values):
+        raise ValueError("labels and values must have equal length")
+    if not values:
+        return (title + "\n" if title else "") + "(no data)"
+    peak = max(list(values) + ([reference] if reference else []))
+    if peak <= 0:
+        raise ValueError("bar values must include a positive maximum")
+    label_width = max(len(label) for label in labels)
+    lines = [title] if title else []
+    reference_col = (
+        round(reference / peak * width) if reference is not None else None
+    )
+    for label, value in zip(labels, values):
+        bar_len = max(0, round(value / peak * width))
+        bar = "#" * bar_len + " " * (width - bar_len)
+        if reference_col is not None and 0 <= reference_col < width:
+            marker = "|" if bar_len <= reference_col else "!"
+            bar = bar[:reference_col] + marker + bar[reference_col + 1 :]
+        lines.append(f"{label.ljust(label_width)} {bar} {value:.3g}")
+    return "\n".join(lines)

@@ -1,0 +1,27 @@
+"""Energy and area estimation (the Accelergy + Cacti + Aladdin substitute).
+
+The paper evaluates energy with Accelergy, which dispatches large memories
+to Cacti and small components to Aladdin-derived tables. We replace that
+toolchain with analytical models calibrated to the well-known relative
+access costs of the Eyeriss paper (register file ~1x MAC, global buffer
+~6x, DRAM ~200x). Because every result in the paper is a *ratio* between
+mapspaces evaluated on the same cost model, preserving this ordering
+preserves the paper's shapes.
+"""
+
+from repro.energy.sram import sram_access_energy_pj, sram_area_mm2
+from repro.energy.dram import DRAM_ACCESS_PJ, dram_access_energy_pj
+from repro.energy.table import EnergyTable, LevelEnergy
+from repro.energy.accelergy import estimate_energy_table
+from repro.energy.area import estimate_area_mm2
+
+__all__ = [
+    "sram_access_energy_pj",
+    "sram_area_mm2",
+    "DRAM_ACCESS_PJ",
+    "dram_access_energy_pj",
+    "EnergyTable",
+    "LevelEnergy",
+    "estimate_energy_table",
+    "estimate_area_mm2",
+]

@@ -1,0 +1,79 @@
+"""Accelergy-like estimator: build an energy table for an architecture.
+
+Dispatches each storage level to the appropriate component model:
+
+* the outermost (unbounded) level -> DRAM model,
+* bounded SRAM levels -> analytical Cacti-like SRAM model, with
+  operand-private partitions priced individually at their own (smaller,
+  cheaper) capacities — the reason Eyeriss splits its PE storage,
+* the compute level -> Aladdin-class fixed MAC energy.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.arch.spec import Architecture
+from repro.energy.dram import dram_access_energy_pj
+from repro.energy.sram import sram_access_energy_pj
+from repro.energy.table import EnergyTable, LevelEnergy
+
+MAC_16BIT_PJ = 2.2
+SRAM_WRITE_FACTOR = 1.1
+
+
+def mac_energy_pj(word_bits: int) -> float:
+    """Energy of one multiply-accumulate; quadratic-ish in precision.
+
+    Multiplier energy scales roughly with the square of operand width; we
+    normalize to 2.2 pJ for the paper's 16-bit integer MAC.
+    """
+    if word_bits < 1:
+        raise ValueError(f"word_bits must be >= 1, got {word_bits}")
+    return MAC_16BIT_PJ * (word_bits / 16.0) ** 2
+
+
+def estimate_energy_table(arch: Architecture) -> EnergyTable:
+    """Estimate per-access energies for every level of ``arch``.
+
+    Partitioned levels (per-tensor private buffers) are priced at the
+    capacity-weighted mean of their partition energies, which keeps the
+    table per-level while reflecting that a 12-word input spad is far
+    cheaper to access than a 224-word weight spad.
+    """
+    levels: Dict[str, LevelEnergy] = {}
+    for level in arch.levels:
+        if level.total_capacity_words is None:
+            read = dram_access_energy_pj(level.word_bits)
+            levels[level.name] = LevelEnergy(read_pj=read, write_pj=read)
+            continue
+        if level.per_tensor_capacity is not None:
+            total_words = 0
+            weighted = 0.0
+            for _, words in level.per_tensor_capacity:
+                capacity_bytes = max(1, words * level.word_bits // 8)
+                energy = sram_access_energy_pj(capacity_bytes, level.word_bits)
+                weighted += energy * words
+                total_words += words
+            read = weighted / total_words
+        else:
+            capacity_bytes = max(1, level.capacity_words * level.word_bits // 8)
+            read = sram_access_energy_pj(capacity_bytes, level.word_bits)
+        levels[level.name] = LevelEnergy(
+            read_pj=read, write_pj=read * SRAM_WRITE_FACTOR
+        )
+    return EnergyTable(levels=levels, mac_pj=mac_energy_pj(arch.compute.word_bits))
+
+
+def per_tensor_access_energy_pj(arch: Architecture, level_name: str, tensor: str) -> float:
+    """Access energy for a specific operand partition of a level.
+
+    Falls back to the level's shared estimate when the level is not
+    partitioned or does not list the tensor.
+    """
+    level = arch.level(level_name)
+    words = level.tensor_capacity(tensor)
+    if words is None:
+        return estimate_energy_table(arch).read_pj(level_name)
+    capacity_bytes = max(1, words * level.word_bits // 8)
+    return sram_access_energy_pj(capacity_bytes, level.word_bits)

@@ -1,0 +1,38 @@
+"""Area estimation for architectural design-space sweeps (Figs. 13/14).
+
+The Pareto studies plot accelerator area against achieved EDP while the PE
+array sweeps from 2x7 to 16x16. Area = sum of SRAM macro areas (each
+physical instance counted) + MAC area + fixed per-PE overhead (control,
+NoC routers). Absolute numbers are 45 nm-class ballparks; only monotone
+growth with array size matters for the frontier's shape.
+"""
+
+from __future__ import annotations
+
+from repro.arch.spec import Architecture
+from repro.energy.sram import sram_area_mm2
+
+MAC_AREA_MM2 = 0.0020
+PE_OVERHEAD_MM2 = 0.0010
+
+
+def estimate_area_mm2(arch: Architecture) -> float:
+    """Total silicon area of ``arch`` in mm^2 (excluding DRAM)."""
+    area = 0.0
+    for index, level in enumerate(arch.levels):
+        if level.total_capacity_words is None:
+            continue  # off-chip
+        instances = arch.instances_at(index)
+        if level.per_tensor_capacity is not None:
+            level_area = sum(
+                sram_area_mm2(max(1, words * level.word_bits // 8))
+                for _, words in level.per_tensor_capacity
+            )
+        else:
+            level_area = sram_area_mm2(
+                max(1, level.capacity_words * level.word_bits // 8)
+            )
+        area += level_area * instances
+    compute_units = arch.total_compute_units
+    area += compute_units * (MAC_AREA_MM2 + PE_OVERHEAD_MM2)
+    return area

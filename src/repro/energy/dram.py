@@ -1,0 +1,19 @@
+"""DRAM access-energy model.
+
+Off-chip DRAM access energy is dominated by I/O and is effectively flat in
+the capacities relevant here. We use the canonical ~200x-a-MAC figure from
+the Eyeriss energy table: 200 pJ per 16-bit word.
+"""
+
+from __future__ import annotations
+
+DRAM_ACCESS_PJ = 200.0
+
+REFERENCE_WORD_BITS = 16
+
+
+def dram_access_energy_pj(word_bits: int = 16) -> float:
+    """Energy of one DRAM word access, scaled by word width."""
+    if word_bits < 1:
+        raise ValueError(f"word_bits must be >= 1, got {word_bits}")
+    return DRAM_ACCESS_PJ * (word_bits / REFERENCE_WORD_BITS)

@@ -1,0 +1,59 @@
+"""Network-on-chip transfer energy — an optional fidelity extension.
+
+The baseline model prices array accesses only; distributing a word across
+a PE mesh also spends wire/router energy proportional to the distance
+travelled. We use the standard mesh estimate: an average unicast crosses
+~(sqrt(N))/2 hops of an N-instance mesh, and a multicast spanning the mesh
+touches every row/column bus once. Per-hop energy is a 45 nm-class
+ballpark per 16-bit word.
+
+Enabled via ``Evaluator(include_noc=True)``; disabled by default to match
+the paper's methodology.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.arch.spec import Architecture
+from repro.model.access_counts import AccessCounts
+
+HOP_ENERGY_PJ = 0.06  # per 16-bit word per hop
+
+
+def average_hops(fanout: int) -> float:
+    """Mean Manhattan distance from a buffer to one of ``fanout`` children.
+
+    For a square-ish mesh of N nodes the average source-to-node distance is
+    about sqrt(N): half of it per axis, summed over two axes.
+    """
+    if fanout < 1:
+        raise ValueError(f"fanout must be >= 1, got {fanout}")
+    if fanout == 1:
+        return 0.0
+    return math.sqrt(fanout)
+
+
+def noc_energy_pj(arch: Architecture, counts: AccessCounts) -> float:
+    """Total NoC transfer energy for the given access counts.
+
+    Every word read out of a level with a fanout below it crosses the
+    distribution network once (reads are multicast-deduped already, so this
+    under-counts multicast leaf deliveries slightly — consistent across
+    mapspaces); every word written up (drains) crosses it in reverse.
+    """
+    total = 0.0
+    for index, level in enumerate(arch.levels):
+        if level.fanout <= 1:
+            continue
+        hops = average_hops(level.fanout)
+        words = counts.level_reads(index)
+        # Drain traffic into this level from its children also crosses the
+        # same network: count writes at this level that came from below,
+        # i.e. everything except fills from above. Fills from above are
+        # writes at the *child* side; at this level they came from its own
+        # parent's network, already charged there. Charging all writes here
+        # is a consistent upper bound shared by every mapping.
+        words += counts.level_writes(index)
+        total += words * hops * HOP_ENERGY_PJ
+    return total

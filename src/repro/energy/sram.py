@@ -1,0 +1,49 @@
+"""Analytical SRAM energy and area model (the Cacti substitute).
+
+Cacti produces per-access energy and layout area for SRAM arrays from
+capacity, word width, and technology. We use a closed-form fit with the
+classic square-root capacity scaling of SRAM bitline/wordline energy:
+
+``E_access(pJ) = E_BASE + E_SCALE * sqrt(capacity_bytes)`` per 16-bit word.
+
+Calibration targets (45 nm-class numbers widely used in the accelerator
+literature, e.g. the Eyeriss energy table):
+
+* a ~0.5 KiB register-file-class scratchpad costs about 1x a 16-bit MAC,
+* a 128 KiB global buffer costs about 6x a MAC,
+* DRAM (see :mod:`repro.energy.dram`) costs about 100x a MAC per word.
+"""
+
+from __future__ import annotations
+
+import math
+
+E_BASE_PJ = 0.2
+E_SCALE_PJ_PER_SQRT_BYTE = 0.035
+
+AREA_BASE_MM2 = 0.0005
+AREA_PER_KIB_MM2 = 0.004
+
+REFERENCE_WORD_BITS = 16
+
+
+def sram_access_energy_pj(capacity_bytes: int, word_bits: int = 16) -> float:
+    """Energy of one word access to an SRAM of ``capacity_bytes``.
+
+    Scales linearly with word width relative to the 16-bit reference word.
+    """
+    if capacity_bytes < 1:
+        raise ValueError(f"capacity_bytes must be >= 1, got {capacity_bytes}")
+    if word_bits < 1:
+        raise ValueError(f"word_bits must be >= 1, got {word_bits}")
+    per_reference_word = E_BASE_PJ + E_SCALE_PJ_PER_SQRT_BYTE * math.sqrt(
+        capacity_bytes
+    )
+    return per_reference_word * (word_bits / REFERENCE_WORD_BITS)
+
+
+def sram_area_mm2(capacity_bytes: int) -> float:
+    """Layout area of an SRAM array, linear in capacity plus fixed overhead."""
+    if capacity_bytes < 1:
+        raise ValueError(f"capacity_bytes must be >= 1, got {capacity_bytes}")
+    return AREA_BASE_MM2 + AREA_PER_KIB_MM2 * (capacity_bytes / 1024.0)

@@ -1,0 +1,37 @@
+"""Static (leakage) energy model — an optional fidelity extension.
+
+The paper's evaluation (like Timeloop+Accelergy's default flow) prices
+dynamic access energy only. Leakage adds a term proportional to silicon
+area times execution time, which *rewards* the latency reductions Ruby-S
+delivers: a mapping that finishes in fewer cycles leaks less. Numbers are
+45 nm-class ballparks; the term is disabled by default so baseline results
+match the paper's methodology.
+"""
+
+from __future__ import annotations
+
+from repro.arch.spec import Architecture
+from repro.energy.area import estimate_area_mm2
+
+LEAKAGE_MW_PER_MM2 = 15.0
+DEFAULT_CLOCK_GHZ = 1.0
+
+
+def static_power_mw(arch: Architecture) -> float:
+    """Total leakage power of ``arch`` in milliwatts (area-proportional)."""
+    return estimate_area_mm2(arch) * LEAKAGE_MW_PER_MM2
+
+
+def static_energy_pj(
+    arch: Architecture, cycles: int, clock_ghz: float = DEFAULT_CLOCK_GHZ
+) -> float:
+    """Leakage energy of running ``arch`` for ``cycles`` at ``clock_ghz``.
+
+    ``P[mW] * t[ns] = E[pJ]``; one cycle at 1 GHz is 1 ns.
+    """
+    if cycles < 0:
+        raise ValueError(f"cycles must be non-negative, got {cycles}")
+    if clock_ghz <= 0:
+        raise ValueError(f"clock_ghz must be positive, got {clock_ghz}")
+    nanoseconds = cycles / clock_ghz
+    return static_power_mw(arch) * nanoseconds

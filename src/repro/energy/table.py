@@ -1,0 +1,70 @@
+"""Energy tables: per-level access energies consumed by the cost model.
+
+An :class:`EnergyTable` is the interface between architecture/energy
+estimation and the analytical cost model — exactly Accelergy's role in the
+paper's toolchain (Timeloop produces access counts, Accelergy prices them).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping
+
+from repro.exceptions import SpecError
+
+
+@dataclass(frozen=True)
+class LevelEnergy:
+    """Per-access energies for one storage level, in picojoules per word."""
+
+    read_pj: float
+    write_pj: float
+
+    def __post_init__(self) -> None:
+        if self.read_pj < 0 or self.write_pj < 0:
+            raise SpecError("access energies must be non-negative")
+
+
+@dataclass(frozen=True)
+class EnergyTable:
+    """Access energies for every storage level plus the compute energy.
+
+    Attributes:
+        levels: ``{level_name: LevelEnergy}``.
+        mac_pj: energy of one MAC operation.
+    """
+
+    levels: Mapping[str, LevelEnergy]
+    mac_pj: float
+
+    def __post_init__(self) -> None:
+        if self.mac_pj < 0:
+            raise SpecError("mac energy must be non-negative")
+
+    def read_pj(self, level_name: str) -> float:
+        return self._level(level_name).read_pj
+
+    def write_pj(self, level_name: str) -> float:
+        return self._level(level_name).write_pj
+
+    def _level(self, level_name: str) -> LevelEnergy:
+        try:
+            return self.levels[level_name]
+        except KeyError:
+            raise SpecError(
+                f"energy table has no entry for level {level_name}; "
+                f"known levels: {sorted(self.levels)}"
+            ) from None
+
+    def scaled(self, factor: float) -> "EnergyTable":
+        """Return a copy with all energies multiplied by ``factor``.
+
+        Useful for technology scaling what-ifs without rebuilding the table.
+        """
+        if factor < 0:
+            raise SpecError("scale factor must be non-negative")
+        scaled_levels: Dict[str, LevelEnergy] = {
+            name: LevelEnergy(e.read_pj * factor, e.write_pj * factor)
+            for name, e in self.levels.items()
+        }
+        return EnergyTable(levels=scaled_levels, mac_pj=self.mac_pj * factor)

@@ -1,0 +1,21 @@
+"""Exception hierarchy for the repro package."""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class SpecError(ReproError):
+    """An architecture, workload, or mapping specification is malformed."""
+
+
+class InvalidMappingError(ReproError):
+    """A mapping violates a hard constraint (coverage, capacity, fanout)."""
+
+
+class MapspaceError(ReproError):
+    """A mapspace cannot be constructed or sampled for the given inputs."""
+
+
+class SearchError(ReproError):
+    """A search failed to produce any valid mapping."""

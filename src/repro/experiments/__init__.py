@@ -1,0 +1,59 @@
+"""Experiment harnesses reproducing every table and figure of the paper.
+
+One module per artifact; each exposes a ``run_*`` function returning a
+structured result plus a ``format_*`` report renderer printing the same
+rows/series the paper reports. The ``benchmarks/`` tree wraps these with
+pytest-benchmark and asserts the paper's qualitative claims.
+
+| Module    | Paper artifact | Claim reproduced                               |
+|-----------|----------------|------------------------------------------------|
+| fig07     | Fig. 7(a-d)    | convergence of best EDP per mapspace            |
+| table01   | Table I        | mapspace sizes vs tensor dimension              |
+| fig08     | Fig. 8         | Ruby-S vs PFM vs padding across dimension sizes |
+| fig09     | Fig. 9         | AlexNet L2: handcrafted vs PFM vs Ruby-S        |
+| fig10     | Fig. 10        | ResNet-50 on Eyeriss-like, per layer type       |
+| fig11     | Fig. 11        | DeepBench on Eyeriss-like                       |
+| fig12     | Fig. 12        | ResNet-50 on Simba-like                         |
+| fig13     | Figs. 13/14    | array sweep: Pareto frontier + improvements     |
+"""
+
+from repro.experiments.common import multi_seed_search, best_metrics_by_kind
+from repro.experiments.fig07 import Fig7Result, format_fig7, run_fig7_scenario
+from repro.experiments.table01 import (
+    Table1Result,
+    format_table1,
+    run_table1,
+)
+from repro.experiments.fig08 import Fig8Result, format_fig8, run_fig8
+from repro.experiments.fig09 import Fig9Result, format_fig9, run_fig9
+from repro.experiments.fig10 import LayerComparison, format_fig10, run_fig10
+from repro.experiments.fig11 import format_fig11, run_fig11
+from repro.experiments.fig12 import format_fig12, run_fig12
+from repro.experiments.fig13 import Fig13Result, format_fig13, run_fig13
+
+__all__ = [
+    "multi_seed_search",
+    "best_metrics_by_kind",
+    "Fig7Result",
+    "format_fig7",
+    "run_fig7_scenario",
+    "Table1Result",
+    "format_table1",
+    "run_table1",
+    "Fig8Result",
+    "format_fig8",
+    "run_fig8",
+    "Fig9Result",
+    "format_fig9",
+    "run_fig9",
+    "LayerComparison",
+    "format_fig10",
+    "run_fig10",
+    "format_fig11",
+    "run_fig11",
+    "format_fig12",
+    "run_fig12",
+    "Fig13Result",
+    "format_fig13",
+    "run_fig13",
+]

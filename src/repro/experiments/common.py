@@ -1,0 +1,86 @@
+"""Shared helpers for the experiment harnesses."""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Iterable, Optional, Sequence, Union
+
+from repro.arch.spec import Architecture
+from repro.core.mapper import find_best_mapping
+from repro.exceptions import SearchError
+from repro.mapspace.constraints import ConstraintSet
+from repro.mapspace.generator import MapspaceKind
+from repro.model.evaluator import Evaluation
+from repro.problem.workload import Workload
+
+
+def multi_seed_search(
+    arch: Architecture,
+    workload: Workload,
+    kind: Union[str, MapspaceKind],
+    objective: str = "edp",
+    seeds: Sequence[int] = (1, 2, 3),
+    max_evaluations: int = 3_000,
+    patience: Optional[int] = 1_000,
+    constraints: Optional[ConstraintSet] = None,
+) -> Evaluation:
+    """Best evaluation over several independent random-search starts.
+
+    The paper's searches run 3000-patience across 24 threads; a few
+    independent seeds at a smaller budget is the laptop-scale equivalent
+    that keeps the variance of the best-found mapping manageable.
+    """
+    best: Optional[Evaluation] = None
+    for seed in seeds:
+        result = find_best_mapping(
+            arch,
+            workload,
+            kind=kind,
+            objective=objective,
+            seed=seed,
+            max_evaluations=max_evaluations,
+            patience=patience,
+            constraints=constraints,
+        )
+        if result.best is None:
+            continue
+        if best is None or result.best.metric(objective) < best.metric(objective):
+            best = result.best
+    if best is None:
+        raise SearchError(
+            f"no valid mapping found for {workload.name} on {arch.name} "
+            f"({MapspaceKind(kind).value})"
+        )
+    return best
+
+
+def best_metrics_by_kind(
+    arch: Architecture,
+    workload: Workload,
+    kinds: Iterable[Union[str, MapspaceKind]],
+    objective: str = "edp",
+    seeds: Sequence[int] = (1, 2, 3),
+    max_evaluations: int = 3_000,
+    patience: Optional[int] = 1_000,
+    constraints: Optional[ConstraintSet] = None,
+) -> Dict[str, Evaluation]:
+    """Run :func:`multi_seed_search` for several mapspace kinds."""
+    return {
+        MapspaceKind(kind).value: multi_seed_search(
+            arch,
+            workload,
+            kind,
+            objective=objective,
+            seeds=seeds,
+            max_evaluations=max_evaluations,
+            patience=patience,
+            constraints=constraints,
+        )
+        for kind in kinds
+    }
+
+
+def spawn_seeds(base_seed: int, count: int) -> list:
+    """Derive ``count`` deterministic seeds from one base seed."""
+    rng = random.Random(base_seed)
+    return [rng.getrandbits(32) for _ in range(count)]

@@ -1,0 +1,126 @@
+"""Machine-readable export of experiment results.
+
+The harness ``format_*`` functions print human tables; this module turns
+the same result objects into plain JSON-able dicts so downstream tooling
+(plotting notebooks, regression dashboards) can consume a run without
+scraping text.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Union
+
+from repro.experiments.fig07 import Fig7Result
+from repro.experiments.fig08 import Fig8Result
+from repro.experiments.fig10 import NetworkComparison
+from repro.experiments.fig11 import Fig11Result
+from repro.experiments.fig13 import Fig13Result
+from repro.experiments.table01 import Table1Result
+
+
+def fig7_to_dict(result: Fig7Result, stride: int = 10) -> Dict[str, Any]:
+    """Serialize a convergence study (series subsampled by ``stride``)."""
+    return {
+        "experiment": "fig7",
+        "scenario": result.scenario,
+        "runs": result.runs,
+        "evaluations": result.evaluations,
+        "stride": stride,
+        "series": {
+            kind: [
+                None if value == float("inf") else value
+                for value in values[::stride]
+            ]
+            for kind, values in result.series.items()
+        },
+    }
+
+
+def table1_to_dict(result: Table1Result) -> Dict[str, Any]:
+    return {
+        "experiment": "table1",
+        "sizes": result.sizes,
+        "raw": result.raw,
+        "valid": result.valid,
+    }
+
+
+def fig8_to_dict(result: Fig8Result) -> Dict[str, Any]:
+    return {
+        "experiment": "fig8",
+        "sizes": result.sizes,
+        "edp": result.edp,
+        "cycles": result.cycles,
+    }
+
+
+def network_comparison_to_dict(
+    comparison: NetworkComparison, experiment: str
+) -> Dict[str, Any]:
+    """Serialize a per-layer PFM-vs-Ruby-S comparison (Figs. 10/12 style)."""
+    return {
+        "experiment": experiment,
+        "layers": [
+            {
+                "name": layer.name,
+                "count": layer.count,
+                "edp_ratio": layer.edp_ratio,
+                "energy_ratio": layer.energy_ratio,
+                "cycles_ratio": layer.cycles_ratio,
+                "utilization_baseline": layer.baseline.utilization,
+                "utilization_challenger": layer.challenger.utilization,
+            }
+            for layer in comparison.layers
+        ],
+        "network": {
+            "edp_ratio": comparison.network_edp_ratio,
+            "energy_ratio": comparison.network_energy_ratio,
+            "cycles_ratio": comparison.network_cycles_ratio,
+        },
+    }
+
+
+def fig11_to_dict(result: Fig11Result) -> Dict[str, Any]:
+    return {
+        "experiment": "fig11",
+        "workloads": [
+            {
+                "name": comparison.name,
+                "domain": result.domains[comparison.name],
+                "edp_ratio": comparison.edp_ratio,
+                "cycles_ratio": comparison.cycles_ratio,
+            }
+            for comparison in result.comparisons
+        ],
+        "geomean_edp_ratio": result.geomean_edp_ratio,
+    }
+
+
+def fig13_to_dict(result: Fig13Result) -> Dict[str, Any]:
+    return {
+        "experiment": "fig13",
+        "suite": result.suite,
+        "points": [
+            {
+                "shape": point.shape_label,
+                "kind": point.kind.value,
+                "area_mm2": point.area_mm2,
+                "energy_pj": point.energy_pj,
+                "cycles": point.cycles,
+                "edp": point.edp,
+            }
+            for point in result.sweep.points
+        ],
+        "improvements_percent": result.improvements(),
+        "ruby_s_dominates": result.ruby_s_dominates(),
+    }
+
+
+def save_result(data: Dict[str, Any], path: Union[str, Path]) -> Path:
+    """Write an exported result dict as pretty JSON; returns the path."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+    return target

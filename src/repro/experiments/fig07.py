@@ -1,0 +1,173 @@
+"""Fig. 7: best-EDP-so-far convergence of the four mapspaces on toys.
+
+Four scenarios, each a (workload, PE count) pair on the two-level linear
+toy architecture with 1 KiB per-PE scratchpads:
+
+* (a) 100x100x100 matmul, 5 PEs — aligned: PFM and Ruby-S converge
+  together; Ruby/Ruby-T pay for their expansion.
+* (b) same matmul, 16 PEs — misaligned: imperfect factorization wins.
+* (c) 3x3x64 conv on 28x28x64, 8 PEs, only C/M spatial — aligned.
+* (d) same conv, 15 PEs — misaligned: Ruby-S wins with manageable search.
+
+The paper evaluates the first 10,000 mappings averaged over 100 seeded
+runs; budgets here are configurable for laptop-scale runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.arch.toy import toy_linear_architecture
+from repro.core.report import format_table
+from repro.mapspace.constraints import ConstraintSet
+from repro.mapspace.factory import make_mapspace
+from repro.mapspace.generator import MapspaceKind
+from repro.model.evaluator import Evaluator
+from repro.problem.workload import Workload
+from repro.search.random_search import RandomSearch
+from repro.zoo.toy import fig7_conv_workload, fig7_matmul_workload
+
+ALL_KINDS = ("pfm", "ruby", "ruby-s", "ruby-t")
+
+
+@dataclass(frozen=True)
+class Fig7Scenario:
+    """One subplot of Fig. 7."""
+
+    label: str
+    workload: Workload
+    num_pes: int
+    constraints: Optional[ConstraintSet] = None
+
+
+def scenario_a() -> Fig7Scenario:
+    return Fig7Scenario("fig7a_matmul_5pe", fig7_matmul_workload(), 5)
+
+
+def scenario_b() -> Fig7Scenario:
+    return Fig7Scenario("fig7b_matmul_16pe", fig7_matmul_workload(), 16)
+
+
+def _conv_constraints() -> ConstraintSet:
+    # "We impose an additional constraint that only C and M be mapped onto
+    # the PEs."
+    return ConstraintSet.build(spatial_dims={"DRAM": {"C", "M"}})
+
+
+def scenario_c() -> Fig7Scenario:
+    return Fig7Scenario(
+        "fig7c_conv_8pe", fig7_conv_workload(), 8, _conv_constraints()
+    )
+
+
+def scenario_d() -> Fig7Scenario:
+    return Fig7Scenario(
+        "fig7d_conv_15pe", fig7_conv_workload(), 15, _conv_constraints()
+    )
+
+
+SCENARIOS = {
+    "a": scenario_a,
+    "b": scenario_b,
+    "c": scenario_c,
+    "d": scenario_d,
+}
+
+
+@dataclass
+class Fig7Result:
+    """Averaged best-EDP-so-far series per mapspace kind.
+
+    ``series[kind][i]`` is the mean (over runs) of the best EDP seen after
+    ``i + 1`` evaluated mappings; positions before any valid mapping carry
+    ``inf`` and are excluded from the mean.
+    """
+
+    scenario: str
+    evaluations: int
+    runs: int
+    series: Dict[str, List[float]] = field(default_factory=dict)
+
+    def final_edp(self, kind: str) -> float:
+        return self.series[kind][-1]
+
+    def edp_after(self, kind: str, evaluations: int) -> float:
+        index = min(evaluations, self.evaluations) - 1
+        return self.series[kind][index]
+
+
+def run_fig7_scenario(
+    scenario: Fig7Scenario,
+    kinds: Sequence[str] = ALL_KINDS,
+    evaluations: int = 4_000,
+    runs: int = 3,
+    base_seed: int = 0,
+) -> Fig7Result:
+    """Run the convergence study for one scenario."""
+    arch = toy_linear_architecture(scenario.num_pes)
+    evaluator = Evaluator(arch, scenario.workload)
+    result = Fig7Result(
+        scenario=scenario.label, evaluations=evaluations, runs=runs
+    )
+    for kind in kinds:
+        accumulated = [0.0] * evaluations
+        counts = [0] * evaluations
+        for run in range(runs):
+            space = make_mapspace(
+                arch, scenario.workload, kind, scenario.constraints
+            )
+            search = RandomSearch(
+                space,
+                evaluator,
+                max_evaluations=evaluations,
+                patience=None,
+                seed=base_seed * 1_000 + run,
+            )
+            series = search.run().best_so_far_series(evaluations)
+            for i, value in enumerate(series):
+                if value != float("inf"):
+                    accumulated[i] += value
+                    counts[i] += 1
+        result.series[MapspaceKind(kind).value] = [
+            accumulated[i] / counts[i] if counts[i] else float("inf")
+            for i in range(evaluations)
+        ]
+    return result
+
+
+def format_fig7(
+    result: Fig7Result,
+    checkpoints: Sequence[int] = (100, 1000, 4000),
+    chart: bool = True,
+) -> str:
+    """Render the convergence series at a few checkpoints, paper-style.
+
+    With ``chart=True`` an ASCII line chart of the full best-so-far curves
+    (log-EDP vs evaluated mappings) follows the table — the actual Fig. 7
+    visual.
+    """
+    headers = ["mapspace"] + [f"best EDP @{c}" for c in checkpoints]
+    rows = []
+    for kind, series in result.series.items():
+        row = [kind]
+        for checkpoint in checkpoints:
+            index = min(checkpoint, result.evaluations) - 1
+            row.append(series[index])
+        rows.append(row)
+    table = format_table(
+        headers,
+        rows,
+        title=(
+            f"Fig. 7 ({result.scenario}): mean best-EDP-so-far over "
+            f"{result.runs} runs"
+        ),
+    )
+    if not chart:
+        return table
+    from repro.core.plots import ascii_line_chart
+
+    return table + "\n\n" + ascii_line_chart(
+        result.series,
+        title=f"best EDP vs evaluated mappings ({result.scenario})",
+    )

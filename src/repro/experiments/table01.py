@@ -1,0 +1,77 @@
+"""Table I: mapspace sizes for a rank-1 tensor vs dimension size.
+
+Setup from the paper: two levels of memory hierarchy with a spatial fanout
+of 9 between them (our toy linear array with 9 PEs). For each tensor size,
+count the unique mappings of each mapspace; PFM stays tiny, Ruby-S grows
+moderately (spatial bounds capped by the fanout), Ruby-T and Ruby explode.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.arch.toy import toy_linear_architecture
+from repro.core.report import format_table
+from repro.mapspace.counting import count_mapspace_sizes
+from repro.mapspace.generator import MapspaceKind
+from repro.zoo.toy import table1_workload
+
+DEFAULT_SIZES = (3, 16, 100, 500, 1027, 4096)
+
+
+@dataclass
+class Table1Result:
+    """Raw (and optionally validity-filtered) mapspace sizes per tensor size."""
+
+    sizes: List[int] = field(default_factory=list)
+    raw: Dict[str, List[int]] = field(default_factory=dict)
+    valid: Optional[Dict[str, List[int]]] = None
+
+    def row(self, size: int) -> Dict[str, int]:
+        index = self.sizes.index(size)
+        return {kind: counts[index] for kind, counts in self.raw.items()}
+
+
+def run_table1(
+    dimension_sizes: Sequence[int] = DEFAULT_SIZES,
+    num_pes: int = 9,
+    count_valid: bool = False,
+    enumeration_cap: int = 5_000_000,
+) -> Table1Result:
+    """Count all four mapspaces for each dimension size."""
+    arch = toy_linear_architecture(num_pes)
+    result = Table1Result(sizes=list(dimension_sizes))
+    for kind in MapspaceKind:
+        result.raw[kind.value] = []
+    if count_valid:
+        result.valid = {kind.value: [] for kind in MapspaceKind}
+    for size in dimension_sizes:
+        counts = count_mapspace_sizes(
+            arch,
+            table1_workload(size),
+            count_valid=count_valid,
+            enumeration_cap=enumeration_cap,
+        )
+        for kind, sizes in counts.items():
+            result.raw[kind.value].append(sizes.raw)
+            if count_valid and result.valid is not None:
+                result.valid[kind.value].append(sizes.valid)
+    return result
+
+
+def format_table1(result: Table1Result) -> str:
+    """Render the table the way the paper lays it out (rows = sizes)."""
+    kinds = list(result.raw)
+    headers = ["D"] + kinds
+    rows = []
+    for i, size in enumerate(result.sizes):
+        rows.append([size] + [result.raw[kind][i] for kind in kinds])
+    return format_table(
+        headers,
+        rows,
+        title=(
+            "Table I: unique mappings of a rank-1 tensor over 2 memory "
+            "levels with spatial fanout 9"
+        ),
+    )

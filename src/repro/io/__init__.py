@@ -1,0 +1,28 @@
+"""Serialization: architectures, workloads, and mappings as JSON-able dicts.
+
+Timeloop consumes YAML specs; this package provides the equivalent
+interchange layer so architectures, workloads, and found mappings can be
+saved, versioned, and re-evaluated without Python code.
+"""
+
+from repro.io.serde import (
+    architecture_from_dict,
+    architecture_to_dict,
+    load_json,
+    mapping_from_dict,
+    mapping_to_dict,
+    save_json,
+    workload_from_dict,
+    workload_to_dict,
+)
+
+__all__ = [
+    "architecture_from_dict",
+    "architecture_to_dict",
+    "mapping_from_dict",
+    "mapping_to_dict",
+    "workload_from_dict",
+    "workload_to_dict",
+    "load_json",
+    "save_json",
+]

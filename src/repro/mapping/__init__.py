@@ -1,0 +1,36 @@
+"""Mapping representation: loopnests with imperfect (remaindered) loops.
+
+A :class:`~repro.mapping.nest.Mapping` assigns, per storage level, an
+ordered block of temporal loops plus a block of spatial loops for the fanout
+below that level. Every loop carries a bound ``P`` and a remainder
+``R in [1, P]`` applied on the globally-last iteration — Eq. (5) of the
+paper. ``R == P`` everywhere recovers classic perfect-factorization
+mappings.
+"""
+
+from repro.mapping.loop import Loop
+from repro.mapping.nest import LevelNest, Mapping, PlacedLoop
+from repro.mapping.chains import (
+    chain_coverage,
+    chain_trip_count,
+    dim_chain,
+    temporal_steps,
+    tile_extent,
+)
+from repro.mapping.validity import check_mapping, is_valid_mapping
+from repro.mapping.render import render_mapping
+
+__all__ = [
+    "Loop",
+    "LevelNest",
+    "Mapping",
+    "PlacedLoop",
+    "chain_coverage",
+    "chain_trip_count",
+    "dim_chain",
+    "temporal_steps",
+    "tile_extent",
+    "check_mapping",
+    "is_valid_mapping",
+    "render_mapping",
+]

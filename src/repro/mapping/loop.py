@@ -1,0 +1,70 @@
+"""A single loop of a mapping, with imperfect-factorization support."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import SpecError
+
+
+@dataclass(frozen=True)
+class Loop:
+    """One loop of the tiled loopnest.
+
+    Attributes:
+        dim: the problem dimension this loop iterates, e.g. ``"C"``.
+        bound: the loop bound ``P`` — iterations taken on every pass except
+            the globally-last one.
+        remainder: the bound ``R in [1, P]`` taken on the globally-last pass
+            (Eq. 5). ``R == P`` means the loop is a perfect factor.
+        spatial: True for ``parFor`` loops (unrolled across a fanout).
+        axis: physical mesh axis a spatial loop unrolls along (0 = X,
+            1 = Y). Per-axis products must fit the mesh shape — a 27-wide
+            loop cannot unroll on a 14x12 array even though 27 < 168, which
+            is exactly the misalignment Ruby-S exploits. Ignored for
+            temporal loops.
+
+    The paper's Fig. 5 example ``GLB: for d3 in [0, 17) / PE: parFor d1 in
+    [0, 6) last [0, 4)`` is ``Loop("D", 17, 17)`` above
+    ``Loop("D", 6, 4, spatial=True)``.
+    """
+
+    dim: str
+    bound: int
+    remainder: int = -1  # sentinel replaced by `bound` in __post_init__
+    spatial: bool = False
+    axis: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.dim:
+            raise SpecError("loop dim must be non-empty")
+        if self.bound < 1:
+            raise SpecError(f"loop bound must be >= 1, got {self.bound}")
+        if self.remainder == -1:
+            object.__setattr__(self, "remainder", self.bound)
+        if not 1 <= self.remainder <= self.bound:
+            raise SpecError(
+                f"loop remainder must be in [1, bound={self.bound}], "
+                f"got {self.remainder}"
+            )
+        if self.axis not in (0, 1):
+            raise SpecError(f"loop axis must be 0 (X) or 1 (Y), got {self.axis}")
+
+    @property
+    def is_perfect(self) -> bool:
+        """True when the last pass takes as many iterations as every other."""
+        return self.remainder == self.bound
+
+    @property
+    def is_trivial(self) -> bool:
+        """True for bound-1 loops, which do not tile anything."""
+        return self.bound == 1
+
+    def as_perfect(self) -> "Loop":
+        """Copy of this loop with the remainder removed (R = P)."""
+        return Loop(self.dim, self.bound, self.bound, self.spatial, self.axis)
+
+    def __str__(self) -> str:
+        kind = "parFor" if self.spatial else "for"
+        tail = "" if self.is_perfect else f" last {self.remainder}"
+        return f"{kind} {self.dim} in [0, {self.bound}){tail}"

@@ -1,0 +1,226 @@
+"""LevelNest and Mapping: the complete tiled loopnest for an architecture.
+
+The global loop order, outermost to innermost, is::
+
+    level[0].temporal, level[0].spatial,
+    level[1].temporal, level[1].spatial,
+    ...
+    level[last].temporal, level[last].spatial
+
+where ``level[i].spatial`` are the parFor loops unrolled over the fanout
+*below* storage level ``i``. The storage point of level ``i`` sits just
+before ``level[i].temporal`` — the tile held at level ``i`` is whatever its
+own temporal loops and everything inner iterate over.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterator, List, Mapping as TMapping, Optional, Sequence, Tuple
+
+from repro.exceptions import SpecError
+from repro.mapping.loop import Loop
+
+
+@dataclass(frozen=True)
+class LevelNest:
+    """Loops associated with one storage level.
+
+    Attributes:
+        level_name: the storage level these loops belong to.
+        temporal: temporal loops, ordered outermost first.
+        spatial: spatial loops for the fanout below this level.
+    """
+
+    level_name: str
+    temporal: Tuple[Loop, ...] = ()
+    spatial: Tuple[Loop, ...] = ()
+
+    def __post_init__(self) -> None:
+        for loop in self.temporal:
+            if loop.spatial:
+                raise SpecError(
+                    f"level {self.level_name}: spatial loop {loop} in temporal block"
+                )
+        for loop in self.spatial:
+            if not loop.spatial:
+                raise SpecError(
+                    f"level {self.level_name}: temporal loop {loop} in spatial block"
+                )
+
+    @property
+    def spatial_allocation(self) -> int:
+        """Number of child instances claimed = product of spatial bounds."""
+        result = 1
+        for loop in self.spatial:
+            result *= loop.bound
+        return result
+
+    def spatial_allocation_on_axis(self, axis: int) -> int:
+        """Claimed instances along one physical mesh axis (0 = X, 1 = Y)."""
+        result = 1
+        for loop in self.spatial:
+            if loop.axis == axis:
+                result *= loop.bound
+        return result
+
+
+@dataclass(frozen=True)
+class PlacedLoop:
+    """A loop annotated with its position in the global nest.
+
+    Attributes:
+        loop: the loop itself.
+        level_index: index of the owning storage level (0 = outermost).
+        position: 0-based index in the flattened global nest (outer first).
+    """
+
+    loop: Loop
+    level_index: int
+    position: int
+
+
+@dataclass(frozen=True)
+class Mapping:
+    """A complete mapping: one :class:`LevelNest` per storage level.
+
+    ``levels`` is ordered outermost first and must match the architecture's
+    storage levels one-to-one (validity checking lives in
+    :mod:`repro.mapping.validity`, which has the architecture in hand).
+
+    ``bypass`` lists ``(level_name, tensor_name)`` pairs whose tensor skips
+    that level entirely (no buffering, no capacity use) — the ZigZag-style
+    optimization the paper's Section II-D describes. Architecture-level
+    ``keeps`` restrictions apply on top of mapping-level bypass.
+    """
+
+    levels: Tuple[LevelNest, ...]
+    bypass: FrozenSet[Tuple[str, str]] = frozenset()
+
+    def __post_init__(self) -> None:
+        if not self.levels:
+            raise SpecError("mapping must have at least one level nest")
+        names = [nest.level_name for nest in self.levels]
+        if len(set(names)) != len(names):
+            raise SpecError("mapping has duplicate level names")
+        level_names = set(names)
+        for level_name, _tensor in self.bypass:
+            if level_name not in level_names:
+                raise SpecError(
+                    f"bypass references unknown level {level_name!r}"
+                )
+        if any(level == names[0] for level, _ in self.bypass):
+            raise SpecError(
+                "the outermost level cannot be bypassed (data must "
+                "originate somewhere)"
+            )
+
+    @staticmethod
+    def from_blocks(
+        blocks: Sequence[Tuple[str, Sequence[Loop], Sequence[Loop]]],
+        bypass: Optional[Sequence[Tuple[str, str]]] = None,
+    ) -> "Mapping":
+        """Build from ``[(level_name, temporal_loops, spatial_loops), ...]``."""
+        return Mapping(
+            levels=tuple(
+                LevelNest(
+                    level_name=name,
+                    temporal=tuple(temporal),
+                    spatial=tuple(spatial),
+                )
+                for name, temporal, spatial in blocks
+            ),
+            bypass=frozenset(bypass or ()),
+        )
+
+    def bypasses(self, level_name: str, tensor_name: str) -> bool:
+        """True if ``tensor_name`` skips ``level_name`` in this mapping."""
+        return (level_name, tensor_name) in self.bypass
+
+    def with_bypass(
+        self, bypass: Sequence[Tuple[str, str]]
+    ) -> "Mapping":
+        """Copy of this mapping with a replaced bypass set."""
+        return Mapping(levels=self.levels, bypass=frozenset(bypass))
+
+    def placed_loops(self) -> List[PlacedLoop]:
+        """Flatten to the global nest order with positions."""
+        placed: List[PlacedLoop] = []
+        position = 0
+        for level_index, nest in enumerate(self.levels):
+            for loop in nest.temporal:
+                placed.append(PlacedLoop(loop, level_index, position))
+                position += 1
+            for loop in nest.spatial:
+                placed.append(PlacedLoop(loop, level_index, position))
+                position += 1
+        return placed
+
+    def loops_above_level(self, level_index: int) -> List[PlacedLoop]:
+        """All loops outside storage level ``level_index``'s storage point.
+
+        These are the loops of levels ``< level_index`` (their temporal and
+        spatial blocks); they iterate over distinct tiles held at
+        ``level_index``.
+        """
+        return [p for p in self.placed_loops() if p.level_index < level_index]
+
+    def level_nest(self, level_name: str) -> LevelNest:
+        for nest in self.levels:
+            if nest.level_name == level_name:
+                return nest
+        raise KeyError(f"mapping has no level {level_name}")
+
+    @property
+    def dims_used(self) -> Tuple[str, ...]:
+        """All dims appearing anywhere in the nest, in first-seen order."""
+        seen: Dict[str, None] = {}
+        for placed in self.placed_loops():
+            seen.setdefault(placed.loop.dim, None)
+        return tuple(seen)
+
+    def total_bound(self, dim: str) -> int:
+        """Product of bounds of ``dim``'s loops (>= its coverage)."""
+        result = 1
+        for placed in self.placed_loops():
+            if placed.loop.dim == dim:
+                result *= placed.loop.bound
+        return result
+
+    def has_imperfect_loops(self) -> bool:
+        """True if any loop carries a genuine remainder."""
+        return any(not p.loop.is_perfect for p in self.placed_loops())
+
+    def has_imperfect_temporal(self) -> bool:
+        return any(
+            not p.loop.is_perfect and not p.loop.spatial for p in self.placed_loops()
+        )
+
+    def has_imperfect_spatial(self) -> bool:
+        return any(
+            not p.loop.is_perfect and p.loop.spatial for p in self.placed_loops()
+        )
+
+    def canonical_key(self) -> Tuple:
+        """Hashable identity used for dedup when counting unique mappings.
+
+        Trivial (bound-1, perfect) loops are dropped: they do not change the
+        executed loopnest.
+        """
+        key = []
+        for nest in self.levels:
+            temporal = tuple(
+                (l.dim, l.bound, l.remainder)
+                for l in nest.temporal
+                if not (l.is_trivial and l.is_perfect)
+            )
+            spatial = tuple(
+                sorted(
+                    (l.dim, l.bound, l.remainder, l.axis)
+                    for l in nest.spatial
+                    if not (l.is_trivial and l.is_perfect)
+                )
+            )
+            key.append((nest.level_name, temporal, spatial))
+        key.append(tuple(sorted(self.bypass)))
+        return tuple(key)

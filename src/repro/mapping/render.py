@@ -1,0 +1,66 @@
+"""Pretty-printing mappings as indented loopnests (like the paper's Fig. 3)."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.mapping.nest import Mapping
+
+
+def render_mapping(
+    mapping: Mapping,
+    show_trivial: bool = False,
+    indent: str = "  ",
+) -> str:
+    """Render ``mapping`` as an indented pseudo-loopnest.
+
+    Bound-1 loops are hidden unless ``show_trivial`` — they carry no tiling
+    information. Each storage level is labelled; imperfect loops show their
+    last-iteration bound.
+    """
+    lines: List[str] = []
+    depth = 0
+    for nest in mapping.levels:
+        lines.append(f"{indent * depth}[{nest.level_name}]")
+        depth += 1
+        for loop in nest.temporal:
+            if loop.is_trivial and not show_trivial:
+                continue
+            lines.append(f"{indent * depth}{loop}:")
+            depth += 1
+        for loop in nest.spatial:
+            if loop.is_trivial and not show_trivial:
+                continue
+            lines.append(f"{indent * depth}{loop}:")
+            depth += 1
+    lines.append(f"{indent * depth}compute()")
+    return "\n".join(lines)
+
+
+def render_compact(mapping: Mapping) -> str:
+    """One-line rendering: ``Level[t: C4 M3 | s: M14*]`` style.
+
+    Imperfect loops are starred with their remainder, e.g. ``Q7/6``.
+    """
+    parts: List[str] = []
+    for nest in mapping.levels:
+        temporal = " ".join(
+            _loop_token(l) for l in nest.temporal if not (l.is_trivial and l.is_perfect)
+        )
+        spatial = " ".join(
+            _loop_token(l) for l in nest.spatial if not (l.is_trivial and l.is_perfect)
+        )
+        blocks = []
+        if temporal:
+            blocks.append(f"t: {temporal}")
+        if spatial:
+            blocks.append(f"s: {spatial}")
+        body = " | ".join(blocks) if blocks else "-"
+        parts.append(f"{nest.level_name}[{body}]")
+    return "  ".join(parts)
+
+
+def _loop_token(loop) -> str:
+    if loop.is_perfect:
+        return f"{loop.dim}{loop.bound}"
+    return f"{loop.dim}{loop.bound}/{loop.remainder}"

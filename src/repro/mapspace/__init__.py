@@ -1,0 +1,46 @@
+"""Mapspace generation: PFM (perfect factorization) and Ruby variants.
+
+The four mapspaces of the paper, all built on one allocator
+(:mod:`repro.mapspace.allocation`) that walks each problem dimension's loop
+slots from the innermost level outward:
+
+* **PFM** — every bound divides the remaining extent exactly (Timeloop).
+* **Ruby** — every bound is a free integer; the Eq. (5) remainders follow
+  uniquely from the mixed-radix decomposition of ``D - 1``.
+* **Ruby-S** — free bounds at spatial slots only (temporal bounds must
+  divide exactly); remainders land on the spatial levels.
+* **Ruby-T** — free bounds at temporal slots only.
+"""
+
+from repro.mapspace.constraints import ConstraintSet
+from repro.mapspace.slots import Slot, build_slots
+from repro.mapspace.allocation import DimAllocator, assign_remainders
+from repro.mapspace.generator import MapSpace, MapspaceKind
+from repro.mapspace.factory import (
+    make_mapspace,
+    pfm_mapspace,
+    ruby_mapspace,
+    ruby_s_mapspace,
+    ruby_t_mapspace,
+)
+from repro.mapspace.counting import MapspaceSizes, count_mapspace_sizes
+from repro.mapspace.chain_count import count_dim_chains, mapspace_upper_bound
+
+__all__ = [
+    "ConstraintSet",
+    "Slot",
+    "build_slots",
+    "DimAllocator",
+    "assign_remainders",
+    "MapSpace",
+    "MapspaceKind",
+    "make_mapspace",
+    "pfm_mapspace",
+    "ruby_mapspace",
+    "ruby_s_mapspace",
+    "ruby_t_mapspace",
+    "MapspaceSizes",
+    "count_mapspace_sizes",
+    "count_dim_chains",
+    "mapspace_upper_bound",
+]

@@ -1,0 +1,228 @@
+"""Per-dimension bound allocation: where PFM and Ruby actually differ.
+
+A dimension of size ``D`` gets one bound per slot. Walking slots inner to
+outer with a running residue ``V`` (initially ``D``):
+
+* an **exact** slot must pick a divisor of ``V`` and leaves ``V / b``;
+* an **imperfect** slot may pick any ``b`` and leaves ``ceil(V / b)`` — the
+  shortfall becomes the Eq. (5) remainder on the globally-last iteration;
+* the outermost temporal slot absorbs whatever residue remains.
+
+Which slots are exact defines the mapspace: all exact = PFM; spatial free =
+Ruby-S; temporal free = Ruby-T; all free = Ruby. The remainders are then
+uniquely determined by the mixed-radix decomposition of ``D - 1`` over the
+inner-to-outer bounds (see :func:`assign_remainders`), which is why
+generation never has to search over remainder values.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.exceptions import MapspaceError
+from repro.mapspace.slots import Slot
+from repro.utils.mathx import ceil_div, divisors, mixed_radix_digits
+
+
+@dataclass(frozen=True)
+class DimChain:
+    """The allocated loop bounds of one dimension, aligned with the slots.
+
+    ``bounds`` and ``remainders`` are outer-to-inner (slot order).
+    """
+
+    dim: str
+    bounds: Tuple[int, ...]
+    remainders: Tuple[int, ...]
+
+
+def assign_remainders(size: int, bounds_outer_to_inner: Sequence[int]) -> Tuple[int, ...]:
+    """Derive Eq. (5) remainders for given bounds covering ``size`` points.
+
+    Writing the bounds inner-to-outer as radices, ``size - 1`` decomposes
+    into mixed-radix digits; ``R_i = digit_i + 1``. Raises
+    :class:`MapspaceError` when the bounds cannot cover ``size`` (the
+    most-significant digit would exceed the outermost bound).
+    """
+    if size < 1:
+        raise MapspaceError(f"dimension size must be >= 1, got {size}")
+    if not bounds_outer_to_inner:
+        if size == 1:
+            return ()
+        raise MapspaceError(f"no bounds to cover size {size}")
+    inner_to_outer = list(reversed(bounds_outer_to_inner))
+    digits = mixed_radix_digits(size - 1, inner_to_outer[:-1])
+    outermost_remainder = digits[-1] + 1
+    if outermost_remainder > inner_to_outer[-1]:
+        raise MapspaceError(
+            f"bounds {tuple(bounds_outer_to_inner)} cannot cover {size}: "
+            f"outermost needs remainder {outermost_remainder}"
+        )
+    remainders_inner_to_outer = [digit + 1 for digit in digits]
+    return tuple(reversed(remainders_inner_to_outer))
+
+
+class DimAllocator:
+    """Allocates per-dimension bounds over a slot skeleton.
+
+    Args:
+        slots: outer-to-inner slot list from :func:`~repro.mapspace.slots.build_slots`.
+        spatial_imperfect: spatial slots may take non-divisor bounds.
+        temporal_imperfect: temporal slots may take non-divisor bounds.
+    """
+
+    SAMPLING_MODES = ("structured", "uniform")
+
+    def __init__(
+        self,
+        slots: Sequence[Slot],
+        spatial_imperfect: bool,
+        temporal_imperfect: bool,
+        sampling: str = "structured",
+    ) -> None:
+        if not slots or slots[0].spatial:
+            raise MapspaceError("slot list must start with a temporal slot")
+        if sampling not in self.SAMPLING_MODES:
+            raise MapspaceError(
+                f"sampling must be one of {self.SAMPLING_MODES}, got {sampling!r}"
+            )
+        self.slots = list(slots)
+        self.spatial_imperfect = spatial_imperfect
+        self.temporal_imperfect = temporal_imperfect
+        self.sampling = sampling
+
+    def _slot_is_imperfect(self, slot: Slot) -> bool:
+        return self.spatial_imperfect if slot.spatial else self.temporal_imperfect
+
+    def sample_chain(
+        self,
+        dim: str,
+        size: int,
+        rng: random.Random,
+        spatial_budgets: Dict[int, int],
+    ) -> DimChain:
+        """Sample one bound chain for ``dim``; mutates ``spatial_budgets``.
+
+        ``spatial_budgets`` maps slot list indices to the remaining fanout
+        available at each spatial slot (shared across dimensions).
+        """
+        num_slots = len(self.slots)
+        bounds_inner_to_outer: List[int] = []
+        residue = size
+        for offset in range(num_slots - 1, -1, -1):
+            slot = self.slots[offset]
+            outermost = offset == 0
+            if outermost:
+                bound = residue
+                residue = 1
+            else:
+                bound = self._sample_bound(
+                    slot, dim, residue, rng, spatial_budgets.get(offset, 1)
+                )
+                residue = self._advance(slot, residue, bound)
+            if slot.spatial and bound > 1:
+                spatial_budgets[offset] = spatial_budgets.get(offset, 1) // bound
+            bounds_inner_to_outer.append(bound)
+        bounds = tuple(reversed(bounds_inner_to_outer))
+        remainders = assign_remainders(size, bounds)
+        return DimChain(dim=dim, bounds=bounds, remainders=remainders)
+
+    def _sample_bound(
+        self,
+        slot: Slot,
+        dim: str,
+        residue: int,
+        rng: random.Random,
+        spatial_budget: int,
+    ) -> int:
+        if residue == 1 or not slot.allows(dim):
+            return 1
+        cap = residue
+        if slot.spatial:
+            cap = min(cap, max(1, spatial_budget))
+        if self._slot_is_imperfect(slot):
+            return self._sample_imperfect_bound(residue, cap, rng)
+        options = [d for d in divisors(residue) if d <= cap]
+        return rng.choice(options)
+
+    def _sample_imperfect_bound(
+        self, residue: int, cap: int, rng: random.Random
+    ) -> int:
+        """Sample an imperfect bound from ``[1, cap]``.
+
+        In ``"structured"`` mode (default) the range is sampled with extra
+        density on its high-value regions — divisors of the residue (the
+        perfect sub-space, so Ruby never converges slower than PFM merely
+        for lack of samples) and the cap itself (the utilization-maximizing
+        choice imperfect factorization exists to reach). Every value in
+        ``[1, cap]`` remains reachable, so the mapspace itself is
+        unchanged; only sampling density differs. ``"uniform"`` mode keeps
+        a flat distribution (the ablation baseline).
+        """
+        if self.sampling == "uniform":
+            return rng.randint(1, cap)
+        roll = rng.random()
+        if roll < 0.4:
+            return rng.randint(1, cap)
+        if roll < 0.8:
+            options = [d for d in divisors(residue) if d <= cap]
+            return rng.choice(options)
+        return cap
+
+    @staticmethod
+    def _advance(slot: Slot, residue: int, bound: int) -> int:
+        if residue % bound == 0:
+            return residue // bound
+        return ceil_div(residue, bound)
+
+    def enumerate_chains(
+        self,
+        dim: str,
+        size: int,
+        spatial_caps: Optional[Dict[int, int]] = None,
+    ) -> Iterator[DimChain]:
+        """Exhaustively yield every bound chain for ``dim``.
+
+        ``spatial_caps`` optionally overrides each spatial slot's cap (list
+        index -> cap). Joint cross-dimension fanout limits are the caller's
+        concern. Intended for toy problems and counting studies — the
+        imperfect spaces grow like ``size**num_free_slots``.
+        """
+        caps = spatial_caps or {}
+
+        def options(offset: int, residue: int) -> List[int]:
+            slot = self.slots[offset]
+            if offset == 0:
+                return [residue]
+            if residue == 1 or not slot.allows(dim):
+                return [1]
+            cap = residue
+            if slot.spatial:
+                cap = min(cap, caps.get(offset, slot.fanout_cap or 1))
+                cap = max(cap, 1)
+            if self._slot_is_imperfect(slot):
+                return list(range(1, cap + 1))
+            return [d for d in divisors(residue) if d <= cap]
+
+        def recurse(offset: int, residue: int, acc: List[int]) -> Iterator[List[int]]:
+            if offset < 0:
+                if residue == 1:
+                    yield list(acc)
+                return
+            slot = self.slots[offset]
+            for bound in options(offset, residue):
+                if offset == 0:
+                    yield list(acc) + [bound]
+                    continue
+                next_residue = self._advance(slot, residue, bound)
+                yield from recurse(offset - 1, next_residue, acc + [bound])
+
+        for inner_to_outer in recurse(len(self.slots) - 1, size, []):
+            bounds = tuple(reversed(inner_to_outer))
+            yield DimChain(
+                dim=dim,
+                bounds=bounds,
+                remainders=assign_remainders(size, bounds),
+            )

@@ -1,0 +1,101 @@
+"""Closed-form (dynamic-programming) per-dimension chain counting.
+
+:mod:`repro.mapspace.counting` counts whole mapspaces by enumeration,
+which caps out when Ruby's space explodes. Per dimension, however, the
+number of distinct bound chains satisfies a clean recursion over
+``(slot, residue)`` — exactly the allocator's option structure — so it can
+be computed without materializing anything. This extends Table-I-style
+size analysis to dimensions far beyond the enumeration budget and gives
+the whole-mapspace *upper bound* ``Π_d chains_d`` (upper because the joint
+spatial-fanout filter and canonical dedup only remove entries).
+"""
+
+from __future__ import annotations
+
+import functools
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.arch.spec import Architecture
+from repro.mapspace.constraints import ConstraintSet
+from repro.mapspace.generator import MapspaceKind
+from repro.mapspace.slots import Slot, build_slots
+from repro.utils.mathx import ceil_div, divisors
+
+
+def count_dim_chains(
+    slots: Sequence[Slot],
+    kind: MapspaceKind,
+    dim: str,
+    size: int,
+    spatial_caps: Optional[Dict[int, int]] = None,
+) -> int:
+    """Number of distinct bound chains for one dimension.
+
+    Mirrors :meth:`~repro.mapspace.allocation.DimAllocator.enumerate_chains`
+    exactly (same option sets, same residue transitions) but only counts.
+    """
+    caps = spatial_caps or {}
+
+    def slot_cap(offset: int, residue: int) -> int:
+        slot = slots[offset]
+        cap = residue
+        if slot.spatial:
+            cap = min(cap, caps.get(offset, slot.fanout_cap or 1))
+            cap = max(cap, 1)
+        return cap
+
+    def imperfect(slot: Slot) -> bool:
+        if slot.spatial:
+            return kind.spatial_imperfect
+        return kind.temporal_imperfect
+
+    @functools.lru_cache(maxsize=None)
+    def count(offset: int, residue: int) -> int:
+        if offset == 0:
+            return 1  # the outermost temporal slot absorbs the residue
+        slot = slots[offset]
+        if residue == 1 or not slot.allows(dim):
+            return count(offset - 1, residue)
+        total = 0
+        cap = slot_cap(offset, residue)
+        if imperfect(slot):
+            # ceil(residue / b) takes each distinct value on a contiguous
+            # range of b; walk value blocks instead of every b up to cap.
+            # (Divisor picks inside a block transition to the same quotient:
+            # exact division means ceil == floor there.)
+            b = 1
+            while b <= cap:
+                quotient = ceil_div(residue, b)
+                if quotient > 1:
+                    b_hi = (residue - 1) // (quotient - 1)
+                else:
+                    b_hi = cap
+                b_hi = min(b_hi, cap)
+                total += (b_hi - b + 1) * count(offset - 1, quotient)
+                b = b_hi + 1
+            return total
+        for divisor in divisors(residue):
+            if divisor <= cap:
+                total += count(offset - 1, residue // divisor)
+        return total
+
+    return count(len(slots) - 1, size)
+
+
+def mapspace_upper_bound(
+    arch: Architecture,
+    dim_sizes: Dict[str, int],
+    kind: MapspaceKind,
+    constraints: Optional[ConstraintSet] = None,
+) -> int:
+    """Upper bound on the number of distinct bound assignments.
+
+    The product of per-dimension chain counts; the true (deduplicated,
+    fanout-filtered) mapspace is at most this large. Permutation and
+    bypass choices multiply on top.
+    """
+    slots = build_slots(arch, constraints)
+    total = 1
+    for dim, size in dim_sizes.items():
+        total *= count_dim_chains(slots, kind, dim, size)
+    return total

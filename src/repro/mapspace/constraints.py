@@ -1,0 +1,125 @@
+"""User constraints on a mapspace (Timeloop's mapspace constraints).
+
+Constraints encode dataflow restrictions that make a generic architecture
+behave like a published design — e.g. the paper constrains its Eyeriss-like
+baseline "to generate mappings that conform to the data access patterns
+amenable to row-stationary dataflows", and its Fig. 7(c/d) toy study imposes
+"only C and M be mapped onto the PEs".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Mapping, Optional, Tuple
+
+from repro.exceptions import SpecError
+
+
+@dataclass(frozen=True)
+class ConstraintSet:
+    """Restrictions applied during mapspace generation.
+
+    Attributes:
+        spatial_dims: per level name, the dims that may carry a nontrivial
+            spatial loop below that level (either axis). Intersected with
+            the architecture's own ``spatial_dims`` restriction.
+        axis_dims: per level name, a ``(x_dims, y_dims)`` pair restricting
+            which dims may unroll along each physical mesh axis — the
+            Timeloop ``split`` constraint. Missing = no per-axis limit.
+        temporal_dims: per level name, the dims that may carry a nontrivial
+            temporal loop at that level (``None`` entry / missing = all).
+        max_spatial: per level name, a cap on the claimed fanout (defaults
+            to the hardware fanout).
+        fixed_permutations: per level name, a required outer-to-inner order
+            of temporal dims at that level. Dims absent from the tuple keep
+            generator order after the listed ones.
+    """
+
+    spatial_dims: Mapping[str, FrozenSet[str]] = field(default_factory=dict)
+    axis_dims: Mapping[str, Tuple[FrozenSet[str], FrozenSet[str]]] = field(
+        default_factory=dict
+    )
+    temporal_dims: Mapping[str, FrozenSet[str]] = field(default_factory=dict)
+    max_spatial: Mapping[str, int] = field(default_factory=dict)
+    fixed_permutations: Mapping[str, Tuple[str, ...]] = field(default_factory=dict)
+
+    @staticmethod
+    def build(
+        spatial_dims: Optional[Mapping[str, FrozenSet[str]]] = None,
+        axis_dims: Optional[
+            Mapping[str, Tuple[FrozenSet[str], FrozenSet[str]]]
+        ] = None,
+        temporal_dims: Optional[Mapping[str, FrozenSet[str]]] = None,
+        max_spatial: Optional[Mapping[str, int]] = None,
+        fixed_permutations: Optional[Mapping[str, Tuple[str, ...]]] = None,
+    ) -> "ConstraintSet":
+        """Build from plain dicts, freezing the value sets."""
+        return ConstraintSet(
+            spatial_dims={
+                name: frozenset(dims) for name, dims in (spatial_dims or {}).items()
+            },
+            axis_dims={
+                name: (frozenset(x_dims), frozenset(y_dims))
+                for name, (x_dims, y_dims) in (axis_dims or {}).items()
+            },
+            temporal_dims={
+                name: frozenset(dims) for name, dims in (temporal_dims or {}).items()
+            },
+            max_spatial=dict(max_spatial or {}),
+            fixed_permutations={
+                name: tuple(order)
+                for name, order in (fixed_permutations or {}).items()
+            },
+        )
+
+    def allowed_spatial(self, level_name: str) -> Optional[FrozenSet[str]]:
+        """Dims allowed spatially below ``level_name`` (None = no limit)."""
+        return self.spatial_dims.get(level_name)
+
+    def allowed_on_axis(self, level_name: str, axis: int) -> Optional[FrozenSet[str]]:
+        """Dims allowed on one mesh axis of ``level_name`` (None = no limit)."""
+        pair = self.axis_dims.get(level_name)
+        if pair is None:
+            return None
+        return pair[axis]
+
+    def allowed_temporal(self, level_name: str) -> Optional[FrozenSet[str]]:
+        """Dims allowed temporally at ``level_name`` (None = no limit)."""
+        return self.temporal_dims.get(level_name)
+
+    def spatial_cap(self, level_name: str, hardware_fanout: int) -> int:
+        """Effective fanout cap at ``level_name``."""
+        cap = self.max_spatial.get(level_name, hardware_fanout)
+        if cap < 1:
+            raise SpecError(f"max_spatial for {level_name} must be >= 1")
+        return min(cap, hardware_fanout)
+
+    def permutation(self, level_name: str) -> Optional[Tuple[str, ...]]:
+        """Fixed temporal dim order at ``level_name``, if any."""
+        return self.fixed_permutations.get(level_name)
+
+
+def no_constraints() -> ConstraintSet:
+    """An empty constraint set (the full hardware-legal mapspace)."""
+    return ConstraintSet()
+
+
+def eyeriss_row_stationary() -> ConstraintSet:
+    """Row-stationary-like constraints for the Eyeriss baseline.
+
+    Mirrors the Timeloop+Accelergy exercises' Eyeriss constraint: the mesh
+    is split so the X axis unrolls output-map dims (N, P, Q and filter
+    columns S) while the Y axis unrolls filter rows and channels (R, C, M).
+    This is what gives row-stationary its shape — one filter row per PE
+    row, output positions across PE columns — and what creates the Fig. 9
+    misalignment: a 27-wide OFM dim cannot tile a 14-wide axis with
+    perfect factors.
+    """
+    return ConstraintSet.build(
+        axis_dims={
+            "GlobalBuffer": (
+                frozenset({"N", "P", "Q", "S"}),
+                frozenset({"C", "R", "M"}),
+            )
+        },
+    )

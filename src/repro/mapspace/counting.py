@@ -1,0 +1,108 @@
+"""Mapspace-size counting (Table I of the paper).
+
+Table I maps a rank-1 tensor over a two-level hierarchy with a fanout of 9
+and reports how many unique mappings each mapspace contains as the tensor
+size grows from 3 to 4096: PFM stays tiny, Ruby-S grows moderately (its
+spatial bounds are capped by the fanout), and Ruby/Ruby-T explode.
+
+Counting is by exhaustive enumeration with canonical-form deduplication,
+optionally intersected with the validity filter (capacity/fanout checks).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Optional, Tuple
+
+from repro.arch.spec import Architecture
+from repro.exceptions import MapspaceError
+from repro.mapping.validity import is_valid_mapping
+from repro.mapspace.constraints import ConstraintSet
+from repro.mapspace.generator import MapSpace, MapspaceKind
+from repro.problem.workload import Workload
+
+DEFAULT_ENUMERATION_CAP = 5_000_000
+
+
+@dataclass(frozen=True)
+class MapspaceSizes:
+    """Unique-mapping counts of one mapspace for one workload.
+
+    Attributes:
+        kind: the mapspace variant counted.
+        raw: structurally unique mappings (before validity filtering).
+        valid: mappings surviving capacity/fanout checks, or ``None`` when
+            validity counting was disabled.
+    """
+
+    kind: MapspaceKind
+    raw: int
+    valid: Optional[int]
+
+
+def count_mapspace_size(
+    arch: Architecture,
+    workload: Workload,
+    kind: MapspaceKind,
+    constraints: Optional[ConstraintSet] = None,
+    count_valid: bool = True,
+    enumeration_cap: int = DEFAULT_ENUMERATION_CAP,
+) -> MapspaceSizes:
+    """Count unique mappings of one mapspace by exhaustive enumeration.
+
+    Raises :class:`MapspaceError` if more than ``enumeration_cap`` mappings
+    would need to be enumerated (Ruby on large problems).
+    """
+    space = MapSpace(arch, workload, kind, constraints)
+    seen = set()
+    valid_count = 0 if count_valid else None
+    produced = 0
+    for mapping in space.enumerate_mappings():
+        produced += 1
+        if produced > enumeration_cap:
+            raise MapspaceError(
+                f"{kind.value} mapspace for {workload.name} exceeds the "
+                f"enumeration cap of {enumeration_cap}"
+            )
+        key = mapping.canonical_key()
+        if key in seen:
+            continue
+        seen.add(key)
+        if count_valid and is_valid_mapping(mapping, arch, workload):
+            valid_count += 1
+    return MapspaceSizes(kind=kind, raw=len(seen), valid=valid_count)
+
+
+def count_mapspace_sizes(
+    arch: Architecture,
+    workload: Workload,
+    kinds: Iterable[MapspaceKind] = tuple(MapspaceKind),
+    constraints: Optional[ConstraintSet] = None,
+    count_valid: bool = True,
+    enumeration_cap: int = DEFAULT_ENUMERATION_CAP,
+) -> Dict[MapspaceKind, MapspaceSizes]:
+    """Count several mapspaces at once; see :func:`count_mapspace_size`."""
+    return {
+        MapspaceKind(kind): count_mapspace_size(
+            arch,
+            workload,
+            MapspaceKind(kind),
+            constraints=constraints,
+            count_valid=count_valid,
+            enumeration_cap=enumeration_cap,
+        )
+        for kind in kinds
+    }
+
+
+def table1_row(
+    arch: Architecture,
+    workload: Workload,
+    enumeration_cap: int = DEFAULT_ENUMERATION_CAP,
+) -> Tuple[int, Dict[str, int]]:
+    """One Table-I row: ``(dimension_size, {kind: raw size})``."""
+    sizes = count_mapspace_sizes(
+        arch, workload, count_valid=False, enumeration_cap=enumeration_cap
+    )
+    dim = workload.dims[0][1]
+    return dim, {kind.value: result.raw for kind, result in sizes.items()}

@@ -1,0 +1,56 @@
+"""Convenience factories for the four mapspaces."""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from repro.arch.spec import Architecture
+from repro.mapspace.constraints import ConstraintSet
+from repro.mapspace.generator import MapSpace, MapspaceKind
+from repro.problem.workload import Workload
+
+
+def make_mapspace(
+    arch: Architecture,
+    workload: Workload,
+    kind: Union[str, MapspaceKind],
+    constraints: Optional[ConstraintSet] = None,
+) -> MapSpace:
+    """Build a mapspace of ``kind`` ("pfm", "ruby", "ruby-s", "ruby-t")."""
+    return MapSpace(arch, workload, MapspaceKind(kind), constraints)
+
+
+def pfm_mapspace(
+    arch: Architecture,
+    workload: Workload,
+    constraints: Optional[ConstraintSet] = None,
+) -> MapSpace:
+    """The perfect-factorization (Timeloop-baseline) mapspace."""
+    return MapSpace(arch, workload, MapspaceKind.PFM, constraints)
+
+
+def ruby_mapspace(
+    arch: Architecture,
+    workload: Workload,
+    constraints: Optional[ConstraintSet] = None,
+) -> MapSpace:
+    """The unconstrained imperfect-factorization mapspace."""
+    return MapSpace(arch, workload, MapspaceKind.RUBY, constraints)
+
+
+def ruby_s_mapspace(
+    arch: Architecture,
+    workload: Workload,
+    constraints: Optional[ConstraintSet] = None,
+) -> MapSpace:
+    """Imperfect factorization at spatial levels only (the paper's pick)."""
+    return MapSpace(arch, workload, MapspaceKind.RUBY_S, constraints)
+
+
+def ruby_t_mapspace(
+    arch: Architecture,
+    workload: Workload,
+    constraints: Optional[ConstraintSet] = None,
+) -> MapSpace:
+    """Imperfect factorization at temporal levels only."""
+    return MapSpace(arch, workload, MapspaceKind.RUBY_T, constraints)

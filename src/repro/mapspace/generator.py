@@ -1,0 +1,307 @@
+"""MapSpace: samples and enumerates complete mappings.
+
+Combines per-dimension bound chains (from the allocator) with loop-order
+(permutation) choices into :class:`~repro.mapping.nest.Mapping` objects,
+respecting joint spatial-fanout budgets across dimensions.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+import random
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.arch.spec import Architecture
+from repro.exceptions import MapspaceError
+from repro.mapping.loop import Loop
+from repro.mapping.nest import LevelNest, Mapping
+from repro.mapspace.allocation import DimAllocator, DimChain
+from repro.mapspace.constraints import ConstraintSet
+from repro.mapspace.slots import Slot, build_slots
+from repro.utils.rng import make_rng
+
+
+class MapspaceKind(str, enum.Enum):
+    """The four mapspaces studied by the paper."""
+
+    PFM = "pfm"
+    RUBY = "ruby"
+    RUBY_S = "ruby-s"
+    RUBY_T = "ruby-t"
+
+    @property
+    def spatial_imperfect(self) -> bool:
+        """Whether spatial slots may take non-divisor bounds."""
+        return self in (MapspaceKind.RUBY, MapspaceKind.RUBY_S)
+
+    @property
+    def temporal_imperfect(self) -> bool:
+        """Whether temporal slots may take non-divisor bounds."""
+        return self in (MapspaceKind.RUBY, MapspaceKind.RUBY_T)
+
+
+class MapSpace:
+    """A mapspace for one (architecture, workload, kind) triple.
+
+    Args:
+        arch: target accelerator.
+        workload: tensor operation to map.
+        kind: which factorization regime to use.
+        constraints: optional dataflow constraints.
+    """
+
+    BYPASS_PROBABILITY = 0.2
+
+    def __init__(
+        self,
+        arch: Architecture,
+        workload,
+        kind: MapspaceKind,
+        constraints: Optional[ConstraintSet] = None,
+        sampling: str = "structured",
+        explore_bypass: bool = False,
+    ) -> None:
+        self.arch = arch
+        self.workload = workload
+        self.kind = MapspaceKind(kind)
+        self.constraints = constraints or ConstraintSet()
+        self.explore_bypass = explore_bypass
+        self.slots: List[Slot] = build_slots(arch, self.constraints)
+        self.allocator = DimAllocator(
+            self.slots,
+            spatial_imperfect=self.kind.spatial_imperfect,
+            temporal_imperfect=self.kind.temporal_imperfect,
+            sampling=sampling,
+        )
+        # Bypass candidates: every non-outermost level a tensor may use.
+        self._bypass_candidates = [
+            (level.name, tensor.name)
+            for level in arch.levels[1:]
+            for tensor in workload.tensors
+            if level.keeps_tensor(tensor.name)
+        ]
+        # Imperfect mapspaces contain the perfect one; drawing an all-exact
+        # sample now and then keeps their random search from ever lagging a
+        # PFM search merely for lack of density on the perfect sub-space.
+        self._perfect_allocator: Optional[DimAllocator] = None
+        if self.kind is not MapspaceKind.PFM:
+            self._perfect_allocator = DimAllocator(
+                self.slots,
+                spatial_imperfect=False,
+                temporal_imperfect=False,
+                sampling=sampling,
+            )
+
+    def _initial_budgets(self) -> Dict[int, int]:
+        return {
+            offset: slot.fanout_cap
+            for offset, slot in enumerate(self.slots)
+            if slot.spatial
+        }
+
+    def sample(self, rng: Optional[random.Random] = None) -> Mapping:
+        """Sample one mapping (bounds, remainders, permutations, bypass)."""
+        rng = make_rng(rng)
+        mapping = self.assemble(self.sample_chains(rng), rng)
+        if self.explore_bypass and self._bypass_candidates:
+            bypass = [
+                pair
+                for pair in self._bypass_candidates
+                if rng.random() < self.BYPASS_PROBABILITY
+            ]
+            if bypass:
+                mapping = mapping.with_bypass(bypass)
+        return mapping
+
+    PERFECT_SEED_PROBABILITY = 0.15
+
+    def sample_chains(
+        self, rng: Optional[random.Random] = None
+    ) -> Dict[str, DimChain]:
+        """Sample per-dimension bound chains under the joint fanout budget."""
+        rng = make_rng(rng)
+        allocator = self.allocator
+        if (
+            self._perfect_allocator is not None
+            and rng.random() < self.PERFECT_SEED_PROBABILITY
+        ):
+            allocator = self._perfect_allocator
+        budgets = self._initial_budgets()
+        dims = list(self.workload.dim_names)
+        rng.shuffle(dims)
+        return {
+            dim: allocator.sample_chain(
+                dim, self.workload.size(dim), rng, budgets
+            )
+            for dim in dims
+        }
+
+    def resample_dim(
+        self,
+        chains: Dict[str, DimChain],
+        dim: str,
+        rng: Optional[random.Random] = None,
+    ) -> Dict[str, DimChain]:
+        """Return a copy of ``chains`` with ``dim`` re-allocated.
+
+        The fanout budget offered to ``dim`` is whatever the other
+        dimensions leave free — the mutation operator of the genetic search.
+        """
+        rng = make_rng(rng)
+        budgets = self.remaining_budgets(chains, exclude=dim)
+        updated = dict(chains)
+        updated[dim] = self.allocator.sample_chain(
+            dim, self.workload.size(dim), rng, budgets
+        )
+        return updated
+
+    def remaining_budgets(
+        self, chains: Dict[str, DimChain], exclude: Optional[str] = None
+    ) -> Dict[int, int]:
+        """Spatial budget left at each spatial slot given ``chains``."""
+        budgets = self._initial_budgets()
+        for offset in list(budgets):
+            used = 1
+            for dim, chain in chains.items():
+                if dim == exclude:
+                    continue
+                used *= chain.bounds[offset]
+            budgets[offset] = max(0, budgets[offset] // used)
+        return budgets
+
+    def chains_within_fanout(self, chains: Dict[str, DimChain]) -> bool:
+        """True if the joint spatial allocation fits every slot cap."""
+        for offset, slot in enumerate(self.slots):
+            if not slot.spatial:
+                continue
+            used = 1
+            for chain in chains.values():
+                used *= chain.bounds[offset]
+            if used > slot.fanout_cap:
+                return False
+        return True
+
+    def sample_many(
+        self, count: int, rng: Optional[random.Random] = None
+    ) -> List[Mapping]:
+        """Sample ``count`` mappings from one RNG stream."""
+        rng = make_rng(rng)
+        return [self.sample(rng) for _ in range(count)]
+
+    def assemble(
+        self, chains: Dict[str, DimChain], rng: Optional[random.Random] = None
+    ) -> Mapping:
+        """Build a Mapping from per-dim chains, ordering loops per level."""
+        nests: List[LevelNest] = []
+        for level_index, level in enumerate(self.arch.levels):
+            temporal_loops: List[Loop] = []
+            spatial_loops: List[Loop] = []
+            for offset, slot in enumerate(self.slots):
+                if slot.level_index != level_index:
+                    continue
+                for dim in self.workload.dim_names:
+                    chain = chains[dim]
+                    bound = chain.bounds[offset]
+                    remainder = chain.remainders[offset]
+                    if bound == 1 and remainder == 1:
+                        continue
+                    loop = Loop(
+                        dim, bound, remainder, spatial=slot.spatial, axis=slot.axis
+                    )
+                    if slot.spatial:
+                        spatial_loops.append(loop)
+                    else:
+                        temporal_loops.append(loop)
+            temporal_loops = self._order_temporal(level.name, temporal_loops, rng)
+            nests.append(
+                LevelNest(
+                    level_name=level.name,
+                    temporal=tuple(temporal_loops),
+                    spatial=tuple(spatial_loops),
+                )
+            )
+        return Mapping(levels=tuple(nests))
+
+    def _order_temporal(
+        self,
+        level_name: str,
+        loops: List[Loop],
+        rng: Optional[random.Random],
+    ) -> List[Loop]:
+        fixed = self.constraints.permutation(level_name)
+        if rng is not None:
+            rng.shuffle(loops)
+        if not fixed:
+            return loops
+        priority = {dim: i for i, dim in enumerate(fixed)}
+        return sorted(
+            loops, key=lambda loop: priority.get(loop.dim, len(priority))
+        )
+
+    def enumerate_mappings(
+        self,
+        limit: Optional[int] = None,
+        permutations: bool = False,
+    ) -> Iterator[Mapping]:
+        """Exhaustively yield mappings (joint fanout filtered).
+
+        With ``permutations=False`` every level keeps canonical (workload)
+        dim order; with True all temporal orders per level are emitted.
+        Only feasible for toy problems — imperfect mapspaces are huge.
+        """
+        dims = list(self.workload.dim_names)
+        per_dim = [
+            list(
+                self.allocator.enumerate_chains(dim, self.workload.size(dim))
+            )
+            for dim in dims
+        ]
+        spatial_offsets = [
+            offset for offset, slot in enumerate(self.slots) if slot.spatial
+        ]
+        emitted = 0
+        for combo in itertools.product(*per_dim):
+            if not self._fanout_ok(combo, spatial_offsets):
+                continue
+            chains = {chain.dim: chain for chain in combo}
+            base = self.assemble(chains, rng=None)
+            if permutations:
+                for mapping in self._permute(base):
+                    yield mapping
+                    emitted += 1
+                    if limit is not None and emitted >= limit:
+                        return
+            else:
+                yield base
+                emitted += 1
+                if limit is not None and emitted >= limit:
+                    return
+
+    def _fanout_ok(
+        self, combo: Sequence[DimChain], spatial_offsets: List[int]
+    ) -> bool:
+        for offset in spatial_offsets:
+            cap = self.slots[offset].fanout_cap
+            product = 1
+            for chain in combo:
+                product *= chain.bounds[offset]
+            if product > cap:
+                return False
+        return True
+
+    def _permute(self, base: Mapping) -> Iterator[Mapping]:
+        per_level_orders = [
+            list(itertools.permutations(nest.temporal)) for nest in base.levels
+        ]
+        for orders in itertools.product(*per_level_orders):
+            yield Mapping(
+                levels=tuple(
+                    LevelNest(
+                        level_name=nest.level_name,
+                        temporal=tuple(order),
+                        spatial=nest.spatial,
+                    )
+                    for nest, order in zip(base.levels, orders)
+                )
+            )

@@ -1,0 +1,102 @@
+"""Loop slots: the skeleton a mapping fills in.
+
+Walking an architecture outer to inner yields, per storage level, one
+*temporal* slot (loops iterating tiles held at the level) and, when the
+level fans out, one *spatial* slot (parFor loops unrolled across the
+fanout). Mapspace generation assigns each problem dimension a bound at each
+slot; slots carry the hardware limits the allocator must respect.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, List, Optional
+
+from repro.arch.spec import Architecture
+from repro.mapspace.constraints import ConstraintSet
+
+
+@dataclass(frozen=True)
+class Slot:
+    """One loop block of the global nest skeleton.
+
+    Attributes:
+        level_index: storage level owning the slot (0 = outermost).
+        level_name: its name.
+        spatial: True for fanout (parFor) slots.
+        fanout_cap: for spatial slots, the joint bound product limit along
+            this slot's mesh axis (hardware fanout intersected with
+            constraint caps); 0 for temporal slots.
+        axis: physical mesh axis of a spatial slot (0 = X, 1 = Y). A 2-D
+            PE array yields one spatial slot per axis, so per-axis fit is
+            enforced structurally — the source of the paper's
+            dimension/array misalignment.
+        allowed_dims: dims that may take a nontrivial bound here
+            (``None`` = all).
+    """
+
+    level_index: int
+    level_name: str
+    spatial: bool
+    fanout_cap: int = 0
+    axis: int = 0
+    allowed_dims: Optional[FrozenSet[str]] = None
+
+    def allows(self, dim: str) -> bool:
+        """True if ``dim`` may take a nontrivial bound at this slot."""
+        return self.allowed_dims is None or dim in self.allowed_dims
+
+
+def build_slots(
+    arch: Architecture, constraints: Optional[ConstraintSet] = None
+) -> List[Slot]:
+    """Build the outer-to-inner slot list for ``arch`` under ``constraints``.
+
+    Levels with a 2-D fanout (``fanout_x``/``fanout_y`` set) produce two
+    spatial slots, one per mesh axis; 1-D fanouts produce one.
+    """
+    constraints = constraints or ConstraintSet()
+    slots: List[Slot] = []
+    for index, level in enumerate(arch.levels):
+        slots.append(
+            Slot(
+                level_index=index,
+                level_name=level.name,
+                spatial=False,
+                allowed_dims=constraints.allowed_temporal(level.name),
+            )
+        )
+        if level.fanout > 1:
+            allowed = level.spatial_dims
+            constrained = constraints.allowed_spatial(level.name)
+            if allowed is not None and constrained is not None:
+                allowed = allowed & constrained
+            elif constrained is not None:
+                allowed = constrained
+            axis_fanouts = [(0, level.fanout_x), (1, level.fanout_y)]
+            if level.fanout_x is None:
+                axis_fanouts = [(0, level.fanout)]
+            for axis, axis_fanout in axis_fanouts:
+                if axis_fanout is None or axis_fanout < 2:
+                    continue
+                axis_allowed = constraints.allowed_on_axis(level.name, axis)
+                slot_allowed = allowed
+                if axis_allowed is not None:
+                    slot_allowed = (
+                        axis_allowed
+                        if slot_allowed is None
+                        else slot_allowed & axis_allowed
+                    )
+                slots.append(
+                    Slot(
+                        level_index=index,
+                        level_name=level.name,
+                        spatial=True,
+                        fanout_cap=constraints.spatial_cap(
+                            level.name, axis_fanout
+                        ),
+                        axis=axis,
+                        allowed_dims=slot_allowed,
+                    )
+                )
+    return slots

@@ -1,0 +1,186 @@
+"""Mapping analysis: explain *why* a mapping costs what it costs.
+
+Turns an evaluation into a human-readable report: per-level buffer
+occupancy, per-tensor reuse factors (how many compute-side accesses each
+fill amortizes), energy breakdown shares, and the data-movement profile.
+The quickstart's "why is Ruby-S better here?" question is answered by
+diffing two of these reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.arch.spec import Architecture
+from repro.core.report import format_table
+from repro.mapping.nest import Mapping
+from repro.mapping.validity import _tile_extents_at_level
+from repro.model.evaluator import Evaluation, Evaluator
+from repro.problem.workload import Workload
+
+
+@dataclass(frozen=True)
+class LevelOccupancy:
+    """Buffer usage of one (level, tensor) pair."""
+
+    level_name: str
+    tensor_name: str
+    tile_words: int
+    capacity_words: Optional[int]  # None = unbounded or shared
+
+    @property
+    def occupancy(self) -> Optional[float]:
+        """Tile words over capacity, or None for unbounded levels."""
+        if self.capacity_words is None or self.capacity_words == 0:
+            return None
+        return self.tile_words / self.capacity_words
+
+
+@dataclass(frozen=True)
+class ReuseFactor:
+    """Amortization of fills at one (level, tensor) pair.
+
+    ``reads_served / fills`` — how many downstream reads each delivered
+    element serves before being replaced. High reuse at cheap levels is
+    what a good mapping buys.
+    """
+
+    level_name: str
+    tensor_name: str
+    reads_served: int
+    fills: int
+
+    @property
+    def factor(self) -> Optional[float]:
+        """Reads served per fill, or None when nothing was filled."""
+        if self.fills == 0:
+            return None
+        return self.reads_served / self.fills
+
+
+@dataclass
+class MappingReport:
+    """Structured explanation of one evaluation."""
+
+    evaluation: Evaluation
+    occupancies: List[LevelOccupancy] = field(default_factory=list)
+    reuse: List[ReuseFactor] = field(default_factory=list)
+    energy_shares: Dict[str, float] = field(default_factory=dict)
+
+
+def explain_mapping(
+    arch: Architecture,
+    workload: Workload,
+    mapping: Mapping,
+    evaluator: Optional[Evaluator] = None,
+) -> MappingReport:
+    """Evaluate ``mapping`` and build its :class:`MappingReport`.
+
+    Raises ``ValueError`` for invalid mappings — explain what exists.
+    """
+    evaluator = evaluator or Evaluator(arch, workload)
+    evaluation = evaluator.evaluate(mapping)
+    if not evaluation.valid:
+        raise ValueError(
+            "cannot explain an invalid mapping: " + "; ".join(evaluation.violations)
+        )
+    report = MappingReport(evaluation=evaluation)
+
+    for level_index, level in enumerate(arch.levels):
+        extents = _tile_extents_at_level(mapping, level_index)
+        for tensor in workload.tensors:
+            if not level.keeps_tensor(tensor.name):
+                continue
+            if mapping.bypasses(level.name, tensor.name):
+                continue
+            tile_words = tensor.tile_footprint(extents)
+            capacity = level.tensor_capacity(tensor.name)
+            if capacity is None:
+                capacity = level.capacity_words
+            report.occupancies.append(
+                LevelOccupancy(
+                    level_name=level.name,
+                    tensor_name=tensor.name,
+                    tile_words=tile_words,
+                    capacity_words=capacity,
+                )
+            )
+
+    counts = evaluation.access_counts
+    for level_index, level in enumerate(arch.levels):
+        for tensor in workload.tensors:
+            key = (level_index, tensor.name)
+            reads = counts.reads.get(key, 0)
+            fills = counts.writes.get(key, 0)
+            if reads == 0 and fills == 0:
+                continue
+            report.reuse.append(
+                ReuseFactor(
+                    level_name=level.name,
+                    tensor_name=tensor.name,
+                    reads_served=reads,
+                    fills=fills,
+                )
+            )
+
+    total = evaluation.energy_pj
+    if total > 0:
+        report.energy_shares = {
+            component: energy / total
+            for component, energy in evaluation.energy_breakdown_pj.items()
+        }
+    return report
+
+
+def format_report(report: MappingReport) -> str:
+    """Render a :class:`MappingReport` as text."""
+    evaluation = report.evaluation
+    header = (
+        f"EDP {evaluation.edp:.4e}  energy {evaluation.energy_pj:.4e} pJ  "
+        f"cycles {evaluation.cycles:,}  utilization {evaluation.utilization:.1%}"
+    )
+    occupancy_rows = [
+        [
+            o.level_name,
+            o.tensor_name,
+            o.tile_words,
+            o.capacity_words if o.capacity_words is not None else "-",
+            f"{o.occupancy:.1%}" if o.occupancy is not None else "-",
+        ]
+        for o in report.occupancies
+    ]
+    reuse_rows = [
+        [
+            r.level_name,
+            r.tensor_name,
+            r.reads_served,
+            r.fills,
+            f"{r.factor:.2f}" if r.factor is not None else "-",
+        ]
+        for r in report.reuse
+    ]
+    energy_rows = [
+        [component, f"{share:.1%}"]
+        for component, share in sorted(
+            report.energy_shares.items(), key=lambda kv: -kv[1]
+        )
+    ]
+    return "\n\n".join(
+        [
+            header,
+            format_table(
+                ["level", "tensor", "tile words", "capacity", "occupancy"],
+                occupancy_rows,
+                title="Buffer occupancy",
+            ),
+            format_table(
+                ["level", "tensor", "reads", "writes", "reads/write"],
+                reuse_rows,
+                title="Access profile",
+            ),
+            format_table(
+                ["component", "energy share"], energy_rows, title="Energy"
+            ),
+        ]
+    )

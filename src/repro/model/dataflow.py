@@ -1,0 +1,166 @@
+"""Dataflow structure: which levels keep each tensor, and nest boundaries.
+
+A tensor flows through the subset of storage levels that keep it (bypassed
+levels are skipped, like weights skipping the Eyeriss GLB). Traffic between
+two consecutive keeper levels is governed by the loops above the *child*
+keeper's storage point; this module extracts those boundaries so the access
+counting in :mod:`repro.model.access_counts` can stay purely arithmetical.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.arch.spec import Architecture
+from repro.exceptions import SpecError
+from repro.mapping.nest import Mapping, PlacedLoop
+from repro.problem.tensor import TensorSpec
+from repro.problem.workload import Workload
+
+
+@dataclass(frozen=True)
+class Boundary:
+    """One parent->child transfer segment of a tensor's path.
+
+    Attributes:
+        parent_level: storage level index serving the data (the ``a`` side).
+        child_level: storage level index receiving it, or ``None`` for the
+            compute units.
+        boundary_position: global nest position of the child's storage
+            point; loops at smaller positions iterate over distinct child
+            tiles. ``None`` child => one past the last loop (everything is
+            above the compute boundary).
+        parent_position: global nest position of the parent's storage point,
+            used to distinguish spatial fanouts *between* parent and child
+            (multicast from the parent) from fanouts *above* the parent
+            (independent parent instances).
+    """
+
+    parent_level: int
+    child_level: Optional[int]
+    boundary_position: int
+    parent_position: int
+
+
+@dataclass(frozen=True)
+class TensorPath:
+    """The keeper levels and transfer boundaries of one tensor."""
+
+    tensor: TensorSpec
+    keeper_levels: Tuple[int, ...]
+    boundaries: Tuple[Boundary, ...]
+
+
+def storage_positions(mapping: Mapping) -> List[int]:
+    """Global nest position of each storage level's storage point.
+
+    Level ``i``'s storage point precedes its own temporal block; equals the
+    number of loops at levels ``< i``.
+    """
+    positions = []
+    count = 0
+    for nest in mapping.levels:
+        positions.append(count)
+        count += len(nest.temporal) + len(nest.spatial)
+    return positions
+
+
+def total_positions(mapping: Mapping) -> int:
+    """Number of loops in the global nest (the compute boundary position)."""
+    return sum(len(n.temporal) + len(n.spatial) for n in mapping.levels)
+
+
+def keeper_levels(
+    arch: Architecture,
+    tensor_name: str,
+    mapping: Optional[Mapping] = None,
+) -> List[int]:
+    """Indices of the storage levels that keep ``tensor_name`` (outer first).
+
+    A level keeps a tensor when the architecture allows it (``keeps``) and
+    the mapping does not bypass it.
+    """
+    return [
+        index
+        for index, level in enumerate(arch.levels)
+        if level.keeps_tensor(tensor_name)
+        and not (mapping is not None and mapping.bypasses(level.name, tensor_name))
+    ]
+
+
+def tensor_paths(
+    arch: Architecture, workload: Workload, mapping: Mapping
+) -> Dict[str, TensorPath]:
+    """Build the transfer path of every tensor of ``workload``.
+
+    Raises :class:`SpecError` if a tensor has no keeper level or if the
+    outermost level bypasses it (data must originate somewhere).
+    """
+    positions = storage_positions(mapping)
+    compute_boundary = total_positions(mapping)
+    paths: Dict[str, TensorPath] = {}
+    for tensor in workload.tensors:
+        keepers = keeper_levels(arch, tensor.name, mapping)
+        if not keepers:
+            raise SpecError(
+                f"tensor {tensor.name} is bypassed at every level of {arch.name}"
+            )
+        if keepers[0] != 0:
+            raise SpecError(
+                f"tensor {tensor.name} must be kept at the outermost level "
+                f"of {arch.name}"
+            )
+        boundaries: List[Boundary] = []
+        for parent, child in zip(keepers, keepers[1:]):
+            boundaries.append(
+                Boundary(
+                    parent_level=parent,
+                    child_level=child,
+                    boundary_position=positions[child],
+                    parent_position=positions[parent],
+                )
+            )
+        boundaries.append(
+            Boundary(
+                parent_level=keepers[-1],
+                child_level=None,
+                boundary_position=compute_boundary,
+                parent_position=positions[keepers[-1]],
+            )
+        )
+        paths[tensor.name] = TensorPath(
+            tensor=tensor,
+            keeper_levels=tuple(keepers),
+            boundaries=tuple(boundaries),
+        )
+    return paths
+
+
+def nontrivial_loops(mapping: Mapping) -> List[PlacedLoop]:
+    """Placed loops with bound > 1 (bound-1 loops tile nothing)."""
+    return [p for p in mapping.placed_loops() if p.loop.bound > 1]
+
+
+def innermost_relevant_temporal_position(
+    loops: List[PlacedLoop],
+    relevant_dims: frozenset,
+    boundary_position: int,
+) -> int:
+    """Position of the innermost relevant *temporal* loop above a boundary.
+
+    Returns -1 when there is none. Irrelevant temporal loops outside this
+    position force refetch of the child's tile (the tile changes inside
+    them); irrelevant loops inside it enjoy reuse. Relevant *spatial* loops
+    do not force refetch: spatial distribution is static, so each child
+    instance's tile is unchanged by outer irrelevant iterations.
+    """
+    best = -1
+    for placed in loops:
+        if placed.position >= boundary_position:
+            continue
+        if placed.loop.spatial:
+            continue
+        if placed.loop.dim in relevant_dims:
+            best = max(best, placed.position)
+    return best

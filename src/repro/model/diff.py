@@ -1,0 +1,129 @@
+"""Structured comparison of two evaluations ("why is B better than A?").
+
+Produces per-metric ratios and per-(level, tensor) traffic deltas, sorted
+by energy impact — the quantitative answer behind every "Ruby-S improves
+layer X by Y%" row in the experiment tables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.arch.spec import Architecture
+from repro.core.report import format_table
+from repro.energy.table import EnergyTable
+from repro.model.evaluator import Evaluation
+
+
+@dataclass(frozen=True)
+class TrafficDelta:
+    """Access-count change at one (level, tensor) between two evaluations."""
+
+    level_name: str
+    tensor_name: str
+    reads_before: int
+    reads_after: int
+    writes_before: int
+    writes_after: int
+    energy_delta_pj: float  # negative = the challenger saves energy here
+
+
+@dataclass
+class EvaluationDiff:
+    """The comparison of a challenger against a baseline evaluation."""
+
+    baseline: Evaluation
+    challenger: Evaluation
+    deltas: List[TrafficDelta] = field(default_factory=list)
+
+    @property
+    def edp_ratio(self) -> float:
+        return self.challenger.edp / self.baseline.edp
+
+    @property
+    def energy_ratio(self) -> float:
+        return self.challenger.energy_pj / self.baseline.energy_pj
+
+    @property
+    def cycles_ratio(self) -> float:
+        return self.challenger.cycles / self.baseline.cycles
+
+    @property
+    def utilization_delta(self) -> float:
+        return self.challenger.utilization - self.baseline.utilization
+
+    def dominant_deltas(self, top: int = 5) -> List[TrafficDelta]:
+        """The traffic changes with the largest absolute energy impact."""
+        return sorted(
+            self.deltas, key=lambda d: abs(d.energy_delta_pj), reverse=True
+        )[:top]
+
+
+def diff_evaluations(
+    arch: Architecture,
+    table: EnergyTable,
+    baseline: Evaluation,
+    challenger: Evaluation,
+) -> EvaluationDiff:
+    """Build the structured diff of two *valid* evaluations."""
+    if not (baseline.valid and challenger.valid):
+        raise ValueError("diff needs two valid evaluations")
+    result = EvaluationDiff(baseline=baseline, challenger=challenger)
+    before_reads = baseline.access_counts.reads
+    after_reads = challenger.access_counts.reads
+    before_writes = baseline.access_counts.writes
+    after_writes = challenger.access_counts.writes
+    keys = (
+        set(before_reads) | set(after_reads)
+        | set(before_writes) | set(after_writes)
+    )
+    for level_index, tensor_name in sorted(keys):
+        level = arch.levels[level_index]
+        rb = before_reads.get((level_index, tensor_name), 0)
+        ra = after_reads.get((level_index, tensor_name), 0)
+        wb = before_writes.get((level_index, tensor_name), 0)
+        wa = after_writes.get((level_index, tensor_name), 0)
+        if (rb, wb) == (ra, wa):
+            continue
+        energy_delta = (ra - rb) * table.read_pj(level.name) + (
+            wa - wb
+        ) * table.write_pj(level.name)
+        result.deltas.append(
+            TrafficDelta(
+                level_name=level.name,
+                tensor_name=tensor_name,
+                reads_before=rb,
+                reads_after=ra,
+                writes_before=wb,
+                writes_after=wa,
+                energy_delta_pj=energy_delta,
+            )
+        )
+    return result
+
+
+def format_diff(diff: EvaluationDiff, top: int = 8) -> str:
+    """Render the diff: metric ratios plus the dominant traffic changes."""
+    header = (
+        f"challenger / baseline: EDP x{diff.edp_ratio:.3f}  "
+        f"energy x{diff.energy_ratio:.3f}  cycles x{diff.cycles_ratio:.3f}  "
+        f"utilization {diff.baseline.utilization:.1%} -> "
+        f"{diff.challenger.utilization:.1%}"
+    )
+    rows: List[List[object]] = []
+    for delta in diff.dominant_deltas(top):
+        rows.append(
+            [
+                delta.level_name,
+                delta.tensor_name,
+                f"{delta.reads_before} -> {delta.reads_after}",
+                f"{delta.writes_before} -> {delta.writes_after}",
+                delta.energy_delta_pj,
+            ]
+        )
+    return header + "\n\n" + format_table(
+        ["level", "tensor", "reads", "writes", "energy delta pJ"],
+        rows,
+        title=f"Dominant traffic changes (top {min(top, len(diff.deltas))})",
+    )

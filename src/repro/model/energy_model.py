@@ -1,0 +1,38 @@
+"""Energy rollup: price access counts with an energy table."""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.arch.spec import Architecture
+from repro.energy.table import EnergyTable
+from repro.model.access_counts import AccessCounts
+from repro.problem.workload import Workload
+
+
+def compute_energy_pj(
+    arch: Architecture,
+    workload: Workload,
+    counts: AccessCounts,
+    table: EnergyTable,
+) -> Tuple[float, Dict[str, float]]:
+    """Total energy in pJ and a per-component breakdown.
+
+    The breakdown maps each storage level name (plus ``"compute"``) to its
+    energy contribution; the sum equals the returned total.
+    """
+    breakdown: Dict[str, float] = {}
+    total = 0.0
+    for index, level in enumerate(arch.levels):
+        read_pj = table.read_pj(level.name)
+        write_pj = table.write_pj(level.name)
+        energy = (
+            counts.level_reads(index) * read_pj
+            + counts.level_writes(index) * write_pj
+        )
+        breakdown[level.name] = energy
+        total += energy
+    compute_energy = workload.total_operations * table.mac_pj
+    breakdown["compute"] = compute_energy
+    total += compute_energy
+    return total, breakdown

@@ -1,0 +1,152 @@
+"""The Evaluator: mapping -> (energy, cycles, EDP, utilization).
+
+This is the architecture cost model of the Timeloop decomposition — the
+third subproblem next to mapspace generation and search. An
+:class:`Evaluator` is bound to one (architecture, workload) pair so search
+loops can evaluate thousands of mappings without re-deriving tensor paths
+or energy tables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.arch.spec import Architecture
+from repro.energy.accelergy import estimate_energy_table
+from repro.energy.table import EnergyTable
+from repro.mapping.nest import Mapping
+from repro.mapping.validity import check_mapping
+from repro.model.access_counts import AccessCounts, compute_access_counts
+from repro.model.energy_model import compute_energy_pj
+from repro.model.latency import (
+    bandwidth_stall_cycles,
+    compute_cycles,
+    compute_utilization,
+)
+from repro.problem.workload import Workload
+
+
+@dataclass(frozen=True)
+class Evaluation:
+    """The result of evaluating one mapping.
+
+    Attributes:
+        mapping: the evaluated mapping.
+        valid: False if the mapping violated a hard constraint; invalid
+            evaluations carry the violations and no metrics.
+        violations: human-readable constraint violations (empty when valid).
+        energy_pj: total energy in picojoules.
+        cycles: total execution cycles (MAC-normalized delay).
+        utilization: useful-MAC fraction of compute-unit-cycles.
+        energy_breakdown_pj: per-component energy.
+        access_counts: per-level, per-tensor element access totals.
+    """
+
+    mapping: Mapping
+    valid: bool
+    violations: Tuple[str, ...] = ()
+    energy_pj: float = 0.0
+    cycles: int = 0
+    utilization: float = 0.0
+    energy_breakdown_pj: Dict[str, float] = field(default_factory=dict)
+    access_counts: Optional[AccessCounts] = None
+
+    @property
+    def edp(self) -> float:
+        """Energy-delay product (pJ x cycles) — the paper's target metric."""
+        return self.energy_pj * self.cycles
+
+    def metric(self, objective: str) -> float:
+        """Look up an optimization objective by name."""
+        if objective == "edp":
+            return self.edp
+        if objective == "energy":
+            return self.energy_pj
+        if objective in ("delay", "cycles", "latency"):
+            return float(self.cycles)
+        raise ValueError(
+            f"unknown objective {objective!r}; use edp, energy, or delay"
+        )
+
+
+class Evaluator:
+    """Evaluate mappings of one workload on one architecture.
+
+    Args:
+        arch: the accelerator.
+        workload: the tensor operation.
+        energy_table: optional pre-built energy table; estimated via the
+            Accelergy-like model when omitted.
+    """
+
+    def __init__(
+        self,
+        arch: Architecture,
+        workload: Workload,
+        energy_table: Optional[EnergyTable] = None,
+        include_noc: bool = False,
+        include_static: bool = False,
+        clock_ghz: float = 1.0,
+    ) -> None:
+        self.arch = arch
+        self.workload = workload
+        self.energy_table = energy_table or estimate_energy_table(arch)
+        self.include_noc = include_noc
+        self.include_static = include_static
+        self.clock_ghz = clock_ghz
+
+    def evaluate(self, mapping: Mapping) -> Evaluation:
+        """Validate and evaluate ``mapping``; never raises on bad mappings."""
+        violations = check_mapping(mapping, self.arch, self.workload)
+        if violations:
+            return Evaluation(
+                mapping=mapping, valid=False, violations=tuple(violations)
+            )
+        counts = compute_access_counts(self.arch, self.workload, mapping)
+        cycles = compute_cycles(self.workload, mapping)
+        stall = bandwidth_stall_cycles(self.arch, counts)
+        if stall is not None:
+            cycles = max(cycles, stall)
+        energy, breakdown = compute_energy_pj(
+            self.arch, self.workload, counts, self.energy_table
+        )
+        if self.include_noc:
+            from repro.energy.noc import noc_energy_pj
+
+            noc = noc_energy_pj(self.arch, counts)
+            breakdown["noc"] = noc
+            energy += noc
+        if self.include_static:
+            from repro.energy.static import static_energy_pj
+
+            static = static_energy_pj(self.arch, cycles, self.clock_ghz)
+            breakdown["static"] = static
+            energy += static
+        utilization = compute_utilization(self.arch, self.workload, cycles)
+        return Evaluation(
+            mapping=mapping,
+            valid=True,
+            energy_pj=energy,
+            cycles=cycles,
+            utilization=utilization,
+            energy_breakdown_pj=breakdown,
+            access_counts=counts,
+        )
+
+    def evaluate_many(self, mappings: List[Mapping]) -> List[Evaluation]:
+        """Evaluate a batch of mappings (convenience for search drivers)."""
+        return [self.evaluate(mapping) for mapping in mappings]
+
+    def best_of(
+        self, mappings: List[Mapping], objective: str = "edp"
+    ) -> Optional[Evaluation]:
+        """Best valid evaluation among ``mappings`` or None."""
+        best: Optional[Evaluation] = None
+        for mapping in mappings:
+            evaluation = self.evaluate(mapping)
+            if not evaluation.valid:
+                continue
+            if best is None or evaluation.metric(objective) < best.metric(objective):
+                best = evaluation
+        return best

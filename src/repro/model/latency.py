@@ -1,0 +1,78 @@
+"""Latency and utilization with imperfect spatial factorization.
+
+Total cycles = product over dimensions of each dimension's exact temporal
+step count (Eq. 5 recursion over its temporal loops). Spatial loops execute
+in lockstep within a step, so a spatial remainder shortens the schedule:
+the paper's Fig. 5 toy saves 3 of 20 cycles by running 16 steps on 6 PEs
+plus one step on 4 PEs instead of 20 steps on 5 PEs.
+
+Compute utilization is ``total_MACs / (cycles * total_compute_units)`` —
+with imperfect spatial factors the numerator is exact (no padding zeros),
+so utilization directly reflects how well remainders pack the array.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.arch.spec import Architecture
+from repro.mapping.chains import temporal_steps
+from repro.mapping.nest import Mapping
+from repro.model.access_counts import AccessCounts
+from repro.problem.workload import Workload
+
+
+def compute_cycles(workload: Workload, mapping: Mapping) -> int:
+    """Exact temporal step count of ``mapping`` on ``workload``.
+
+    The full per-dimension chain (spatial loops included) feeds
+    :func:`~repro.mapping.chains.temporal_steps` so that spatial loops can
+    shadow inner temporal remainders correctly.
+    """
+    cycles = 1
+    placed = mapping.placed_loops()
+    for dim in workload.dim_names:
+        steps = temporal_steps(
+            p.loop
+            for p in placed
+            if p.loop.dim == dim and p.loop.bound > 1
+        )
+        cycles *= steps
+    return cycles
+
+
+def compute_utilization(
+    arch: Architecture, workload: Workload, cycles: int
+) -> float:
+    """Fraction of compute-unit-cycles doing useful MACs."""
+    if cycles <= 0:
+        raise ValueError(f"cycles must be positive, got {cycles}")
+    capacity = cycles * arch.total_compute_units * arch.compute.ops_per_cycle
+    return workload.total_operations / capacity
+
+
+def spatial_allocations(mapping: Mapping) -> Dict[str, int]:
+    """Per-level claimed fanout (product of spatial bounds)."""
+    return {nest.level_name: nest.spatial_allocation for nest in mapping.levels}
+
+
+def bandwidth_stall_cycles(
+    arch: Architecture, counts: AccessCounts
+) -> Optional[int]:
+    """Cycles implied by the most-bandwidth-bound level, or None.
+
+    Only levels with an explicit ``bandwidth_words_per_cycle`` participate;
+    the presets leave bandwidth unset (compute-bound, matching the paper's
+    cycles-normalized-to-MAC-delay methodology).
+    """
+    worst: Optional[int] = None
+    for index, level in enumerate(arch.levels):
+        bandwidth = level.bandwidth_words_per_cycle
+        if bandwidth is None:
+            continue
+        instances = arch.instances_at(index)
+        words = counts.level_total(index)
+        needed = int(-(-words // (bandwidth * instances)))
+        if worst is None or needed > worst:
+            worst = needed
+    return worst

@@ -1,0 +1,405 @@
+"""A reference functional simulator for small mappings.
+
+The analytical model in :mod:`repro.model.access_counts` computes access
+counts in closed form. This module *executes* a mapping instead: it walks
+the remaindered loopnest in true temporal order, tracks which tile every
+buffer instance holds, and counts fills/reads/drains by change detection —
+ground truth that the analytical formulas are checked against in
+``tests/test_reference_sim.py``.
+
+Semantics implemented (matching Eq. 5):
+
+* a loop runs ``P`` iterations, or ``R`` on the *last path* — when every
+  enclosing loop of the same dimension sits at its final index;
+* spatial loops enumerate parallel instances; one temporal step is one
+  distinct combination of temporal indices (instances run in lockstep, so
+  a short remainder pass hides behind full sibling passes);
+* a storage level instance refills when the tile it must hold (the
+  per-relevant-dim coordinate range induced by the loops above it)
+  changes; identical simultaneous deliveries to sibling instances are
+  multicast (one parent read); simultaneous partial-sum drains of the same
+  output tile are spatially reduced (one parent write); revisited output
+  tiles are refilled from the parent;
+* the innermost keeper additionally feeds per-lane operand registers,
+  giving the element-granularity reads the analytical compute boundary
+  models.
+
+Only feasible for toy-sized problems — cost is O(iteration space).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.arch.spec import Architecture
+from repro.exceptions import ReproError
+from repro.mapping.nest import Mapping, PlacedLoop
+from repro.model.dataflow import tensor_paths
+from repro.problem.tensor import TensorSpec
+from repro.problem.workload import Workload
+
+MAX_SIMULATED_POINTS = 200_000
+
+
+class SimulationTooLargeError(ReproError):
+    """The mapping's iteration space exceeds the simulator's budget."""
+
+
+@dataclass
+class SimulationResult:
+    """Ground-truth execution statistics of one mapping.
+
+    Attributes:
+        macs: total compute operations executed.
+        cycles: distinct temporal steps.
+        reads: element reads per (level_index, tensor), multicast-deduped.
+        writes: element writes per (level_index, tensor).
+        coverage: per-dim distinct points visited (must equal dim sizes).
+        peak_tile_words: largest tile footprint observed per
+            (level_index, tensor), in elements.
+    """
+
+    macs: int = 0
+    cycles: int = 0
+    reads: Dict[Tuple[int, str], int] = field(default_factory=dict)
+    writes: Dict[Tuple[int, str], int] = field(default_factory=dict)
+    coverage: Dict[str, int] = field(default_factory=dict)
+    peak_tile_words: Dict[Tuple[int, str], int] = field(default_factory=dict)
+
+    def utilization(self, total_units: int) -> float:
+        """MAC fraction of ``total_units`` over the executed cycles."""
+        if self.cycles == 0:
+            return 0.0
+        return self.macs / (self.cycles * total_units)
+
+    def _bump(self, counter: Dict, key: Tuple, amount: int) -> None:
+        counter[key] = counter.get(key, 0) + amount
+
+
+@dataclass(frozen=True)
+class _DimPoint:
+    """One leaf of a dimension's loop tree."""
+
+    coordinate: int
+    indices: Tuple[int, ...]
+
+
+def _enumerate_dim_points(loops: Sequence[PlacedLoop]) -> List[_DimPoint]:
+    """Enumerate a dimension's leaves with last-path remainder semantics."""
+    points: List[_DimPoint] = []
+
+    def recurse(depth: int, on_last_path: bool, indices: Tuple[int, ...]) -> None:
+        if depth == len(loops):
+            points.append(_DimPoint(len(points), indices))
+            return
+        loop = loops[depth].loop
+        trips = loop.remainder if on_last_path else loop.bound
+        for i in range(trips):
+            recurse(depth + 1, on_last_path and i == trips - 1, indices + (i,))
+
+    recurse(0, True, ())
+    return points
+
+
+def _tile_table(
+    points: Sequence[_DimPoint], prefix_len: int
+) -> Dict[Tuple[int, ...], Tuple[int, int]]:
+    """``{loop-index prefix: (tile start coordinate, tile extent)}``."""
+    table: Dict[Tuple[int, ...], Tuple[int, int]] = {}
+    for point in points:
+        key = point.indices[:prefix_len]
+        if key not in table:
+            table[key] = (point.coordinate, 1)
+        else:
+            start, extent = table[key]
+            table[key] = (start, extent + 1)
+    return table
+
+
+@dataclass
+class _BoundaryPlan:
+    """Precomputed lookup data for one (tensor, parent->child) boundary."""
+
+    tensor: TensorSpec
+    parent: int
+    child: int  # storage level index; compute boundary uses a pseudo index
+    prefix_lens: Dict[str, int]
+    tables: Dict[str, Dict[Tuple[int, ...], Tuple[int, int]]]
+    instance_slots: Dict[str, List[int]]
+    parent_side_slots: Dict[str, List[int]]
+    dims: Tuple[str, ...]
+    count_child_writes: bool  # False for the register pseudo-level
+
+
+class _OutputState:
+    """Per-instance accumulation state of an output boundary."""
+
+    __slots__ = ("held_tile", "held_footprint", "history")
+
+    def __init__(self) -> None:
+        self.held_tile: Optional[Tuple] = None
+        self.held_footprint: int = 0
+        self.history: Set[Tuple] = set()
+
+
+def simulate(
+    arch: Architecture,
+    workload: Workload,
+    mapping: Mapping,
+    max_points: int = MAX_SIMULATED_POINTS,
+) -> SimulationResult:
+    """Execute ``mapping`` on ``workload``/``arch``; see module docstring.
+
+    Raises :class:`SimulationTooLargeError` when the iteration space
+    exceeds ``max_points``.
+    """
+    return _Simulator(arch, workload, mapping, max_points).run()
+
+
+class _Simulator:
+    REGISTER_LEVEL = -1  # pseudo child level for compute-boundary plans
+
+    def __init__(
+        self,
+        arch: Architecture,
+        workload: Workload,
+        mapping: Mapping,
+        max_points: int,
+    ) -> None:
+        self.arch = arch
+        self.workload = workload
+        self.mapping = mapping
+        self.max_points = max_points
+        self.placed = [p for p in mapping.placed_loops() if p.loop.bound > 1]
+        self.paths = tensor_paths(arch, workload, mapping)
+        self.dims = tuple(workload.dim_names)
+        self.dim_loops = {
+            d: [p for p in self.placed if p.loop.dim == d] for d in self.dims
+        }
+        self.dim_points = {
+            d: _enumerate_dim_points(self.dim_loops[d]) for d in self.dims
+        }
+
+    # --------------------------------------------------------------- plans
+
+    def _build_plans(self) -> List[_BoundaryPlan]:
+        plans: List[_BoundaryPlan] = []
+        for path in self.paths.values():
+            tensor = path.tensor
+            relevant = tensor.relevant_dims
+            for boundary in path.boundaries:
+                boundary_position = boundary.boundary_position
+                child = boundary.child_level
+                if child is None:
+                    child = self.REGISTER_LEVEL
+                prefix_lens = {}
+                tables = {}
+                instance_slots = {}
+                parent_side_slots = {}
+                for d in self.dims:
+                    loops = self.dim_loops[d]
+                    prefix_lens[d] = sum(
+                        1 for p in loops if p.position < boundary_position
+                    )
+                    if d in relevant:
+                        tables[d] = _tile_table(self.dim_points[d], prefix_lens[d])
+                    instance_slots[d] = [
+                        i
+                        for i, p in enumerate(loops)
+                        if p.loop.spatial and p.position < boundary_position
+                    ]
+                    parent_side_slots[d] = [
+                        i
+                        for i, p in enumerate(loops)
+                        if p.loop.spatial
+                        and p.position < boundary.parent_position
+                    ]
+                plans.append(
+                    _BoundaryPlan(
+                        tensor=tensor,
+                        parent=boundary.parent_level,
+                        child=child,
+                        prefix_lens=prefix_lens,
+                        tables=tables,
+                        instance_slots=instance_slots,
+                        parent_side_slots=parent_side_slots,
+                        dims=self.dims,
+                        count_child_writes=child != self.REGISTER_LEVEL,
+                    )
+                )
+        return plans
+
+    # ----------------------------------------------------------------- run
+
+    def run(self) -> SimulationResult:
+        """Execute the mapping in temporal order and collect statistics."""
+        total_points = 1
+        for d in self.dims:
+            total_points *= len(self.dim_points[d])
+        if total_points > self.max_points:
+            raise SimulationTooLargeError(
+                f"iteration space has {total_points} points "
+                f"(budget {self.max_points})"
+            )
+
+        result = SimulationResult()
+        for d in self.dims:
+            result.coverage[d] = len({p.coordinate for p in self.dim_points[d]})
+
+        # Global temporal order: indices of temporal loops in nest order.
+        temporal_slot_map: List[Tuple[str, int]] = []
+        for p in sorted(self.placed, key=lambda q: q.position):
+            if not p.loop.spatial:
+                slot = self.dim_loops[p.loop.dim].index(p)
+                temporal_slot_map.append((p.loop.dim, slot))
+
+        def signature(by_dim: Dict[str, _DimPoint]) -> Tuple[int, ...]:
+            return tuple(
+                by_dim[d].indices[slot] for d, slot in temporal_slot_map
+            )
+
+        combos = [
+            dict(zip(self.dims, combo))
+            for combo in itertools.product(
+                *(self.dim_points[d] for d in self.dims)
+            )
+        ]
+        combos.sort(key=signature)
+
+        plans = self._build_plans()
+        held_inputs: Dict[Tuple, Tuple] = {}
+        output_states: Dict[Tuple, _OutputState] = {}
+
+        current_signature: Optional[Tuple[int, ...]] = None
+        step_groups: Dict[Tuple, Set] = {}
+        steps = 0
+        for by_dim in combos:
+            sig = signature(by_dim)
+            if sig != current_signature:
+                current_signature = sig
+                step_groups = {}
+                steps += 1
+            result.macs += 1
+            for plan in plans:
+                if plan.tensor.is_output:
+                    self._visit_output(plan, by_dim, output_states, step_groups, result)
+                else:
+                    self._visit_input(plan, by_dim, held_inputs, step_groups, result)
+
+        result.cycles = steps
+        self._flush_outputs(output_states, result)
+        return result
+
+    # ---------------------------------------------------------- visit logic
+
+    def _tile_and_instance(self, plan: _BoundaryPlan, by_dim):
+        tile_key = []
+        extents = {}
+        for d in plan.dims:
+            if d not in plan.tables:
+                continue
+            prefix = by_dim[d].indices[: plan.prefix_lens[d]]
+            start, extent = plan.tables[d][prefix]
+            tile_key.append((d, start, extent))
+            extents[d] = extent
+        instance = tuple(
+            tuple(by_dim[d].indices[i] for i in plan.instance_slots[d])
+            for d in plan.dims
+        )
+        parent_instance = tuple(
+            tuple(by_dim[d].indices[i] for i in plan.parent_side_slots[d])
+            for d in plan.dims
+        )
+        return tuple(tile_key), extents, instance, parent_instance
+
+    def _visit_input(self, plan, by_dim, held, step_groups, result) -> None:
+        tile_key, extents, instance, parent_instance = self._tile_and_instance(
+            plan, by_dim
+        )
+        state_key = (plan.child, plan.tensor.name, instance)
+        if held.get(state_key) == tile_key:
+            return
+        held[state_key] = tile_key
+        footprint = plan.tensor.tile_footprint(extents)
+        child_key = (plan.child, plan.tensor.name)
+        if plan.count_child_writes:
+            result._bump(result.writes, child_key, footprint)
+            if footprint > result.peak_tile_words.get(child_key, 0):
+                result.peak_tile_words[child_key] = footprint
+        group = step_groups.setdefault(("in", plan.child, plan.tensor.name), set())
+        event = (parent_instance, tile_key)
+        if event not in group:
+            group.add(event)
+            result._bump(result.reads, (plan.parent, plan.tensor.name), footprint)
+
+    def _visit_output(self, plan, by_dim, states, step_groups, result) -> None:
+        tile_key, extents, instance, parent_instance = self._tile_and_instance(
+            plan, by_dim
+        )
+        state_key = (plan.child, plan.tensor.name, instance)
+        state = states.setdefault(state_key, _OutputState())
+        if state.held_tile == tile_key:
+            return
+        footprint = plan.tensor.tile_footprint(extents)
+        child_key = (plan.child, plan.tensor.name)
+        if plan.count_child_writes and footprint > result.peak_tile_words.get(
+            child_key, 0
+        ):
+            result.peak_tile_words[child_key] = footprint
+        # Drain the displaced tile (spatially reduced at the parent).
+        if state.held_tile is not None:
+            self._drain(plan, state, parent_instance, step_groups, result)
+        state.held_tile = tile_key
+        state.held_footprint = footprint
+        # Refill if this tile was partially accumulated here before.
+        if tile_key in state.history:
+            if plan.count_child_writes:
+                result._bump(result.writes, child_key, footprint)
+            group = step_groups.setdefault(
+                ("refill", plan.child, plan.tensor.name), set()
+            )
+            event = (parent_instance, tile_key)
+            if event not in group:
+                group.add(event)
+                result._bump(
+                    result.reads, (plan.parent, plan.tensor.name), footprint
+                )
+        state.history.add(tile_key)
+
+    def _drain(self, plan, state, parent_instance, step_groups, result) -> None:
+        child_key = (plan.child, plan.tensor.name)
+        if plan.count_child_writes:
+            result._bump(result.reads, child_key, state.held_footprint)
+        group = step_groups.setdefault(
+            ("drain", plan.child, plan.tensor.name), set()
+        )
+        event = (parent_instance, state.held_tile)
+        if event not in group:
+            group.add(event)
+            result._bump(
+                result.writes, (plan.parent, plan.tensor.name), state.held_footprint
+            )
+
+    def _flush_outputs(self, states, result) -> None:
+        """Final drain of every resident output tile (end of execution).
+
+        Spatial reduction still applies: sibling instances holding the same
+        tile for the same parent instance reduce to one parent write.
+        """
+        plans = {}
+        flush_groups: Dict[Tuple, Set] = {}
+        for plan in self._build_plans():
+            if plan.tensor.is_output:
+                plans[(plan.child, plan.tensor.name)] = plan
+        for (child, tensor_name, instance), state in states.items():
+            if state.held_tile is None:
+                continue
+            plan = plans[(child, tensor_name)]
+            parent_instance = tuple(
+                instance[i][: len(plan.parent_side_slots[d])]
+                for i, d in enumerate(plan.dims)
+            )
+            self._drain(plan, state, parent_instance, flush_groups, result)
+            state.held_tile = None

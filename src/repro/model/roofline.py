@@ -1,0 +1,99 @@
+"""Roofline analysis of evaluated mappings.
+
+Classic roofline: attainable throughput = min(peak compute, operational
+intensity x memory bandwidth). For a mapping we compute its operational
+intensity (MACs per DRAM byte actually moved — a property of the mapping's
+reuse, not of the workload alone) and locate it against an architecture's
+roofline. A mapping that is compute-bound at high utilization has nothing
+left to gain from more reuse; a memory-bound one wants better tiling
+before more PEs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.arch.spec import Architecture
+from repro.model.evaluator import Evaluation
+
+
+@dataclass(frozen=True)
+class RooflinePoint:
+    """One mapping's position in the roofline plane.
+
+    Attributes:
+        operational_intensity: MACs per DRAM byte moved by this mapping.
+        achieved_ops_per_cycle: MACs / cycles (the mapping's throughput).
+        peak_ops_per_cycle: compute roof of the architecture.
+        dram_bytes_per_cycle: bandwidth roof, or None if the architecture
+            declares no DRAM bandwidth (the presets' default).
+    """
+
+    operational_intensity: float
+    achieved_ops_per_cycle: float
+    peak_ops_per_cycle: float
+    dram_bytes_per_cycle: Optional[float]
+
+    @property
+    def attainable_ops_per_cycle(self) -> float:
+        """The roof above this operational intensity."""
+        if self.dram_bytes_per_cycle is None:
+            return self.peak_ops_per_cycle
+        return min(
+            self.peak_ops_per_cycle,
+            self.operational_intensity * self.dram_bytes_per_cycle,
+        )
+
+    @property
+    def is_compute_bound(self) -> bool:
+        """True when the compute roof is the binding one."""
+        if self.dram_bytes_per_cycle is None:
+            return True
+        return (
+            self.operational_intensity * self.dram_bytes_per_cycle
+            >= self.peak_ops_per_cycle
+        )
+
+    @property
+    def ridge_intensity(self) -> Optional[float]:
+        """Operational intensity where the two roofs meet."""
+        if self.dram_bytes_per_cycle is None:
+            return None
+        return self.peak_ops_per_cycle / self.dram_bytes_per_cycle
+
+    @property
+    def roof_fraction(self) -> float:
+        """Achieved throughput as a fraction of the attainable roof."""
+        roof = self.attainable_ops_per_cycle
+        if roof == 0:
+            return 0.0
+        return self.achieved_ops_per_cycle / roof
+
+
+def roofline_point(
+    arch: Architecture, workload, evaluation: Evaluation
+) -> RooflinePoint:
+    """Locate a valid evaluation on ``arch``'s roofline.
+
+    Raises ``ValueError`` for invalid evaluations (no counts to analyze).
+    """
+    if not evaluation.valid or evaluation.access_counts is None:
+        raise ValueError("roofline analysis needs a valid evaluation")
+    counts = evaluation.access_counts
+    dram = arch.levels[0]
+    dram_words = counts.level_reads(0) + counts.level_writes(0)
+    dram_bytes = dram_words * dram.word_bits / 8.0
+    macs = workload.total_operations
+    intensity = macs / dram_bytes if dram_bytes > 0 else float("inf")
+    bandwidth = dram.bandwidth_words_per_cycle
+    return RooflinePoint(
+        operational_intensity=intensity,
+        achieved_ops_per_cycle=macs / evaluation.cycles,
+        peak_ops_per_cycle=float(
+            arch.total_compute_units * arch.compute.ops_per_cycle
+        ),
+        dram_bytes_per_cycle=(
+            bandwidth * dram.word_bits / 8.0 if bandwidth is not None else None
+        ),
+    )

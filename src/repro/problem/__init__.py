@@ -1,0 +1,33 @@
+"""Workload (problem) representation.
+
+A :class:`~repro.problem.workload.Workload` describes a tensor-algebra
+operation einsum-style: a set of named iteration dimensions with sizes, and a
+set of operand tensors whose coordinates project onto those dimensions. Convs
+and GEMMs are built through the helpers in :mod:`repro.problem.conv` and
+:mod:`repro.problem.gemm`.
+"""
+
+from repro.problem.tensor import ProjectionTerm, TensorSpec
+from repro.problem.workload import Workload
+from repro.problem.conv import ConvLayer, conv_workload
+from repro.problem.depthwise import DepthwiseConvLayer, depthwise_workload
+from repro.problem.groupconv import GroupConvLayer, group_conv_workload
+from repro.problem.gemm import GemmLayer, gemm_workload
+from repro.problem.padding import PaddingResult, pad_dimension, pad_to_multiple
+
+__all__ = [
+    "ProjectionTerm",
+    "TensorSpec",
+    "Workload",
+    "ConvLayer",
+    "conv_workload",
+    "DepthwiseConvLayer",
+    "depthwise_workload",
+    "GroupConvLayer",
+    "group_conv_workload",
+    "GemmLayer",
+    "gemm_workload",
+    "PaddingResult",
+    "pad_dimension",
+    "pad_to_multiple",
+]

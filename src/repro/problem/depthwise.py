@@ -1,0 +1,75 @@
+"""Depthwise convolution workloads.
+
+A depthwise conv applies one filter per channel: there is no output-channel
+reduction (no M dim); the channel dim C indexes all three operands. This
+shape family (MobileNet and friends) stresses mappers differently from
+standard convs — with C relevant everywhere, channel tiling gives no
+weight-vs-input reuse trade-off, and feature-map dims dominate the
+parallelism options.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.exceptions import SpecError
+from repro.problem.tensor import ProjectionTerm, TensorSpec, simple_tensor
+from repro.problem.workload import Workload
+
+
+@dataclass(frozen=True)
+class DepthwiseConvLayer:
+    """Shape of a depthwise convolution (output-size formulation)."""
+
+    name: str
+    n: int = 1
+    c: int = 1
+    p: int = 1
+    q: int = 1
+    r: int = 1
+    s: int = 1
+    stride_h: int = 1
+    stride_w: int = 1
+
+    def __post_init__(self) -> None:
+        for field_name in ("n", "c", "p", "q", "r", "s", "stride_h", "stride_w"):
+            value = getattr(self, field_name)
+            if value < 1:
+                raise SpecError(
+                    f"depthwise layer {self.name}: {field_name}={value} must be >= 1"
+                )
+
+    @property
+    def dim_sizes(self) -> Dict[str, int]:
+        return {
+            "N": self.n,
+            "C": self.c,
+            "P": self.p,
+            "Q": self.q,
+            "R": self.r,
+            "S": self.s,
+        }
+
+    def workload(self) -> Workload:
+        return depthwise_workload(self)
+
+
+def depthwise_workload(layer: DepthwiseConvLayer) -> Workload:
+    """Build the 6-loop depthwise convolution workload."""
+    weights = simple_tensor("Weights", ("C", "R", "S"))
+    inputs = TensorSpec(
+        name="Inputs",
+        ranks=(
+            (ProjectionTerm("N", 1),),
+            (ProjectionTerm("C", 1),),
+            (ProjectionTerm("P", layer.stride_h), ProjectionTerm("R", 1)),
+            (ProjectionTerm("Q", layer.stride_w), ProjectionTerm("S", 1)),
+        ),
+    )
+    outputs = simple_tensor("Outputs", ("N", "C", "P", "Q"), is_output=True)
+    return Workload.create(
+        name=layer.name,
+        dims=layer.dim_sizes,
+        tensors=[weights, inputs, outputs],
+    )

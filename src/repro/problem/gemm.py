@@ -1,0 +1,64 @@
+"""GEMM (dense matrix multiply) workloads.
+
+``C[M, N] += A[M, K] * B[K, N]`` — the operation used by the paper's toy
+mapspace studies (Fig. 7a/b: 100x100 matmul) and by DeepBench's GEMM suite.
+Dense (fully-connected) DNN layers are GEMMs with N = batch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.exceptions import SpecError
+from repro.problem.tensor import simple_tensor
+from repro.problem.workload import Workload
+
+GEMM_DIMS = ("M", "N", "K")
+
+
+@dataclass(frozen=True)
+class GemmLayer:
+    """Shape of a GEMM: ``C[m, n] += A[m, k] * B[k, n]``."""
+
+    name: str
+    m: int
+    n: int
+    k: int
+
+    def __post_init__(self) -> None:
+        for field_name in ("m", "n", "k"):
+            value = getattr(self, field_name)
+            if value < 1:
+                raise SpecError(f"gemm {self.name}: {field_name}={value} must be >= 1")
+
+    @property
+    def dim_sizes(self) -> Dict[str, int]:
+        return {"M": self.m, "N": self.n, "K": self.k}
+
+    def workload(self) -> Workload:
+        return gemm_workload(self)
+
+
+def gemm_workload(layer: GemmLayer) -> Workload:
+    """Build the 3-loop GEMM workload for ``layer``."""
+    a = simple_tensor("A", ("M", "K"))
+    b = simple_tensor("B", ("K", "N"))
+    c = simple_tensor("C", ("M", "N"), is_output=True)
+    return Workload.create(
+        name=layer.name,
+        dims=layer.dim_sizes,
+        tensors=[a, b, c],
+    )
+
+
+def vector_workload(name: str, d: int) -> Workload:
+    """A rank-1 'distribute D elements' workload.
+
+    This is the single-dimensional allocation problem used throughout
+    Section II-D/III of the paper (Figs. 4, 5, 8 and Table I): one tensor of
+    ``D`` elements streamed through the hierarchy, one op per element.
+    """
+    src = simple_tensor("X", ("D",))
+    dst = simple_tensor("Y", ("D",), is_output=True)
+    return Workload.create(name=name, dims={"D": d}, tensors=[src, dst])

@@ -1,0 +1,96 @@
+"""Grouped convolution workloads.
+
+A grouped conv partitions channels into ``G`` independent groups: group
+``g`` convolves its own ``C`` input channels into its own ``M`` output
+channels. AlexNet's conv2 (2 groups — the paper evaluates one group's
+shape), ResNeXt blocks, and ShuffleNet are grouped; depthwise conv is the
+``C = M = 1`` special case (see :mod:`repro.problem.depthwise`).
+
+The group dim ``G`` indexes all three operands, so it behaves like a batch
+dim with no cross-group reuse — another dimension whose sizes (2, 32, 48…)
+rarely align with PE arrays.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.exceptions import SpecError
+from repro.problem.tensor import ProjectionTerm, TensorSpec, simple_tensor
+from repro.problem.workload import Workload
+
+
+@dataclass(frozen=True)
+class GroupConvLayer:
+    """Shape of a grouped convolution (output-size formulation).
+
+    ``c`` and ``m`` are the *per-group* channel counts; the full tensor has
+    ``g * c`` input and ``g * m`` output channels.
+    """
+
+    name: str
+    g: int = 1
+    n: int = 1
+    c: int = 1
+    m: int = 1
+    p: int = 1
+    q: int = 1
+    r: int = 1
+    s: int = 1
+    stride_h: int = 1
+    stride_w: int = 1
+
+    def __post_init__(self) -> None:
+        for field_name in ("g", "n", "c", "m", "p", "q", "r", "s",
+                           "stride_h", "stride_w"):
+            value = getattr(self, field_name)
+            if value < 1:
+                raise SpecError(
+                    f"group conv {self.name}: {field_name}={value} must be >= 1"
+                )
+
+    @property
+    def dim_sizes(self) -> Dict[str, int]:
+        return {
+            "N": self.n,
+            "G": self.g,
+            "C": self.c,
+            "M": self.m,
+            "P": self.p,
+            "Q": self.q,
+            "R": self.r,
+            "S": self.s,
+        }
+
+    @property
+    def total_input_channels(self) -> int:
+        return self.g * self.c
+
+    @property
+    def total_output_channels(self) -> int:
+        return self.g * self.m
+
+    def workload(self) -> Workload:
+        return group_conv_workload(self)
+
+
+def group_conv_workload(layer: GroupConvLayer) -> Workload:
+    """Build the 8-loop grouped-convolution workload."""
+    weights = simple_tensor("Weights", ("G", "M", "C", "R", "S"))
+    inputs = TensorSpec(
+        name="Inputs",
+        ranks=(
+            (ProjectionTerm("N", 1),),
+            (ProjectionTerm("G", 1),),
+            (ProjectionTerm("C", 1),),
+            (ProjectionTerm("P", layer.stride_h), ProjectionTerm("R", 1)),
+            (ProjectionTerm("Q", layer.stride_w), ProjectionTerm("S", 1)),
+        ),
+    )
+    outputs = simple_tensor("Outputs", ("N", "G", "M", "P", "Q"), is_output=True)
+    return Workload.create(
+        name=layer.name,
+        dims=layer.dim_sizes,
+        tensors=[weights, inputs, outputs],
+    )

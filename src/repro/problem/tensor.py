@@ -1,0 +1,116 @@
+"""Tensor specifications: how operand coordinates project onto problem dims.
+
+Each tensor rank is a linear combination of problem dimensions, mirroring
+Timeloop's projection expressions. A convolution input's height coordinate,
+for example, is ``stride * p + dilation * r`` — a rank with two projection
+terms. The projection determines (a) which problem dimensions are *relevant*
+to the tensor (they index it, so iterating them changes the data touched) and
+(b) the tile footprint of the tensor for given per-dimension tile extents.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, Mapping, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class ProjectionTerm:
+    """One ``coefficient * dim`` term inside a tensor rank's projection."""
+
+    dim: str
+    coefficient: int = 1
+
+    def __post_init__(self) -> None:
+        if self.coefficient < 1:
+            raise ValueError(
+                f"projection coefficient must be >= 1, got {self.coefficient}"
+            )
+
+
+@dataclass(frozen=True)
+class TensorSpec:
+    """An operand tensor of a workload.
+
+    Attributes:
+        name: operand name, e.g. ``"Inputs"``.
+        ranks: one entry per tensor rank; each rank is a tuple of
+            :class:`ProjectionTerm` whose sum (over dim coordinates) gives
+            the tensor coordinate along that rank.
+        is_output: True for tensors that are written (accumulated) rather
+            than only read. Output tensors incur read-modify-write traffic.
+        bits_per_element: datatype width, used for capacity accounting.
+    """
+
+    name: str
+    ranks: Tuple[Tuple[ProjectionTerm, ...], ...]
+    is_output: bool = False
+    bits_per_element: int = 16
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("tensor name must be non-empty")
+        if self.bits_per_element < 1:
+            raise ValueError(
+                f"bits_per_element must be >= 1, got {self.bits_per_element}"
+            )
+        for rank in self.ranks:
+            if not rank:
+                raise ValueError(f"tensor {self.name} has an empty rank projection")
+
+    @property
+    def relevant_dims(self) -> FrozenSet[str]:
+        """Problem dimensions that index this tensor.
+
+        Iterating an irrelevant dimension re-touches the same tensor elements
+        (reuse opportunity); iterating a relevant one touches new elements.
+        """
+        return frozenset(term.dim for rank in self.ranks for term in rank)
+
+    def rank_extent(self, rank: Sequence[ProjectionTerm], tile: Mapping[str, int]) -> int:
+        """Footprint of one rank for per-dim tile extents ``tile``.
+
+        A rank ``sum(c_i * d_i)`` with each ``d_i`` spanning ``tile[d_i]``
+        contiguous values touches ``sum(c_i * (tile[d_i] - 1)) + 1`` distinct
+        coordinates (the classic sliding-window footprint).
+        """
+        span = 0
+        for term in rank:
+            extent = tile.get(term.dim, 1)
+            if extent < 1:
+                raise ValueError(
+                    f"tile extent for {term.dim} must be >= 1, got {extent}"
+                )
+            span += term.coefficient * (extent - 1)
+        return span + 1
+
+    def tile_footprint(self, tile: Mapping[str, int]) -> int:
+        """Number of distinct elements touched for per-dim tile extents.
+
+        ``tile`` maps problem dims to tile extents; missing dims default to 1.
+        """
+        footprint = 1
+        for rank in self.ranks:
+            footprint *= self.rank_extent(rank, tile)
+        return footprint
+
+    def full_size(self, dim_sizes: Mapping[str, int]) -> int:
+        """Total number of elements of the tensor for the full problem."""
+        return self.tile_footprint(dict(dim_sizes))
+
+
+def simple_tensor(
+    name: str,
+    dims: Sequence[str],
+    is_output: bool = False,
+    bits_per_element: int = 16,
+) -> TensorSpec:
+    """Build a tensor whose ranks are single unit-coefficient dims.
+
+    Covers every tensor except convolution inputs (which need compound
+    sliding-window ranks).
+    """
+    ranks = tuple((ProjectionTerm(dim, 1),) for dim in dims)
+    return TensorSpec(
+        name=name, ranks=ranks, is_output=is_output, bits_per_element=bits_per_element
+    )

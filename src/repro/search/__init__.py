@@ -1,0 +1,29 @@
+"""Mapspace search strategies.
+
+The paper deliberately uses only Timeloop's random-sampling search (with a
+consecutive-non-improving termination criterion) so that mapping quality
+differences are attributable to the *mapspace*, not the search heuristic.
+We provide that search, an exhaustive search for toy studies, and a
+GAMMA-style genetic search as an extension — the paper notes Ruby is
+orthogonal to and composable with better search.
+"""
+
+from repro.search.result import ConvergencePoint, SearchResult
+from repro.search.random_search import RandomSearch, random_search
+from repro.search.exhaustive import ExhaustiveSearch, exhaustive_search
+from repro.search.genetic import GeneticSearch
+from repro.search.annealing import SimulatedAnnealing
+from repro.search.pareto_search import ParetoSearch, ParetoSearchResult
+
+__all__ = [
+    "ConvergencePoint",
+    "SearchResult",
+    "RandomSearch",
+    "random_search",
+    "ExhaustiveSearch",
+    "exhaustive_search",
+    "GeneticSearch",
+    "SimulatedAnnealing",
+    "ParetoSearch",
+    "ParetoSearchResult",
+]

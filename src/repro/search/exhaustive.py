@@ -1,0 +1,92 @@
+"""Exhaustive search for toy problems (complete mapspace sweeps)."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.exceptions import SearchError
+from repro.mapspace.generator import MapSpace
+from repro.model.evaluator import Evaluation, Evaluator
+from repro.search.result import ConvergencePoint, SearchResult
+
+
+class ExhaustiveSearch:
+    """Evaluate every mapping of a mapspace (deduplicated).
+
+    Args:
+        mapspace: must be small enough to enumerate.
+        evaluator: prices each mapping.
+        objective: optimization metric name.
+        permutations: also enumerate temporal loop orders.
+        limit: safety cap on enumerated mappings; exceeding it raises.
+    """
+
+    def __init__(
+        self,
+        mapspace: MapSpace,
+        evaluator: Evaluator,
+        objective: str = "edp",
+        permutations: bool = False,
+        limit: int = 1_000_000,
+    ) -> None:
+        self.mapspace = mapspace
+        self.evaluator = evaluator
+        self.objective = objective
+        self.permutations = permutations
+        self.limit = limit
+
+    def run(self) -> SearchResult:
+        best: Optional[Evaluation] = None
+        best_metric = float("inf")
+        seen = set()
+        num_valid = 0
+        evaluations = 0
+        curve = []
+        for mapping in self.mapspace.enumerate_mappings(
+            permutations=self.permutations
+        ):
+            key = mapping.canonical_key()
+            if key in seen:
+                continue
+            seen.add(key)
+            evaluations += 1
+            if evaluations > self.limit:
+                raise SearchError(
+                    f"exhaustive search exceeded limit of {self.limit} mappings"
+                )
+            evaluation = self.evaluator.evaluate(mapping)
+            if not evaluation.valid:
+                continue
+            num_valid += 1
+            metric = evaluation.metric(self.objective)
+            if metric < best_metric:
+                best = evaluation
+                best_metric = metric
+                curve.append(
+                    ConvergencePoint(evaluations=evaluations, best_metric=metric)
+                )
+        return SearchResult(
+            best=best,
+            objective=self.objective,
+            num_evaluated=evaluations,
+            num_valid=num_valid,
+            terminated_by="exhausted",
+            curve=curve,
+        )
+
+
+def exhaustive_search(
+    mapspace: MapSpace,
+    evaluator: Evaluator,
+    objective: str = "edp",
+    permutations: bool = False,
+    limit: int = 1_000_000,
+) -> SearchResult:
+    """One-shot functional wrapper around :class:`ExhaustiveSearch`."""
+    return ExhaustiveSearch(
+        mapspace,
+        evaluator,
+        objective=objective,
+        permutations=permutations,
+        limit=limit,
+    ).run()

@@ -1,0 +1,106 @@
+"""Multi-objective (energy vs delay) mapspace search.
+
+EDP collapses the energy/latency trade-off to one number; architects often
+want the whole frontier instead — e.g. the lowest-energy mapping that
+meets a latency target. This search samples the mapspace and maintains the
+set of non-dominated (energy, cycles) mappings.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional, Union
+
+from repro.exceptions import SearchError
+from repro.mapspace.generator import MapSpace
+from repro.model.evaluator import Evaluation, Evaluator
+from repro.utils.rng import make_rng
+
+
+@dataclass
+class ParetoSearchResult:
+    """The non-dominated set found by :class:`ParetoSearch`.
+
+    ``frontier`` is sorted by ascending energy (so descending-or-equal
+    cycles); every entry is a valid evaluation no other entry dominates.
+    """
+
+    frontier: List[Evaluation] = field(default_factory=list)
+    num_evaluated: int = 0
+    num_valid: int = 0
+
+    def best_by(self, objective: str) -> Optional[Evaluation]:
+        """Frontier entry minimizing one metric ('energy'/'delay'/'edp')."""
+        if not self.frontier:
+            return None
+        return min(self.frontier, key=lambda e: e.metric(objective))
+
+    def fastest_within_energy(self, energy_budget_pj: float) -> Optional[Evaluation]:
+        """Lowest-cycle mapping not exceeding an energy budget."""
+        candidates = [
+            e for e in self.frontier if e.energy_pj <= energy_budget_pj
+        ]
+        if not candidates:
+            return None
+        return min(candidates, key=lambda e: e.cycles)
+
+    def leanest_within_latency(self, cycle_budget: int) -> Optional[Evaluation]:
+        """Lowest-energy mapping not exceeding a cycle budget."""
+        candidates = [e for e in self.frontier if e.cycles <= cycle_budget]
+        if not candidates:
+            return None
+        return min(candidates, key=lambda e: e.energy_pj)
+
+
+def _dominates(a: Evaluation, b: Evaluation) -> bool:
+    return (
+        a.energy_pj <= b.energy_pj
+        and a.cycles <= b.cycles
+        and (a.energy_pj < b.energy_pj or a.cycles < b.cycles)
+    )
+
+
+class ParetoSearch:
+    """Random sampling that keeps the (energy, cycles) Pareto set.
+
+    Args:
+        mapspace: where mappings come from.
+        evaluator: prices each mapping.
+        max_evaluations: sampling budget.
+        seed: RNG seed or generator.
+    """
+
+    def __init__(
+        self,
+        mapspace: MapSpace,
+        evaluator: Evaluator,
+        max_evaluations: int = 10_000,
+        seed: Optional[Union[int, random.Random]] = None,
+    ) -> None:
+        if max_evaluations < 1:
+            raise SearchError("max_evaluations must be >= 1")
+        self.mapspace = mapspace
+        self.evaluator = evaluator
+        self.max_evaluations = max_evaluations
+        self.rng = make_rng(seed)
+
+    def run(self) -> ParetoSearchResult:
+        result = ParetoSearchResult()
+        frontier: List[Evaluation] = []
+        for _ in range(self.max_evaluations):
+            mapping = self.mapspace.sample(self.rng)
+            evaluation = self.evaluator.evaluate(mapping)
+            result.num_evaluated += 1
+            if not evaluation.valid:
+                continue
+            result.num_valid += 1
+            if any(_dominates(kept, evaluation) for kept in frontier):
+                continue
+            frontier = [
+                kept for kept in frontier if not _dominates(evaluation, kept)
+            ]
+            frontier.append(evaluation)
+        frontier.sort(key=lambda e: (e.energy_pj, e.cycles))
+        result.frontier = frontier
+        return result

@@ -1,0 +1,112 @@
+"""Timeloop-style random-sampling search.
+
+Samples mappings uniformly from the mapspace, evaluates each, and keeps the
+best. Termination mirrors Timeloop: stop after ``patience`` consecutive
+*valid* mappings that fail to improve the objective (the paper uses 3000
+across 24 threads), or after a hard evaluation budget.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional, Union
+
+from repro.exceptions import SearchError
+from repro.mapspace.generator import MapSpace
+from repro.model.evaluator import Evaluation, Evaluator
+from repro.search.result import ConvergencePoint, SearchResult
+from repro.utils.rng import make_rng
+
+
+class RandomSearch:
+    """Random sampling with a consecutive-non-improving stop criterion.
+
+    Args:
+        mapspace: where mappings come from.
+        evaluator: prices each mapping.
+        objective: "edp" (the paper's default), "energy", or "delay".
+        max_evaluations: hard budget on drawn mappings (valid or not).
+        patience: stop after this many consecutive valid non-improving
+            mappings; ``None`` disables the criterion.
+        seed: RNG seed or generator for reproducibility.
+    """
+
+    def __init__(
+        self,
+        mapspace: MapSpace,
+        evaluator: Evaluator,
+        objective: str = "edp",
+        max_evaluations: int = 10_000,
+        patience: Optional[int] = 1_000,
+        seed: Optional[Union[int, random.Random]] = None,
+    ) -> None:
+        if max_evaluations < 1:
+            raise SearchError("max_evaluations must be >= 1")
+        if patience is not None and patience < 1:
+            raise SearchError("patience must be >= 1 or None")
+        self.mapspace = mapspace
+        self.evaluator = evaluator
+        self.objective = objective
+        self.max_evaluations = max_evaluations
+        self.patience = patience
+        self.rng = make_rng(seed)
+
+    def run(self) -> SearchResult:
+        """Run the search to termination."""
+        best: Optional[Evaluation] = None
+        best_metric = float("inf")
+        consecutive_non_improving = 0
+        num_valid = 0
+        curve = []
+        terminated_by = "budget"
+        for evaluations in range(1, self.max_evaluations + 1):
+            mapping = self.mapspace.sample(self.rng)
+            evaluation = self.evaluator.evaluate(mapping)
+            if not evaluation.valid:
+                continue
+            num_valid += 1
+            metric = evaluation.metric(self.objective)
+            if metric < best_metric:
+                best = evaluation
+                best_metric = metric
+                consecutive_non_improving = 0
+                curve.append(
+                    ConvergencePoint(evaluations=evaluations, best_metric=metric)
+                )
+            else:
+                consecutive_non_improving += 1
+                if (
+                    self.patience is not None
+                    and consecutive_non_improving >= self.patience
+                ):
+                    terminated_by = "patience"
+                    break
+        else:
+            evaluations = self.max_evaluations
+        return SearchResult(
+            best=best,
+            objective=self.objective,
+            num_evaluated=evaluations,
+            num_valid=num_valid,
+            terminated_by=terminated_by,
+            curve=curve,
+        )
+
+
+def random_search(
+    mapspace: MapSpace,
+    evaluator: Evaluator,
+    objective: str = "edp",
+    max_evaluations: int = 10_000,
+    patience: Optional[int] = 1_000,
+    seed: Optional[Union[int, random.Random]] = None,
+) -> SearchResult:
+    """One-shot functional wrapper around :class:`RandomSearch`."""
+    return RandomSearch(
+        mapspace,
+        evaluator,
+        objective=objective,
+        max_evaluations=max_evaluations,
+        patience=patience,
+        seed=seed,
+    ).run()

@@ -1,0 +1,61 @@
+"""Search results and convergence tracking."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.model.evaluator import Evaluation
+
+
+@dataclass(frozen=True)
+class ConvergencePoint:
+    """Best objective value observed after ``evaluations`` mappings."""
+
+    evaluations: int
+    best_metric: float
+
+
+@dataclass
+class SearchResult:
+    """Outcome of one search run.
+
+    Attributes:
+        best: best valid evaluation found, or None if the space yielded no
+            valid mapping within budget.
+        objective: the optimized metric name ("edp", "energy", "delay").
+        num_evaluated: total mappings drawn (valid + invalid).
+        num_valid: valid mappings among them.
+        terminated_by: "patience", "budget", or "exhausted".
+        curve: best-so-far trace, one point per improvement (prepend-safe
+            for averaging across seeds with :func:`best_so_far_series`).
+    """
+
+    best: Optional[Evaluation]
+    objective: str
+    num_evaluated: int
+    num_valid: int
+    terminated_by: str
+    curve: List[ConvergencePoint] = field(default_factory=list)
+
+    @property
+    def best_metric(self) -> Optional[float]:
+        if self.best is None:
+            return None
+        return self.best.metric(self.objective)
+
+    def best_so_far_series(self, length: int) -> List[float]:
+        """Expand the improvement curve to a dense best-so-far series.
+
+        Index ``i`` holds the best metric after ``i + 1`` evaluations;
+        positions before the first valid mapping hold ``inf``. Used to
+        average convergence behaviour across seeds (the paper's Fig. 7
+        averages 100 runs).
+        """
+        series = [float("inf")] * length
+        for point in self.curve:
+            start = min(point.evaluations - 1, length)
+            for i in range(start, length):
+                if point.best_metric < series[i]:
+                    series[i] = point.best_metric
+        return series

@@ -1,0 +1,26 @@
+"""Shared numeric and collection utilities used across the repro package."""
+
+from repro.utils.mathx import (
+    ceil_div,
+    divisors,
+    mixed_radix_digits,
+    num_ordered_factorizations,
+    ordered_factorizations,
+    prime_factorization,
+    product,
+)
+from repro.utils.pareto import ParetoPoint, pareto_frontier
+from repro.utils.rng import make_rng
+
+__all__ = [
+    "ceil_div",
+    "divisors",
+    "mixed_radix_digits",
+    "num_ordered_factorizations",
+    "ordered_factorizations",
+    "prime_factorization",
+    "product",
+    "ParetoPoint",
+    "pareto_frontier",
+    "make_rng",
+]

@@ -1,0 +1,89 @@
+"""Pareto-frontier utilities for the architectural design-space sweeps.
+
+Used by the Fig. 13 / Fig. 14 reproductions, where each candidate design is
+a point ``(area, edp)`` and the claim is that Ruby-S mappings form a new
+Pareto frontier below the PFM frontier.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Sequence
+
+
+@dataclass(frozen=True)
+class ParetoPoint:
+    """A candidate design point for minimize-minimize Pareto analysis.
+
+    Attributes:
+        x: first objective (minimized), e.g. accelerator area in mm^2.
+        y: second objective (minimized), e.g. EDP.
+        payload: arbitrary metadata (e.g. array shape, mapping) carried along.
+    """
+
+    x: float
+    y: float
+    payload: Dict[str, Any] = field(default_factory=dict, compare=False, hash=False)
+
+    def dominates(self, other: "ParetoPoint") -> bool:
+        """True if this point is at least as good in both objectives and
+        strictly better in at least one (minimization)."""
+        return (
+            self.x <= other.x
+            and self.y <= other.y
+            and (self.x < other.x or self.y < other.y)
+        )
+
+
+def pareto_frontier(points: Sequence[ParetoPoint]) -> List[ParetoPoint]:
+    """Return the non-dominated subset of ``points`` sorted by ascending x.
+
+    Ties on both coordinates keep a single representative.
+    """
+    if not points:
+        return []
+    ordered = sorted(points, key=lambda p: (p.x, p.y))
+    frontier: List[ParetoPoint] = []
+    best_y = float("inf")
+    for point in ordered:
+        if point.y < best_y:
+            frontier.append(point)
+            best_y = point.y
+    return frontier
+
+
+def frontier_dominates(
+    challenger: Sequence[ParetoPoint], incumbent: Sequence[ParetoPoint]
+) -> bool:
+    """True if every incumbent-frontier point is weakly dominated by some
+    challenger point — the paper's "Ruby-S forms a new Pareto frontier" claim."""
+    challenger_front = pareto_frontier(challenger)
+    for point in pareto_frontier(incumbent):
+        if not any(
+            c.x <= point.x and c.y <= point.y for c in challenger_front
+        ):
+            return False
+    return True
+
+
+def hypervolume_2d(
+    points: Sequence[ParetoPoint], reference: ParetoPoint
+) -> float:
+    """Dominated hypervolume (area) of ``points`` w.r.t. ``reference``.
+
+    Both objectives are minimized; points beyond the reference contribute
+    nothing. A convenient scalar for comparing frontiers in tests.
+    """
+    frontier = [
+        p for p in pareto_frontier(points) if p.x <= reference.x and p.y <= reference.y
+    ]
+    if not frontier:
+        return 0.0
+    volume = 0.0
+    ascending = sorted(frontier, key=lambda p: p.x)
+    for i, point in enumerate(ascending):
+        next_x = ascending[i + 1].x if i + 1 < len(ascending) else reference.x
+        width = max(0.0, min(next_x, reference.x) - point.x)
+        height = max(0.0, reference.y - point.y)
+        volume += width * height
+    return volume

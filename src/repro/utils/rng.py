@@ -1,0 +1,33 @@
+"""Seeded random-number helpers.
+
+All stochastic components (random-sampling search, mapspace sampling) take an
+explicit ``random.Random`` so results are reproducible and tests are
+deterministic. The paper averages its toy studies over 100 seeded runs of
+Timeloop's random-sampling search; we expose the same discipline.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional, Union
+
+
+def make_rng(seed: Optional[Union[int, random.Random]] = None) -> random.Random:
+    """Return a ``random.Random``.
+
+    Accepts ``None`` (fresh nondeterministic stream), an ``int`` seed, or an
+    existing ``random.Random`` (returned as-is so callers can thread one
+    generator through a pipeline).
+    """
+    if isinstance(seed, random.Random):
+        return seed
+    return random.Random(seed)
+
+
+def spawn(rng: random.Random) -> random.Random:
+    """Derive an independent child generator from ``rng``.
+
+    Used when running multi-start searches so each start has its own stream
+    but the whole experiment is still reproducible from one seed.
+    """
+    return random.Random(rng.getrandbits(64))

@@ -1,0 +1,28 @@
+"""AlexNet layer shapes (per-GPU grouped variant, as Eyeriss evaluates it).
+
+The paper's Fig. 9 study uses layer 2 — IFM 27x27x48, weights 5x5x96 — the
+classic case where Eyeriss's handcrafted strip-mined mapping beats
+perfect-factorization mappers because 27 shares no useful factors with the
+14x12 PE array.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.problem.conv import ConvLayer
+from repro.problem.workload import Workload
+
+ALEXNET_LAYERS: Tuple[ConvLayer, ...] = (
+    ConvLayer("alexnet_conv1", c=3, m=96, p=55, q=55, r=11, s=11,
+              stride_h=4, stride_w=4),
+    ConvLayer("alexnet_conv2", c=48, m=96, p=27, q=27, r=5, s=5),
+    ConvLayer("alexnet_conv3", c=256, m=384, p=13, q=13, r=3, s=3),
+    ConvLayer("alexnet_conv4", c=192, m=192, p=13, q=13, r=3, s=3),
+    ConvLayer("alexnet_conv5", c=192, m=128, p=13, q=13, r=3, s=3),
+)
+
+
+def alexnet_conv2() -> Workload:
+    """Layer 2 of AlexNet — the Fig. 9 handcrafted-vs-generated study."""
+    return ALEXNET_LAYERS[1].workload()

@@ -1,0 +1,49 @@
+"""BERT-base transformer GEMM shapes (Devlin et al. 2018).
+
+An extension workload family: transformer inference is GEMM-dominated with
+hidden sizes (768, 3072) and head counts (12) that misalign with most PE
+arrays — prime-free but 3-heavy factorizations where a 14x12 or 16x16
+array rarely tiles cleanly. Sequence length 128 (batch 1).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.problem.gemm import GemmLayer
+from repro.problem.workload import Workload
+
+SEQUENCE_LENGTH = 128
+HIDDEN = 768
+FFN = 3072
+HEADS = 12
+HEAD_DIM = HIDDEN // HEADS
+
+# (layer, occurrences per encoder block) x 12 blocks.
+BERT_BASE_LAYERS: Tuple[Tuple[GemmLayer, int], ...] = (
+    # Q/K/V projections: three per block.
+    (GemmLayer("bert_qkv_proj", m=HIDDEN, n=SEQUENCE_LENGTH, k=HIDDEN), 36),
+    # Attention scores QK^T: per head.
+    (GemmLayer("bert_attn_scores", m=SEQUENCE_LENGTH, n=SEQUENCE_LENGTH,
+               k=HEAD_DIM), 144),
+    # Attention-weighted values: per head.
+    (GemmLayer("bert_attn_values", m=SEQUENCE_LENGTH, n=HEAD_DIM,
+               k=SEQUENCE_LENGTH), 144),
+    # Output projection.
+    (GemmLayer("bert_attn_out", m=HIDDEN, n=SEQUENCE_LENGTH, k=HIDDEN), 12),
+    # Feed-forward up / down.
+    (GemmLayer("bert_ffn_up", m=FFN, n=SEQUENCE_LENGTH, k=HIDDEN), 12),
+    (GemmLayer("bert_ffn_down", m=HIDDEN, n=SEQUENCE_LENGTH, k=FFN), 12),
+)
+
+
+def bert_base_workloads() -> List[Tuple[Workload, int]]:
+    """All unique BERT-base GEMMs as ``(workload, count)`` pairs."""
+    return [(layer.workload(), count) for layer, count in BERT_BASE_LAYERS]
+
+
+def bert_representative() -> List[Tuple[Workload, int]]:
+    """One projection, one attention, and one FFN GEMM, count-weighted."""
+    picks = {"bert_qkv_proj": 36, "bert_attn_scores": 144, "bert_ffn_up": 12}
+    by_name = {layer.name: layer for layer, _ in BERT_BASE_LAYERS}
+    return [(by_name[name].workload(), count) for name, count in picks.items()]

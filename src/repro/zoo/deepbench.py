@@ -1,0 +1,106 @@
+"""DeepBench workloads (Baidu Research benchmark suite).
+
+A representative subselection of DeepBench inference kernels spanning the
+domains the paper highlights — vision, speech-to-text (DeepSpeech), speaker
+identification, face recognition, and OCR — mixing convolutions and GEMMs.
+The paper itself evaluates "a selection of workloads from DeepBench"
+(Fig. 11); vision layers built on ImageNet-style 7-divisible feature maps
+map well under PFM, while speech/speaker/face shapes misalign with the
+14x12 array and favor Ruby-S.
+
+Conv shapes are expressed output-size-first (see
+:class:`~repro.problem.conv.ConvLayer`); padding is folded into the shape.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.problem.conv import ConvLayer
+from repro.problem.gemm import GemmLayer
+from repro.problem.workload import Workload
+
+# (layer, domain) pairs.
+DEEPBENCH_CONV: Tuple[Tuple[ConvLayer, str], ...] = (
+    # Vision: ImageNet-style shapes with factor-7 feature maps.
+    (ConvLayer("db_vision_resnet_stem", c=3, m=64, p=112, q=112, r=7, s=7,
+               stride_h=2, stride_w=2), "vision"),
+    (ConvLayer("db_vision_56x56", c=64, m=64, p=56, q=56, r=1, s=1), "vision"),
+    (ConvLayer("db_vision_28x28", c=128, m=128, p=28, q=28, r=3, s=3), "vision"),
+    (ConvLayer("db_vision_14x14", c=256, m=256, p=14, q=14, r=3, s=3), "vision"),
+    (ConvLayer("db_vision_7x7", c=512, m=512, p=7, q=7, r=3, s=3), "vision"),
+    (ConvLayer("db_vision_vgg_like", c=64, m=128, p=112, q=112, r=3, s=3),
+     "vision"),
+    (ConvLayer("db_vision_5x5", c=48, m=128, p=27, q=27, r=5, s=5), "vision"),
+    # Speech-to-text (DeepSpeech-style spectrogram convs). Layer 2's IFM is
+    # 341x79x32 with a 5x10 filter (quoted in the paper); layer 1 works on
+    # the raw 700x161 spectrogram.
+    (ConvLayer("db_speech_conv1", c=1, m=32, p=348, q=71, r=5, s=20,
+               stride_h=2, stride_w=2), "speech"),
+    (ConvLayer("db_speech_conv2", c=32, m=32, p=169, q=35, r=5, s=10,
+               stride_h=2, stride_w=2), "speech"),
+    (ConvLayer("db_speech_conv3", c=32, m=96, p=79, q=33, r=3, s=5), "speech"),
+    # Face recognition (DeepFace-style: odd feature-map sizes).
+    (ConvLayer("db_face_conv1", c=3, m=32, p=142, q=142, r=3, s=3), "face"),
+    (ConvLayer("db_face_conv2", c=32, m=16, p=71, q=71, r=9, s=9), "face"),
+    (ConvLayer("db_face_conv3", c=16, m=16, p=63, q=63, r=9, s=9), "face"),
+    # Speaker identification (filterbank feature maps).
+    (ConvLayer("db_speaker_conv1", c=1, m=64, p=173, q=38, r=5, s=5,
+               stride_h=2, stride_w=2), "speaker"),
+    (ConvLayer("db_speaker_conv2", c=64, m=128, p=85, q=17, r=5, s=5,
+               stride_h=2, stride_w=2), "speaker"),
+    (ConvLayer("db_speaker_conv3", c=128, m=256, p=41, q=7, r=5, s=5,
+               stride_h=2, stride_w=2), "speaker"),
+    # OCR (tall skinny text-line maps).
+    (ConvLayer("db_ocr_conv", c=16, m=32, p=24, q=94, r=3, s=3), "ocr"),
+    (ConvLayer("db_ocr_conv2", c=32, m=64, p=12, q=47, r=3, s=3), "ocr"),
+)
+
+DEEPBENCH_GEMM: Tuple[Tuple[GemmLayer, str], ...] = (
+    # Speech RNN/output projections (DeepSpeech-class shapes).
+    (GemmLayer("db_gemm_speech_rnn", m=1760, n=16, k=1760), "speech"),
+    (GemmLayer("db_gemm_speech_rnn_l", m=2560, n=32, k=2560), "speech"),
+    (GemmLayer("db_gemm_speech_out", m=5124, n=9, k=2048), "speech"),
+    (GemmLayer("db_gemm_speech_ctc", m=29, n=700, k=2560), "speech"),
+    # Speaker-ID embedding layers.
+    (GemmLayer("db_gemm_speaker", m=3072, n=16, k=1024), "speaker"),
+    (GemmLayer("db_gemm_speaker_emb", m=512, n=24, k=3072), "speaker"),
+    # Face-recognition fully-connected layers.
+    (GemmLayer("db_gemm_face", m=4096, n=8, k=4096), "face"),
+    (GemmLayer("db_gemm_face_cls", m=1008, n=8, k=4096), "face"),
+    # OCR decoder.
+    (GemmLayer("db_gemm_ocr", m=35, n=133, k=2560), "ocr"),
+    (GemmLayer("db_gemm_ocr_enc", m=1024, n=133, k=512), "ocr"),
+)
+
+
+def deepbench_workloads() -> List[Tuple[Workload, str]]:
+    """All DeepBench workloads as ``(workload, domain)`` pairs."""
+    workloads = [(layer.workload(), domain) for layer, domain in DEEPBENCH_CONV]
+    workloads += [(layer.workload(), domain) for layer, domain in DEEPBENCH_GEMM]
+    return workloads
+
+
+def deepbench_by_domain() -> Dict[str, List[Workload]]:
+    """Group the suite by application domain."""
+    grouped: Dict[str, List[Workload]] = {}
+    for workload, domain in deepbench_workloads():
+        grouped.setdefault(domain, []).append(workload)
+    return grouped
+
+
+def deepbench_representative() -> List[Tuple[Workload, int]]:
+    """A fast subset (one kernel per domain), unit-weighted.
+
+    Used by the architectural sweep (Fig. 13b/14b), which the paper also
+    runs on a subselection of the suite.
+    """
+    picks = (
+        "db_vision_28x28",
+        "db_speech_conv2",
+        "db_face_conv2",
+        "db_speaker_conv2",
+        "db_gemm_ocr",
+    )
+    by_name = {w.name: w for w, _ in deepbench_workloads()}
+    return [(by_name[name], 1) for name in picks]

@@ -1,0 +1,68 @@
+"""Handcrafted Eyeriss mappings (the Fig. 9 strip-mining baseline).
+
+Eyeriss's authors hand-mapped AlexNet layer 2 with *strip mining*: an
+entire output row (Q = 27) is unrolled across the array together with the
+filter rows (R = 5), the row is fully evaluated, then the next row's inputs
+and parameters are fetched from the GLB. The 5x27 logical array occupies
+135 of the 168 PEs. This module reconstructs that mapping in our
+representation so generated mappings can be compared against it.
+"""
+
+from __future__ import annotations
+
+from repro.arch.spec import Architecture
+from repro.exceptions import SpecError
+from repro.mapping.loop import Loop
+from repro.mapping.nest import Mapping
+
+
+def alexnet_conv2_strip_mined(arch: Architecture) -> Mapping:
+    """The strip-mined AlexNet-conv2 mapping for an Eyeriss-like design.
+
+    Structure (outer to inner):
+
+    * DRAM temporal: output rows ``P = 27`` — one OFM row strip lives
+      on-chip at a time; moving to the next row fetches fresh inputs and
+      parameters (the access pattern the paper describes).
+    * GLB temporal: channel blocks ``C = 24`` and output-channel blocks
+      ``M = 6``.
+    * GLB spatial: the logical ``5 x 27`` strip (filter rows x output
+      columns) folded onto the physical 14x12 mesh the way Eyeriss folds
+      it — two half-strips side by side: ``Q = 14`` (last 13) along X,
+      ``Q-fold = 2`` and ``R = 5`` along Y. 135 PEs active.
+    * PE temporal: ``M = 16`` output channels, ``C = 2`` input channels,
+      and the filter columns ``S = 5``.
+
+    Note the fold itself requires an imperfect spatial factor
+    (``Q = 14`` with remainder 13): hand mappings routinely live outside
+    the perfect-factorization mapspace, which is the point of Fig. 9.
+
+    Requires a 14x12-capable mesh; raises :class:`SpecError` otherwise.
+    """
+    glb = arch.levels[1]
+    fanout_x = glb.fanout_x if glb.fanout_x is not None else glb.fanout
+    fanout_y = glb.fanout_y if glb.fanout_y is not None else 1
+    if fanout_x < 14 or fanout_y < 10:
+        raise SpecError(
+            f"strip-mined mapping needs a >=14 x >=10 mesh, "
+            f"{arch.name} provides {fanout_x}x{fanout_y}"
+        )
+    return Mapping.from_blocks(
+        [
+            ("DRAM", [Loop("P", 27)], []),
+            (
+                "GlobalBuffer",
+                [Loop("C", 24), Loop("M", 6)],
+                [
+                    Loop("R", 5, spatial=True, axis=1),
+                    Loop("Q", 2, spatial=True, axis=1),
+                    Loop("Q", 14, 13, spatial=True, axis=0),
+                ],
+            ),
+            (
+                "PEBuffer",
+                [Loop("M", 16), Loop("C", 2), Loop("S", 5)],
+                [],
+            ),
+        ]
+    )

@@ -1,0 +1,67 @@
+"""MobileNetV1 layer shapes (Howard et al. 2017), 224x224 input.
+
+An extension beyond the paper's benchmark set: MobileNet's alternating
+depthwise / pointwise structure is dominated by exactly the layer families
+where Ruby-S helps — pointwise (1x1) convs with channel counts that rarely
+align with PE arrays, and depthwise convs whose only parallelism dims are
+feature maps and channels.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple, Union
+
+from repro.problem.conv import ConvLayer
+from repro.problem.depthwise import DepthwiseConvLayer
+from repro.problem.gemm import GemmLayer
+from repro.problem.workload import Workload
+
+MobileNetLayer = Union[ConvLayer, DepthwiseConvLayer, GemmLayer]
+
+# (layer, occurrence count).
+MOBILENET_V1_LAYERS: Tuple[Tuple[MobileNetLayer, int], ...] = (
+    (ConvLayer("mb_conv1", c=3, m=32, p=112, q=112, r=3, s=3,
+               stride_h=2, stride_w=2), 1),
+    (DepthwiseConvLayer("mb_dw1", c=32, p=112, q=112, r=3, s=3), 1),
+    (ConvLayer("mb_pw1", c=32, m=64, p=112, q=112), 1),
+    (DepthwiseConvLayer("mb_dw2", c=64, p=56, q=56, r=3, s=3,
+                        stride_h=2, stride_w=2), 1),
+    (ConvLayer("mb_pw2", c=64, m=128, p=56, q=56), 1),
+    (DepthwiseConvLayer("mb_dw3", c=128, p=56, q=56, r=3, s=3), 1),
+    (ConvLayer("mb_pw3", c=128, m=128, p=56, q=56), 1),
+    (DepthwiseConvLayer("mb_dw4", c=128, p=28, q=28, r=3, s=3,
+                        stride_h=2, stride_w=2), 1),
+    (ConvLayer("mb_pw4", c=128, m=256, p=28, q=28), 1),
+    (DepthwiseConvLayer("mb_dw5", c=256, p=28, q=28, r=3, s=3), 1),
+    (ConvLayer("mb_pw5", c=256, m=256, p=28, q=28), 1),
+    (DepthwiseConvLayer("mb_dw6", c=256, p=14, q=14, r=3, s=3,
+                        stride_h=2, stride_w=2), 1),
+    (ConvLayer("mb_pw6", c=256, m=512, p=14, q=14), 1),
+    (DepthwiseConvLayer("mb_dw7", c=512, p=14, q=14, r=3, s=3), 5),
+    (ConvLayer("mb_pw7", c=512, m=512, p=14, q=14), 5),
+    (DepthwiseConvLayer("mb_dw8", c=512, p=7, q=7, r=3, s=3,
+                        stride_h=2, stride_w=2), 1),
+    (ConvLayer("mb_pw8", c=512, m=1024, p=7, q=7), 1),
+    (DepthwiseConvLayer("mb_dw9", c=1024, p=7, q=7, r=3, s=3), 1),
+    (ConvLayer("mb_pw9", c=1024, m=1024, p=7, q=7), 1),
+    (GemmLayer("mb_fc", m=1000, n=1, k=1024), 1),
+)
+
+
+def mobilenet_workloads() -> List[Tuple[Workload, int]]:
+    """All unique MobileNetV1 layers as ``(workload, count)`` pairs."""
+    return [(layer.workload(), count) for layer, count in MOBILENET_V1_LAYERS]
+
+
+def mobilenet_representative() -> List[Tuple[Workload, int]]:
+    """A fast subset: one depthwise and one pointwise layer per resolution."""
+    picks = {
+        "mb_dw3": 1,
+        "mb_pw3": 1,
+        "mb_dw7": 5,
+        "mb_pw7": 5,
+        "mb_dw9": 1,
+        "mb_pw9": 1,
+    }
+    by_name = {layer.name: layer for layer, _ in MOBILENET_V1_LAYERS}
+    return [(by_name[name].workload(), count) for name, count in picks.items()]

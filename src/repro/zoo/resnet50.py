@@ -1,0 +1,111 @@
+"""ResNet-50 layer shapes (He et al. 2015), torchvision bottleneck layout.
+
+The list below enumerates every unique convolution shape in ResNet-50 for a
+224x224 ImageNet input (batch 1), with the number of times each shape
+occurs across the network, plus the final dense layer. The paper's Fig. 10
+reports Ruby-S vs PFM per layer type; the biggest wins come from pointwise
+(1x1) and dense layers whose dimensions misalign with the 14x12 array.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.problem.conv import ConvLayer
+from repro.problem.gemm import GemmLayer
+from repro.problem.workload import Workload
+
+# (layer, occurrence count). Stage layout: [3, 4, 6, 3] bottleneck blocks.
+RESNET50_LAYERS: Tuple[Tuple[ConvLayer, int], ...] = (
+    # Stem: 7x7/2 convolution.
+    (ConvLayer("conv1_7x7", c=3, m=64, p=112, q=112, r=7, s=7,
+               stride_h=2, stride_w=2), 1),
+    # Stage 2 (56x56 outputs).
+    (ConvLayer("conv2_reduce_64", c=64, m=64, p=56, q=56), 1),
+    (ConvLayer("conv2_3x3", c=64, m=64, p=56, q=56, r=3, s=3), 3),
+    (ConvLayer("conv2_expand", c=64, m=256, p=56, q=56), 3),
+    (ConvLayer("conv2_proj", c=64, m=256, p=56, q=56), 1),
+    (ConvLayer("conv2_reduce_256", c=256, m=64, p=56, q=56), 2),
+    # Stage 3 (28x28 outputs).
+    (ConvLayer("conv3_reduce_first", c=256, m=128, p=56, q=56), 1),
+    (ConvLayer("conv3_3x3_s2", c=128, m=128, p=28, q=28, r=3, s=3,
+               stride_h=2, stride_w=2), 1),
+    (ConvLayer("conv3_3x3", c=128, m=128, p=28, q=28, r=3, s=3), 3),
+    (ConvLayer("conv3_expand", c=128, m=512, p=28, q=28), 4),
+    (ConvLayer("conv3_proj", c=256, m=512, p=28, q=28,
+               stride_h=2, stride_w=2), 1),
+    (ConvLayer("conv3_reduce", c=512, m=128, p=28, q=28), 3),
+    # Stage 4 (14x14 outputs).
+    (ConvLayer("conv4_reduce_first", c=512, m=256, p=28, q=28), 1),
+    (ConvLayer("conv4_3x3_s2", c=256, m=256, p=14, q=14, r=3, s=3,
+               stride_h=2, stride_w=2), 1),
+    (ConvLayer("conv4_3x3", c=256, m=256, p=14, q=14, r=3, s=3), 5),
+    (ConvLayer("conv4_expand", c=256, m=1024, p=14, q=14), 6),
+    (ConvLayer("conv4_proj", c=512, m=1024, p=14, q=14,
+               stride_h=2, stride_w=2), 1),
+    (ConvLayer("conv4_reduce", c=1024, m=256, p=14, q=14), 5),
+    # Stage 5 (7x7 outputs).
+    (ConvLayer("conv5_reduce_first", c=1024, m=512, p=14, q=14), 1),
+    (ConvLayer("conv5_3x3_s2", c=512, m=512, p=7, q=7, r=3, s=3,
+               stride_h=2, stride_w=2), 1),
+    (ConvLayer("conv5_3x3", c=512, m=512, p=7, q=7, r=3, s=3), 2),
+    (ConvLayer("conv5_expand", c=512, m=2048, p=7, q=7), 3),
+    (ConvLayer("conv5_proj", c=1024, m=2048, p=7, q=7,
+               stride_h=2, stride_w=2), 1),
+    (ConvLayer("conv5_reduce", c=2048, m=512, p=7, q=7), 2),
+)
+
+FC_LAYER = GemmLayer("fc1000", m=1000, n=1, k=2048)
+
+
+def resnet50_workloads(include_fc: bool = True) -> List[Tuple[Workload, int]]:
+    """All unique ResNet-50 layers as ``(workload, count)`` pairs."""
+    workloads = [(layer.workload(), count) for layer, count in RESNET50_LAYERS]
+    if include_fc:
+        workloads.append((FC_LAYER.workload(), 1))
+    return workloads
+
+
+def resnet50_layer_types() -> Dict[str, List[str]]:
+    """Group layer names by type (the Fig. 10 x-axis categories)."""
+    groups: Dict[str, List[str]] = {
+        "stem7x7": [],
+        "conv3x3": [],
+        "pointwise": [],
+        "dense": [FC_LAYER.name],
+    }
+    for layer, _ in RESNET50_LAYERS:
+        if layer.r == 7:
+            groups["stem7x7"].append(layer.name)
+        elif layer.r == 3:
+            groups["conv3x3"].append(layer.name)
+        else:
+            groups["pointwise"].append(layer.name)
+    return groups
+
+
+def resnet50_representative(include_fc: bool = True) -> List[Tuple[Workload, int]]:
+    """A smaller per-stage selection for fast experiments.
+
+    One 3x3 and one pointwise layer per stage plus the stem (and the dense
+    classifier), weighted by the full network's occurrence counts of the
+    layers they represent.
+    """
+    picks = {
+        "conv1_7x7": 1,
+        "conv2_3x3": 3,
+        "conv2_expand": 4,  # stands in for conv2 pointwise family
+        "conv3_3x3": 4,
+        "conv3_expand": 5,
+        "conv4_3x3": 6,
+        "conv4_expand": 7,
+        "conv5_3x3": 3,
+        "conv5_expand": 4,
+    }
+    by_name = {layer.name: layer for layer, _ in RESNET50_LAYERS}
+    workloads = [
+        (by_name[name].workload(), count) for name, count in picks.items()
+    ]
+    if include_fc:
+        workloads.append((FC_LAYER.workload(), 1))
+    return workloads

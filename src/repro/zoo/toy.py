@@ -1,0 +1,34 @@
+"""Toy workloads of the paper's Section II-D / III studies."""
+
+from __future__ import annotations
+
+from repro.problem.conv import ConvLayer
+from repro.problem.gemm import GemmLayer, vector_workload
+from repro.problem.workload import Workload
+
+
+def fig7_matmul_workload() -> Workload:
+    """The Fig. 7(a/b) study: a 100x100 matrix multiplication."""
+    return GemmLayer("toy_matmul_100", m=100, n=100, k=100).workload()
+
+
+def fig7_conv_workload() -> Workload:
+    """The Fig. 7(c/d) study: 3x3x64 filter over a 28x28x64 image.
+
+    Valid convolution (no padding), so the output feature map is 26x26.
+    The paper additionally constrains C and M to be the only spatially
+    mapped dims — expressed via a ConstraintSet at the call site.
+    """
+    return ConvLayer(
+        "toy_conv_28", c=64, m=64, p=26, q=26, r=3, s=3
+    ).workload()
+
+
+def table1_workload(size: int) -> Workload:
+    """The Table I study: a rank-1 tensor of ``size`` elements."""
+    return vector_workload(f"table1_d{size}", size)
+
+
+def fig8_workload(size: int) -> Workload:
+    """The Fig. 8 padding study: distribute ``size`` elements over 16 PEs."""
+    return vector_workload(f"fig8_d{size}", size)

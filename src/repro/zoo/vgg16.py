@@ -1,0 +1,41 @@
+"""VGG-16 layer shapes (Simonyan & Zisserman 2014), 224x224 input.
+
+An extension workload: VGG's uniform 3x3 convs on power-of-two channel
+counts and factor-7 feature maps are the *friendliest* possible case for
+perfect factorization — a useful control group where Ruby-S should match
+(not beat) PFM.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.problem.conv import ConvLayer
+from repro.problem.gemm import GemmLayer
+from repro.problem.workload import Workload
+
+VGG16_LAYERS: Tuple[Tuple[ConvLayer, int], ...] = (
+    (ConvLayer("vgg_conv1_1", c=3, m=64, p=224, q=224, r=3, s=3), 1),
+    (ConvLayer("vgg_conv1_2", c=64, m=64, p=224, q=224, r=3, s=3), 1),
+    (ConvLayer("vgg_conv2_1", c=64, m=128, p=112, q=112, r=3, s=3), 1),
+    (ConvLayer("vgg_conv2_2", c=128, m=128, p=112, q=112, r=3, s=3), 1),
+    (ConvLayer("vgg_conv3_1", c=128, m=256, p=56, q=56, r=3, s=3), 1),
+    (ConvLayer("vgg_conv3_x", c=256, m=256, p=56, q=56, r=3, s=3), 2),
+    (ConvLayer("vgg_conv4_1", c=256, m=512, p=28, q=28, r=3, s=3), 1),
+    (ConvLayer("vgg_conv4_x", c=512, m=512, p=28, q=28, r=3, s=3), 2),
+    (ConvLayer("vgg_conv5_x", c=512, m=512, p=14, q=14, r=3, s=3), 3),
+)
+
+VGG16_FC: Tuple[Tuple[GemmLayer, int], ...] = (
+    (GemmLayer("vgg_fc6", m=4096, n=1, k=25088), 1),
+    (GemmLayer("vgg_fc7", m=4096, n=1, k=4096), 1),
+    (GemmLayer("vgg_fc8", m=1000, n=1, k=4096), 1),
+)
+
+
+def vgg16_workloads(include_fc: bool = True) -> List[Tuple[Workload, int]]:
+    """All unique VGG-16 layers as ``(workload, count)`` pairs."""
+    workloads = [(layer.workload(), count) for layer, count in VGG16_LAYERS]
+    if include_fc:
+        workloads += [(layer.workload(), count) for layer, count in VGG16_FC]
+    return workloads

@@ -1,0 +1,147 @@
+"""Unit tests for the architecture package (levels, spec, presets)."""
+
+import pytest
+
+from repro.arch import (
+    Architecture,
+    ComputeLevel,
+    StorageLevel,
+    eyeriss_like,
+    simba_like,
+    toy_glb_architecture,
+    toy_linear_architecture,
+)
+from repro.exceptions import SpecError
+
+
+class TestStorageLevel:
+    def test_build_defaults(self):
+        level = StorageLevel.build("L", capacity_words=64)
+        assert level.fanout == 1
+        assert level.keeps_tensor("anything")
+
+    def test_keeps_restriction(self):
+        level = StorageLevel.build("L", capacity_words=64, keeps={"Inputs"})
+        assert level.keeps_tensor("Inputs")
+        assert not level.keeps_tensor("Weights")
+
+    def test_partitioned_capacity(self):
+        level = StorageLevel.build(
+            "L", per_tensor_capacity={"Inputs": 12, "Outputs": 16}
+        )
+        assert level.tensor_capacity("Inputs") == 12
+        assert level.tensor_capacity("Weights") is None
+        assert level.total_capacity_words == 28
+        assert level.is_partitioned
+
+    def test_rejects_partition_outside_keeps(self):
+        with pytest.raises(SpecError):
+            StorageLevel.build(
+                "L", keeps={"Inputs"}, per_tensor_capacity={"Weights": 4}
+            )
+
+    def test_rejects_mismatched_mesh(self):
+        with pytest.raises(SpecError):
+            StorageLevel.build("L", fanout=10, fanout_x=3, fanout_y=4)
+
+    def test_rejects_half_mesh(self):
+        with pytest.raises(SpecError):
+            StorageLevel.build("L", fanout=12, fanout_x=12)
+
+    def test_rejects_zero_capacity(self):
+        with pytest.raises(SpecError):
+            StorageLevel.build("L", capacity_words=0)
+
+
+class TestComputeLevel:
+    def test_defaults(self):
+        mac = ComputeLevel()
+        assert mac.word_bits == 16
+        assert mac.ops_per_cycle == 1
+
+    def test_rejects_bad_width(self):
+        with pytest.raises(SpecError):
+            ComputeLevel(word_bits=0)
+
+
+class TestArchitecture:
+    def test_rejects_bounded_outermost(self):
+        with pytest.raises(SpecError):
+            Architecture(
+                name="bad",
+                levels=(StorageLevel.build("L0", capacity_words=4),),
+            )
+
+    def test_rejects_duplicate_level_names(self):
+        with pytest.raises(SpecError):
+            Architecture(
+                name="bad",
+                levels=(
+                    StorageLevel.build("L"),
+                    StorageLevel.build("L", capacity_words=4),
+                ),
+            )
+
+    def test_level_lookup(self, eyeriss):
+        assert eyeriss.level("GlobalBuffer").fanout == 168
+        assert eyeriss.level_index("PEBuffer") == 2
+        with pytest.raises(KeyError):
+            eyeriss.level("nope")
+
+    def test_total_compute_units(self, eyeriss):
+        assert eyeriss.total_compute_units == 14 * 12
+
+    def test_instances(self, eyeriss):
+        assert eyeriss.instances_at(0) == 1
+        assert eyeriss.instances_at(1) == 1
+        assert eyeriss.instances_at(2) == 168
+
+    def test_iter_inner_to_outer(self, eyeriss):
+        names = [lvl.name for _, lvl in eyeriss.iter_levels_inner_to_outer()]
+        assert names == ["PEBuffer", "GlobalBuffer", "DRAM"]
+
+    def test_describe_mentions_levels(self, eyeriss):
+        text = eyeriss.describe()
+        assert "GlobalBuffer" in text and "fanout 168" in text
+
+    def test_with_levels_replaces(self, eyeriss):
+        new = eyeriss.with_levels(list(eyeriss.levels), name="copy")
+        assert new.name == "copy"
+        assert new.levels == eyeriss.levels
+
+
+class TestPresets:
+    def test_eyeriss_defaults(self):
+        arch = eyeriss_like()
+        assert arch.mesh_x == 14 and arch.mesh_y == 12
+        glb = arch.level("GlobalBuffer")
+        assert glb.capacity_words == 128 * 1024 * 8 // 16
+        assert not glb.keeps_tensor("Weights")  # weights bypass the GLB
+        pe = arch.level("PEBuffer")
+        assert pe.tensor_capacity("Inputs") == 12
+        assert pe.tensor_capacity("Outputs") == 16
+        assert pe.tensor_capacity("Weights") == 224
+
+    def test_eyeriss_sweep_shapes(self):
+        small = eyeriss_like(2, 7)
+        assert small.total_compute_units == 14
+        big = eyeriss_like(16, 16)
+        assert big.total_compute_units == 256
+
+    def test_simba_defaults(self):
+        arch = simba_like()
+        assert arch.total_compute_units == 15 * 16
+        glb = arch.level("GlobalBuffer")
+        assert glb.spatial_dims == frozenset({"C", "M", "K"})
+
+    def test_simba_nine_pe_config(self):
+        arch = simba_like(num_pes=9, vector_macs_per_pe=3, vector_width=3)
+        assert arch.total_compute_units == 81
+
+    def test_toy_glb(self, toy_arch):
+        assert toy_arch.level("GlobalBuffer").fanout == 6
+        assert toy_arch.level("GlobalBuffer").capacity_words == 512
+
+    def test_toy_linear(self, linear_arch9):
+        assert linear_arch9.level("DRAM").fanout == 9
+        assert linear_arch9.level("PEBuffer").capacity_words == 512

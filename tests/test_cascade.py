@@ -1,0 +1,109 @@
+"""Unit tests for cascaded (fused) multi-layer evaluation."""
+
+import pytest
+
+from repro.arch import eyeriss_like
+from repro.cascade import CascadeStage, evaluate_cascade, format_cascade
+from repro.core import find_best_mapping
+from repro.exceptions import SpecError
+from repro.mapspace.constraints import eyeriss_row_stationary
+from repro.problem import ConvLayer
+
+
+def searched(arch, layer, seed=0):
+    workload = layer.workload()
+    best = find_best_mapping(
+        arch, workload, kind="ruby-s", seed=seed,
+        max_evaluations=600, patience=200,
+        constraints=eyeriss_row_stationary(),
+    ).best
+    return workload, best
+
+
+@pytest.fixture(scope="module")
+def chain():
+    arch = eyeriss_like()
+    small = searched(arch, ConvLayer("a", c=16, m=16, p=7, q=7, r=3, s=3))
+    mid = searched(arch, ConvLayer("b", c=16, m=32, p=7, q=7))
+    huge = searched(
+        arch, ConvLayer("c", c=32, m=64, p=56, q=56), seed=1
+    )  # output 200k words: cannot stay on-chip
+    return arch, small, mid, huge
+
+
+class TestEvaluateCascade:
+    def test_small_boundary_fuses(self, chain):
+        arch, small, mid, _ = chain
+        result = evaluate_cascade(arch, [small, mid])
+        assert result.fused == [True]
+        assert result.dram_words_saved == 2 * 16 * 7 * 7
+        assert result.energy_pj < result.baseline_energy_pj
+
+    def test_huge_boundary_does_not_fuse(self, chain):
+        arch, _, mid, huge = chain
+        result = evaluate_cascade(arch, [mid, huge, mid])
+        # mid -> huge: mid's output (32*7*7) fits -> fused.
+        # huge -> mid: huge's output (64*56*56) exceeds the GLB -> not.
+        assert result.fused == [True, False]
+
+    def test_cycles_are_summed(self, chain):
+        arch, small, mid, _ = chain
+        result = evaluate_cascade(arch, [small, mid])
+        assert result.cycles == small[1].cycles + mid[1].cycles
+
+    def test_savings_equal_dram_round_trip(self, chain):
+        from repro.energy import estimate_energy_table
+
+        arch, small, mid, _ = chain
+        table = estimate_energy_table(arch)
+        result = evaluate_cascade(arch, [small, mid], energy_table=table)
+        words = small[0].tensor_size("Outputs")
+        expected = words * (table.write_pj("DRAM") + table.read_pj("DRAM"))
+        assert result.baseline_energy_pj - result.energy_pj == pytest.approx(
+            expected
+        )
+
+    def test_reserve_fraction_gates_fusion(self, chain):
+        arch, small, mid, _ = chain
+        words = small[0].tensor_size("Outputs")
+        tiny_fraction = words / (2 * arch.level("GlobalBuffer").capacity_words)
+        result = evaluate_cascade(
+            arch, [small, mid], reserve_fraction=tiny_fraction
+        )
+        assert result.fused == [False]
+        assert result.energy_pj == result.baseline_energy_pj
+
+    def test_rejects_bad_fraction(self, chain):
+        arch, small, mid, _ = chain
+        with pytest.raises(SpecError):
+            evaluate_cascade(arch, [small, mid], reserve_fraction=0.0)
+
+    def test_rejects_invalid_stage(self, chain):
+        from repro.model import Evaluator
+        from repro.mapping import Loop, Mapping
+
+        arch, small, _, _ = chain
+        workload = small[0]
+        bad = Evaluator(arch, workload).evaluate(
+            Mapping.from_blocks(
+                [
+                    ("DRAM", [Loop("C", 3)], []),
+                    ("GlobalBuffer", [], []),
+                    ("PEBuffer", [], []),
+                ]
+            )
+        )
+        with pytest.raises(SpecError):
+            CascadeStage(workload, bad)
+
+    def test_format_mentions_fusion(self, chain):
+        arch, small, mid, _ = chain
+        text = format_cascade(evaluate_cascade(arch, [small, mid]))
+        assert "on-chip" in text
+        assert "TOTAL" in text
+        assert "Cascade" in text
+
+    def test_edp_improves_with_fusion(self, chain):
+        arch, small, mid, _ = chain
+        result = evaluate_cascade(arch, [small, mid])
+        assert result.edp < result.baseline_edp

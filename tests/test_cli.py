@@ -1,0 +1,126 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import _parse_shape, build_parser, main
+
+
+class TestParseShape:
+    def test_basic(self):
+        assert _parse_shape("C=512,M=128") == {"C": 512, "M": 128}
+
+    def test_lowercase_keys_normalized(self):
+        assert _parse_shape("c=4") == {"C": 4}
+
+    def test_rejects_missing_value(self):
+        import argparse
+
+        with pytest.raises(argparse.ArgumentTypeError):
+            _parse_shape("C512")
+
+
+class TestSearchCommand:
+    def test_search_conv_prints_mapping(self, capsys):
+        code = main(
+            [
+                "search",
+                "--arch", "toy16",
+                "--gemm", "M=32,N=8,K=16",
+                "--kind", "ruby-s",
+                "--budget", "400",
+                "--patience", "150",
+                "--seed", "0",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "compute()" in out
+        assert "EDP=" in out
+        assert "utilization=" in out
+
+    def test_search_saves_and_reevaluates(self, tmp_path, capsys):
+        mapping_path = tmp_path / "m.json"
+        workload_path = tmp_path / "w.json"
+        code = main(
+            [
+                "search",
+                "--arch", "toy16",
+                "--conv", "C=8,M=16,P=6,Q=6,R=3,S=3",
+                "--budget", "400",
+                "--patience", "150",
+                "--seed", "1",
+                "--save-mapping", str(mapping_path),
+                "--save-workload", str(workload_path),
+            ]
+        )
+        assert code == 0
+        assert mapping_path.exists() and workload_path.exists()
+        capsys.readouterr()
+
+        code = main(
+            [
+                "evaluate",
+                "--arch", "toy16",
+                "--workload-json", str(workload_path),
+                "--mapping", str(mapping_path),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "EDP=" in out
+        assert "compute" in out  # energy breakdown row
+
+    def test_evaluate_invalid_mapping_fails(self, tmp_path, capsys):
+        from repro.io import save_json, mapping_to_dict, workload_to_dict
+        from repro.mapping import Loop, Mapping
+        from repro.problem.gemm import vector_workload
+
+        bad = Mapping.from_blocks(
+            [("DRAM", [Loop("D", 9)], []), ("PEBuffer", [], [])]
+        )
+        save_json(mapping_to_dict(bad), tmp_path / "m.json")
+        save_json(workload_to_dict(vector_workload("v", 10)), tmp_path / "w.json")
+        code = main(
+            [
+                "evaluate",
+                "--arch", "toy16",
+                "--workload-json", str(tmp_path / "w.json"),
+                "--mapping", str(tmp_path / "m.json"),
+            ]
+        )
+        assert code == 1
+        err = capsys.readouterr().err
+        assert "INVALID" in err
+
+    def test_missing_workload_errors(self):
+        with pytest.raises(SystemExit):
+            main(["search", "--arch", "toy16"])
+
+
+class TestExperimentCommand:
+    def test_table1(self, capsys):
+        code = main(["experiment", "table1"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Table I" in out
+        assert "ruby-s" in out
+
+    def test_fig7_small_budget(self, capsys):
+        code = main(["experiment", "fig7b", "--budget", "200", "--runs", "1"])
+        assert code == 0
+        assert "fig7b" in capsys.readouterr().out
+
+    def test_unknown_experiment(self):
+        with pytest.raises(SystemExit):
+            main(["experiment", "fig99"])
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_search_defaults(self):
+        args = build_parser().parse_args(["search", "--gemm", "M=2,N=2,K=2"])
+        assert args.kind == "ruby-s"
+        assert args.objective == "edp"

@@ -1,0 +1,82 @@
+"""Unit tests for the ASCII chart renderers."""
+
+import pytest
+
+from repro.core.plots import ascii_bar_chart, ascii_line_chart, ascii_scatter
+
+
+class TestLineChart:
+    def test_renders_all_series_markers(self):
+        chart = ascii_line_chart(
+            {"pfm": [10.0, 8.0, 8.0], "ruby-s": [9.0, 5.0, 4.0]},
+            width=30, height=8,
+        )
+        assert "o=pfm" in chart and "x=ruby-s" in chart
+        assert "o" in chart and "x" in chart
+
+    def test_axis_labels_show_range(self):
+        chart = ascii_line_chart({"a": [1.0, 100.0]}, width=20, height=5)
+        assert "1.000e+00" in chart and "1.000e+02" in chart
+
+    def test_handles_inf_prefix(self):
+        series = {"a": [float("inf"), float("inf"), 5.0, 3.0]}
+        chart = ascii_line_chart(series, width=20, height=5)
+        assert "3.000e+00" in chart
+
+    def test_no_finite_data(self):
+        chart = ascii_line_chart({"a": [float("inf")]}, title="T")
+        assert "(no finite data)" in chart and "T" in chart
+
+    def test_title_included(self):
+        chart = ascii_line_chart({"a": [1.0, 2.0]}, title="Fig7")
+        assert chart.startswith("Fig7")
+
+    def test_monotone_series_descends_on_grid(self):
+        chart = ascii_line_chart(
+            {"a": [100.0, 10.0, 1.0]}, width=9, height=9, log_y=True
+        )
+        rows = [line for line in chart.splitlines() if line.startswith("          |")]
+        first_mark = next(i for i, row in enumerate(rows) if "o" in row)
+        last_mark = max(i for i, row in enumerate(rows) if "o" in row)
+        assert first_mark < last_mark  # high values at top, low at bottom
+
+
+class TestScatter:
+    def test_two_series(self):
+        chart = ascii_scatter(
+            {"pfm": [(1.0, 10.0), (2.0, 5.0)], "ruby-s": [(1.0, 8.0)]},
+            width=20, height=6,
+        )
+        assert "o=pfm" in chart and "x=ruby-s" in chart
+
+    def test_x_range_reported(self):
+        chart = ascii_scatter({"a": [(0.5, 1.0), (2.5, 2.0)]})
+        assert "0.5" in chart and "2.5" in chart
+
+    def test_empty(self):
+        assert "(no data)" in ascii_scatter({"a": []})
+
+
+class TestBarChart:
+    def test_bars_scale_with_values(self):
+        chart = ascii_bar_chart(["a", "b"], [1.0, 0.5], width=10)
+        lines = chart.splitlines()
+        assert lines[0].count("#") == 10
+        assert lines[1].count("#") == 5
+
+    def test_reference_marker(self):
+        chart = ascii_bar_chart(
+            ["a", "b"], [0.5, 1.5], width=20, reference=1.0
+        )
+        assert "|" in chart or "!" in chart
+
+    def test_values_printed(self):
+        chart = ascii_bar_chart(["layer"], [0.786], width=10)
+        assert "0.786" in chart
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            ascii_bar_chart(["a"], [1.0, 2.0])
+
+    def test_empty(self):
+        assert "(no data)" in ascii_bar_chart([], [])

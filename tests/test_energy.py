@@ -1,0 +1,119 @@
+"""Unit tests for the energy/area estimation package."""
+
+import pytest
+
+from repro.arch import eyeriss_like, toy_linear_architecture
+from repro.energy import (
+    DRAM_ACCESS_PJ,
+    EnergyTable,
+    LevelEnergy,
+    dram_access_energy_pj,
+    estimate_area_mm2,
+    estimate_energy_table,
+    sram_access_energy_pj,
+    sram_area_mm2,
+)
+from repro.energy.accelergy import mac_energy_pj, per_tensor_access_energy_pj
+from repro.exceptions import SpecError
+
+
+class TestSramModel:
+    def test_monotone_in_capacity(self):
+        assert sram_access_energy_pj(64) < sram_access_energy_pj(1024)
+        assert sram_access_energy_pj(1024) < sram_access_energy_pj(128 * 1024)
+
+    def test_scales_with_word_width(self):
+        narrow = sram_access_energy_pj(1024, word_bits=8)
+        wide = sram_access_energy_pj(1024, word_bits=16)
+        assert wide == pytest.approx(2 * narrow)
+
+    def test_glb_to_mac_ratio_is_eyeriss_like(self):
+        # The Eyeriss energy table has the 128 KiB buffer at ~6x a MAC.
+        ratio = sram_access_energy_pj(128 * 1024) / mac_energy_pj(16)
+        assert 4 < ratio < 8
+
+    def test_small_spad_near_mac_cost(self):
+        ratio = sram_access_energy_pj(448) / mac_energy_pj(16)
+        assert 0.2 < ratio < 1.0
+
+    def test_rejects_zero_capacity(self):
+        with pytest.raises(ValueError):
+            sram_access_energy_pj(0)
+
+    def test_area_monotone(self):
+        assert sram_area_mm2(1024) < sram_area_mm2(128 * 1024)
+
+
+class TestDramModel:
+    def test_reference(self):
+        assert dram_access_energy_pj(16) == DRAM_ACCESS_PJ
+
+    def test_dram_dwarfs_sram(self):
+        assert dram_access_energy_pj() > 10 * sram_access_energy_pj(128 * 1024)
+
+
+class TestEnergyTable:
+    def test_lookup(self):
+        table = EnergyTable(
+            levels={"L": LevelEnergy(read_pj=1.0, write_pj=2.0)}, mac_pj=0.5
+        )
+        assert table.read_pj("L") == 1.0
+        assert table.write_pj("L") == 2.0
+
+    def test_unknown_level_raises(self):
+        table = EnergyTable(levels={}, mac_pj=0.5)
+        with pytest.raises(SpecError):
+            table.read_pj("nope")
+
+    def test_scaled(self):
+        table = EnergyTable(
+            levels={"L": LevelEnergy(read_pj=1.0, write_pj=2.0)}, mac_pj=0.5
+        )
+        half = table.scaled(0.5)
+        assert half.read_pj("L") == 0.5
+        assert half.mac_pj == 0.25
+
+    def test_rejects_negative(self):
+        with pytest.raises(SpecError):
+            LevelEnergy(read_pj=-1.0, write_pj=0.0)
+
+
+class TestAccelergyEstimator:
+    def test_eyeriss_ordering(self, eyeriss):
+        table = estimate_energy_table(eyeriss)
+        dram = table.read_pj("DRAM")
+        glb = table.read_pj("GlobalBuffer")
+        pe = table.read_pj("PEBuffer")
+        assert dram > glb > pe > 0
+        assert table.mac_pj == pytest.approx(2.2)
+
+    def test_partitioned_level_uses_weighted_mean(self, eyeriss):
+        pe_energy = estimate_energy_table(eyeriss).read_pj("PEBuffer")
+        input_only = per_tensor_access_energy_pj(eyeriss, "PEBuffer", "Inputs")
+        weight_only = per_tensor_access_energy_pj(eyeriss, "PEBuffer", "Weights")
+        assert input_only < pe_energy < weight_only * 1.01
+
+    def test_writes_cost_more_than_reads(self, eyeriss):
+        table = estimate_energy_table(eyeriss)
+        assert table.write_pj("GlobalBuffer") > table.read_pj("GlobalBuffer")
+
+    def test_mac_energy_scales_quadratically(self):
+        assert mac_energy_pj(32) == pytest.approx(4 * mac_energy_pj(16))
+
+
+class TestAreaModel:
+    def test_bigger_array_bigger_area(self):
+        small = estimate_area_mm2(eyeriss_like(2, 7))
+        big = estimate_area_mm2(eyeriss_like(16, 16))
+        assert big > small
+
+    def test_pe_buffers_counted_per_instance(self):
+        one = estimate_area_mm2(toy_linear_architecture(1))
+        nine = estimate_area_mm2(toy_linear_architecture(9))
+        assert nine > 5 * one
+
+    def test_dram_excluded(self):
+        # Off-chip DRAM contributes no on-chip area: a design with only a
+        # DRAM level and one PE should have near-zero area.
+        area = estimate_area_mm2(toy_linear_architecture(1, pe_buffer_bytes=64))
+        assert area < 0.01

@@ -1,0 +1,100 @@
+"""Unit tests for the static-leakage and NoC energy extensions."""
+
+import pytest
+
+from repro.arch import eyeriss_like, toy_linear_architecture
+from repro.energy.noc import average_hops, noc_energy_pj
+from repro.energy.static import static_energy_pj, static_power_mw
+from repro.mapping import Loop, Mapping
+from repro.model import Evaluator
+from repro.model.access_counts import AccessCounts
+
+
+class TestStaticEnergy:
+    def test_power_scales_with_area(self):
+        small = static_power_mw(eyeriss_like(2, 7))
+        big = static_power_mw(eyeriss_like(16, 16))
+        assert big > small > 0
+
+    def test_energy_linear_in_cycles(self):
+        arch = eyeriss_like()
+        one = static_energy_pj(arch, 1_000)
+        two = static_energy_pj(arch, 2_000)
+        assert two == pytest.approx(2 * one)
+
+    def test_faster_clock_less_leakage_per_run(self):
+        arch = eyeriss_like()
+        slow = static_energy_pj(arch, 1_000, clock_ghz=0.5)
+        fast = static_energy_pj(arch, 1_000, clock_ghz=2.0)
+        assert fast < slow
+
+    def test_rejects_bad_args(self):
+        arch = eyeriss_like()
+        with pytest.raises(ValueError):
+            static_energy_pj(arch, -1)
+        with pytest.raises(ValueError):
+            static_energy_pj(arch, 10, clock_ghz=0)
+
+
+class TestNocEnergy:
+    def test_average_hops(self):
+        assert average_hops(1) == 0.0
+        assert average_hops(168) == pytest.approx(168**0.5)
+        with pytest.raises(ValueError):
+            average_hops(0)
+
+    def test_energy_counts_fanout_levels_only(self):
+        arch = toy_linear_architecture(9)  # fanout below DRAM only
+        counts = AccessCounts()
+        counts.add_reads(0, "X", 100)  # DRAM reads cross the array network
+        counts.add_reads(1, "X", 100)  # PE-level reads stay local
+        energy = noc_energy_pj(arch, counts)
+        assert energy == pytest.approx(100 * 3.0 * 0.06)
+
+    def test_zero_without_traffic(self):
+        arch = toy_linear_architecture(9)
+        assert noc_energy_pj(arch, AccessCounts()) == 0.0
+
+
+class TestEvaluatorIntegration:
+    def pfm_mapping(self):
+        return Mapping.from_blocks(
+            [
+                ("DRAM", [Loop("D", 1)], []),
+                ("GlobalBuffer", [Loop("D", 20)], [Loop("D", 5, spatial=True)]),
+                ("PERegister", [], []),
+            ]
+        )
+
+    def test_flags_add_breakdown_entries(self, toy_arch, vector100):
+        evaluator = Evaluator(
+            toy_arch, vector100, include_noc=True, include_static=True
+        )
+        result = evaluator.evaluate(self.pfm_mapping())
+        assert "noc" in result.energy_breakdown_pj
+        assert "static" in result.energy_breakdown_pj
+        assert sum(result.energy_breakdown_pj.values()) == pytest.approx(
+            result.energy_pj
+        )
+
+    def test_default_excludes_extensions(self, toy_evaluator):
+        result = toy_evaluator.evaluate(self.pfm_mapping())
+        assert "noc" not in result.energy_breakdown_pj
+        assert "static" not in result.energy_breakdown_pj
+
+    def test_static_term_rewards_faster_mappings(self, toy_arch, vector100):
+        evaluator = Evaluator(toy_arch, vector100, include_static=True)
+        slow = evaluator.evaluate(self.pfm_mapping())
+        fast = evaluator.evaluate(
+            Mapping.from_blocks(
+                [
+                    ("DRAM", [Loop("D", 1)], []),
+                    ("GlobalBuffer", [Loop("D", 17)],
+                     [Loop("D", 6, 4, spatial=True)]),
+                    ("PERegister", [], []),
+                ]
+            )
+        )
+        # With leakage, the 17-cycle Ruby mapping now wins on ENERGY too,
+        # not just on EDP.
+        assert fast.energy_pj < slow.energy_pj

@@ -1,0 +1,103 @@
+"""Edge-case and error-path tests across the package."""
+
+import pytest
+
+from repro.exceptions import (
+    InvalidMappingError,
+    MapspaceError,
+    ReproError,
+    SearchError,
+    SpecError,
+)
+
+
+class TestExceptionHierarchy:
+    def test_all_derive_from_repro_error(self):
+        for exc in (SpecError, InvalidMappingError, MapspaceError, SearchError):
+            assert issubclass(exc, ReproError)
+        assert issubclass(ReproError, Exception)
+
+    def test_catchable_as_base(self):
+        with pytest.raises(ReproError):
+            raise SpecError("x")
+
+
+class TestDegenerateWorkloads:
+    def test_all_ones_workload(self, toy_arch):
+        """A 1-MAC problem maps and evaluates without special-casing."""
+        from repro.core import find_best_mapping
+        from repro.problem import GemmLayer
+
+        workload = GemmLayer("unit", 1, 1, 1).workload()
+        result = find_best_mapping(
+            toy_arch, workload, kind="ruby-s", seed=0,
+            max_evaluations=20, patience=None,
+        )
+        assert result.best is not None
+        assert result.best.cycles == 1
+        assert result.best.utilization == pytest.approx(1 / 6)
+
+    def test_single_dim_equal_to_fanout(self, toy_arch):
+        from repro.core import find_best_mapping
+        from repro.problem.gemm import vector_workload
+
+        workload = vector_workload("v6", 6)
+        result = find_best_mapping(
+            toy_arch, workload, kind="pfm", strategy="exhaustive"
+        )
+        assert result.best.cycles == 1  # all six elements in one step
+
+    def test_dimension_of_one_needs_no_loop(self, toy_arch):
+        from repro.mapping import Loop, Mapping, is_valid_mapping
+        from repro.problem import GemmLayer
+
+        workload = GemmLayer("thin", m=4, n=1, k=1).workload()
+        mapping = Mapping.from_blocks(
+            [
+                ("DRAM", [Loop("M", 4)], []),
+                ("GlobalBuffer", [], []),
+                ("PERegister", [], []),
+            ]
+        )
+        assert is_valid_mapping(mapping, toy_arch, workload)
+
+
+class TestLargeDimensions:
+    def test_prime_4099_chain_math(self):
+        """Large primes exercise the mixed-radix path without overflow."""
+        from repro.mapspace import assign_remainders
+        from repro.mapping import Loop, chain_trip_count
+
+        bounds = [5, 7, 128]  # covers up to 4480
+        remainders = assign_remainders(4099, bounds)
+        loops = [Loop("D", b, r) for b, r in zip(bounds, remainders)]
+        assert chain_trip_count(loops) == 4099
+
+    def test_huge_bound_products_are_exact_ints(self):
+        from repro.mapping import Loop, chain_trip_count
+
+        loops = [Loop("D", 10**6), Loop("D", 10**6), Loop("D", 10**6)]
+        assert chain_trip_count(loops) == 10**18  # no float rounding
+
+    def test_search_on_large_gemm_is_tractable(self):
+        from repro.arch import eyeriss_like
+        from repro.core import find_best_mapping
+        from repro.problem import GemmLayer
+
+        workload = GemmLayer("big", m=4096, n=512, k=4096).workload()
+        result = find_best_mapping(
+            eyeriss_like(), workload, kind="ruby-s", seed=0,
+            max_evaluations=150, patience=None,
+        )
+        assert result.best is not None
+        assert result.best.valid
+
+
+class TestRenderEdgeCases:
+    def test_empty_mapping_renders(self):
+        from repro.mapping import Mapping, render_mapping
+        from repro.mapping.render import render_compact
+
+        mapping = Mapping.from_blocks([("DRAM", [], [])])
+        assert "compute()" in render_mapping(mapping)
+        assert render_compact(mapping) == "DRAM[-]"

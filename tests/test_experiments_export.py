@@ -1,0 +1,81 @@
+"""Unit tests for the machine-readable experiment export."""
+
+import json
+
+from repro.experiments.export import (
+    fig7_to_dict,
+    fig8_to_dict,
+    fig11_to_dict,
+    fig13_to_dict,
+    network_comparison_to_dict,
+    save_result,
+    table1_to_dict,
+)
+
+
+class TestExports:
+    def test_table1_round_trips_through_json(self, linear_arch9):
+        from repro.experiments import run_table1
+
+        data = table1_to_dict(run_table1(dimension_sizes=(3, 12)))
+        text = json.dumps(data)
+        assert json.loads(text)["raw"]["pfm"] == data["raw"]["pfm"]
+
+    def test_fig7_subsamples_and_handles_inf(self):
+        from repro.experiments.fig07 import Fig7Result
+
+        result = Fig7Result(scenario="s", evaluations=20, runs=1)
+        result.series["pfm"] = [float("inf")] * 5 + [3.0] * 15
+        data = fig7_to_dict(result, stride=5)
+        assert data["series"]["pfm"] == [None, 3.0, 3.0, 3.0]
+        json.dumps(data)  # must be JSON-able
+
+    def test_fig8_export(self):
+        from repro.experiments import run_fig8
+
+        result = run_fig8(sizes=(31, 32), seeds=(0,), max_evaluations=200)
+        data = fig8_to_dict(result)
+        assert data["sizes"] == [31, 32]
+        json.dumps(data)
+
+    def test_network_comparison_export(self, eyeriss):
+        from repro.experiments.fig10 import compare_network
+        from repro.problem import ConvLayer
+
+        comparison = compare_network(
+            eyeriss,
+            [(ConvLayer("pw", c=32, m=32, p=7, q=7).workload(), 1)],
+            seeds=(0,), max_evaluations=300, patience=100,
+        )
+        data = network_comparison_to_dict(comparison, "fig10")
+        assert data["layers"][0]["name"] == "pw"
+        assert "edp_ratio" in data["network"]
+        json.dumps(data)
+
+    def test_fig11_export(self):
+        from repro.experiments import run_fig11
+
+        result = run_fig11(
+            seeds=(0,), max_evaluations=200, patience=80,
+            subset=("db_gemm_ocr",),
+        )
+        data = fig11_to_dict(result)
+        assert data["workloads"][0]["domain"] == "ocr"
+        json.dumps(data)
+
+    def test_fig13_export(self):
+        from repro.experiments import run_fig13
+
+        result = run_fig13(
+            suite="deepbench", shapes=((2, 7),),
+            max_evaluations=200, patience=80,
+        )
+        data = fig13_to_dict(result)
+        assert len(data["points"]) == 2
+        assert isinstance(data["ruby_s_dominates"], bool)
+        json.dumps(data)
+
+    def test_save_result_creates_dirs(self, tmp_path):
+        path = save_result({"a": 1}, tmp_path / "nested" / "out.json")
+        assert path.exists()
+        assert json.loads(path.read_text()) == {"a": 1}

@@ -1,0 +1,191 @@
+"""Integration tests reproducing the paper's worked examples end to end.
+
+These are the fast, deterministic counterparts of the benchmark harnesses:
+each pins one of the paper's qualitative claims with small search budgets.
+"""
+
+import pytest
+
+from repro.arch import eyeriss_like, toy_glb_architecture, toy_linear_architecture
+from repro.core import find_best_mapping
+from repro.mapping import Loop, Mapping
+from repro.mapspace import MapspaceKind, count_mapspace_sizes
+from repro.mapspace.constraints import eyeriss_row_stationary
+from repro.model import Evaluator
+from repro.problem import pad_dimension
+from repro.problem.gemm import vector_workload
+from repro.zoo import alexnet_conv2, alexnet_conv2_strip_mined, table1_workload
+
+
+class TestFig5ToyExample:
+    """The 100-elements-over-6-PEs walkthrough of Figs. 4 and 5."""
+
+    def test_ruby_mapping_saves_three_cycles(self, toy_arch, vector100):
+        evaluator = Evaluator(toy_arch, vector100)
+        pfm_best = find_best_mapping(
+            toy_arch, vector100, kind="pfm", strategy="exhaustive"
+        )
+        ruby_manual = Mapping.from_blocks(
+            [
+                ("DRAM", [Loop("D", 1)], []),
+                ("GlobalBuffer", [Loop("D", 17)], [Loop("D", 6, 4, spatial=True)]),
+                ("PERegister", [], []),
+            ]
+        )
+        ruby_eval = evaluator.evaluate(ruby_manual)
+        assert ruby_eval.cycles == 17
+        assert pfm_best.best.cycles >= 20
+        assert ruby_eval.cycles == pfm_best.best.cycles - 3
+
+    def test_ruby_s_search_finds_the_17_cycle_schedule(self, toy_arch, vector100):
+        result = find_best_mapping(
+            toy_arch, vector100, kind="ruby-s", objective="delay",
+            seed=0, max_evaluations=2000, patience=None,
+        )
+        assert result.best.cycles == 17
+
+
+class TestTableOne:
+    """Mapspace sizes: PFM < Ruby-S << Ruby-T <= Ruby, growing with D."""
+
+    def test_size_ordering_holds_across_dimensions(self, linear_arch9):
+        for size in (12, 100, 360):
+            sizes = count_mapspace_sizes(
+                linear_arch9, table1_workload(size), count_valid=False
+            )
+            assert (
+                sizes[MapspaceKind.PFM].raw
+                < sizes[MapspaceKind.RUBY_S].raw
+                < sizes[MapspaceKind.RUBY].raw
+            )
+            assert sizes[MapspaceKind.RUBY_T].raw <= sizes[MapspaceKind.RUBY].raw
+
+    def test_ruby_growth_is_superlinear_vs_ruby_s(self, linear_arch9):
+        small = count_mapspace_sizes(
+            linear_arch9, table1_workload(64), count_valid=False
+        )
+        big = count_mapspace_sizes(
+            linear_arch9, table1_workload(512), count_valid=False
+        )
+        ruby_growth = big[MapspaceKind.RUBY].raw / small[MapspaceKind.RUBY].raw
+        ruby_s_growth = big[MapspaceKind.RUBY_S].raw / small[MapspaceKind.RUBY_S].raw
+        assert ruby_growth > ruby_s_growth
+
+
+class TestFig8PaddingStory:
+    """Ruby-S vs padding on a 16-PE linear array."""
+
+    @pytest.fixture
+    def arch16(self):
+        return toy_linear_architecture(16)
+
+    def evaluate(self, arch, size, kind, pad=False, seed=0):
+        workload = vector_workload(f"d{size}", size)
+        effectual = workload.total_operations
+        if pad:
+            padded = pad_dimension(workload, "D", 16)
+            workload = padded.workload
+        result = find_best_mapping(
+            arch, workload, kind=kind, seed=seed,
+            max_evaluations=1500, patience=400,
+        )
+        return result.best, effectual
+
+    def test_prime_127_pfm_cannot_parallelize(self, arch16):
+        best, _ = self.evaluate(arch16, 127, "pfm")
+        # 127 prime: no spatial factor fits 16 PEs -> fully serial.
+        assert best.cycles == 127
+
+    def test_prime_127_padding_rescues_pfm(self, arch16):
+        best, effectual = self.evaluate(arch16, 127, "pfm", pad=True)
+        assert best.cycles == 8  # 128 / 16
+        # but one MAC is wasted on the padded zero.
+        assert best.energy_breakdown_pj["compute"] > 0
+
+    def test_prime_127_ruby_s_matches_padding_without_waste(self, arch16):
+        best, _ = self.evaluate(arch16, 127, "ruby-s")
+        assert best.cycles == 8  # ceil(127/16)
+
+    def test_d113_padding_overhead(self, arch16):
+        # 113 -> 128 pads ~12% zeros; Ruby-S runs exactly 113 MACs in the
+        # same 8 cycles, so its EDP is strictly better.
+        ruby_best, _ = self.evaluate(arch16, 113, "ruby-s")
+        padded_best, _ = self.evaluate(arch16, 113, "pfm", pad=True)
+        assert ruby_best.cycles == padded_best.cycles == 8
+        assert ruby_best.edp < padded_best.edp
+        assert ruby_best.energy_pj < padded_best.energy_pj
+
+
+class TestFig9AlexNet:
+    """Handcrafted strip mining vs PFM vs Ruby-S on Eyeriss."""
+
+    @staticmethod
+    def search(arch, workload, kind, objective, seeds=(1, 2, 3)):
+        """Best-of-seeds search; the paper's runs use far larger budgets
+        (3000-patience across 24 threads), so we de-noise small budgets by
+        taking the best of a few independent starts."""
+        constraints = eyeriss_row_stationary()
+        results = [
+            find_best_mapping(
+                arch, workload, kind=kind, objective=objective, seed=seed,
+                max_evaluations=3000, patience=1000, constraints=constraints,
+            ).best
+            for seed in seeds
+        ]
+        return min(results, key=lambda e: e.metric(objective))
+
+    @pytest.fixture(scope="class")
+    def setting(self):
+        arch = eyeriss_like()
+        workload = alexnet_conv2()
+        evaluator = Evaluator(arch, workload)
+        handcrafted = evaluator.evaluate(alexnet_conv2_strip_mined(arch))
+        pfm = self.search(arch, workload, "pfm", "edp")
+        ruby_s = self.search(arch, workload, "ruby-s", "edp")
+        return arch, workload, handcrafted, pfm, ruby_s
+
+    def test_handcrafted_beats_pfm_utilization(self, setting):
+        arch, workload, handcrafted, _, _ = setting
+        pfm_fast = self.search(arch, workload, "pfm", "delay")
+        assert handcrafted.utilization > pfm_fast.utilization
+
+    def test_ruby_s_matches_handcrafted_utilization(self, setting):
+        # Utilization is a latency claim: compare delay-optimized searches.
+        arch, workload, handcrafted, _, _ = setting
+        ruby_fast = self.search(arch, workload, "ruby-s", "delay")
+        assert ruby_fast.utilization >= handcrafted.utilization * 0.95
+
+    def test_ruby_s_beats_handcrafted_edp(self, setting):
+        # Paper: 16% EDP decrease and 10% energy decrease vs handcrafted.
+        _, _, handcrafted, _, ruby_s = setting
+        assert ruby_s.edp < handcrafted.edp
+
+    def test_ruby_s_at_least_matches_pfm_edp(self, setting):
+        _, _, _, pfm, ruby_s = setting
+        assert ruby_s.edp <= pfm.edp * 1.02
+
+
+class TestMisalignedLayersOnEyeriss:
+    """The Fig. 10 headline: pointwise layers benefit most from Ruby-S."""
+
+    def test_pointwise_layer_improves(self):
+        from repro.problem import ConvLayer
+
+        arch = eyeriss_like()
+        workload = ConvLayer("pw", c=512, m=128, p=28, q=28).workload()
+        constraints = eyeriss_row_stationary()
+
+        def best(kind):
+            return min(
+                (
+                    find_best_mapping(
+                        arch, workload, kind=kind, seed=seed,
+                        max_evaluations=2500, patience=800,
+                        constraints=constraints,
+                    ).best
+                    for seed in (5, 6)
+                ),
+                key=lambda e: e.edp,
+            )
+
+        assert best("ruby-s").edp <= best("pfm").edp

@@ -1,0 +1,113 @@
+"""Unit tests for JSON serialization of specs."""
+
+import pytest
+
+from repro.arch import eyeriss_like, simba_like, toy_linear_architecture
+from repro.exceptions import SpecError
+from repro.io import (
+    architecture_from_dict,
+    architecture_to_dict,
+    load_json,
+    mapping_from_dict,
+    mapping_to_dict,
+    save_json,
+    workload_from_dict,
+    workload_to_dict,
+)
+from repro.mapping import Loop, Mapping
+from repro.model import Evaluator
+from repro.problem import ConvLayer, GemmLayer
+from repro.zoo import alexnet_conv2_strip_mined
+
+
+class TestWorkloadRoundTrip:
+    def test_conv(self):
+        original = ConvLayer("c", c=48, m=96, p=27, q=27, r=5, s=5,
+                             stride_h=2, stride_w=2).workload()
+        rebuilt = workload_from_dict(workload_to_dict(original))
+        assert rebuilt == original
+
+    def test_gemm(self):
+        original = GemmLayer("g", 100, 100, 100).workload()
+        rebuilt = workload_from_dict(workload_to_dict(original))
+        assert rebuilt == original
+        assert rebuilt.total_operations == original.total_operations
+
+    def test_sliding_window_projection_survives(self):
+        original = ConvLayer("c", p=10, r=3, stride_h=2).workload()
+        rebuilt = workload_from_dict(workload_to_dict(original))
+        assert rebuilt.tensor_size("Inputs") == original.tensor_size("Inputs")
+
+    def test_wrong_kind_rejected(self):
+        data = workload_to_dict(GemmLayer("g", 2, 2, 2).workload())
+        data["kind"] = "architecture"
+        with pytest.raises(SpecError):
+            workload_from_dict(data)
+
+    def test_wrong_schema_rejected(self):
+        data = workload_to_dict(GemmLayer("g", 2, 2, 2).workload())
+        data["schema"] = 99
+        with pytest.raises(SpecError):
+            workload_from_dict(data)
+
+
+class TestArchitectureRoundTrip:
+    @pytest.mark.parametrize(
+        "arch_builder",
+        [eyeriss_like, simba_like, lambda: toy_linear_architecture(9)],
+    )
+    def test_round_trip(self, arch_builder):
+        original = arch_builder()
+        rebuilt = architecture_from_dict(architecture_to_dict(original))
+        assert rebuilt == original
+
+    def test_partitioned_capacity_survives(self):
+        rebuilt = architecture_from_dict(architecture_to_dict(eyeriss_like()))
+        assert rebuilt.level("PEBuffer").tensor_capacity("Weights") == 224
+
+    def test_keeps_survives(self):
+        rebuilt = architecture_from_dict(architecture_to_dict(eyeriss_like()))
+        assert not rebuilt.level("GlobalBuffer").keeps_tensor("Weights")
+
+
+class TestMappingRoundTrip:
+    def test_imperfect_mapping(self):
+        original = alexnet_conv2_strip_mined(eyeriss_like())
+        rebuilt = mapping_from_dict(mapping_to_dict(original))
+        assert rebuilt == original
+        assert rebuilt.has_imperfect_spatial()
+
+    def test_rebuilt_mapping_evaluates_identically(self):
+        arch = eyeriss_like()
+        from repro.zoo import alexnet_conv2
+
+        workload = alexnet_conv2()
+        original = alexnet_conv2_strip_mined(arch)
+        rebuilt = mapping_from_dict(mapping_to_dict(original))
+        evaluator = Evaluator(arch, workload)
+        a = evaluator.evaluate(original)
+        b = evaluator.evaluate(rebuilt)
+        assert a.edp == b.edp
+        assert a.cycles == b.cycles
+
+    def test_axis_survives(self):
+        original = Mapping.from_blocks(
+            [("DRAM", [], [Loop("C", 2, spatial=True, axis=1)])]
+        )
+        rebuilt = mapping_from_dict(mapping_to_dict(original))
+        assert rebuilt.levels[0].spatial[0].axis == 1
+
+
+class TestJsonFiles:
+    def test_save_and_load(self, tmp_path):
+        arch = eyeriss_like()
+        path = tmp_path / "arch.json"
+        save_json(architecture_to_dict(arch), path)
+        rebuilt = architecture_from_dict(load_json(path))
+        assert rebuilt == arch
+
+    def test_file_is_pretty_printed(self, tmp_path):
+        path = tmp_path / "w.json"
+        save_json(workload_to_dict(GemmLayer("g", 2, 2, 2).workload()), path)
+        text = path.read_text()
+        assert text.count("\n") > 5

@@ -1,0 +1,133 @@
+"""Unit tests for mapping-level bypass (the Section II-D optimization)."""
+
+import random
+
+import pytest
+
+from repro.arch import Architecture, StorageLevel, toy_glb_architecture
+from repro.exceptions import SpecError
+from repro.mapping import Loop, Mapping, is_valid_mapping
+from repro.model import Evaluator, compute_access_counts
+from repro.model.dataflow import keeper_levels
+from repro.problem import GemmLayer
+from repro.problem.gemm import vector_workload
+
+
+def passthrough_mapping(bypass=()):
+    return Mapping.from_blocks(
+        [
+            ("DRAM", [Loop("D", 20)], []),
+            ("GlobalBuffer", [], [Loop("D", 5, spatial=True)]),
+            ("PERegister", [], []),
+        ],
+        bypass=bypass,
+    )
+
+
+class TestBypassStructure:
+    def test_bypass_recorded(self):
+        mapping = passthrough_mapping([("GlobalBuffer", "X")])
+        assert mapping.bypasses("GlobalBuffer", "X")
+        assert not mapping.bypasses("GlobalBuffer", "Y")
+
+    def test_outermost_bypass_rejected(self):
+        with pytest.raises(SpecError):
+            passthrough_mapping([("DRAM", "X")])
+
+    def test_unknown_level_rejected(self):
+        with pytest.raises(SpecError):
+            passthrough_mapping([("Nope", "X")])
+
+    def test_with_bypass_copies(self):
+        mapping = passthrough_mapping()
+        updated = mapping.with_bypass([("GlobalBuffer", "X")])
+        assert updated.bypasses("GlobalBuffer", "X")
+        assert not mapping.bypasses("GlobalBuffer", "X")
+
+    def test_canonical_key_distinguishes_bypass(self):
+        a = passthrough_mapping()
+        b = passthrough_mapping([("GlobalBuffer", "X")])
+        assert a.canonical_key() != b.canonical_key()
+
+
+class TestBypassSemantics:
+    def test_keeper_levels_respect_bypass(self, toy_arch):
+        mapping = passthrough_mapping([("GlobalBuffer", "X")])
+        assert keeper_levels(toy_arch, "X", mapping) == [0, 2]
+        assert keeper_levels(toy_arch, "Y", mapping) == [0, 1, 2]
+
+    def test_bypassed_tensor_skips_level_traffic(self, toy_arch, vector100):
+        direct = passthrough_mapping([("GlobalBuffer", "X")])
+        counts = compute_access_counts(toy_arch, vector100, direct)
+        assert (1, "X") not in counts.writes
+        assert counts.reads[(0, "X")] == 100  # DRAM feeds PEs directly
+        # Y still stages through the GLB.
+        assert counts.writes[(1, "Y")] == 100
+
+    def test_bypass_frees_capacity(self, vector100):
+        # A GLB too small for both tensors becomes valid when one bypasses.
+        tiny = toy_glb_architecture(num_pes=5, glb_bytes=256)  # 128 words
+        blocks = [
+            ("DRAM", [], []),
+            ("GlobalBuffer", [Loop("D", 20)], [Loop("D", 5, spatial=True)]),
+            ("PERegister", [], []),
+        ]
+        full = Mapping.from_blocks(blocks)
+        assert not is_valid_mapping(full, tiny, vector100)
+        bypassed = Mapping.from_blocks(blocks, bypass=[("GlobalBuffer", "X")])
+        assert is_valid_mapping(bypassed, tiny, vector100)
+
+    def test_bypass_changes_energy(self, toy_arch, vector100):
+        evaluator = Evaluator(toy_arch, vector100)
+        staged = evaluator.evaluate(passthrough_mapping())
+        direct = evaluator.evaluate(
+            passthrough_mapping([("GlobalBuffer", "X")])
+        )
+        assert staged.valid and direct.valid
+        # Skipping the GLB removes its read+write energy for X.
+        assert direct.energy_pj < staged.energy_pj
+
+
+class TestBypassExploration:
+    def test_mapspace_samples_bypass(self, toy_arch, vector100):
+        from repro.mapspace.generator import MapSpace, MapspaceKind
+
+        space = MapSpace(
+            toy_arch, vector100, MapspaceKind.RUBY_S, explore_bypass=True
+        )
+        rng = random.Random(0)
+        saw_bypass = False
+        for _ in range(100):
+            mapping = space.sample(rng)
+            if mapping.bypass:
+                saw_bypass = True
+                for level_name, _ in mapping.bypass:
+                    assert level_name != "DRAM"
+        assert saw_bypass
+
+    def test_default_no_bypass(self, toy_arch, vector100):
+        from repro.mapspace.generator import MapSpace, MapspaceKind
+
+        space = MapSpace(toy_arch, vector100, MapspaceKind.RUBY_S)
+        rng = random.Random(0)
+        assert all(not space.sample(rng).bypass for _ in range(50))
+
+    def test_search_with_bypass_finds_improvement(self, vector100):
+        # On an arch with an expensive middle buffer, bypassing X (which
+        # gets no reuse on this streaming workload) wins.
+        from repro.mapspace.generator import MapSpace, MapspaceKind
+        from repro.search import RandomSearch
+
+        arch = toy_glb_architecture(num_pes=5, glb_bytes=64 * 1024)
+        evaluator = Evaluator(arch, vector100)
+        base_space = MapSpace(arch, vector100, MapspaceKind.RUBY_S)
+        bypass_space = MapSpace(
+            arch, vector100, MapspaceKind.RUBY_S, explore_bypass=True
+        )
+        base = RandomSearch(
+            base_space, evaluator, max_evaluations=600, patience=None, seed=1
+        ).run()
+        with_bypass = RandomSearch(
+            bypass_space, evaluator, max_evaluations=600, patience=None, seed=1
+        ).run()
+        assert with_bypass.best_metric <= base.best_metric

@@ -1,0 +1,122 @@
+"""Unit tests for the Eq. (5) chain recursions — the paper's core math."""
+
+from repro.mapping import Loop, Mapping, chain_trip_count, temporal_steps
+from repro.mapping.chains import chain_coverage, dim_chain, tile_extent
+from repro.mapping.nest import LevelNest
+
+
+class TestChainTripCount:
+    def test_empty_chain(self):
+        assert chain_trip_count([]) == 1
+
+    def test_single_perfect_loop(self):
+        assert chain_trip_count([Loop("D", 20)]) == 20
+
+    def test_perfect_chain_is_product(self):
+        loops = [Loop("D", 4), Loop("D", 5), Loop("D", 3)]
+        assert chain_trip_count(loops) == 60
+
+    def test_paper_fig5_example(self):
+        # DRAM for 1, GLB for 17, spatial parFor 6 last 4 -> covers 100.
+        loops = [
+            Loop("D", 1),
+            Loop("D", 17),
+            Loop("D", 6, 4, spatial=True),
+        ]
+        assert chain_trip_count(loops) == 100
+
+    def test_paper_eq5_walkthrough(self):
+        # L2 = 0*1 + 1 - 1 = 0; L1 = 0*17 + 17 - 1 = 16;
+        # L0 = 16*6 + 4 - 1 = 99; points = 100.
+        partial = [Loop("D", 1), Loop("D", 17)]
+        assert chain_trip_count(partial) == 17
+
+    def test_remainder_one(self):
+        # bound 5 remainder 1 after an outer loop of 3: 2 full passes of 5
+        # plus a final pass of 1 = 11 leaf points.
+        loops = [Loop("D", 3), Loop("D", 5, 1)]
+        assert chain_trip_count(loops) == 2 * 5 + 1
+
+    def test_coverage_alias(self):
+        loops = [Loop("D", 7, 3)]
+        assert chain_coverage(loops) == chain_trip_count(loops) == 3
+
+
+class TestTemporalSteps:
+    def test_paper_fig5_cycle_saving(self):
+        # Ruby: 17 steps vs PFM's 20 — "saves 3 cycles" in the paper.
+        ruby = [Loop("D", 1), Loop("D", 17), Loop("D", 6, 4, spatial=True)]
+        pfm = [Loop("D", 1), Loop("D", 20), Loop("D", 5, spatial=True)]
+        assert temporal_steps(ruby) == 17
+        assert temporal_steps(pfm) == 20
+
+    def test_spatial_only_chain_is_one_step(self):
+        assert temporal_steps([Loop("D", 6, 4, spatial=True)]) == 1
+
+    def test_temporal_remainder(self):
+        loops = [Loop("D", 3), Loop("D", 5, 2)]
+        assert temporal_steps(loops) == 2 * 5 + 2
+
+    def test_perfect_product(self):
+        loops = [Loop("D", 3), Loop("D", 4, spatial=True), Loop("D", 5)]
+        assert temporal_steps(loops) == 15
+
+    def test_spatial_shadows_inner_temporal_remainder(self):
+        # 8 PEs run a 9-iteration loop in lockstep; the last PE's single
+        # iteration hides behind its siblings' full passes: 9 steps.
+        loops = [Loop("D", 8, spatial=True), Loop("D", 9, 1)]
+        assert chain_trip_count(loops) == 64
+        assert temporal_steps(loops) == 9
+
+    def test_single_active_instance_not_shadowed(self):
+        # A spatial loop that narrows to one active instance in the final
+        # window cannot hide the short pass: 2 full windows of 5 steps plus
+        # a lone 2-step window = 12 steps.
+        loops = [Loop("D", 3), Loop("D", 2, 1, spatial=True), Loop("D", 5, 2)]
+        assert temporal_steps(loops) == 2 * 5 + 2
+
+    def test_shadowing_only_from_same_dim_spatial(self):
+        # temporal_steps operates on one dimension's chain; a purely
+        # temporal chain keeps its remainder savings.
+        loops = [Loop("D", 4), Loop("D", 7, 3)]
+        assert temporal_steps(loops) == 3 * 7 + 3
+
+
+class TestTileExtent:
+    def test_uses_full_bounds(self):
+        loops = [Loop("D", 6, 4, spatial=True), Loop("D", 3, 1)]
+        assert tile_extent(loops) == 18
+
+    def test_empty(self):
+        assert tile_extent([]) == 1
+
+
+class TestDimChain:
+    def test_extracts_in_nest_order(self):
+        mapping = Mapping(
+            levels=(
+                LevelNest("DRAM", temporal=(Loop("C", 2), Loop("M", 3))),
+                LevelNest(
+                    "GLB",
+                    temporal=(Loop("C", 5),),
+                    spatial=(Loop("M", 4, spatial=True),),
+                ),
+            )
+        )
+        c_chain = dim_chain(mapping, "C")
+        assert [p.loop.bound for p in c_chain] == [2, 5]
+        m_chain = dim_chain(mapping, "M")
+        assert [(p.loop.bound, p.loop.spatial) for p in m_chain] == [
+            (3, False),
+            (4, True),
+        ]
+
+    def test_positions_are_global(self):
+        mapping = Mapping(
+            levels=(
+                LevelNest("DRAM", temporal=(Loop("C", 2), Loop("M", 3))),
+                LevelNest("GLB", temporal=(Loop("C", 5),)),
+            )
+        )
+        positions = [p.position for p in dim_chain(mapping, "C")]
+        assert positions == [0, 2]

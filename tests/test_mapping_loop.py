@@ -1,0 +1,63 @@
+"""Unit tests for Loop (remaindered loops)."""
+
+import pytest
+
+from repro.exceptions import SpecError
+from repro.mapping import Loop
+
+
+class TestLoop:
+    def test_default_remainder_is_bound(self):
+        loop = Loop("C", 5)
+        assert loop.remainder == 5
+        assert loop.is_perfect
+
+    def test_explicit_remainder(self):
+        loop = Loop("C", 6, 4, spatial=True)
+        assert not loop.is_perfect
+        assert loop.remainder == 4
+
+    def test_remainder_equal_bound_is_perfect(self):
+        assert Loop("C", 17, 17).is_perfect
+
+    def test_trivial(self):
+        assert Loop("C", 1).is_trivial
+        assert not Loop("C", 2).is_trivial
+
+    def test_as_perfect(self):
+        loop = Loop("C", 6, 4, spatial=True, axis=1)
+        perfect = loop.as_perfect()
+        assert perfect.is_perfect
+        assert perfect.bound == 6
+        assert perfect.spatial and perfect.axis == 1
+
+    def test_rejects_zero_bound(self):
+        with pytest.raises(SpecError):
+            Loop("C", 0)
+
+    def test_rejects_remainder_above_bound(self):
+        with pytest.raises(SpecError):
+            Loop("C", 4, 5)
+
+    def test_rejects_zero_remainder(self):
+        with pytest.raises(SpecError):
+            Loop("C", 4, 0)
+
+    def test_rejects_empty_dim(self):
+        with pytest.raises(SpecError):
+            Loop("", 4)
+
+    def test_rejects_bad_axis(self):
+        with pytest.raises(SpecError):
+            Loop("C", 4, spatial=True, axis=2)
+
+    def test_str_perfect_temporal(self):
+        assert str(Loop("C", 5)) == "for C in [0, 5)"
+
+    def test_str_imperfect_spatial(self):
+        assert str(Loop("D", 6, 4, spatial=True)) == "parFor D in [0, 6) last 4"
+
+    def test_frozen(self):
+        loop = Loop("C", 5)
+        with pytest.raises(AttributeError):
+            loop.bound = 6

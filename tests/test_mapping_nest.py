@@ -1,0 +1,114 @@
+"""Unit tests for LevelNest and Mapping structure."""
+
+import pytest
+
+from repro.exceptions import SpecError
+from repro.mapping import LevelNest, Loop, Mapping
+
+
+def two_level_mapping():
+    return Mapping.from_blocks(
+        [
+            ("DRAM", [Loop("D", 2)], []),
+            ("GLB", [Loop("D", 10)], [Loop("D", 5, 3, spatial=True)]),
+        ]
+    )
+
+
+class TestLevelNest:
+    def test_rejects_spatial_loop_in_temporal_block(self):
+        with pytest.raises(SpecError):
+            LevelNest("L", temporal=(Loop("D", 2, spatial=True),))
+
+    def test_rejects_temporal_loop_in_spatial_block(self):
+        with pytest.raises(SpecError):
+            LevelNest("L", spatial=(Loop("D", 2),))
+
+    def test_spatial_allocation(self):
+        nest = LevelNest(
+            "L",
+            spatial=(
+                Loop("C", 3, spatial=True, axis=0),
+                Loop("M", 4, spatial=True, axis=1),
+            ),
+        )
+        assert nest.spatial_allocation == 12
+        assert nest.spatial_allocation_on_axis(0) == 3
+        assert nest.spatial_allocation_on_axis(1) == 4
+
+
+class TestMapping:
+    def test_placed_loops_order_and_positions(self):
+        mapping = two_level_mapping()
+        placed = mapping.placed_loops()
+        assert [p.position for p in placed] == [0, 1, 2]
+        assert [p.level_index for p in placed] == [0, 1, 1]
+        assert placed[2].loop.spatial
+
+    def test_loops_above_level(self):
+        mapping = two_level_mapping()
+        above_glb = mapping.loops_above_level(1)
+        assert len(above_glb) == 1
+        assert above_glb[0].loop.bound == 2
+
+    def test_level_nest_lookup(self):
+        mapping = two_level_mapping()
+        assert mapping.level_nest("GLB").spatial_allocation == 5
+        with pytest.raises(KeyError):
+            mapping.level_nest("nope")
+
+    def test_dims_used(self):
+        mapping = Mapping.from_blocks(
+            [("DRAM", [Loop("C", 2), Loop("M", 3)], [])]
+        )
+        assert mapping.dims_used == ("C", "M")
+
+    def test_total_bound(self):
+        mapping = two_level_mapping()
+        assert mapping.total_bound("D") == 2 * 10 * 5
+
+    def test_imperfection_queries(self):
+        mapping = two_level_mapping()
+        assert mapping.has_imperfect_loops()
+        assert mapping.has_imperfect_spatial()
+        assert not mapping.has_imperfect_temporal()
+
+    def test_perfect_mapping_queries(self):
+        mapping = Mapping.from_blocks([("DRAM", [Loop("D", 4)], [])])
+        assert not mapping.has_imperfect_loops()
+
+    def test_rejects_duplicate_level_names(self):
+        with pytest.raises(SpecError):
+            Mapping.from_blocks([("L", [], []), ("L", [], [])])
+
+    def test_rejects_empty(self):
+        with pytest.raises(SpecError):
+            Mapping(levels=())
+
+    def test_canonical_key_drops_trivial_loops(self):
+        a = Mapping.from_blocks([("DRAM", [Loop("D", 4), Loop("C", 1)], [])])
+        b = Mapping.from_blocks([("DRAM", [Loop("D", 4)], [])])
+        assert a.canonical_key() == b.canonical_key()
+
+    def test_canonical_key_spatial_order_insensitive(self):
+        a = Mapping.from_blocks(
+            [("DRAM", [], [Loop("C", 2, spatial=True), Loop("M", 3, spatial=True)])]
+        )
+        b = Mapping.from_blocks(
+            [("DRAM", [], [Loop("M", 3, spatial=True), Loop("C", 2, spatial=True)])]
+        )
+        assert a.canonical_key() == b.canonical_key()
+
+    def test_canonical_key_temporal_order_sensitive(self):
+        a = Mapping.from_blocks([("DRAM", [Loop("C", 2), Loop("M", 3)], [])])
+        b = Mapping.from_blocks([("DRAM", [Loop("M", 3), Loop("C", 2)], [])])
+        assert a.canonical_key() != b.canonical_key()
+
+    def test_canonical_key_distinguishes_axes(self):
+        a = Mapping.from_blocks(
+            [("DRAM", [], [Loop("C", 2, spatial=True, axis=0)])]
+        )
+        b = Mapping.from_blocks(
+            [("DRAM", [], [Loop("C", 2, spatial=True, axis=1)])]
+        )
+        assert a.canonical_key() != b.canonical_key()

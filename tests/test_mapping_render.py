@@ -1,0 +1,60 @@
+"""Unit tests for mapping rendering."""
+
+from repro.mapping import Loop, Mapping, render_mapping
+from repro.mapping.render import render_compact
+
+
+def sample_mapping():
+    return Mapping.from_blocks(
+        [
+            ("DRAM", [Loop("P", 27)], []),
+            (
+                "GlobalBuffer",
+                [Loop("C", 24), Loop("M", 6)],
+                [Loop("R", 5, spatial=True), Loop("Q", 14, 13, spatial=True)],
+            ),
+            ("PEBuffer", [Loop("M", 16), Loop("C", 1)], []),
+        ]
+    )
+
+
+class TestRenderMapping:
+    def test_contains_level_labels(self):
+        text = render_mapping(sample_mapping())
+        for name in ("DRAM", "GlobalBuffer", "PEBuffer"):
+            assert f"[{name}]" in text
+
+    def test_contains_loops_and_compute(self):
+        text = render_mapping(sample_mapping())
+        assert "for P in [0, 27)" in text
+        assert "parFor Q in [0, 14) last 13" in text
+        assert text.strip().endswith("compute()")
+
+    def test_hides_trivial_by_default(self):
+        text = render_mapping(sample_mapping())
+        assert "for C in [0, 1)" not in text
+
+    def test_show_trivial(self):
+        text = render_mapping(sample_mapping(), show_trivial=True)
+        assert "for C in [0, 1)" in text
+
+    def test_indentation_increases(self):
+        lines = render_mapping(sample_mapping()).splitlines()
+        indents = [len(line) - len(line.lstrip()) for line in lines]
+        assert indents == sorted(indents)
+
+
+class TestRenderCompact:
+    def test_one_line(self):
+        text = render_compact(sample_mapping())
+        assert "\n" not in text
+
+    def test_imperfect_loop_annotated(self):
+        text = render_compact(sample_mapping())
+        assert "Q14/13" in text
+
+    def test_empty_level_dashed(self):
+        mapping = Mapping.from_blocks(
+            [("DRAM", [Loop("D", 4)], []), ("L1", [], [])]
+        )
+        assert "L1[-]" in render_compact(mapping)

@@ -1,0 +1,197 @@
+"""Unit tests for per-dimension allocation and remainder assignment."""
+
+import random
+
+import pytest
+
+from repro.exceptions import MapspaceError
+from repro.mapping import Loop, chain_trip_count
+from repro.mapspace import DimAllocator, assign_remainders, build_slots
+from repro.mapspace.slots import Slot
+
+
+def chain_loops(chain, slots):
+    """Materialize a DimChain as loops for coverage checking."""
+    return [
+        Loop(chain.dim, b, r, spatial=slot.spatial)
+        for b, r, slot in zip(chain.bounds, chain.remainders, slots)
+    ]
+
+
+class TestAssignRemainders:
+    def test_perfect_chain(self):
+        assert assign_remainders(100, [1, 20, 5]) == (1, 20, 5)
+
+    def test_paper_fig5(self):
+        # bounds outer->inner (DRAM 1, GLB 17, spatial 6) covering 100:
+        # remainders (1, 17, 4) — exactly the paper's example.
+        assert assign_remainders(100, [1, 17, 6]) == (1, 17, 4)
+
+    def test_remainders_within_bounds(self):
+        for bounds in ([3, 7, 5], [4, 2, 4, 2], [1, 1, 100]):
+            remainders = assign_remainders(47, bounds)
+            for r, b in zip(remainders, bounds):
+                assert 1 <= r <= b
+
+    def test_coverage_exact(self):
+        for size in (1, 7, 27, 100, 127):
+            for bounds in ([size], [2, (size + 1) // 2], [1, 5, 30]):
+                try:
+                    remainders = assign_remainders(size, bounds)
+                except MapspaceError:
+                    continue
+                loops = [Loop("D", b, r) for b, r in zip(bounds, remainders)]
+                assert chain_trip_count(loops) == size
+
+    def test_insufficient_bounds_rejected(self):
+        with pytest.raises(MapspaceError):
+            assign_remainders(100, [2, 5, 5])  # covers at most 50
+
+    def test_empty_bounds_size_one(self):
+        assert assign_remainders(1, []) == ()
+
+    def test_empty_bounds_size_two_rejected(self):
+        with pytest.raises(MapspaceError):
+            assign_remainders(2, [])
+
+    def test_size_one_any_bounds(self):
+        assert assign_remainders(1, [4, 4]) == (1, 1)
+
+
+def make_allocator(linear_arch9, spatial_imperfect, temporal_imperfect):
+    slots = build_slots(linear_arch9)
+    return slots, DimAllocator(
+        slots,
+        spatial_imperfect=spatial_imperfect,
+        temporal_imperfect=temporal_imperfect,
+    )
+
+
+class TestSampleChain:
+    @pytest.mark.parametrize("si,ti", [(False, False), (True, False),
+                                       (False, True), (True, True)])
+    def test_coverage_always_exact(self, linear_arch9, si, ti):
+        slots, allocator = make_allocator(linear_arch9, si, ti)
+        rng = random.Random(7)
+        for size in (3, 9, 27, 100, 127):
+            for _ in range(50):
+                budgets = {i: s.fanout_cap for i, s in enumerate(slots) if s.spatial}
+                chain = allocator.sample_chain("D", size, rng, budgets)
+                loops = chain_loops(chain, slots)
+                assert chain_trip_count(loops) == size
+
+    def test_pfm_bounds_are_divisor_chains(self, linear_arch9):
+        slots, allocator = make_allocator(linear_arch9, False, False)
+        rng = random.Random(3)
+        for _ in range(100):
+            budgets = {i: s.fanout_cap for i, s in enumerate(slots) if s.spatial}
+            chain = allocator.sample_chain("D", 100, rng, budgets)
+            assert all(r == b for b, r in zip(chain.bounds, chain.remainders))
+            product = 1
+            for b in chain.bounds:
+                product *= b
+            assert product == 100
+
+    def test_ruby_s_temporal_loops_perfect(self, linear_arch9):
+        slots, allocator = make_allocator(linear_arch9, True, False)
+        rng = random.Random(5)
+        saw_imperfect_spatial = False
+        for _ in range(300):
+            budgets = {i: s.fanout_cap for i, s in enumerate(slots) if s.spatial}
+            chain = allocator.sample_chain("D", 100, rng, budgets)
+            for slot, b, r in zip(slots, chain.bounds, chain.remainders):
+                if not slot.spatial:
+                    assert r == b, "Ruby-S must keep temporal loops perfect"
+                elif r != b:
+                    saw_imperfect_spatial = True
+        assert saw_imperfect_spatial
+
+    def test_ruby_t_spatial_loops_perfect(self, linear_arch9):
+        slots, allocator = make_allocator(linear_arch9, False, True)
+        rng = random.Random(5)
+        saw_imperfect_temporal = False
+        for _ in range(300):
+            budgets = {i: s.fanout_cap for i, s in enumerate(slots) if s.spatial}
+            chain = allocator.sample_chain("D", 100, rng, budgets)
+            for slot, b, r in zip(slots, chain.bounds, chain.remainders):
+                if slot.spatial:
+                    assert r == b, "Ruby-T must keep spatial loops perfect"
+                elif r != b:
+                    saw_imperfect_temporal = True
+        assert saw_imperfect_temporal
+
+    def test_spatial_bound_respects_budget(self, linear_arch9):
+        slots, allocator = make_allocator(linear_arch9, True, True)
+        rng = random.Random(11)
+        spatial_offset = next(i for i, s in enumerate(slots) if s.spatial)
+        for _ in range(200):
+            budgets = {spatial_offset: 4}
+            chain = allocator.sample_chain("D", 100, rng, budgets)
+            assert chain.bounds[spatial_offset] <= 4
+
+    def test_budget_mutated_after_use(self, linear_arch9):
+        slots, allocator = make_allocator(linear_arch9, True, False)
+        rng = random.Random(2)
+        spatial_offset = next(i for i, s in enumerate(slots) if s.spatial)
+        budgets = {spatial_offset: 9}
+        chain = allocator.sample_chain("D", 100, rng, budgets)
+        used = chain.bounds[spatial_offset]
+        assert budgets[spatial_offset] == 9 // used
+
+    def test_prime_dimension_ruby_s_can_fill_array(self, linear_arch9):
+        # D = 127 (prime): PFM can only put 1 or 127 spatially; 127 > 9, so
+        # PFM never parallelizes. Ruby-S can use all 9 PEs.
+        slots, allocator = make_allocator(linear_arch9, True, False)
+        spatial_offset = next(i for i, s in enumerate(slots) if s.spatial)
+        rng = random.Random(0)
+        spatial_bounds = set()
+        for _ in range(500):
+            budgets = {spatial_offset: 9}
+            chain = allocator.sample_chain("D", 127, rng, budgets)
+            spatial_bounds.add(chain.bounds[spatial_offset])
+        assert 9 in spatial_bounds
+
+        _, pfm = make_allocator(linear_arch9, False, False)
+        for _ in range(500):
+            budgets = {spatial_offset: 9}
+            chain = pfm.sample_chain("D", 127, rng, budgets)
+            assert chain.bounds[spatial_offset] == 1
+
+
+class TestEnumerateChains:
+    def test_pfm_count_matches_factorizations(self, linear_arch9):
+        slots, allocator = make_allocator(linear_arch9, False, False)
+        chains = list(allocator.enumerate_chains("D", 12))
+        # Ordered factorizations of 12 into 3 slots, spatial slot <= 9:
+        # total 3-part ordered factorizations = 18, minus those with
+        # spatial factor 12 (1 way: (1,12,1)).
+        assert len(chains) == 17
+
+    def test_all_enumerated_cover_exactly(self, linear_arch9):
+        slots, allocator = make_allocator(linear_arch9, True, False)
+        for chain in allocator.enumerate_chains("D", 20):
+            loops = chain_loops(chain, slots)
+            assert chain_trip_count(loops) == 20
+
+    def test_imperfect_superset_of_perfect(self, linear_arch9):
+        slots, pfm = make_allocator(linear_arch9, False, False)
+        _, ruby = make_allocator(linear_arch9, True, True)
+        pfm_bounds = {c.bounds for c in pfm.enumerate_chains("D", 24)}
+        ruby_bounds = {c.bounds for c in ruby.enumerate_chains("D", 24)}
+        assert pfm_bounds <= ruby_bounds
+        assert len(ruby_bounds) > len(pfm_bounds)
+
+    def test_spatial_cap_override(self, linear_arch9):
+        slots, allocator = make_allocator(linear_arch9, True, False)
+        spatial_offset = next(i for i, s in enumerate(slots) if s.spatial)
+        chains = list(
+            allocator.enumerate_chains("D", 30, spatial_caps={spatial_offset: 2})
+        )
+        assert all(c.bounds[spatial_offset] <= 2 for c in chains)
+
+
+class TestAllocatorConstruction:
+    def test_rejects_spatial_first_slot(self):
+        bad = [Slot(level_index=0, level_name="L", spatial=True, fanout_cap=4)]
+        with pytest.raises(MapspaceError):
+            DimAllocator(bad, True, True)

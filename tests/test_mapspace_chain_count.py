@@ -1,0 +1,87 @@
+"""Unit tests for DP chain counting vs brute-force enumeration."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.arch import toy_linear_architecture
+from repro.mapspace import DimAllocator, build_slots
+from repro.mapspace.chain_count import count_dim_chains, mapspace_upper_bound
+from repro.mapspace.generator import MapspaceKind
+
+
+def enumerated_count(slots, kind, size):
+    allocator = DimAllocator(
+        slots,
+        spatial_imperfect=kind.spatial_imperfect,
+        temporal_imperfect=kind.temporal_imperfect,
+    )
+    return sum(1 for _ in allocator.enumerate_chains("D", size))
+
+
+class TestCountMatchesEnumeration:
+    @pytest.mark.parametrize("kind", list(MapspaceKind))
+    @pytest.mark.parametrize("size", [1, 3, 12, 27, 100, 127, 360])
+    def test_exact_match(self, kind, size):
+        slots = build_slots(toy_linear_architecture(9))
+        assert count_dim_chains(slots, kind, "D", size) == enumerated_count(
+            slots, kind, size
+        )
+
+    @given(
+        size=st.integers(min_value=1, max_value=300),
+        kind=st.sampled_from(list(MapspaceKind)),
+        fanout=st.integers(min_value=2, max_value=16),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_property_match(self, size, kind, fanout):
+        slots = build_slots(toy_linear_architecture(fanout))
+        assert count_dim_chains(slots, kind, "D", size) == enumerated_count(
+            slots, kind, size
+        )
+
+
+class TestScalesBeyondEnumeration:
+    def test_large_dimension_is_fast(self):
+        slots = build_slots(toy_linear_architecture(9))
+        # Ruby at D = 10^6 has ~10^7 chains; counting is near-instant.
+        count = count_dim_chains(slots, MapspaceKind.RUBY, "D", 1_000_000)
+        assert count > 1_000_000
+
+    def test_ordering_holds_at_scale(self):
+        slots = build_slots(toy_linear_architecture(9))
+        size = 100_000
+        counts = {
+            kind: count_dim_chains(slots, kind, "D", size)
+            for kind in MapspaceKind
+        }
+        assert (
+            counts[MapspaceKind.PFM]
+            < counts[MapspaceKind.RUBY_S]
+            < counts[MapspaceKind.RUBY_T]
+            <= counts[MapspaceKind.RUBY]
+        )
+
+
+class TestUpperBound:
+    def test_bounds_enumerated_mapspace(self, linear_arch9):
+        from repro.mapspace.counting import count_mapspace_size
+        from repro.zoo.toy import table1_workload
+
+        workload = table1_workload(100)
+        for kind in MapspaceKind:
+            bound = mapspace_upper_bound(
+                linear_arch9, workload.dim_sizes, kind
+            )
+            actual = count_mapspace_size(
+                linear_arch9, workload, kind, count_valid=False
+            ).raw
+            assert actual <= bound
+
+    def test_multi_dim_product(self, linear_arch9):
+        bound = mapspace_upper_bound(
+            linear_arch9, {"A": 6, "B": 10}, MapspaceKind.PFM
+        )
+        slots = build_slots(linear_arch9)
+        a = count_dim_chains(slots, MapspaceKind.PFM, "A", 6)
+        b = count_dim_chains(slots, MapspaceKind.PFM, "B", 10)
+        assert bound == a * b

@@ -1,0 +1,245 @@
+"""Unit tests for MapSpace sampling, assembly, and enumeration."""
+
+import random
+
+import pytest
+
+from repro.mapping import is_valid_mapping
+from repro.mapspace import (
+    ConstraintSet,
+    MapspaceKind,
+    build_slots,
+    make_mapspace,
+    pfm_mapspace,
+    ruby_mapspace,
+    ruby_s_mapspace,
+    ruby_t_mapspace,
+)
+
+
+class TestMapspaceKind:
+    def test_flags(self):
+        assert not MapspaceKind.PFM.spatial_imperfect
+        assert not MapspaceKind.PFM.temporal_imperfect
+        assert MapspaceKind.RUBY.spatial_imperfect
+        assert MapspaceKind.RUBY.temporal_imperfect
+        assert MapspaceKind.RUBY_S.spatial_imperfect
+        assert not MapspaceKind.RUBY_S.temporal_imperfect
+        assert not MapspaceKind.RUBY_T.spatial_imperfect
+        assert MapspaceKind.RUBY_T.temporal_imperfect
+
+    def test_from_string(self):
+        assert MapspaceKind("ruby-s") is MapspaceKind.RUBY_S
+
+
+class TestSampling:
+    @pytest.mark.parametrize("kind", ["pfm", "ruby", "ruby-s", "ruby-t"])
+    def test_samples_structurally_sound(self, toy_arch, vector100, kind):
+        # Generated mappings always cover dims exactly and fit the fanout;
+        # capacity violations are allowed (the mapspace includes invalid
+        # mappings that the validity filter removes — the paper's step 2).
+        from repro.mapping.validity import check_mapping
+
+        space = make_mapspace(toy_arch, vector100, kind)
+        rng = random.Random(0)
+        some_valid = False
+        for _ in range(100):
+            mapping = space.sample(rng)
+            violations = check_mapping(mapping, toy_arch, vector100)
+            for violation in violations:
+                assert "capacity" in violation or "partition" in violation, violation
+            some_valid = some_valid or not violations
+        assert some_valid
+
+    def test_pfm_never_imperfect(self, toy_arch, vector100):
+        space = pfm_mapspace(toy_arch, vector100)
+        rng = random.Random(1)
+        for _ in range(200):
+            assert not space.sample(rng).has_imperfect_loops()
+
+    def test_ruby_s_only_spatial_imperfect(self, toy_arch, vector100):
+        space = ruby_s_mapspace(toy_arch, vector100)
+        rng = random.Random(1)
+        found = False
+        for _ in range(200):
+            mapping = space.sample(rng)
+            assert not mapping.has_imperfect_temporal()
+            found = found or mapping.has_imperfect_spatial()
+        assert found
+
+    def test_ruby_t_only_temporal_imperfect(self, toy_arch, vector100):
+        space = ruby_t_mapspace(toy_arch, vector100)
+        rng = random.Random(1)
+        found = False
+        for _ in range(200):
+            mapping = space.sample(rng)
+            assert not mapping.has_imperfect_spatial()
+            found = found or mapping.has_imperfect_temporal()
+        assert found
+
+    def test_ruby_both_kinds_appear(self, toy_arch, vector100):
+        space = ruby_mapspace(toy_arch, vector100)
+        rng = random.Random(1)
+        spatial = temporal = False
+        for _ in range(300):
+            mapping = space.sample(rng)
+            spatial = spatial or mapping.has_imperfect_spatial()
+            temporal = temporal or mapping.has_imperfect_temporal()
+        assert spatial and temporal
+
+    def test_reproducible_with_seed(self, toy_arch, vector100):
+        space = ruby_s_mapspace(toy_arch, vector100)
+        a = [m.canonical_key() for m in space.sample_many(20, random.Random(9))]
+        b = [m.canonical_key() for m in space.sample_many(20, random.Random(9))]
+        assert a == b
+
+    def test_multi_dim_fanout_shared(self, eyeriss, small_conv):
+        # Joint spatial allocation across all dims never exceeds the mesh.
+        space = ruby_s_mapspace(eyeriss, small_conv)
+        rng = random.Random(4)
+        for _ in range(100):
+            mapping = space.sample(rng)
+            nest = mapping.level_nest("GlobalBuffer")
+            assert nest.spatial_allocation_on_axis(0) <= 14
+            assert nest.spatial_allocation_on_axis(1) <= 12
+
+    def test_simba_spatial_dim_restriction_respected(self, simba, small_gemm):
+        space = ruby_s_mapspace(simba, small_gemm)
+        rng = random.Random(4)
+        for _ in range(100):
+            mapping = space.sample(rng)
+            for nest in mapping.levels:
+                for loop in nest.spatial:
+                    if loop.bound > 1:
+                        assert loop.dim in {"C", "M", "K"}
+
+
+class TestConstraints:
+    def test_spatial_dim_constraint(self, toy_arch, small_gemm):
+        constraints = ConstraintSet.build(
+            spatial_dims={"GlobalBuffer": {"M"}}
+        )
+        space = ruby_s_mapspace(toy_arch, small_gemm, constraints)
+        rng = random.Random(2)
+        for _ in range(100):
+            mapping = space.sample(rng)
+            for nest in mapping.levels:
+                for loop in nest.spatial:
+                    if loop.bound > 1:
+                        assert loop.dim == "M"
+
+    def test_max_spatial_cap(self, toy_arch, vector100):
+        constraints = ConstraintSet.build(max_spatial={"GlobalBuffer": 3})
+        space = ruby_s_mapspace(toy_arch, vector100, constraints)
+        rng = random.Random(2)
+        for _ in range(100):
+            mapping = space.sample(rng)
+            assert mapping.level_nest("GlobalBuffer").spatial_allocation <= 3
+
+    def test_fixed_permutation(self, toy_arch, small_gemm):
+        constraints = ConstraintSet.build(
+            fixed_permutations={"GlobalBuffer": ("K", "M", "N")}
+        )
+        space = pfm_mapspace(toy_arch, small_gemm, constraints)
+        rng = random.Random(2)
+        for _ in range(50):
+            mapping = space.sample(rng)
+            dims = [l.dim for l in mapping.level_nest("GlobalBuffer").temporal]
+            positions = {d: i for i, d in enumerate(dims)}
+            ordered = [d for d in ("K", "M", "N") if d in positions]
+            assert ordered == sorted(ordered, key=positions.get)
+
+    def test_temporal_dim_constraint(self, toy_arch, small_gemm):
+        constraints = ConstraintSet.build(
+            temporal_dims={"GlobalBuffer": {"M"}}
+        )
+        space = pfm_mapspace(toy_arch, small_gemm, constraints)
+        rng = random.Random(2)
+        for _ in range(50):
+            mapping = space.sample(rng)
+            for loop in mapping.level_nest("GlobalBuffer").temporal:
+                if loop.bound > 1:
+                    assert loop.dim == "M"
+
+
+class TestEnumeration:
+    def test_enumeration_covers_sampling(self, linear_arch9, vector100):
+        from repro.problem.gemm import vector_workload
+
+        w = vector_workload("v20", 20)
+        space = ruby_s_mapspace(linear_arch9, w)
+        enumerated = {m.canonical_key() for m in space.enumerate_mappings()}
+        rng = random.Random(0)
+        for _ in range(300):
+            assert space.sample(rng).canonical_key() in enumerated
+
+    def test_limit_respected(self, linear_arch9, vector100):
+        space = ruby_mapspace(linear_arch9, vector100)
+        assert len(list(space.enumerate_mappings(limit=10))) == 10
+
+    def test_enumerated_all_valid(self, linear_arch9):
+        from repro.problem.gemm import vector_workload
+
+        w = vector_workload("v12", 12)
+        space = ruby_s_mapspace(linear_arch9, w)
+        for mapping in space.enumerate_mappings():
+            assert is_valid_mapping(mapping, linear_arch9, w)
+
+    def test_permutations_expand(self, toy_arch, small_gemm):
+        space = pfm_mapspace(toy_arch, small_gemm)
+        plain = len(list(space.enumerate_mappings(limit=2000)))
+        permuted = len(list(space.enumerate_mappings(limit=5000, permutations=True)))
+        assert permuted > plain
+
+
+class TestGenomeOps:
+    def test_resample_dim_changes_only_that_dim(self, eyeriss, small_conv):
+        space = ruby_s_mapspace(eyeriss, small_conv)
+        rng = random.Random(0)
+        chains = space.sample_chains(rng)
+        updated = space.resample_dim(chains, "M", rng)
+        for dim in chains:
+            if dim != "M":
+                assert updated[dim] is chains[dim]
+
+    def test_remaining_budgets_nonnegative(self, eyeriss, small_conv):
+        space = ruby_s_mapspace(eyeriss, small_conv)
+        rng = random.Random(0)
+        chains = space.sample_chains(rng)
+        for budget in space.remaining_budgets(chains).values():
+            assert budget >= 0
+
+    def test_chains_within_fanout_holds_for_samples(self, eyeriss, small_conv):
+        space = ruby_s_mapspace(eyeriss, small_conv)
+        rng = random.Random(0)
+        for _ in range(50):
+            assert space.chains_within_fanout(space.sample_chains(rng))
+
+
+class TestSlots:
+    def test_eyeriss_has_two_spatial_slots(self, eyeriss):
+        slots = build_slots(eyeriss)
+        spatial = [s for s in slots if s.spatial]
+        assert len(spatial) == 2
+        assert {s.axis for s in spatial} == {0, 1}
+        assert sorted(s.fanout_cap for s in spatial) == [12, 14]
+
+    def test_linear_has_one_spatial_slot(self, linear_arch9):
+        slots = build_slots(linear_arch9)
+        spatial = [s for s in slots if s.spatial]
+        assert len(spatial) == 1
+        assert spatial[0].fanout_cap == 9
+
+    def test_simba_two_fanouts(self, simba):
+        slots = build_slots(simba)
+        spatial = [s for s in slots if s.spatial]
+        # GLB->PE (1D) plus the PE's 4x4 lane mesh (2D) = 3 spatial slots.
+        assert len(spatial) == 3
+
+    def test_slot_allows(self, eyeriss):
+        constraints = ConstraintSet.build(
+            spatial_dims={"GlobalBuffer": {"Q"}}
+        )
+        slots = build_slots(eyeriss, constraints)
+        spatial = [s for s in slots if s.spatial]
+        assert all(s.allows("Q") and not s.allows("P") for s in spatial)

@@ -1,0 +1,83 @@
+"""Unit tests for the sampler-mode switch (structured vs uniform)."""
+
+import random
+
+import pytest
+
+from repro.exceptions import MapspaceError
+from repro.mapspace import DimAllocator, build_slots
+from repro.mapspace.generator import MapSpace, MapspaceKind
+
+
+class TestSamplingModes:
+    def test_unknown_mode_rejected(self, linear_arch9):
+        slots = build_slots(linear_arch9)
+        with pytest.raises(MapspaceError):
+            DimAllocator(slots, True, True, sampling="magic")
+
+    def test_uniform_mode_still_exact_coverage(self, linear_arch9):
+        from repro.mapping import Loop, chain_trip_count
+
+        slots = build_slots(linear_arch9)
+        allocator = DimAllocator(slots, True, True, sampling="uniform")
+        rng = random.Random(0)
+        for size in (17, 100, 127):
+            for _ in range(100):
+                budgets = {
+                    i: s.fanout_cap for i, s in enumerate(slots) if s.spatial
+                }
+                chain = allocator.sample_chain("D", size, rng, budgets)
+                loops = [
+                    Loop("D", b, r, spatial=s.spatial)
+                    for b, r, s in zip(chain.bounds, chain.remainders, slots)
+                ]
+                assert chain_trip_count(loops) == size
+
+    def test_structured_hits_cap_more_often(self, linear_arch9, vector100):
+        """The structured sampler oversamples the full-fanout choice."""
+        slots = build_slots(linear_arch9)
+        spatial_offset = next(i for i, s in enumerate(slots) if s.spatial)
+
+        def cap_rate(sampling: str) -> float:
+            allocator = DimAllocator(slots, True, False, sampling=sampling)
+            rng = random.Random(42)
+            hits = 0
+            trials = 500
+            for _ in range(trials):
+                budgets = {spatial_offset: 9}
+                chain = allocator.sample_chain("D", 127, rng, budgets)
+                if chain.bounds[spatial_offset] == 9:
+                    hits += 1
+            return hits / trials
+
+        assert cap_rate("structured") > cap_rate("uniform") * 1.5
+
+    def test_mapspace_accepts_sampling_kwarg(self, toy_arch, vector100):
+        space = MapSpace(
+            toy_arch, vector100, MapspaceKind.RUBY_S, sampling="uniform"
+        )
+        mapping = space.sample(random.Random(0))
+        assert mapping is not None
+
+    def test_mapspace_rejects_bad_sampling(self, toy_arch, vector100):
+        with pytest.raises(MapspaceError):
+            MapSpace(toy_arch, vector100, MapspaceKind.RUBY_S, sampling="nope")
+
+
+class TestFlatMeshPreset:
+    def test_flat_mesh_single_spatial_slot(self):
+        from repro.arch import eyeriss_like
+
+        flat = eyeriss_like(flat_mesh=True)
+        slots = build_slots(flat)
+        spatial = [s for s in slots if s.spatial]
+        assert len(spatial) == 1
+        assert spatial[0].fanout_cap == 168
+
+    def test_flat_mesh_same_compute_units(self):
+        from repro.arch import eyeriss_like
+
+        assert (
+            eyeriss_like(flat_mesh=True).total_compute_units
+            == eyeriss_like().total_compute_units
+        )

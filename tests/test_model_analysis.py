@@ -1,0 +1,100 @@
+"""Unit tests for mapping analysis (explain_mapping)."""
+
+import pytest
+
+from repro.mapping import Loop, Mapping
+from repro.model import explain_mapping, format_report
+from repro.model.analysis import LevelOccupancy, ReuseFactor
+
+
+def staged_mapping():
+    return Mapping.from_blocks(
+        [
+            ("DRAM", [Loop("D", 2)], []),
+            ("GlobalBuffer", [Loop("D", 10)], [Loop("D", 5, spatial=True)]),
+            ("PERegister", [], []),
+        ]
+    )
+
+
+class TestExplainMapping:
+    def test_occupancy_entries(self, toy_arch, vector100):
+        report = explain_mapping(toy_arch, vector100, staged_mapping())
+        glb = [
+            o for o in report.occupancies
+            if o.level_name == "GlobalBuffer" and o.tensor_name == "X"
+        ]
+        assert len(glb) == 1
+        assert glb[0].tile_words == 50
+        assert glb[0].capacity_words == 512
+        assert glb[0].occupancy == pytest.approx(50 / 512)
+
+    def test_dram_unbounded_occupancy(self, toy_arch, vector100):
+        report = explain_mapping(toy_arch, vector100, staged_mapping())
+        dram = [o for o in report.occupancies if o.level_name == "DRAM"]
+        assert all(o.occupancy is None for o in dram)
+
+    def test_reuse_factors_present(self, toy_arch, vector100):
+        report = explain_mapping(toy_arch, vector100, staged_mapping())
+        assert any(
+            r.level_name == "GlobalBuffer" and r.tensor_name == "X"
+            for r in report.reuse
+        )
+
+    def test_energy_shares_sum_to_one(self, toy_arch, vector100):
+        report = explain_mapping(toy_arch, vector100, staged_mapping())
+        assert sum(report.energy_shares.values()) == pytest.approx(1.0)
+
+    def test_invalid_mapping_rejected(self, toy_arch, vector100):
+        bad = Mapping.from_blocks(
+            [
+                ("DRAM", [Loop("D", 3)], []),
+                ("GlobalBuffer", [Loop("D", 10)], [Loop("D", 5, spatial=True)]),
+                ("PERegister", [], []),
+            ]
+        )
+        with pytest.raises(ValueError, match="invalid"):
+            explain_mapping(toy_arch, vector100, bad)
+
+    def test_bypassed_tensor_excluded_from_occupancy(self, toy_arch, vector100):
+        mapping = staged_mapping().with_bypass([("GlobalBuffer", "X")])
+        report = explain_mapping(toy_arch, vector100, mapping)
+        assert not any(
+            o.level_name == "GlobalBuffer" and o.tensor_name == "X"
+            for o in report.occupancies
+        )
+
+
+class TestFormatReport:
+    def test_contains_sections(self, toy_arch, vector100):
+        report = explain_mapping(toy_arch, vector100, staged_mapping())
+        text = format_report(report)
+        assert "Buffer occupancy" in text
+        assert "Access profile" in text
+        assert "Energy" in text
+        assert "utilization" in text
+
+    def test_energy_sorted_descending(self, toy_arch, vector100):
+        report = explain_mapping(toy_arch, vector100, staged_mapping())
+        text = format_report(report)
+        energy_section = text.split("Energy")[1]
+        shares = [
+            float(line.split()[-1].rstrip("%"))
+            for line in energy_section.splitlines()
+            if "%" in line
+        ]
+        assert shares == sorted(shares, reverse=True)
+
+
+class TestDataclasses:
+    def test_occupancy_none_capacity(self):
+        occupancy = LevelOccupancy("L", "T", 10, None)
+        assert occupancy.occupancy is None
+
+    def test_reuse_zero_fills(self):
+        reuse = ReuseFactor("L", "T", reads_served=10, fills=0)
+        assert reuse.factor is None
+
+    def test_reuse_factor_value(self):
+        reuse = ReuseFactor("L", "T", reads_served=100, fills=10)
+        assert reuse.factor == 10.0

@@ -1,0 +1,143 @@
+"""Unit tests for dataflow analysis (keeper paths, boundaries, cutoffs)."""
+
+import pytest
+
+from repro.exceptions import SpecError
+from repro.mapping import Loop, Mapping
+from repro.model.dataflow import (
+    innermost_relevant_temporal_position,
+    keeper_levels,
+    nontrivial_loops,
+    storage_positions,
+    tensor_paths,
+    total_positions,
+)
+
+
+def eyeriss_mapping(small_conv):
+    return Mapping.from_blocks(
+        [
+            ("DRAM", [Loop("P", 6)], []),
+            (
+                "GlobalBuffer",
+                [Loop("C", 8), Loop("Q", 6)],
+                [Loop("M", 8, spatial=True, axis=0)],
+            ),
+            ("PEBuffer", [Loop("M", 2), Loop("R", 3), Loop("S", 3)], []),
+        ]
+    )
+
+
+class TestPositions:
+    def test_storage_positions(self, small_conv):
+        mapping = eyeriss_mapping(small_conv)
+        assert storage_positions(mapping) == [0, 1, 4]
+
+    def test_total_positions(self, small_conv):
+        assert total_positions(eyeriss_mapping(small_conv)) == 7
+
+    def test_nontrivial_filters_unit_bounds(self, small_conv):
+        mapping = Mapping.from_blocks(
+            [("DRAM", [Loop("P", 1), Loop("C", 4)], [])]
+        )
+        loops = nontrivial_loops(mapping)
+        assert len(loops) == 1 and loops[0].loop.dim == "C"
+
+
+class TestKeeperLevels:
+    def test_eyeriss_weights_bypass_glb(self, eyeriss):
+        assert keeper_levels(eyeriss, "Weights") == [0, 2]
+
+    def test_eyeriss_inputs_all_levels(self, eyeriss):
+        assert keeper_levels(eyeriss, "Inputs") == [0, 1, 2]
+
+
+class TestTensorPaths:
+    def test_paths_structure(self, eyeriss, small_conv):
+        mapping = eyeriss_mapping(small_conv)
+        paths = tensor_paths(eyeriss, small_conv, mapping)
+        weights = paths["Weights"]
+        assert weights.keeper_levels == (0, 2)
+        # DRAM -> PEBuffer, then PEBuffer -> compute.
+        assert len(weights.boundaries) == 2
+        assert weights.boundaries[0].parent_level == 0
+        assert weights.boundaries[0].child_level == 2
+        assert weights.boundaries[0].boundary_position == 4
+        assert weights.boundaries[1].child_level is None
+        assert weights.boundaries[1].boundary_position == 7
+
+    def test_inputs_three_boundaries(self, eyeriss, small_conv):
+        paths = tensor_paths(eyeriss, small_conv, eyeriss_mapping(small_conv))
+        assert len(paths["Inputs"].boundaries) == 3
+
+    def test_rejects_fully_bypassed_tensor(self, small_conv):
+        from repro.arch import Architecture, StorageLevel
+
+        arch = Architecture(
+            name="bad",
+            levels=(
+                StorageLevel.build("DRAM", keeps={"Inputs", "Outputs"}),
+                StorageLevel.build(
+                    "L1", capacity_words=64, keeps={"Inputs", "Outputs"}
+                ),
+            ),
+        )
+        mapping = Mapping.from_blocks([("DRAM", [], []), ("L1", [], [])])
+        with pytest.raises(SpecError, match="bypassed"):
+            tensor_paths(arch, small_conv, mapping)
+
+    def test_rejects_tensor_missing_from_outermost(self, small_conv):
+        from repro.arch import Architecture, StorageLevel
+
+        arch = Architecture(
+            name="bad",
+            levels=(
+                StorageLevel.build("DRAM", keeps={"Inputs", "Outputs"}),
+                StorageLevel.build("L1", capacity_words=64),
+            ),
+        )
+        mapping = Mapping.from_blocks([("DRAM", [], []), ("L1", [], [])])
+        with pytest.raises(SpecError, match="outermost"):
+            tensor_paths(arch, small_conv, mapping)
+
+
+class TestCutoff:
+    def test_innermost_relevant_temporal(self, small_conv):
+        mapping = eyeriss_mapping(small_conv)
+        loops = nontrivial_loops(mapping)
+        # Weights relevant dims: M, C, R, S. Innermost relevant temporal
+        # above the compute boundary is S at position 6.
+        cutoff = innermost_relevant_temporal_position(
+            loops, frozenset({"M", "C", "R", "S"}), total_positions(mapping)
+        )
+        assert cutoff == 6
+
+    def test_spatial_loops_do_not_set_cutoff(self, small_conv):
+        mapping = Mapping.from_blocks(
+            [
+                ("DRAM", [Loop("C", 8)], []),
+                ("GlobalBuffer", [], [Loop("M", 8, spatial=True)]),
+                ("PEBuffer", [], []),
+            ]
+        )
+        loops = nontrivial_loops(mapping)
+        cutoff = innermost_relevant_temporal_position(
+            loops, frozenset({"M"}), 10
+        )
+        assert cutoff == -1
+
+    def test_boundary_restricts_search(self, small_conv):
+        mapping = eyeriss_mapping(small_conv)
+        loops = nontrivial_loops(mapping)
+        # Above the PEBuffer boundary (position 4) the innermost relevant
+        # temporal loop for weights is C at position 1.
+        cutoff = innermost_relevant_temporal_position(
+            loops, frozenset({"M", "C", "R", "S"}), 4
+        )
+        assert cutoff == 1
+
+    def test_no_relevant_loops(self, small_conv):
+        mapping = eyeriss_mapping(small_conv)
+        loops = nontrivial_loops(mapping)
+        cutoff = innermost_relevant_temporal_position(loops, frozenset(), 7)
+        assert cutoff == -1

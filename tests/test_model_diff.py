@@ -1,0 +1,102 @@
+"""Unit tests for evaluation diffing."""
+
+import pytest
+
+from repro.energy import estimate_energy_table
+from repro.mapping import Loop, Mapping
+from repro.model import Evaluator
+from repro.model.diff import diff_evaluations, format_diff
+
+
+@pytest.fixture
+def pair(toy_arch, vector100):
+    evaluator = Evaluator(toy_arch, vector100)
+    pfm = evaluator.evaluate(
+        Mapping.from_blocks(
+            [
+                ("DRAM", [Loop("D", 1)], []),
+                ("GlobalBuffer", [Loop("D", 20)], [Loop("D", 5, spatial=True)]),
+                ("PERegister", [], []),
+            ]
+        )
+    )
+    ruby = evaluator.evaluate(
+        Mapping.from_blocks(
+            [
+                ("DRAM", [Loop("D", 1)], []),
+                ("GlobalBuffer", [Loop("D", 17)], [Loop("D", 6, 4, spatial=True)]),
+                ("PERegister", [], []),
+            ]
+        )
+    )
+    return toy_arch, estimate_energy_table(toy_arch), pfm, ruby
+
+
+class TestDiffEvaluations:
+    def test_metric_ratios(self, pair):
+        arch, table, pfm, ruby = pair
+        diff = diff_evaluations(arch, table, pfm, ruby)
+        assert diff.edp_ratio == pytest.approx(17 / 20)
+        assert diff.cycles_ratio == pytest.approx(17 / 20)
+        assert diff.energy_ratio == pytest.approx(1.0)
+        assert diff.utilization_delta > 0
+
+    def test_identical_traffic_has_no_deltas(self, pair):
+        # Both schedules move exactly 100 elements per level per tensor.
+        arch, table, pfm, ruby = pair
+        diff = diff_evaluations(arch, table, pfm, ruby)
+        assert diff.deltas == []
+
+    def test_traffic_delta_detected(self, toy_arch):
+        from repro.problem import GemmLayer
+
+        workload = GemmLayer("g", m=4, n=3, k=2).workload()
+        evaluator = Evaluator(toy_arch, workload)
+        good = evaluator.evaluate(
+            Mapping.from_blocks(
+                [
+                    ("DRAM", [Loop("M", 4)], []),
+                    ("GlobalBuffer", [Loop("K", 2), Loop("N", 3)], []),
+                    ("PERegister", [], []),
+                ]
+            )
+        )
+        bad = evaluator.evaluate(
+            Mapping.from_blocks(
+                [
+                    ("DRAM", [Loop("N", 3), Loop("M", 4)], []),
+                    ("GlobalBuffer", [Loop("K", 2)], []),
+                    ("PERegister", [], []),
+                ]
+            )
+        )
+        table = estimate_energy_table(toy_arch)
+        diff = diff_evaluations(toy_arch, table, good, bad)
+        # The refetching mapping reads A from DRAM 3x as often.
+        dram_a = next(
+            d for d in diff.deltas
+            if d.level_name == "DRAM" and d.tensor_name == "A"
+        )
+        assert dram_a.reads_before == 8 and dram_a.reads_after == 24
+        assert dram_a.energy_delta_pj > 0
+        assert diff.dominant_deltas(1)[0].level_name == "DRAM"
+
+    def test_invalid_rejected(self, pair, toy_arch, vector100):
+        arch, table, pfm, _ = pair
+        bad = Evaluator(toy_arch, vector100).evaluate(
+            Mapping.from_blocks(
+                [
+                    ("DRAM", [Loop("D", 3)], []),
+                    ("GlobalBuffer", [], []),
+                    ("PERegister", [], []),
+                ]
+            )
+        )
+        with pytest.raises(ValueError):
+            diff_evaluations(arch, table, pfm, bad)
+
+    def test_format(self, pair):
+        arch, table, pfm, ruby = pair
+        text = format_diff(diff_evaluations(arch, table, pfm, ruby))
+        assert "EDP x0.850" in text
+        assert "utilization" in text

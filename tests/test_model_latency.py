@@ -1,0 +1,128 @@
+"""Unit tests for the latency/utilization model."""
+
+import pytest
+
+from repro.arch import StorageLevel, Architecture, toy_glb_architecture
+from repro.mapping import Loop, Mapping
+from repro.model import compute_cycles, compute_utilization
+from repro.model.access_counts import AccessCounts
+from repro.model.latency import bandwidth_stall_cycles, spatial_allocations
+from repro.problem import GemmLayer
+from repro.problem.gemm import vector_workload
+
+
+class TestComputeCycles:
+    def test_paper_fig5_cycles(self, vector100):
+        pfm = Mapping.from_blocks(
+            [
+                ("DRAM", [Loop("D", 1)], []),
+                ("GlobalBuffer", [Loop("D", 20)], [Loop("D", 5, spatial=True)]),
+                ("PERegister", [], []),
+            ]
+        )
+        ruby = Mapping.from_blocks(
+            [
+                ("DRAM", [Loop("D", 1)], []),
+                ("GlobalBuffer", [Loop("D", 17)], [Loop("D", 6, 4, spatial=True)]),
+                ("PERegister", [], []),
+            ]
+        )
+        assert compute_cycles(vector100, pfm) == 20
+        assert compute_cycles(vector100, ruby) == 17
+
+    def test_fully_temporal(self, vector100):
+        mapping = Mapping.from_blocks(
+            [
+                ("DRAM", [Loop("D", 100)], []),
+                ("GlobalBuffer", [], []),
+                ("PERegister", [], []),
+            ]
+        )
+        assert compute_cycles(vector100, mapping) == 100
+
+    def test_multi_dim_product(self):
+        w = GemmLayer("g", m=4, n=3, k=2).workload()
+        mapping = Mapping.from_blocks(
+            [
+                ("DRAM", [Loop("M", 4), Loop("N", 3), Loop("K", 2)], []),
+                ("Buf", [], []),
+            ]
+        )
+        assert compute_cycles(w, mapping) == 24
+
+    def test_spatial_loops_free(self):
+        w = GemmLayer("g", m=4, n=3, k=2).workload()
+        mapping = Mapping.from_blocks(
+            [
+                ("DRAM", [Loop("N", 3), Loop("K", 2)], [Loop("M", 4, spatial=True)]),
+                ("Buf", [], []),
+            ]
+        )
+        assert compute_cycles(w, mapping) == 6
+
+
+class TestUtilization:
+    def test_full(self, toy_arch, vector100):
+        # 100 MACs in 17 cycles on 6 PEs: 100 / 102.
+        util = compute_utilization(toy_arch, vector100, 17)
+        assert util == pytest.approx(100 / (17 * 6))
+
+    def test_pfm_baseline(self, toy_arch, vector100):
+        util = compute_utilization(toy_arch, vector100, 20)
+        assert util == pytest.approx(100 / 120)
+
+    def test_rejects_zero_cycles(self, toy_arch, vector100):
+        with pytest.raises(ValueError):
+            compute_utilization(toy_arch, vector100, 0)
+
+    def test_never_above_one_for_valid_cycle_counts(self, toy_arch, vector100):
+        util = compute_utilization(toy_arch, vector100, 17)
+        assert util <= 1.0
+
+
+class TestSpatialAllocations:
+    def test_reports_per_level(self, vector100):
+        mapping = Mapping.from_blocks(
+            [
+                ("DRAM", [Loop("D", 20)], []),
+                ("GlobalBuffer", [], [Loop("D", 5, spatial=True)]),
+                ("PERegister", [], []),
+            ]
+        )
+        assert spatial_allocations(mapping) == {
+            "DRAM": 1, "GlobalBuffer": 5, "PERegister": 1,
+        }
+
+
+class TestBandwidthStalls:
+    def test_disabled_by_default(self, toy_arch):
+        counts = AccessCounts()
+        counts.add_reads(1, "X", 10**9)
+        assert bandwidth_stall_cycles(toy_arch, counts) is None
+
+    def test_bounded_level_limits(self):
+        arch = Architecture(
+            name="bw",
+            levels=(
+                StorageLevel.build("DRAM", bandwidth_words_per_cycle=2.0),
+                StorageLevel.build("Buf", capacity_words=1024),
+            ),
+        )
+        counts = AccessCounts()
+        counts.add_reads(0, "X", 100)
+        counts.add_writes(0, "Y", 100)
+        assert bandwidth_stall_cycles(arch, counts) == 100
+
+    def test_instances_share_load(self):
+        arch = Architecture(
+            name="bw",
+            levels=(
+                StorageLevel.build("DRAM", fanout=4),
+                StorageLevel.build(
+                    "Buf", capacity_words=1024, bandwidth_words_per_cycle=1.0
+                ),
+            ),
+        )
+        counts = AccessCounts()
+        counts.add_reads(1, "X", 100)
+        assert bandwidth_stall_cycles(arch, counts) == 25

@@ -1,0 +1,124 @@
+"""Unit tests for roofline analysis."""
+
+import pytest
+
+from repro.arch import Architecture, StorageLevel, toy_glb_architecture
+from repro.mapping import Loop, Mapping
+from repro.model import Evaluator
+from repro.model.roofline import RooflinePoint, roofline_point
+from repro.problem import GemmLayer
+
+
+@pytest.fixture
+def gemm_setting(toy_arch):
+    workload = GemmLayer("g", m=8, n=6, k=4).workload()
+    evaluator = Evaluator(toy_arch, workload)
+    mapping = Mapping.from_blocks(
+        [
+            ("DRAM", [Loop("M", 2)], []),
+            ("GlobalBuffer", [Loop("K", 4), Loop("N", 6)],
+             [Loop("M", 4, spatial=True)]),
+            ("PERegister", [], []),
+        ]
+    )
+    return toy_arch, workload, evaluator.evaluate(mapping)
+
+
+class TestRooflinePoint:
+    def test_operational_intensity(self, gemm_setting):
+        arch, workload, evaluation = gemm_setting
+        point = roofline_point(arch, workload, evaluation)
+        counts = evaluation.access_counts
+        dram_bytes = (counts.level_reads(0) + counts.level_writes(0)) * 2
+        assert point.operational_intensity == pytest.approx(
+            workload.total_operations / dram_bytes
+        )
+
+    def test_achieved_throughput(self, gemm_setting):
+        arch, workload, evaluation = gemm_setting
+        point = roofline_point(arch, workload, evaluation)
+        assert point.achieved_ops_per_cycle == pytest.approx(
+            workload.total_operations / evaluation.cycles
+        )
+        assert point.peak_ops_per_cycle == 6.0
+
+    def test_no_bandwidth_means_compute_bound(self, gemm_setting):
+        arch, workload, evaluation = gemm_setting
+        point = roofline_point(arch, workload, evaluation)
+        assert point.dram_bytes_per_cycle is None
+        assert point.is_compute_bound
+        assert point.ridge_intensity is None
+        assert point.attainable_ops_per_cycle == point.peak_ops_per_cycle
+
+    def test_roof_fraction_bounded(self, gemm_setting):
+        arch, workload, evaluation = gemm_setting
+        point = roofline_point(arch, workload, evaluation)
+        assert 0.0 < point.roof_fraction <= 1.0
+
+    def test_invalid_evaluation_rejected(self, toy_arch):
+        workload = GemmLayer("g", m=8, n=6, k=4).workload()
+        evaluator = Evaluator(toy_arch, workload)
+        bad = evaluator.evaluate(
+            Mapping.from_blocks(
+                [
+                    ("DRAM", [Loop("M", 3)], []),
+                    ("GlobalBuffer", [], []),
+                    ("PERegister", [], []),
+                ]
+            )
+        )
+        with pytest.raises(ValueError):
+            roofline_point(toy_arch, workload, bad)
+
+
+class TestBandwidthRoof:
+    def test_memory_bound_detection(self):
+        # Peak 4 ops/cycle; bandwidth 1 word = 2 bytes/cycle; ridge at
+        # OI = 2 MACs/byte. A point at OI 1 is memory-bound.
+        point = RooflinePoint(
+            operational_intensity=1.0,
+            achieved_ops_per_cycle=1.5,
+            peak_ops_per_cycle=4.0,
+            dram_bytes_per_cycle=2.0,
+        )
+        assert not point.is_compute_bound
+        assert point.ridge_intensity == pytest.approx(2.0)
+        assert point.attainable_ops_per_cycle == pytest.approx(2.0)
+        assert point.roof_fraction == pytest.approx(0.75)
+
+    def test_compute_bound_beyond_ridge(self):
+        point = RooflinePoint(
+            operational_intensity=10.0,
+            achieved_ops_per_cycle=4.0,
+            peak_ops_per_cycle=4.0,
+            dram_bytes_per_cycle=2.0,
+        )
+        assert point.is_compute_bound
+        assert point.roof_fraction == pytest.approx(1.0)
+
+    def test_better_reuse_raises_intensity(self, toy_arch):
+        # A mapping that refetches A for every N sweep moves more DRAM
+        # bytes -> lower operational intensity than the reuse-friendly one.
+        workload = GemmLayer("g", m=4, n=3, k=2).workload()
+        evaluator = Evaluator(toy_arch, workload)
+        reuse = evaluator.evaluate(
+            Mapping.from_blocks(
+                [
+                    ("DRAM", [Loop("M", 4)], []),
+                    ("GlobalBuffer", [Loop("K", 2), Loop("N", 3)], []),
+                    ("PERegister", [], []),
+                ]
+            )
+        )
+        refetch = evaluator.evaluate(
+            Mapping.from_blocks(
+                [
+                    ("DRAM", [Loop("N", 3), Loop("M", 4)], []),
+                    ("GlobalBuffer", [Loop("K", 2)], []),
+                    ("PERegister", [], []),
+                ]
+            )
+        )
+        good = roofline_point(toy_arch, workload, reuse)
+        bad = roofline_point(toy_arch, workload, refetch)
+        assert good.operational_intensity > bad.operational_intensity

@@ -1,0 +1,75 @@
+"""Unit tests for zero-gating — the Fig. 8 sparsity caveat."""
+
+import pytest
+
+from repro.arch import toy_linear_architecture
+from repro.core import find_best_mapping
+from repro.energy import estimate_energy_table
+from repro.model.sparsity import gated_evaluation
+from repro.problem import pad_dimension
+from repro.problem.gemm import vector_workload
+
+
+@pytest.fixture(scope="module")
+def setting():
+    arch = toy_linear_architecture(16)
+    table = estimate_energy_table(arch)
+    return arch, table
+
+
+def search(arch, workload, kind):
+    return find_best_mapping(
+        arch, workload, kind=kind, seed=0,
+        max_evaluations=1500, patience=400,
+    ).best
+
+
+class TestGatedEvaluation:
+    def test_full_density_is_identity(self, setting):
+        arch, table = setting
+        best = search(arch, vector_workload("v", 128), "pfm")
+        gated = gated_evaluation(arch, best, 1.0, table)
+        assert gated.energy_pj == pytest.approx(best.energy_pj)
+        assert gated.cycles == best.cycles
+
+    def test_energy_scales_down_cycles_unchanged(self, setting):
+        arch, table = setting
+        best = search(arch, vector_workload("v", 128), "pfm")
+        gated = gated_evaluation(arch, best, 0.5, table)
+        assert gated.energy_pj < best.energy_pj
+        assert gated.cycles == best.cycles
+        assert gated.energy_breakdown_pj["compute"] == pytest.approx(
+            best.energy_breakdown_pj["compute"] * 0.5
+        )
+
+    def test_breakdown_still_sums(self, setting):
+        arch, table = setting
+        best = search(arch, vector_workload("v", 128), "pfm")
+        gated = gated_evaluation(arch, best, 0.7, table)
+        assert sum(gated.energy_breakdown_pj.values()) == pytest.approx(
+            gated.energy_pj
+        )
+
+    def test_rejects_bad_fraction(self, setting):
+        arch, table = setting
+        best = search(arch, vector_workload("v", 128), "pfm")
+        with pytest.raises(ValueError):
+            gated_evaluation(arch, best, 0.0, table)
+
+    def test_paper_claim_gated_padding_matches_ruby_s(self, setting):
+        """With ideal zero-gating, padding closes the gap to Ruby-S at
+        D = 113 — the paper's Fig. 8 caveat."""
+        arch, table = setting
+        workload = vector_workload("d113", 113)
+        padded = pad_dimension(workload, "D", 16)
+
+        ruby = search(arch, workload, "ruby-s")
+        padded_dense = search(arch, padded.workload, "pfm")
+        padded_gated = gated_evaluation(
+            arch, padded_dense, padded.effectual_fraction, table
+        )
+
+        # Dense padding loses ~13% EDP; gated padding is within ~2%.
+        assert padded_dense.edp > ruby.edp * 1.08
+        assert padded_gated.edp <= ruby.edp * 1.02
+        assert padded_gated.edp >= ruby.edp * 0.95

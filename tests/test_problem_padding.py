@@ -1,0 +1,63 @@
+"""Unit tests for the padding baseline (Section III-B)."""
+
+import pytest
+
+from repro.problem import ConvLayer, pad_dimension
+from repro.problem.gemm import vector_workload
+from repro.problem.padding import pad_to_multiple
+
+
+class TestPadDimension:
+    def test_pads_up(self):
+        result = pad_dimension(vector_workload("v", 113), "D", 16)
+        assert result.workload.size("D") == 128
+
+    def test_already_aligned_unchanged(self):
+        result = pad_dimension(vector_workload("v", 128), "D", 16)
+        assert result.workload.size("D") == 128
+        assert result.overcompute_fraction == 0.0
+
+    def test_overcompute_fraction_d113(self):
+        # The paper's Fig. 8 discussion: ~12% of computations are padded
+        # zeros at D=113 -> 128.
+        result = pad_dimension(vector_workload("v", 113), "D", 16)
+        assert result.overcompute_fraction == pytest.approx(15 / 128)
+        assert 0.11 < result.overcompute_fraction < 0.13
+
+    def test_overcompute_fraction_d127(self):
+        # Prime 127 pads by a single element: tiny overhead.
+        result = pad_dimension(vector_workload("v", 127), "D", 16)
+        assert result.overcompute_fraction == pytest.approx(1 / 128)
+
+    def test_effectual_fraction_complements(self):
+        result = pad_dimension(vector_workload("v", 100), "D", 16)
+        assert result.effectual_fraction + result.overcompute_fraction == 1.0
+
+    def test_operations_scale(self):
+        layer = ConvLayer("l", c=48, m=96, p=27, q=27, r=5, s=5)
+        result = pad_dimension(layer.workload(), "Q", 14)
+        assert result.padded_operations == result.original_operations // 27 * 28
+
+    def test_rejects_bad_multiple(self):
+        with pytest.raises(ValueError):
+            pad_dimension(vector_workload("v", 10), "D", 0)
+
+
+class TestPadToMultiple:
+    def test_multiple_dims(self):
+        layer = ConvLayer("l", c=48, m=96, p=27, q=27, r=5, s=5)
+        result = pad_to_multiple(layer.workload(), {"P": 14, "Q": 14})
+        assert result.workload.size("P") == 28
+        assert result.workload.size("Q") == 28
+
+    def test_name_suffix_records_padding(self):
+        result = pad_to_multiple(vector_workload("v", 100), {"D": 16})
+        assert "pad" in result.workload.name
+
+    def test_noop_keeps_name(self):
+        result = pad_to_multiple(vector_workload("v", 96), {"D": 16})
+        assert result.workload.name == "v"
+
+    def test_rejects_bad_multiple(self):
+        with pytest.raises(ValueError):
+            pad_to_multiple(vector_workload("v", 10), {"D": -1})

@@ -1,0 +1,200 @@
+"""Property-based tests (hypothesis) for the core invariants.
+
+These pin the mathematical backbone of the reproduction:
+
+* Eq. (5) coverage exactness — every generated chain covers its dimension
+  exactly, for every mapspace kind, with no over-compute.
+* Mixed-radix remainder uniqueness and reconstruction.
+* PFM ⊆ Ruby-S ⊆ Ruby (mapspace inclusion on bound tuples).
+* Conservation: relevant-dimension traffic per sweep equals the dimension
+  coverage regardless of where remainders fall.
+"""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.arch import toy_linear_architecture
+from repro.mapping import Loop, chain_trip_count, temporal_steps
+from repro.mapspace import DimAllocator, assign_remainders, build_slots
+from repro.mapspace.generator import MapspaceKind, MapSpace
+from repro.model import compute_access_counts, compute_cycles
+from repro.problem.gemm import GemmLayer, vector_workload
+from repro.utils.mathx import from_mixed_radix, mixed_radix_digits, product
+
+sizes = st.integers(min_value=1, max_value=4096)
+small_sizes = st.integers(min_value=1, max_value=64)
+bounds_lists = st.lists(st.integers(min_value=1, max_value=64), min_size=1, max_size=5)
+
+
+class TestMixedRadixProperties:
+    @given(st.integers(min_value=0, max_value=10**6), bounds_lists)
+    def test_roundtrip(self, value, radices):
+        digits = mixed_radix_digits(value, radices)
+        assert from_mixed_radix(digits, radices) == value
+
+    @given(st.integers(min_value=0, max_value=10**6), bounds_lists)
+    def test_digits_in_range(self, value, radices):
+        digits = mixed_radix_digits(value, radices)
+        for digit, radix in zip(digits, radices):
+            assert 0 <= digit < radix
+
+
+class TestRemainderAssignment:
+    @given(sizes, bounds_lists)
+    def test_coverage_exact_whenever_assignable(self, size, bounds):
+        from repro.exceptions import MapspaceError
+
+        try:
+            remainders = assign_remainders(size, bounds)
+        except MapspaceError:
+            # Bounds can't cover the size; that's a legal rejection.
+            assert product(bounds) < size or not bounds
+            return
+        loops = [Loop("D", b, r) for b, r in zip(bounds, remainders)]
+        assert chain_trip_count(loops) == size
+
+    @given(sizes, bounds_lists)
+    def test_remainders_within_bounds(self, size, bounds):
+        from repro.exceptions import MapspaceError
+
+        try:
+            remainders = assign_remainders(size, bounds)
+        except MapspaceError:
+            return
+        for r, b in zip(remainders, bounds):
+            assert 1 <= r <= b
+
+    @given(sizes)
+    def test_perfect_bounds_get_perfect_remainders(self, size):
+        # A divisor chain must come back untouched (PFM is a fixed point).
+        from repro.utils.mathx import divisors
+
+        rng = random.Random(size)
+        d1 = rng.choice(divisors(size))
+        d2 = rng.choice(divisors(size // d1))
+        bounds = [size // (d1 * d2), d2, d1]
+        assert assign_remainders(size, bounds) == tuple(bounds)
+
+
+class TestChainRecursions:
+    @given(st.lists(
+        st.tuples(
+            st.integers(min_value=1, max_value=20),  # bound
+            st.integers(min_value=1, max_value=20),  # remainder (clamped)
+            st.booleans(),  # spatial
+        ),
+        min_size=0,
+        max_size=6,
+    ))
+    def test_temporal_steps_never_exceed_trip_count(self, raw):
+        loops = [
+            Loop("D", b, min(r, b), spatial=s) for b, r, s in raw
+        ]
+        assert temporal_steps(loops) <= chain_trip_count(loops)
+
+    @given(st.lists(st.integers(min_value=1, max_value=12), min_size=1, max_size=5))
+    def test_perfect_chain_is_product(self, bounds):
+        loops = [Loop("D", b) for b in bounds]
+        assert chain_trip_count(loops) == product(bounds)
+
+
+@st.composite
+def allocator_samples(draw):
+    size = draw(st.integers(min_value=1, max_value=512))
+    kind = draw(st.sampled_from(list(MapspaceKind)))
+    seed = draw(st.integers(min_value=0, max_value=2**16))
+    return size, kind, seed
+
+
+class TestAllocatorProperties:
+    @given(allocator_samples())
+    @settings(max_examples=200, deadline=None)
+    def test_every_sampled_chain_covers_exactly(self, params):
+        size, kind, seed = params
+        arch = toy_linear_architecture(9)
+        slots = build_slots(arch)
+        allocator = DimAllocator(
+            slots,
+            spatial_imperfect=kind.spatial_imperfect,
+            temporal_imperfect=kind.temporal_imperfect,
+        )
+        rng = random.Random(seed)
+        budgets = {i: s.fanout_cap for i, s in enumerate(slots) if s.spatial}
+        chain = allocator.sample_chain("D", size, rng, budgets)
+        loops = [
+            Loop("D", b, r, spatial=slot.spatial)
+            for b, r, slot in zip(chain.bounds, chain.remainders, slots)
+        ]
+        assert chain_trip_count(loops) == size
+
+    @given(st.integers(min_value=2, max_value=128))
+    @settings(max_examples=50, deadline=None)
+    def test_pfm_chains_subset_of_ruby_s_subset_of_ruby(self, size):
+        arch = toy_linear_architecture(9)
+        slots = build_slots(arch)
+
+        def bound_set(spatial_imperfect, temporal_imperfect):
+            allocator = DimAllocator(slots, spatial_imperfect, temporal_imperfect)
+            return {c.bounds for c in allocator.enumerate_chains("D", size)}
+
+        pfm = bound_set(False, False)
+        ruby_s = bound_set(True, False)
+        ruby = bound_set(True, True)
+        assert pfm <= ruby_s <= ruby
+
+
+class TestMappingProperties:
+    @given(
+        st.sampled_from(list(MapspaceKind)),
+        st.integers(min_value=1, max_value=300),
+        st.integers(min_value=0, max_value=2**16),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_no_overcompute_and_cycles_bounded(self, kind, size, seed):
+        # Ruby mappings never execute more points than the problem has:
+        # cycles * PEs >= MACs always, and per-dim coverage is exact, so
+        # total MACs == problem size (no padding-style zero work).
+        arch = toy_linear_architecture(9)
+        workload = vector_workload("v", size)
+        space = MapSpace(arch, workload, kind)
+        mapping = space.sample(random.Random(seed))
+        cycles = compute_cycles(workload, mapping)
+        assert cycles * arch.total_compute_units >= size
+        assert cycles <= size  # never slower than fully serial
+
+    @given(
+        st.sampled_from(list(MapspaceKind)),
+        st.integers(min_value=1, max_value=12),
+        st.integers(min_value=1, max_value=12),
+        st.integers(min_value=1, max_value=12),
+        st.integers(min_value=0, max_value=2**16),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_dram_reads_bounded_below_by_tensor_size(self, kind, m, n, k, seed):
+        # Each input tensor crosses the DRAM boundary at least once per
+        # element and the output is drained at least once per element.
+        arch = toy_linear_architecture(9)
+        workload = GemmLayer("g", m, n, k).workload()
+        space = MapSpace(arch, workload, kind)
+        mapping = space.sample(random.Random(seed))
+        counts = compute_access_counts(arch, workload, mapping)
+        assert counts.reads[(0, "A")] >= m * k
+        assert counts.reads[(0, "B")] >= k * n
+        assert counts.writes[(0, "C")] >= m * n
+
+    @given(
+        st.integers(min_value=1, max_value=200),
+        st.integers(min_value=0, max_value=2**16),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_vector_traffic_exactly_conserved(self, size, seed):
+        # For the rank-1 distribution problem nothing is reused, so every
+        # level moves exactly `size` elements regardless of remainders.
+        arch = toy_linear_architecture(9)
+        workload = vector_workload("v", size)
+        space = MapSpace(arch, workload, MapspaceKind.RUBY)
+        mapping = space.sample(random.Random(seed))
+        counts = compute_access_counts(arch, workload, mapping)
+        assert counts.reads[(0, "X")] == size
+        assert counts.writes[(0, "Y")] == size

@@ -1,0 +1,113 @@
+"""Property-based tests for the analysis/search feature layer."""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.arch import toy_glb_architecture
+from repro.energy import estimate_energy_table
+from repro.mapspace.generator import MapSpace, MapspaceKind
+from repro.model import Evaluator
+from repro.model.diff import diff_evaluations
+from repro.model.sparsity import gated_evaluation
+from repro.problem import GemmLayer
+from repro.search.pareto_search import ParetoSearch, _dominates
+
+
+def _valid_pair(m, n, k, seed):
+    arch = toy_glb_architecture(6, 8192)
+    workload = GemmLayer("g", m, n, k).workload()
+    evaluator = Evaluator(arch, workload)
+    space = MapSpace(arch, workload, MapspaceKind.RUBY_S)
+    rng = random.Random(seed)
+    found = []
+    for _ in range(200):
+        evaluation = evaluator.evaluate(space.sample(rng))
+        if evaluation.valid:
+            found.append(evaluation)
+        if len(found) == 2:
+            return arch, found[0], found[1]
+    return arch, None, None
+
+
+class TestDiffProperties:
+    @given(
+        m=st.integers(min_value=1, max_value=10),
+        n=st.integers(min_value=1, max_value=10),
+        k=st.integers(min_value=1, max_value=10),
+        seed=st.integers(min_value=0, max_value=2**16),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_diff_is_antisymmetric_in_ratios(self, m, n, k, seed):
+        arch, a, b = _valid_pair(m, n, k, seed)
+        if a is None:
+            return
+        table = estimate_energy_table(arch)
+        forward = diff_evaluations(arch, table, a, b)
+        backward = diff_evaluations(arch, table, b, a)
+        assert forward.edp_ratio * backward.edp_ratio == 1.0 or (
+            abs(forward.edp_ratio * backward.edp_ratio - 1.0) < 1e-9
+        )
+        # Traffic deltas mirror with opposite sign.
+        forward_total = sum(d.energy_delta_pj for d in forward.deltas)
+        backward_total = sum(d.energy_delta_pj for d in backward.deltas)
+        assert abs(forward_total + backward_total) < 1e-6
+
+    @given(
+        m=st.integers(min_value=1, max_value=10),
+        n=st.integers(min_value=1, max_value=10),
+        k=st.integers(min_value=1, max_value=10),
+        seed=st.integers(min_value=0, max_value=2**16),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_self_diff_is_empty(self, m, n, k, seed):
+        arch, a, _ = _valid_pair(m, n, k, seed)
+        if a is None:
+            return
+        table = estimate_energy_table(arch)
+        diff = diff_evaluations(arch, table, a, a)
+        assert diff.deltas == []
+        assert diff.edp_ratio == 1.0
+
+
+class TestGatingProperties:
+    @given(
+        fraction=st.floats(min_value=0.05, max_value=1.0),
+        seed=st.integers(min_value=0, max_value=2**16),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_gating_monotone_and_bounded(self, fraction, seed):
+        arch, a, _ = _valid_pair(8, 6, 4, seed)
+        if a is None:
+            return
+        table = estimate_energy_table(arch)
+        gated = gated_evaluation(arch, a, fraction, table)
+        assert 0.0 <= gated.energy_pj <= a.energy_pj + 1e-9
+        assert gated.cycles == a.cycles
+        # More density -> more energy.
+        denser = gated_evaluation(arch, a, min(1.0, fraction + 0.1), table)
+        assert denser.energy_pj >= gated.energy_pj - 1e-9
+
+
+class TestParetoProperties:
+    @given(seed=st.integers(min_value=0, max_value=2**16))
+    @settings(max_examples=20, deadline=None)
+    def test_frontier_never_dominated_by_any_sample(self, seed):
+        arch = toy_glb_architecture(6, 8192)
+        workload = GemmLayer("g", 12, 6, 8).workload()
+        evaluator = Evaluator(arch, workload)
+        space = MapSpace(arch, workload, MapspaceKind.RUBY_S)
+        result = ParetoSearch(
+            space, evaluator, max_evaluations=200, seed=seed
+        ).run()
+        # Replay the identical sample stream: nothing dominates the frontier.
+        rng = random.Random(seed)
+        replayed = [
+            evaluator.evaluate(space.sample(rng)) for _ in range(200)
+        ]
+        for evaluation in replayed:
+            if not evaluation.valid:
+                continue
+            assert not any(
+                _dominates(evaluation, kept) for kept in result.frontier
+            )

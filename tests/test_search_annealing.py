@@ -1,0 +1,64 @@
+"""Unit tests for the simulated-annealing search."""
+
+import pytest
+
+from repro.exceptions import SearchError
+from repro.mapspace import ruby_s_mapspace
+from repro.search import RandomSearch, SimulatedAnnealing
+
+
+class TestSimulatedAnnealing:
+    def test_finds_valid_mapping(self, toy_arch, vector100, toy_evaluator):
+        space = ruby_s_mapspace(toy_arch, vector100)
+        result = SimulatedAnnealing(
+            space, toy_evaluator, steps=200, seed=0
+        ).run()
+        assert result.best is not None and result.best.valid
+
+    def test_deterministic(self, toy_arch, vector100, toy_evaluator):
+        space = ruby_s_mapspace(toy_arch, vector100)
+        a = SimulatedAnnealing(space, toy_evaluator, steps=150, seed=3).run()
+        b = SimulatedAnnealing(space, toy_evaluator, steps=150, seed=3).run()
+        assert a.best_metric == b.best_metric
+
+    def test_curve_monotone(self, toy_arch, vector100, toy_evaluator):
+        space = ruby_s_mapspace(toy_arch, vector100)
+        result = SimulatedAnnealing(space, toy_evaluator, steps=300, seed=1).run()
+        metrics = [p.best_metric for p in result.curve]
+        assert metrics == sorted(metrics, reverse=True)
+
+    def test_competitive_with_random(self, toy_arch, vector100, toy_evaluator):
+        space = ruby_s_mapspace(toy_arch, vector100)
+        annealed = SimulatedAnnealing(
+            space, toy_evaluator, steps=400, restarts=2, seed=5
+        ).run()
+        rand = RandomSearch(
+            space, toy_evaluator,
+            max_evaluations=annealed.num_evaluated, patience=None, seed=5,
+        ).run()
+        assert annealed.best_metric <= rand.best_metric * 1.15
+
+    def test_restarts_counted(self, toy_arch, vector100, toy_evaluator):
+        space = ruby_s_mapspace(toy_arch, vector100)
+        single = SimulatedAnnealing(
+            space, toy_evaluator, steps=100, restarts=1, seed=0
+        ).run()
+        double = SimulatedAnnealing(
+            space, toy_evaluator, steps=100, restarts=2, seed=0
+        ).run()
+        assert double.num_evaluated > single.num_evaluated
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"steps": 0},
+            {"cooling": 0.0},
+            {"cooling": 1.5},
+            {"initial_temperature": 0.0},
+            {"restarts": 0},
+        ],
+    )
+    def test_rejects_bad_params(self, toy_arch, vector100, toy_evaluator, kwargs):
+        space = ruby_s_mapspace(toy_arch, vector100)
+        with pytest.raises(SearchError):
+            SimulatedAnnealing(space, toy_evaluator, **kwargs)

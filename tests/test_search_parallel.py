@@ -1,0 +1,78 @@
+"""Unit tests for the parallel multi-start search."""
+
+import pytest
+
+from repro.arch import toy_glb_architecture
+from repro.exceptions import SearchError
+from repro.problem.gemm import vector_workload
+from repro.search.parallel import parallel_random_search
+
+
+@pytest.fixture
+def setting():
+    return toy_glb_architecture(6, 1024), vector_workload("v100", 100)
+
+
+class TestParallelSearch:
+    def test_single_worker_runs(self, setting):
+        arch, workload = setting
+        result = parallel_random_search(
+            arch, workload, workers=1, max_evaluations=300,
+            patience=None, seed=0,
+        )
+        assert result.best is not None and result.best.valid
+        assert result.num_evaluated == 300
+
+    def test_multi_worker_aggregates_counts(self, setting):
+        arch, workload = setting
+        result = parallel_random_search(
+            arch, workload, workers=3, max_evaluations=200,
+            patience=None, seed=0,
+        )
+        assert result.best is not None
+        assert result.num_evaluated == 600
+        assert result.num_valid <= 600
+
+    def test_deterministic_given_seed(self, setting):
+        arch, workload = setting
+        a = parallel_random_search(
+            arch, workload, workers=2, max_evaluations=150,
+            patience=None, seed=11,
+        )
+        b = parallel_random_search(
+            arch, workload, workers=2, max_evaluations=150,
+            patience=None, seed=11,
+        )
+        assert a.best_metric == b.best_metric
+
+    def test_more_workers_never_worse(self, setting):
+        arch, workload = setting
+        one = parallel_random_search(
+            arch, workload, workers=1, max_evaluations=150,
+            patience=None, seed=3,
+        )
+        # Same seed stream: the 1-worker stream is the first of the
+        # 4-worker streams, so the merged best can only improve.
+        four = parallel_random_search(
+            arch, workload, workers=4, max_evaluations=150,
+            patience=None, seed=3,
+        )
+        assert four.best_metric <= one.best_metric
+
+    def test_rejects_bad_workers(self, setting):
+        arch, workload = setting
+        with pytest.raises(SearchError):
+            parallel_random_search(arch, workload, workers=0)
+
+    def test_no_valid_reports_none(self, setting):
+        # An impossible architecture: nothing valid to find.
+        from repro.arch import toy_glb_architecture
+
+        arch = toy_glb_architecture(num_pes=6, glb_bytes=4)
+        _, workload = setting
+        result = parallel_random_search(
+            arch, workload, kind="pfm", workers=2, max_evaluations=50,
+            patience=None, seed=0,
+        )
+        assert result.best is None
+        assert result.num_evaluated == 100

@@ -1,0 +1,83 @@
+"""Unit tests for the multi-objective Pareto search."""
+
+import pytest
+
+from repro.exceptions import SearchError
+from repro.mapspace import ruby_s_mapspace
+from repro.search.pareto_search import ParetoSearch, _dominates
+
+
+class TestParetoSearch:
+    @pytest.fixture
+    def result(self, toy_arch, vector100, toy_evaluator):
+        space = ruby_s_mapspace(toy_arch, vector100)
+        return ParetoSearch(
+            space, toy_evaluator, max_evaluations=800, seed=0
+        ).run()
+
+    def test_frontier_nonempty(self, result):
+        assert result.frontier
+        assert result.num_valid > 0
+
+    def test_frontier_mutually_nondominated(self, result):
+        for a in result.frontier:
+            for b in result.frontier:
+                if a is not b:
+                    assert not _dominates(a, b)
+
+    def test_frontier_sorted_by_energy(self, result):
+        energies = [e.energy_pj for e in result.frontier]
+        assert energies == sorted(energies)
+        cycles = [e.cycles for e in result.frontier]
+        assert cycles == sorted(cycles, reverse=True)
+
+    def test_best_by_objective(self, result):
+        fastest = result.best_by("delay")
+        leanest = result.best_by("energy")
+        assert fastest.cycles <= leanest.cycles
+        assert leanest.energy_pj <= fastest.energy_pj
+
+    def test_budgeted_queries(self, result):
+        leanest = result.best_by("energy")
+        fastest = result.best_by("delay")
+        # With an unlimited energy budget, the fastest mapping wins.
+        assert (
+            result.fastest_within_energy(float("inf")).cycles == fastest.cycles
+        )
+        # With the leanest mapping's exact budget, it is the only choice
+        # at its energy level.
+        pick = result.fastest_within_energy(leanest.energy_pj)
+        assert pick is not None and pick.energy_pj <= leanest.energy_pj
+        # Impossible budgets return None.
+        assert result.fastest_within_energy(0.0) is None
+        assert result.leanest_within_latency(0) is None
+
+    def test_leanest_within_latency(self, result):
+        fastest = result.best_by("delay")
+        pick = result.leanest_within_latency(fastest.cycles)
+        assert pick is not None and pick.cycles <= fastest.cycles
+
+    def test_deterministic(self, toy_arch, vector100, toy_evaluator):
+        space = ruby_s_mapspace(toy_arch, vector100)
+        a = ParetoSearch(space, toy_evaluator, max_evaluations=300, seed=9).run()
+        b = ParetoSearch(space, toy_evaluator, max_evaluations=300, seed=9).run()
+        assert [e.edp for e in a.frontier] == [e.edp for e in b.frontier]
+
+    def test_rejects_bad_budget(self, toy_arch, vector100, toy_evaluator):
+        space = ruby_s_mapspace(toy_arch, vector100)
+        with pytest.raises(SearchError):
+            ParetoSearch(space, toy_evaluator, max_evaluations=0)
+
+    def test_frontier_contains_edp_optimum_region(
+        self, toy_arch, vector100, toy_evaluator
+    ):
+        # The EDP-best mapping is never dominated, so a frontier entry has
+        # EDP at most the single-objective search's best (same budget).
+        from repro.search import RandomSearch
+
+        space = ruby_s_mapspace(toy_arch, vector100)
+        pareto = ParetoSearch(space, toy_evaluator, max_evaluations=600, seed=4).run()
+        single = RandomSearch(
+            space, toy_evaluator, max_evaluations=600, patience=None, seed=4
+        ).run()
+        assert pareto.best_by("edp").edp <= single.best_metric * 1.0001

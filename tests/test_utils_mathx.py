@@ -1,0 +1,193 @@
+"""Unit tests for repro.utils.mathx."""
+
+import math
+
+import pytest
+
+from repro.utils.mathx import (
+    balanced_split,
+    ceil_div,
+    divisors,
+    from_mixed_radix,
+    mixed_radix_digits,
+    num_ordered_factorizations,
+    ordered_factorizations,
+    prime_factorization,
+    product,
+)
+
+
+class TestProduct:
+    def test_empty(self):
+        assert product([]) == 1
+
+    def test_values(self):
+        assert product([2, 3, 7]) == 42
+
+    def test_single(self):
+        assert product([9]) == 9
+
+
+class TestCeilDiv:
+    def test_exact(self):
+        assert ceil_div(100, 5) == 20
+
+    def test_remainder(self):
+        assert ceil_div(100, 6) == 17
+
+    def test_one(self):
+        assert ceil_div(1, 16) == 1
+
+    def test_zero_numerator(self):
+        assert ceil_div(0, 3) == 0
+
+    def test_rejects_zero_denominator(self):
+        with pytest.raises(ValueError):
+            ceil_div(5, 0)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            ceil_div(-1, 3)
+
+
+class TestPrimeFactorization:
+    def test_one(self):
+        assert prime_factorization(1) == ()
+
+    def test_prime(self):
+        assert prime_factorization(127) == ((127, 1),)
+
+    def test_composite(self):
+        assert prime_factorization(360) == ((2, 3), (3, 2), (5, 1))
+
+    def test_power_of_two(self):
+        assert prime_factorization(4096) == ((2, 12),)
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            prime_factorization(0)
+
+    def test_reconstructs(self):
+        n = 98280
+        rebuilt = product(p**e for p, e in prime_factorization(n))
+        assert rebuilt == n
+
+
+class TestDivisors:
+    def test_one(self):
+        assert divisors(1) == (1,)
+
+    def test_prime(self):
+        assert divisors(13) == (1, 13)
+
+    def test_composite_sorted(self):
+        assert divisors(12) == (1, 2, 3, 4, 6, 12)
+
+    def test_hundred(self):
+        assert divisors(100) == (1, 2, 4, 5, 10, 20, 25, 50, 100)
+
+    def test_all_divide(self):
+        n = 720
+        assert all(n % d == 0 for d in divisors(n))
+
+    def test_count_matches_formula(self):
+        n = 360  # 2^3 * 3^2 * 5 -> 4*3*2 = 24 divisors
+        assert len(divisors(n)) == 24
+
+
+class TestOrderedFactorizations:
+    def test_single_part(self):
+        assert list(ordered_factorizations(12, 1)) == [(12,)]
+
+    def test_two_parts(self):
+        pairs = set(ordered_factorizations(6, 2))
+        assert pairs == {(1, 6), (2, 3), (3, 2), (6, 1)}
+
+    def test_products_correct(self):
+        for combo in ordered_factorizations(24, 3):
+            assert product(combo) == 24
+
+    def test_count_matches_closed_form(self):
+        for n in (1, 7, 12, 100, 128):
+            for parts in (1, 2, 3, 4):
+                assert (
+                    len(list(ordered_factorizations(n, parts)))
+                    == num_ordered_factorizations(n, parts)
+                )
+
+    def test_order_matters(self):
+        combos = list(ordered_factorizations(4, 2))
+        assert (1, 4) in combos and (4, 1) in combos
+
+    def test_rejects_zero_parts(self):
+        with pytest.raises(ValueError):
+            list(ordered_factorizations(4, 0))
+
+
+class TestNumOrderedFactorizations:
+    def test_prime_two_parts(self):
+        assert num_ordered_factorizations(7, 2) == 2
+
+    def test_one(self):
+        assert num_ordered_factorizations(1, 5) == 1
+
+    def test_hundred_three_parts(self):
+        # 100 = 2^2 * 5^2 -> C(4,2)^2 = 36
+        assert num_ordered_factorizations(100, 3) == 36
+
+
+class TestMixedRadix:
+    def test_simple_base(self):
+        assert mixed_radix_digits(13, [10]) == (3, 1)
+
+    def test_mixed(self):
+        digits = mixed_radix_digits(99, [6, 17])
+        assert digits == (3, 16, 0)
+
+    def test_roundtrip(self):
+        radices = [6, 17]
+        for value in range(0, 200):
+            digits = mixed_radix_digits(value, radices)
+            assert from_mixed_radix(digits, radices) == value
+
+    def test_no_radices(self):
+        assert mixed_radix_digits(42, []) == (42,)
+
+    def test_digit_ranges(self):
+        digits = mixed_radix_digits(999, [7, 4, 3])
+        for digit, radix in zip(digits, [7, 4, 3]):
+            assert 0 <= digit < radix
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            mixed_radix_digits(-1, [2])
+
+    def test_rejects_bad_radix(self):
+        with pytest.raises(ValueError):
+            mixed_radix_digits(5, [0])
+
+    def test_from_mixed_radix_rejects_wrong_length(self):
+        with pytest.raises(ValueError):
+            from_mixed_radix((1, 2), [2, 3])
+
+    def test_from_mixed_radix_rejects_digit_overflow(self):
+        with pytest.raises(ValueError):
+            from_mixed_radix((5, 0), [4])
+
+
+class TestBalancedSplit:
+    def test_even(self):
+        assert balanced_split(12, 3) == (4, 4, 4)
+
+    def test_uneven(self):
+        assert balanced_split(13, 3) == (5, 4, 4)
+
+    def test_sum_preserved(self):
+        for n in range(5, 30):
+            for parts in range(1, 6):
+                if n >= parts:
+                    assert sum(balanced_split(n, parts)) == n
+
+    def test_rejects_too_many_parts(self):
+        with pytest.raises(ValueError):
+            balanced_split(2, 3)

@@ -1,0 +1,103 @@
+"""Unit tests for repro.utils.pareto."""
+
+from repro.utils.pareto import (
+    ParetoPoint,
+    frontier_dominates,
+    hypervolume_2d,
+    pareto_frontier,
+)
+
+
+def P(x, y, **payload):
+    return ParetoPoint(x=x, y=y, payload=payload)
+
+
+class TestDominates:
+    def test_strict(self):
+        assert P(1, 1).dominates(P(2, 2))
+
+    def test_one_axis(self):
+        assert P(1, 2).dominates(P(2, 2))
+
+    def test_equal_does_not_dominate(self):
+        assert not P(1, 1).dominates(P(1, 1))
+
+    def test_tradeoff_does_not_dominate(self):
+        assert not P(1, 3).dominates(P(2, 2))
+        assert not P(2, 2).dominates(P(1, 3))
+
+
+class TestParetoFrontier:
+    def test_empty(self):
+        assert pareto_frontier([]) == []
+
+    def test_single(self):
+        point = P(1, 1)
+        assert pareto_frontier([point]) == [point]
+
+    def test_removes_dominated(self):
+        points = [P(1, 5), P(2, 3), P(3, 4), P(4, 1)]
+        frontier = pareto_frontier(points)
+        assert [(p.x, p.y) for p in frontier] == [(1, 5), (2, 3), (4, 1)]
+
+    def test_sorted_by_x(self):
+        points = [P(4, 1), P(1, 5), P(2, 3)]
+        frontier = pareto_frontier(points)
+        xs = [p.x for p in frontier]
+        assert xs == sorted(xs)
+
+    def test_all_on_frontier(self):
+        points = [P(1, 4), P(2, 3), P(3, 2), P(4, 1)]
+        assert len(pareto_frontier(points)) == 4
+
+    def test_duplicate_points_kept_once(self):
+        points = [P(1, 1), P(1, 1)]
+        assert len(pareto_frontier(points)) == 1
+
+    def test_payload_preserved(self):
+        frontier = pareto_frontier([P(1, 1, shape="14x12")])
+        assert frontier[0].payload["shape"] == "14x12"
+
+
+class TestFrontierDominates:
+    def test_lower_frontier_dominates(self):
+        challenger = [P(1, 4), P(3, 1)]
+        incumbent = [P(1, 5), P(3, 2)]
+        assert frontier_dominates(challenger, incumbent)
+
+    def test_equal_frontier_dominates_weakly(self):
+        points = [P(1, 4), P(3, 1)]
+        assert frontier_dominates(points, points)
+
+    def test_higher_frontier_does_not_dominate(self):
+        challenger = [P(1, 5), P(3, 2)]
+        incumbent = [P(1, 4), P(3, 1)]
+        assert not frontier_dominates(challenger, incumbent)
+
+    def test_partial_coverage_fails(self):
+        challenger = [P(2, 1)]  # cheap region uncovered
+        incumbent = [P(1, 4), P(3, 2)]
+        assert not frontier_dominates(challenger, incumbent)
+
+
+class TestHypervolume:
+    def test_empty(self):
+        assert hypervolume_2d([], P(10, 10)) == 0.0
+
+    def test_single_point(self):
+        volume = hypervolume_2d([P(2, 3)], P(10, 10))
+        assert volume == (10 - 2) * (10 - 3)
+
+    def test_point_beyond_reference_ignored(self):
+        assert hypervolume_2d([P(11, 1)], P(10, 10)) == 0.0
+
+    def test_staircase(self):
+        volume = hypervolume_2d([P(1, 5), P(5, 1)], P(10, 10))
+        # staircase: [1,5)x(10-5) + [5,10)x(10-1)
+        assert volume == 4 * 5 + 5 * 9
+
+    def test_better_frontier_bigger_volume(self):
+        reference = P(10, 10)
+        worse = hypervolume_2d([P(3, 3)], reference)
+        better = hypervolume_2d([P(2, 2)], reference)
+        assert better > worse

@@ -1,0 +1,39 @@
+"""Unit tests for seeded RNG helpers."""
+
+import random
+
+from repro.utils.rng import make_rng, spawn
+
+
+class TestMakeRng:
+    def test_none_gives_fresh_generator(self):
+        rng = make_rng(None)
+        assert isinstance(rng, random.Random)
+
+    def test_int_seed_deterministic(self):
+        assert make_rng(7).random() == make_rng(7).random()
+
+    def test_existing_generator_passed_through(self):
+        rng = random.Random(3)
+        assert make_rng(rng) is rng
+
+    def test_different_seeds_differ(self):
+        assert make_rng(1).random() != make_rng(2).random()
+
+
+class TestSpawn:
+    def test_child_streams_deterministic(self):
+        a = spawn(make_rng(5))
+        b = spawn(make_rng(5))
+        assert a.random() == b.random()
+
+    def test_child_independent_of_parent_continuation(self):
+        parent = make_rng(5)
+        child = spawn(parent)
+        first = child.random()
+        parent.random()  # advancing the parent does not affect the child
+        assert child.random() != first  # child keeps its own stream
+
+    def test_children_differ(self):
+        parent = make_rng(9)
+        assert spawn(parent).random() != spawn(parent).random()

@@ -1,0 +1,143 @@
+"""Unit tests for the workload zoo."""
+
+import pytest
+
+from repro.arch import eyeriss_like
+from repro.exceptions import SpecError
+from repro.mapping import is_valid_mapping
+from repro.model import Evaluator
+from repro.zoo import (
+    ALEXNET_LAYERS,
+    DEEPBENCH_CONV,
+    DEEPBENCH_GEMM,
+    RESNET50_LAYERS,
+    alexnet_conv2,
+    alexnet_conv2_strip_mined,
+    deepbench_representative,
+    deepbench_workloads,
+    fig7_conv_workload,
+    fig7_matmul_workload,
+    resnet50_layer_types,
+    resnet50_representative,
+    resnet50_workloads,
+    table1_workload,
+)
+from repro.zoo.deepbench import deepbench_by_domain
+
+
+class TestResNet50:
+    def test_layer_count_matches_bottleneck_structure(self):
+        # conv1 + 4 stages of bottlenecks: 53 conv applications total.
+        total_convs = sum(count for _, count in RESNET50_LAYERS)
+        assert total_convs == 53
+
+    def test_workloads_include_fc(self):
+        names = [w.name for w, _ in resnet50_workloads()]
+        assert "fc1000" in names
+        assert len(names) == len(RESNET50_LAYERS) + 1
+
+    def test_all_workloads_validate(self):
+        for workload, count in resnet50_workloads():
+            workload.validate()
+            assert count >= 1
+
+    def test_stage_shapes(self):
+        by_name = {layer.name: layer for layer, _ in RESNET50_LAYERS}
+        assert by_name["conv1_7x7"].stride_h == 2
+        assert by_name["conv5_expand"].m == 2048
+        assert by_name["conv4_3x3"].p == 14
+
+    def test_layer_types_partition_all_layers(self):
+        groups = resnet50_layer_types()
+        grouped = [name for names in groups.values() for name in names]
+        expected = [layer.name for layer, _ in RESNET50_LAYERS] + ["fc1000"]
+        assert sorted(grouped) == sorted(expected)
+
+    def test_pointwise_group_is_largest(self):
+        groups = resnet50_layer_types()
+        assert len(groups["pointwise"]) > len(groups["conv3x3"])
+
+    def test_representative_subset_smaller(self):
+        full = resnet50_workloads()
+        rep = resnet50_representative()
+        assert 3 < len(rep) < len(full)
+
+
+class TestAlexNet:
+    def test_conv2_shape_matches_paper(self):
+        w = alexnet_conv2()
+        assert w.size("C") == 48 and w.size("M") == 96
+        assert w.size("P") == w.size("Q") == 27
+        assert w.size("R") == w.size("S") == 5
+        # IFM 27x27(+padding): input footprint derives from output + filter.
+        assert w.tensor_size("Inputs") == 31 * 31 * 48
+
+    def test_five_conv_layers(self):
+        assert len(ALEXNET_LAYERS) == 5
+
+
+class TestHandcrafted:
+    def test_strip_mined_valid_on_eyeriss(self, eyeriss):
+        mapping = alexnet_conv2_strip_mined(eyeriss)
+        assert is_valid_mapping(mapping, eyeriss, alexnet_conv2())
+
+    def test_strip_mined_utilization_matches_eyeriss_folding(self, eyeriss):
+        evaluation = Evaluator(eyeriss, alexnet_conv2()).evaluate(
+            alexnet_conv2_strip_mined(eyeriss)
+        )
+        # 135 of 168 PEs active -> ~80% utilization (paper quotes 85%).
+        assert evaluation.utilization == pytest.approx(135 / 168, rel=1e-3)
+
+    def test_strip_mined_needs_eyeriss_mesh(self):
+        small = eyeriss_like(4, 7)
+        with pytest.raises(SpecError):
+            alexnet_conv2_strip_mined(small)
+
+    def test_strip_mining_is_imperfect(self, eyeriss):
+        # The Eyeriss fold (Q = 14 with a 13-wide last strip) is an
+        # imperfect spatial factor — outside the PFM mapspace by nature.
+        mapping = alexnet_conv2_strip_mined(eyeriss)
+        assert mapping.has_imperfect_spatial()
+        assert not mapping.has_imperfect_temporal()
+
+
+class TestDeepBench:
+    def test_suite_covers_domains(self):
+        domains = {domain for _, domain in DEEPBENCH_CONV}
+        domains |= {domain for _, domain in DEEPBENCH_GEMM}
+        assert domains == {"vision", "speech", "face", "speaker", "ocr"}
+
+    def test_all_workloads_validate(self):
+        for workload, _ in deepbench_workloads():
+            workload.validate()
+
+    def test_deepspeech_layer2_matches_paper_quote(self):
+        by_name = {layer.name: layer for layer, _ in DEEPBENCH_CONV}
+        conv2 = by_name["db_speech_conv2"]
+        # "DeepSpeech layer 1 IFM is 341x79x32 and a filter is 5x10x32".
+        assert conv2.input_height == 341
+        assert conv2.c == 32
+        assert (conv2.r, conv2.s) == (5, 10)
+
+    def test_by_domain_grouping(self):
+        grouped = deepbench_by_domain()
+        assert len(grouped["vision"]) == 7
+
+    def test_representative_one_per_domain(self):
+        rep = deepbench_representative()
+        assert len(rep) == 5
+
+
+class TestToyWorkloads:
+    def test_fig7_matmul(self):
+        w = fig7_matmul_workload()
+        assert w.dim_sizes == {"M": 100, "N": 100, "K": 100}
+
+    def test_fig7_conv(self):
+        w = fig7_conv_workload()
+        assert w.size("C") == 64 and w.size("M") == 64
+        assert w.size("R") == 3
+
+    def test_table1_workload_sizes(self):
+        for size in (3, 100, 4096):
+            assert table1_workload(size).total_operations == size

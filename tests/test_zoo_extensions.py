@@ -1,0 +1,108 @@
+"""Unit tests for the extension workload zoos (MobileNet, VGG-16, BERT)."""
+
+import pytest
+
+from repro.problem import DepthwiseConvLayer
+from repro.problem.depthwise import depthwise_workload
+from repro.zoo import (
+    BERT_BASE_LAYERS,
+    MOBILENET_V1_LAYERS,
+    VGG16_LAYERS,
+    bert_base_workloads,
+    bert_representative,
+    mobilenet_representative,
+    mobilenet_workloads,
+    vgg16_workloads,
+)
+
+
+class TestDepthwise:
+    def test_no_output_channel_dim(self):
+        w = DepthwiseConvLayer("dw", c=32, p=8, q=8, r=3, s=3).workload()
+        assert "M" not in w.dim_names
+        assert w.tensor("Weights").relevant_dims == {"C", "R", "S"}
+        assert w.tensor("Outputs").relevant_dims == {"N", "C", "P", "Q"}
+
+    def test_channel_relevant_to_all_tensors(self):
+        w = DepthwiseConvLayer("dw", c=16, p=4, q=4, r=3, s=3).workload()
+        for tensor in w.tensors:
+            assert "C" in tensor.relevant_dims
+
+    def test_macs_linear_in_channels(self):
+        small = DepthwiseConvLayer("a", c=8, p=4, q=4, r=3, s=3).workload()
+        big = DepthwiseConvLayer("b", c=16, p=4, q=4, r=3, s=3).workload()
+        assert big.total_operations == 2 * small.total_operations
+
+    def test_stride_affects_input_footprint(self):
+        layer = DepthwiseConvLayer("dw", c=1, p=10, q=10, r=3, s=3,
+                                   stride_h=2, stride_w=2)
+        w = layer.workload()
+        assert w.tensor_size("Inputs") == 21 * 21
+
+    def test_rejects_bad_shape(self):
+        from repro.exceptions import SpecError
+
+        with pytest.raises(SpecError):
+            DepthwiseConvLayer("dw", c=0)
+
+    def test_evaluable_end_to_end(self):
+        from repro.arch import eyeriss_like
+        from repro.core import find_best_mapping
+
+        w = DepthwiseConvLayer("dw", c=32, p=14, q=14, r=3, s=3).workload()
+        result = find_best_mapping(
+            eyeriss_like(), w, kind="ruby-s", seed=0,
+            max_evaluations=500, patience=200,
+        )
+        assert result.best is not None and result.best.valid
+
+
+class TestMobileNet:
+    def test_all_validate(self):
+        for workload, count in mobilenet_workloads():
+            workload.validate()
+            assert count >= 1
+
+    def test_alternating_structure(self):
+        names = [layer.name for layer, _ in MOBILENET_V1_LAYERS]
+        assert sum(1 for n in names if n.startswith("mb_dw")) == 9
+        assert sum(1 for n in names if n.startswith("mb_pw")) == 9
+
+    def test_representative_subset(self):
+        rep = mobilenet_representative()
+        assert 0 < len(rep) < len(mobilenet_workloads())
+
+
+class TestVgg16:
+    def test_thirteen_convs(self):
+        assert sum(count for _, count in VGG16_LAYERS) == 13
+
+    def test_all_validate(self):
+        for workload, _ in vgg16_workloads():
+            workload.validate()
+
+    def test_fc_included_by_default(self):
+        names = [w.name for w, _ in vgg16_workloads()]
+        assert "vgg_fc6" in names
+        assert "vgg_fc6" not in [
+            w.name for w, _ in vgg16_workloads(include_fc=False)
+        ]
+
+
+class TestBert:
+    def test_all_validate(self):
+        for workload, _ in bert_base_workloads():
+            workload.validate()
+
+    def test_per_block_counts(self):
+        by_name = {layer.name: count for layer, count in BERT_BASE_LAYERS}
+        # 12 blocks x 12 heads = 144 attention GEMMs.
+        assert by_name["bert_attn_scores"] == 144
+        assert by_name["bert_qkv_proj"] == 36
+
+    def test_head_dim(self):
+        by_name = {layer.name: layer for layer, _ in BERT_BASE_LAYERS}
+        assert by_name["bert_attn_scores"].k == 64
+
+    def test_representative_subset(self):
+        assert len(bert_representative()) == 3
