@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-fast examples experiments clean
+.PHONY: install test bench bench-fast bench-cache examples experiments clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -18,6 +18,12 @@ bench-fast:
 	    benchmarks/test_fig08_padding_sweep.py \
 	    benchmarks/test_fig09_alexnet_handcrafted.py \
 	    benchmarks/test_ablations.py --benchmark-only -s
+
+# Smoke benchmark for the evaluation-cache fast path: fails if cached
+# re-evaluation drops below 10x a cold evaluation, or if caching changes
+# any search result. Cheap enough to run in CI on every change.
+bench-cache:
+	$(PYTHON) -m pytest benchmarks/test_perf_eval_cache.py --benchmark-only -s
 
 examples:
 	@for f in examples/*.py; do echo "== $$f =="; $(PYTHON) $$f; done

@@ -89,6 +89,35 @@ def _build_arch(args: argparse.Namespace):
     return ARCH_PRESETS[args.arch]()
 
 
+def _format_search_stats(stats: Dict) -> List[str]:
+    """Render SearchResult.stats (throughput, pool mode, cache) for the CLI."""
+    if not stats:
+        return []
+    lines: List[str] = []
+    summary = []
+    if stats.get("evals_per_sec"):
+        summary.append(f"throughput={stats['evals_per_sec']:,.0f} evals/s")
+    if stats.get("elapsed_s") is not None:
+        summary.append(f"elapsed={stats['elapsed_s']:.2f}s")
+    if stats.get("pool_mode"):
+        summary.append(f"pool={stats['pool_mode']}")
+    cache = stats.get("cache")
+    if cache is not None:
+        summary.append(f"cache-hit-rate={cache['hit_rate']:.1%}")
+    if summary:
+        lines.append("  ".join(summary))
+    for row in stats.get("workers", ()):
+        hit_rate = row.get("cache_hit_rate")
+        cache_part = f"  cache-hit={hit_rate:.1%}" if hit_rate is not None else ""
+        rate = row.get("evals_per_sec") or 0.0
+        lines.append(
+            f"  worker {row['worker']}: seed={row['seed']}  "
+            f"evaluated={row['num_evaluated']:,}  valid={row['num_valid']:,}  "
+            f"{rate:,.0f} evals/s{cache_part}  ({row['terminated_by']})"
+        )
+    return lines
+
+
 def _cmd_search(args: argparse.Namespace) -> int:
     arch = _build_arch(args)
     workload = _build_workload(args)
@@ -98,6 +127,7 @@ def _cmd_search(args: argparse.Namespace) -> int:
         else None
     )
     if args.workers > 1:
+        from repro.model.eval_cache import DEFAULT_CACHE_SIZE
         from repro.search.parallel import parallel_random_search
 
         result = parallel_random_search(
@@ -110,6 +140,8 @@ def _cmd_search(args: argparse.Namespace) -> int:
             patience=args.patience,
             workers=args.workers,
             seed=args.seed,
+            cache_size=0 if args.no_cache else DEFAULT_CACHE_SIZE,
+            start_method=args.start_method,
         )
     else:
         result = find_best_mapping(
@@ -139,6 +171,8 @@ def _cmd_search(args: argparse.Namespace) -> int:
         f"({result.num_valid}/{result.num_evaluated} valid mappings, "
         f"stopped by {result.terminated_by})"
     )
+    for line in _format_search_stats(result.stats):
+        print(line)
     if args.save_mapping:
         save_json(mapping_to_dict(best.mapping), args.save_mapping)
         print(f"mapping saved to {args.save_mapping}")
@@ -240,6 +274,15 @@ def build_parser() -> argparse.ArgumentParser:
     search.add_argument(
         "--workers", type=int, default=1,
         help="independent parallel search processes (paper: 24 threads)",
+    )
+    search.add_argument(
+        "--start-method", choices=["fork", "spawn"], default=None,
+        help="force a multiprocessing start method (default: try fork, "
+        "then spawn, then run sequentially)",
+    )
+    search.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the per-worker evaluation cache (parity debugging)",
     )
     search.add_argument(
         "--row-stationary", action="store_true",

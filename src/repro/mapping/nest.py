@@ -201,6 +201,52 @@ class Mapping:
             not p.loop.is_perfect and p.loop.spatial for p in self.placed_loops()
         )
 
+    def signature(self) -> Tuple:
+        """Canonical hashable identity safe for evaluation caching.
+
+        Two mappings with equal signatures evaluate identically, so an
+        :class:`~repro.model.eval_cache.EvaluationCache` can key on this.
+        The normalization only erases differences that provably cannot
+        change the cost model's output:
+
+        * trivial (bound-1, perfect) loops are dropped — they execute one
+          pass and tile nothing;
+        * a level's spatial block is sorted **only when every spatial loop
+          in it is perfect** — parFor loops commute then, but reordering an
+          imperfect chain changes its coverage (the remainder applies to
+          the globally-last pass, so ``7 x (5 last 2)`` and
+          ``(5 last 2) x 7`` cover different totals), hence imperfect
+          spatial blocks keep their order.
+
+        Unlike :meth:`canonical_key` (a looser identity used for dedup
+        statistics), the signature never conflates mappings whose costs
+        could differ. The tuple is computed once and memoized on the
+        (frozen) instance.
+        """
+        cached = getattr(self, "_signature_cache", None)
+        if cached is not None:
+            return cached
+        key = []
+        for nest in self.levels:
+            temporal = tuple(
+                (l.dim, l.bound, l.remainder)
+                for l in nest.temporal
+                if not (l.is_trivial and l.is_perfect)
+            )
+            spatial_loops = [
+                l for l in nest.spatial if not (l.is_trivial and l.is_perfect)
+            ]
+            spatial = tuple(
+                (l.dim, l.bound, l.remainder, l.axis) for l in spatial_loops
+            )
+            if all(l.is_perfect for l in spatial_loops):
+                spatial = tuple(sorted(spatial))
+            key.append((nest.level_name, temporal, spatial))
+        key.append(tuple(sorted(self.bypass)))
+        signature = tuple(key)
+        object.__setattr__(self, "_signature_cache", signature)
+        return signature
+
     def canonical_key(self) -> Tuple:
         """Hashable identity used for dedup when counting unique mappings.
 

@@ -11,6 +11,7 @@ traffic of relevant dimensions.
 from repro.model.dataflow import TensorPath, tensor_paths
 from repro.model.access_counts import AccessCounts, compute_access_counts
 from repro.model.latency import compute_cycles, compute_utilization
+from repro.model.eval_cache import DEFAULT_CACHE_SIZE, EvaluationCache
 from repro.model.evaluator import Evaluation, Evaluator
 from repro.model.analysis import MappingReport, explain_mapping, format_report
 from repro.model.reference_sim import SimulationResult, simulate
@@ -25,6 +26,8 @@ __all__ = [
     "compute_access_counts",
     "compute_cycles",
     "compute_utilization",
+    "DEFAULT_CACHE_SIZE",
+    "EvaluationCache",
     "Evaluation",
     "Evaluator",
     "MappingReport",

@@ -9,7 +9,7 @@ or energy tables.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Tuple
 
 from repro.arch.spec import Architecture
@@ -18,6 +18,7 @@ from repro.energy.table import EnergyTable
 from repro.mapping.nest import Mapping
 from repro.mapping.validity import check_mapping
 from repro.model.access_counts import AccessCounts, compute_access_counts
+from repro.model.eval_cache import EvaluationCache
 from repro.model.energy_model import compute_energy_pj
 from repro.model.latency import (
     bandwidth_stall_cycles,
@@ -77,7 +78,14 @@ class Evaluator:
         arch: the accelerator.
         workload: the tensor operation.
         energy_table: optional pre-built energy table; estimated via the
-            Accelergy-like model when omitted.
+            Accelergy-like model when omitted. Search drivers that spin up
+            many evaluators for the same architecture should build the
+            table once and pass it in — estimation walks every storage
+            level through the SRAM/DRAM models.
+        cache: optional :class:`~repro.model.eval_cache.EvaluationCache`
+            consulted (by mapping signature) before the full
+            validity -> access-counts -> energy pipeline. Cache hits are
+            guaranteed to match what the pipeline would have produced.
     """
 
     def __init__(
@@ -88,6 +96,7 @@ class Evaluator:
         include_noc: bool = False,
         include_static: bool = False,
         clock_ghz: float = 1.0,
+        cache: Optional[EvaluationCache] = None,
     ) -> None:
         self.arch = arch
         self.workload = workload
@@ -95,9 +104,31 @@ class Evaluator:
         self.include_noc = include_noc
         self.include_static = include_static
         self.clock_ghz = clock_ghz
+        self.cache = cache
 
     def evaluate(self, mapping: Mapping) -> Evaluation:
-        """Validate and evaluate ``mapping``; never raises on bad mappings."""
+        """Validate and evaluate ``mapping``; never raises on bad mappings.
+
+        With a cache attached, an already-seen signature skips the cost
+        model entirely; the returned evaluation always carries the mapping
+        that was asked about (not the equivalent one priced first), so
+        callers comparing ``result.mapping`` see no difference between a
+        hit and a miss.
+        """
+        if self.cache is None:
+            return self._evaluate_uncached(mapping)
+        key = mapping.signature()
+        hit = self.cache.get(key)
+        if hit is not None:
+            if hit.mapping is mapping:
+                return hit
+            return replace(hit, mapping=mapping)
+        evaluation = self._evaluate_uncached(mapping)
+        self.cache.put(key, evaluation)
+        return evaluation
+
+    def _evaluate_uncached(self, mapping: Mapping) -> Evaluation:
+        """The full validity -> access-counts -> energy pipeline."""
         violations = check_mapping(mapping, self.arch, self.workload)
         if violations:
             return Evaluation(

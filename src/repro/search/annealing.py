@@ -10,12 +10,13 @@ from __future__ import annotations
 
 import math
 import random
+import time
 from typing import Optional, Union
 
 from repro.exceptions import SearchError
 from repro.mapspace.generator import MapSpace
 from repro.model.evaluator import Evaluation, Evaluator
-from repro.search.result import ConvergencePoint, SearchResult
+from repro.search.result import ConvergencePoint, SearchResult, throughput_stats
 from repro.utils.rng import make_rng
 
 
@@ -68,6 +69,9 @@ class SimulatedAnnealing:
         evaluations = 0
         num_valid = 0
         curve = []
+        cache = getattr(self.evaluator, "cache", None)
+        cache_baseline = (cache.hits, cache.misses) if cache is not None else (0, 0)
+        started = time.perf_counter()
 
         def evaluate(genome):
             nonlocal evaluations, num_valid, best, best_metric
@@ -103,6 +107,7 @@ class SimulatedAnnealing:
                 if self._accept(current_metric, neighbor_metric, temperature):
                     current, current_metric = neighbor, neighbor_metric
                 temperature *= self.cooling
+        elapsed = time.perf_counter() - started
         return SearchResult(
             best=best,
             objective=self.objective,
@@ -110,6 +115,7 @@ class SimulatedAnnealing:
             num_valid=num_valid,
             terminated_by="budget",
             curve=curve,
+            stats=throughput_stats(evaluations, elapsed, cache, cache_baseline),
         )
 
     def _accept(self, current: float, candidate: float, temperature: float) -> bool:

@@ -2,12 +2,13 @@
 
 from __future__ import annotations
 
+import time
 from typing import Optional
 
 from repro.exceptions import SearchError
 from repro.mapspace.generator import MapSpace
 from repro.model.evaluator import Evaluation, Evaluator
-from repro.search.result import ConvergencePoint, SearchResult
+from repro.search.result import ConvergencePoint, SearchResult, throughput_stats
 
 
 class ExhaustiveSearch:
@@ -42,6 +43,9 @@ class ExhaustiveSearch:
         num_valid = 0
         evaluations = 0
         curve = []
+        cache = getattr(self.evaluator, "cache", None)
+        cache_baseline = (cache.hits, cache.misses) if cache is not None else (0, 0)
+        started = time.perf_counter()
         for mapping in self.mapspace.enumerate_mappings(
             permutations=self.permutations
         ):
@@ -65,6 +69,7 @@ class ExhaustiveSearch:
                 curve.append(
                     ConvergencePoint(evaluations=evaluations, best_metric=metric)
                 )
+        elapsed = time.perf_counter() - started
         return SearchResult(
             best=best,
             objective=self.objective,
@@ -72,6 +77,7 @@ class ExhaustiveSearch:
             num_valid=num_valid,
             terminated_by="exhausted",
             curve=curve,
+            stats=throughput_stats(evaluations, elapsed, cache, cache_baseline),
         )
 
 

@@ -14,13 +14,14 @@ per-dimension bound chains plus the permutation choice, with:
 from __future__ import annotations
 
 import random
+import time
 from typing import Dict, List, Optional, Tuple, Union
 
 from repro.exceptions import SearchError
 from repro.mapspace.allocation import DimChain
 from repro.mapspace.generator import MapSpace
 from repro.model.evaluator import Evaluation, Evaluator
-from repro.search.result import ConvergencePoint, SearchResult
+from repro.search.result import ConvergencePoint, SearchResult, throughput_stats
 from repro.utils.rng import make_rng
 
 Genome = Dict[str, DimChain]
@@ -70,6 +71,9 @@ class GeneticSearch:
 
     def run(self) -> SearchResult:
         """Evolve the population and return the best mapping found."""
+        cache = getattr(self.evaluator, "cache", None)
+        cache_baseline = (cache.hits, cache.misses) if cache is not None else (0, 0)
+        started = time.perf_counter()
         population = [
             self.mapspace.sample_chains(self.rng)
             for _ in range(self.population_size)
@@ -112,6 +116,7 @@ class GeneticSearch:
             pool = scored + scored_offspring
             pool.sort(key=lambda pair: pair[0])
             scored = pool[: self.population_size]
+        elapsed = time.perf_counter() - started
         return SearchResult(
             best=best,
             objective=self.objective,
@@ -119,6 +124,7 @@ class GeneticSearch:
             num_valid=num_valid,
             terminated_by="budget",
             curve=curve,
+            stats=throughput_stats(evaluations, elapsed, cache, cache_baseline),
         )
 
     def _select(self, scored: List[Tuple[float, Genome]]) -> Genome:

@@ -6,38 +6,104 @@ the equivalent with a process pool: N workers each run an independent
 seeded :class:`~repro.search.random_search.RandomSearch`, and the best
 result (plus aggregate statistics) is merged.
 
-Falls back to sequential execution when ``workers=1`` or the platform
-cannot fork, so callers never need a code path split.
+The pool is start-method agnostic. Shared, immutable state — the
+architecture, workload, constraints, and the energy table (estimated
+**once**, not per worker) — ships through a pool initializer, so jobs
+themselves are just ``(index, seed)`` pairs and the driver works under
+both ``fork`` and ``spawn``. Platforms with neither usable start method
+degrade to sequential execution of the same jobs; ``stats["pool_mode"]``
+records which mode actually ran.
 """
 
 from __future__ import annotations
 
-import random
-from typing import List, Optional, Tuple, Union
+import logging
+import os
+import sys
+import time
+from typing import Any, Dict, List, Optional, Tuple, Union
 
 from repro.arch.spec import Architecture
+from repro.energy.accelergy import estimate_energy_table
+from repro.energy.table import EnergyTable
 from repro.exceptions import SearchError
 from repro.mapspace.constraints import ConstraintSet
 from repro.mapspace.factory import make_mapspace
 from repro.mapspace.generator import MapspaceKind
+from repro.model.eval_cache import DEFAULT_CACHE_SIZE, EvaluationCache
 from repro.model.evaluator import Evaluator
-from repro.search.random_search import RandomSearch
+from repro.search.random_search import DEFAULT_PATIENCE, RandomSearch
 from repro.search.result import SearchResult
 from repro.utils.rng import make_rng
 
+logger = logging.getLogger(__name__)
 
-def _run_one(args: Tuple) -> SearchResult:
-    """Worker entry point: rebuild the stack and run one seeded search."""
-    (arch, workload, kind, constraints, objective, max_evaluations,
-     patience, seed) = args
-    mapspace = make_mapspace(arch, workload, kind, constraints)
-    evaluator = Evaluator(arch, workload)
+#: Start methods tried, in order, when the caller does not force one.
+#: ``fork`` is cheapest (no re-import, no pickling of the initializer
+#: state); ``spawn`` is the portable fallback (and the only option on
+#: Windows and recent macOS defaults).
+_START_METHODS = ("fork", "spawn")
+
+# Per-process search configuration installed by the pool initializer so
+# spawn-started workers (which re-import this module) can rebuild their
+# stack without re-pickling the shared state for every job.
+_WORKER_STATE: Optional[Dict[str, Any]] = None
+
+
+def _init_worker(state: Dict[str, Any]) -> None:
+    """Pool initializer: stash the shared search configuration."""
+    global _WORKER_STATE
+    _WORKER_STATE = state
+
+
+def _spawn_usable() -> bool:
+    """True when ``spawn`` workers can bootstrap.
+
+    Spawned children re-import ``__main__``; from an interactive session
+    (REPL, stdin script) there is no importable main module, the children
+    die during bootstrap, and the pool respawns them forever — a hang, not
+    an exception. Detect that case up front and fall through to the next
+    execution mode instead.
+    """
+    main = sys.modules.get("__main__")
+    if main is None or getattr(main, "__spec__", None) is not None:
+        return True  # `python -m ...` (and pytest): importable by spec.
+    main_file = getattr(main, "__file__", None)
+    return bool(main_file) and os.path.exists(main_file)
+
+
+def _run_one(job: Tuple[int, int]) -> Tuple[int, SearchResult]:
+    """Worker entry point: run one seeded search from the installed state."""
+    index, seed = job
+    if _WORKER_STATE is None:  # pragma: no cover - initializer always runs
+        raise SearchError("worker state not initialized")
+    return index, _search_once(_WORKER_STATE, seed)
+
+
+def _search_once(state: Dict[str, Any], seed: int) -> SearchResult:
+    """Rebuild the mapspace/evaluator stack and run one seeded search.
+
+    The energy table arrives pre-built in ``state`` — estimating it is the
+    only expensive part of evaluator construction, and it depends solely
+    on the architecture, so the driver hoists it out of the workers.
+    """
+    mapspace = make_mapspace(
+        state["arch"], state["workload"], state["kind"], state["constraints"]
+    )
+    cache_size = state["cache_size"]
+    cache = EvaluationCache(cache_size) if cache_size else None
+    evaluator = Evaluator(
+        state["arch"],
+        state["workload"],
+        energy_table=state["energy_table"],
+        cache=cache,
+    )
     return RandomSearch(
         mapspace,
         evaluator,
-        objective=objective,
-        max_evaluations=max_evaluations,
-        patience=patience,
+        objective=state["objective"],
+        max_evaluations=state["max_evaluations"],
+        patience=state["patience"],
         seed=seed,
     ).run()
 
@@ -49,47 +115,171 @@ def parallel_random_search(
     constraints: Optional[ConstraintSet] = None,
     objective: str = "edp",
     max_evaluations: int = 10_000,
-    patience: Optional[int] = 3_000,
+    patience: Optional[int] = DEFAULT_PATIENCE,
     workers: int = 4,
     seed: Optional[int] = None,
+    energy_table: Optional[EnergyTable] = None,
+    cache_size: Optional[int] = DEFAULT_CACHE_SIZE,
+    start_method: Optional[str] = None,
 ) -> SearchResult:
     """Run ``workers`` independent searches and merge the best result.
 
     ``max_evaluations`` and ``patience`` apply *per worker* (matching the
     paper's per-thread termination criterion). The merged result reports
     the summed evaluation counts and the single best evaluation; its curve
-    is the winning worker's curve.
+    is the winning worker's curve (see :func:`_merge` for the index
+    semantics).
+
+    Args:
+        energy_table: pre-built per-access energies; estimated once here
+            (never per worker) when omitted.
+        cache_size: per-worker evaluation-cache bound; ``None`` or 0
+            disables caching. Caching never changes results — only speed.
+        start_method: force a multiprocessing start method ("fork" or
+            "spawn"); by default each is tried in that order before
+            degrading to sequential execution.
+
+    The returned ``stats`` carry ``pool_mode`` (which execution mode
+    actually ran), wall-clock ``elapsed_s``/``evals_per_sec`` across the
+    whole pool, an aggregate ``cache`` summary, and a ``workers`` list
+    with each worker's seed, counts, hit rate, and throughput.
     """
     if workers < 1:
         raise SearchError("workers must be >= 1")
     rng = make_rng(seed)
     seeds = [rng.getrandbits(32) for _ in range(workers)]
-    job_args = [
-        (arch, workload, MapspaceKind(kind), constraints, objective,
-         max_evaluations, patience, worker_seed)
-        for worker_seed in seeds
-    ]
-    results: List[SearchResult]
+    state: Dict[str, Any] = {
+        "arch": arch,
+        "workload": workload,
+        "kind": MapspaceKind(kind),
+        "constraints": constraints,
+        "objective": objective,
+        "max_evaluations": max_evaluations,
+        "patience": patience,
+        "energy_table": energy_table or estimate_energy_table(arch),
+        "cache_size": cache_size,
+    }
+    started = time.perf_counter()
     if workers == 1:
-        results = [_run_one(job_args[0])]
+        results = [_search_once(state, seeds[0])]
+        pool_mode = "sequential"
     else:
-        results = _map_jobs(job_args, workers)
-    return _merge(results, objective)
+        results, pool_mode = _map_jobs(state, seeds, workers, start_method)
+    elapsed = time.perf_counter() - started
+    merged = _merge(results, objective)
+    merged.stats.update(_pool_stats(results, seeds, pool_mode, elapsed))
+    return merged
 
 
-def _map_jobs(job_args: List[Tuple], workers: int) -> List[SearchResult]:
-    try:
-        import multiprocessing
+def _map_jobs(
+    state: Dict[str, Any],
+    seeds: List[int],
+    workers: int,
+    start_method: Optional[str] = None,
+) -> Tuple[List[SearchResult], str]:
+    """Fan the seeded jobs over a process pool; returns (results, mode).
 
-        context = multiprocessing.get_context("fork")
-        with context.Pool(processes=workers) as pool:
-            return pool.map(_run_one, job_args)
-    except (ImportError, OSError, ValueError):
-        # No fork available (or pool creation failed): degrade gracefully.
-        return [_run_one(args) for args in job_args]
+    Jobs are ``(index, seed)`` pairs consumed via ``imap_unordered`` (with
+    a chunksize that amortizes IPC for large job lists) and re-sorted by
+    index afterwards, so the result order — and therefore tie-breaking in
+    :func:`_merge` — is identical across pool modes. Every candidate start
+    method is tried before giving up on parallelism; the sequential
+    fallback still runs all jobs.
+    """
+    jobs = list(enumerate(seeds))
+    methods = (start_method,) if start_method else _START_METHODS
+    for method in methods:
+        if method == "spawn" and not _spawn_usable():
+            logger.warning(
+                "spawn start method skipped: __main__ is not importable "
+                "(interactive session?)"
+            )
+            continue
+        try:
+            import multiprocessing
+
+            context = multiprocessing.get_context(method)
+        except (ImportError, ValueError) as error:
+            logger.debug("start method %r unavailable: %s", method, error)
+            continue
+        try:
+            chunksize = max(1, len(jobs) // (workers * 4))
+            with context.Pool(
+                processes=workers,
+                initializer=_init_worker,
+                initargs=(state,),
+            ) as pool:
+                indexed = list(
+                    pool.imap_unordered(_run_one, jobs, chunksize=chunksize)
+                )
+            indexed.sort(key=lambda pair: pair[0])
+            logger.info("parallel search ran %d jobs via %s", len(jobs), method)
+            return [result for _, result in indexed], method
+        except (OSError, ValueError, RuntimeError) as error:
+            logger.warning(
+                "start method %r failed (%s); trying next option", method, error
+            )
+    # No usable pool: degrade gracefully but still run every job.
+    logger.warning("no multiprocessing start method usable; running sequentially")
+    return [_search_once(state, seed) for _, seed in jobs], "sequential"
+
+
+def _pool_stats(
+    results: List[SearchResult],
+    seeds: List[int],
+    pool_mode: str,
+    elapsed: float,
+) -> Dict[str, Any]:
+    """Aggregate per-worker observability into the merged stats payload."""
+    worker_rows = []
+    cache_hits = 0
+    cache_misses = 0
+    cache_enabled = False
+    for index, (worker_seed, result) in enumerate(zip(seeds, results)):
+        row: Dict[str, Any] = {
+            "worker": index,
+            "seed": worker_seed,
+            "num_evaluated": result.num_evaluated,
+            "num_valid": result.num_valid,
+            "terminated_by": result.terminated_by,
+            "elapsed_s": result.stats.get("elapsed_s"),
+            "evals_per_sec": result.stats.get("evals_per_sec"),
+        }
+        cache = result.stats.get("cache")
+        if cache is not None:
+            cache_enabled = True
+            cache_hits += cache["hits"]
+            cache_misses += cache["misses"]
+            row["cache_hit_rate"] = cache["hit_rate"]
+        worker_rows.append(row)
+    total_evaluated = sum(r.num_evaluated for r in results)
+    stats: Dict[str, Any] = {
+        "pool_mode": pool_mode,
+        "elapsed_s": elapsed,
+        "evals_per_sec": (total_evaluated / elapsed) if elapsed > 0 else 0.0,
+        "workers": worker_rows,
+    }
+    if cache_enabled:
+        lookups = cache_hits + cache_misses
+        stats["cache"] = {
+            "hits": cache_hits,
+            "misses": cache_misses,
+            "hit_rate": (cache_hits / lookups) if lookups else 0.0,
+        }
+    return stats
 
 
 def _merge(results: List[SearchResult], objective: str) -> SearchResult:
+    """Merge per-worker results into one.
+
+    Counts are **summed** across workers while the curve is the winning
+    worker's trace unchanged, so ``curve[i].evaluations`` are that
+    worker's *local* evaluation indices (1-based within its own stream) —
+    they are not comparable to the merged ``num_evaluated`` total and
+    always satisfy ``curve[-1].evaluations <= num_evaluated``. This keeps
+    the per-thread semantics of the paper's convergence plots: each
+    thread's patience and budget are judged against its own stream.
+    """
     winner = None
     for result in results:
         if result.best is None:

@@ -9,13 +9,20 @@ across 24 threads), or after a hard evaluation budget.
 from __future__ import annotations
 
 import random
+import time
 from typing import Optional, Union
 
 from repro.exceptions import SearchError
 from repro.mapspace.generator import MapSpace
 from repro.model.evaluator import Evaluation, Evaluator
-from repro.search.result import ConvergencePoint, SearchResult
+from repro.search.result import ConvergencePoint, SearchResult, throughput_stats
 from repro.utils.rng import make_rng
+
+#: The paper's per-thread termination criterion (Section IV-B): 3000
+#: consecutive valid non-improving mappings. Shared by :class:`RandomSearch`
+#: and :func:`~repro.search.parallel.parallel_random_search` so the
+#: sequential and parallel drivers agree.
+DEFAULT_PATIENCE = 3_000
 
 
 class RandomSearch:
@@ -23,11 +30,15 @@ class RandomSearch:
 
     Args:
         mapspace: where mappings come from.
-        evaluator: prices each mapping.
+        evaluator: prices each mapping. Attach an
+            :class:`~repro.model.eval_cache.EvaluationCache` to it to skip
+            re-pricing duplicate draws; hit counters surface in
+            ``SearchResult.stats``.
         objective: "edp" (the paper's default), "energy", or "delay".
         max_evaluations: hard budget on drawn mappings (valid or not).
         patience: stop after this many consecutive valid non-improving
-            mappings; ``None`` disables the criterion.
+            mappings; ``None`` disables the criterion. Defaults to the
+            paper's 3000.
         seed: RNG seed or generator for reproducibility.
     """
 
@@ -37,7 +48,7 @@ class RandomSearch:
         evaluator: Evaluator,
         objective: str = "edp",
         max_evaluations: int = 10_000,
-        patience: Optional[int] = 1_000,
+        patience: Optional[int] = DEFAULT_PATIENCE,
         seed: Optional[Union[int, random.Random]] = None,
     ) -> None:
         if max_evaluations < 1:
@@ -59,6 +70,9 @@ class RandomSearch:
         num_valid = 0
         curve = []
         terminated_by = "budget"
+        cache = getattr(self.evaluator, "cache", None)
+        cache_baseline = (cache.hits, cache.misses) if cache is not None else (0, 0)
+        started = time.perf_counter()
         for evaluations in range(1, self.max_evaluations + 1):
             mapping = self.mapspace.sample(self.rng)
             evaluation = self.evaluator.evaluate(mapping)
@@ -83,6 +97,7 @@ class RandomSearch:
                     break
         else:
             evaluations = self.max_evaluations
+        elapsed = time.perf_counter() - started
         return SearchResult(
             best=best,
             objective=self.objective,
@@ -90,6 +105,7 @@ class RandomSearch:
             num_valid=num_valid,
             terminated_by=terminated_by,
             curve=curve,
+            stats=throughput_stats(evaluations, elapsed, cache, cache_baseline),
         )
 
 
@@ -98,7 +114,7 @@ def random_search(
     evaluator: Evaluator,
     objective: str = "edp",
     max_evaluations: int = 10_000,
-    patience: Optional[int] = 1_000,
+    patience: Optional[int] = DEFAULT_PATIENCE,
     seed: Optional[Union[int, random.Random]] = None,
 ) -> SearchResult:
     """One-shot functional wrapper around :class:`RandomSearch`."""

@@ -3,8 +3,9 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Any, Dict, List, Optional, Tuple
 
+from repro.model.eval_cache import EvaluationCache
 from repro.model.evaluator import Evaluation
 
 
@@ -29,6 +30,12 @@ class SearchResult:
         terminated_by: "patience", "budget", or "exhausted".
         curve: best-so-far trace, one point per improvement (prepend-safe
             for averaging across seeds with :func:`best_so_far_series`).
+        stats: throughput/observability payload. Search drivers populate
+            ``elapsed_s`` and ``evals_per_sec`` (see
+            :func:`throughput_stats`); cached evaluators add a ``cache``
+            sub-dict (hits/misses/hit_rate); the parallel driver adds
+            ``pool_mode`` ("fork", "spawn", or "sequential") and a
+            ``workers`` list with per-worker counts.
     """
 
     best: Optional[Evaluation]
@@ -37,6 +44,7 @@ class SearchResult:
     num_valid: int
     terminated_by: str
     curve: List[ConvergencePoint] = field(default_factory=list)
+    stats: Dict[str, Any] = field(default_factory=dict)
 
     @property
     def best_metric(self) -> Optional[float]:
@@ -59,3 +67,36 @@ class SearchResult:
                 if point.best_metric < series[i]:
                     series[i] = point.best_metric
         return series
+
+
+def throughput_stats(
+    num_evaluated: int,
+    elapsed_s: float,
+    cache: Optional[EvaluationCache] = None,
+    cache_baseline: Tuple[int, int] = (0, 0),
+) -> Dict[str, Any]:
+    """Build the ``SearchResult.stats`` throughput payload.
+
+    Args:
+        num_evaluated: mappings drawn during the run being reported.
+        elapsed_s: wall-clock duration of the run.
+        cache: the evaluator's cache, if one was attached.
+        cache_baseline: ``(hits, misses)`` snapshot taken before the run,
+            so a cache shared across runs reports per-run deltas.
+    """
+    stats: Dict[str, Any] = {
+        "elapsed_s": elapsed_s,
+        "evals_per_sec": (num_evaluated / elapsed_s) if elapsed_s > 0 else 0.0,
+    }
+    if cache is not None:
+        hits = cache.hits - cache_baseline[0]
+        misses = cache.misses - cache_baseline[1]
+        lookups = hits + misses
+        stats["cache"] = {
+            "hits": hits,
+            "misses": misses,
+            "hit_rate": (hits / lookups) if lookups else 0.0,
+            "size": len(cache),
+            "max_entries": cache.max_entries,
+        }
+    return stats

@@ -142,18 +142,22 @@ def from_mixed_radix(digits: Sequence[int], radices: Sequence[int]) -> int:
     return value
 
 
-def compositions_bounded(total: int, parts: int, bound: int) -> Iterator[Tuple[int, ...]]:
-    """Yield tuples of ``parts`` integers in ``[1, bound]`` whose product >= nothing.
+def compositions_bounded(parts: int, bound: int) -> Iterator[Tuple[int, ...]]:
+    """Yield every tuple of ``parts`` integers with entries in ``[1, bound]``.
 
-    Utility enumerator: all tuples of length ``parts`` with entries in
-    ``[1, bound]``. Used by exhaustive imperfect-factorization counting for
-    small problems.
+    Utility enumerator (``bound ** parts`` tuples) for exhaustive
+    imperfect-factorization counting on small problems, where each loop
+    level independently picks a bound up to the dimension size.
     """
+    if parts < 0:
+        raise ValueError(f"parts must be >= 0, got {parts}")
+    if bound < 1:
+        raise ValueError(f"bound must be >= 1, got {bound}")
     if parts == 0:
         yield ()
         return
     for head in range(1, bound + 1):
-        for tail in compositions_bounded(total, parts - 1, bound):
+        for tail in compositions_bounded(parts - 1, bound):
             yield (head,) + tail
 
 

@@ -64,6 +64,38 @@ class TestParallelSearch:
         with pytest.raises(SearchError):
             parallel_random_search(arch, workload, workers=0)
 
+    def test_stats_expose_pool_and_workers(self, setting):
+        arch, workload = setting
+        result = parallel_random_search(
+            arch, workload, workers=3, max_evaluations=100,
+            patience=None, seed=5,
+        )
+        stats = result.stats
+        assert stats["pool_mode"] in ("fork", "spawn", "sequential")
+        assert stats["evals_per_sec"] > 0
+        rows = stats["workers"]
+        assert len(rows) == 3
+        assert sum(row["num_evaluated"] for row in rows) == result.num_evaluated
+        assert sum(row["num_valid"] for row in rows) == result.num_valid
+        for row in rows:
+            assert 0.0 <= row["cache_hit_rate"] <= 1.0
+        assert stats["cache"]["hits"] + stats["cache"]["misses"] == 300
+
+    def test_cache_never_changes_results(self, setting):
+        arch, workload = setting
+        cached = parallel_random_search(
+            arch, workload, workers=2, max_evaluations=150,
+            patience=None, seed=21,
+        )
+        uncached = parallel_random_search(
+            arch, workload, workers=2, max_evaluations=150,
+            patience=None, seed=21, cache_size=0,
+        )
+        assert cached.best_metric == uncached.best_metric
+        assert cached.best.mapping == uncached.best.mapping
+        assert cached.num_valid == uncached.num_valid
+        assert "cache" not in uncached.stats
+
     def test_no_valid_reports_none(self, setting):
         # An impossible architecture: nothing valid to find.
         from repro.arch import toy_glb_architecture
@@ -76,3 +108,55 @@ class TestParallelSearch:
         )
         assert result.best is None
         assert result.num_evaluated == 100
+
+
+class TestStartMethods:
+    """The pool must be genuinely parallel under fork AND spawn (the
+    paper's 24-thread setup must not silently degrade to one core on
+    spawn-only platforms), with identical results in every mode."""
+
+    def _run(self, setting, **kwargs):
+        arch, workload = setting
+        return parallel_random_search(
+            arch, workload, workers=4, max_evaluations=80,
+            patience=None, seed=13, **kwargs,
+        )
+
+    @pytest.mark.parametrize("method", ["fork", "spawn"])
+    def test_forced_start_method_runs_multiprocess(self, setting, method):
+        result = self._run(setting, start_method=method)
+        assert result.stats["pool_mode"] == method
+        assert result.best is not None
+        assert result.num_evaluated == 320
+
+    def test_spawn_parity_with_single_worker_and_fork(self, setting):
+        spawn = self._run(setting, start_method="spawn")
+        fork = self._run(setting, start_method="fork")
+        arch, workload = setting
+        one = parallel_random_search(
+            arch, workload, workers=1, max_evaluations=80,
+            patience=None, seed=13,
+        )
+        # Same seed stream everywhere: worker 0's stream IS the 1-worker
+        # run, so the merged best can only improve on it — and fork vs
+        # spawn must agree exactly.
+        assert spawn.best_metric == fork.best_metric
+        assert spawn.best.mapping == fork.best.mapping
+        assert spawn.num_valid == fork.num_valid
+        assert spawn.best_metric <= one.best_metric
+        assert one.stats["pool_mode"] == "sequential"
+
+    def test_unusable_method_falls_back_to_sequential_all_jobs(
+        self, setting, monkeypatch
+    ):
+        def explode(*args, **kwargs):
+            raise ValueError("no process pools here")
+
+        monkeypatch.setattr(
+            "multiprocessing.get_context", explode, raising=True
+        )
+        result = self._run(setting)
+        assert result.stats["pool_mode"] == "sequential"
+        # The fallback still runs every job, not just the first.
+        assert result.num_evaluated == 320
+        assert len(result.stats["workers"]) == 4

@@ -7,6 +7,7 @@ import pytest
 from repro.utils.mathx import (
     balanced_split,
     ceil_div,
+    compositions_bounded,
     divisors,
     from_mixed_radix,
     mixed_radix_digits,
@@ -173,6 +174,28 @@ class TestMixedRadix:
     def test_from_mixed_radix_rejects_digit_overflow(self):
         with pytest.raises(ValueError):
             from_mixed_radix((5, 0), [4])
+
+
+class TestCompositionsBounded:
+    def test_zero_parts(self):
+        assert list(compositions_bounded(0, 5)) == [()]
+
+    def test_enumerates_all_tuples(self):
+        tuples = list(compositions_bounded(2, 3))
+        assert len(tuples) == 9
+        assert len(set(tuples)) == 9
+        assert all(len(t) == 2 and all(1 <= x <= 3 for x in t) for t in tuples)
+
+    def test_count_is_bound_to_the_parts(self):
+        for parts in range(4):
+            for bound in range(1, 5):
+                assert len(list(compositions_bounded(parts, bound))) == bound**parts
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(ValueError):
+            list(compositions_bounded(-1, 3))
+        with pytest.raises(ValueError):
+            list(compositions_bounded(2, 0))
 
 
 class TestBalancedSplit:
