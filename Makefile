@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-fast bench-cache examples experiments clean
+.PHONY: install test bench bench-fast bench-cache campaign-smoke examples experiments clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -24,6 +24,12 @@ bench-fast:
 # any search result. Cheap enough to run in CI on every change.
 bench-cache:
 	$(PYTHON) -m pytest benchmarks/test_perf_eval_cache.py --benchmark-only -s
+
+# End-to-end robustness smoke: runs a tiny campaign, SIGKILLs it mid-run,
+# resumes from the journal, and checks best-EDP parity plus fault-injection
+# retry/quarantine semantics. See scripts/campaign_smoke.py.
+campaign-smoke:
+	$(PYTHON) scripts/campaign_smoke.py
 
 examples:
 	@for f in examples/*.py; do echo "== $$f =="; $(PYTHON) $$f; done

@@ -1,0 +1,209 @@
+#!/usr/bin/env python
+"""End-to-end smoke test for fault-tolerant campaigns (``make campaign-smoke``).
+
+Exercises the full robustness story against the toy suite on the 16-PE
+linear architecture:
+
+1. run an uninterrupted reference campaign;
+2. start the same campaign on a second journal, SIGKILL it mid-run, and
+   resume it — per-job best EDP must match the reference exactly;
+3. run with an injected worker crash and an injected always-raising job —
+   the crash must be retried to success, the raiser quarantined, and the
+   campaign must still exit 0.
+
+Runs in a few tens of seconds; exits nonzero on any mismatch.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+SRC = REPO / "src"
+
+BASE_CMD = [
+    sys.executable,
+    "-m",
+    "repro",
+    "campaign",
+    "run",
+    "--suite",
+    "toy",
+    "--arch",
+    "toy16",
+    "--kinds",
+    "ruby-s",
+    "--seeds",
+    "1",
+    "--budget",
+    "150",
+    "--workers",
+    "2",
+]
+
+
+def _env() -> dict:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(SRC) + os.pathsep + env.get("PYTHONPATH", "")
+    return env
+
+
+def _run(cmd, **kwargs):
+    return subprocess.run(cmd, env=_env(), cwd=REPO, **kwargs)
+
+
+def _job_results(journal: Path) -> dict:
+    """Latest terminal record per job_id -> (status, edp)."""
+    results = {}
+    for line in journal.read_text().splitlines():
+        record = json.loads(line)
+        if record.get("kind") != "job":
+            continue
+        if record.get("status") not in ("ok", "quarantined"):
+            continue
+        edp = (record.get("metrics") or {}).get("edp")
+        results[record["job_id"]] = (record["status"], edp)
+    return results
+
+
+def _count_terminal(journal: Path) -> int:
+    if not journal.exists():
+        return 0
+    count = 0
+    for line in journal.read_text().splitlines():
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError:
+            continue  # torn tail from the SIGKILL — exactly what resume tolerates
+        if record.get("kind") == "job" and record.get("status") in (
+            "ok",
+            "quarantined",
+        ):
+            count += 1
+    return count
+
+
+def step_reference(workdir: Path) -> dict:
+    journal = workdir / "reference.jsonl"
+    proc = _run(BASE_CMD + ["--journal", str(journal)], capture_output=True)
+    if proc.returncode != 0:
+        sys.exit(f"reference campaign failed:\n{proc.stderr.decode()}")
+    results = _job_results(journal)
+    print(f"[1/3] reference campaign: {len(results)} jobs ok")
+    return results
+
+
+def step_kill_and_resume(workdir: Path, reference: dict) -> None:
+    journal = workdir / "interrupted.jsonl"
+    proc = subprocess.Popen(
+        BASE_CMD + ["--journal", str(journal)],
+        env=_env(),
+        cwd=REPO,
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL,
+    )
+    deadline = time.monotonic() + 120
+    while time.monotonic() < deadline and _count_terminal(journal) < 2:
+        if proc.poll() is not None:
+            sys.exit("campaign finished before it could be interrupted; "
+                     "raise --budget in this script")
+        time.sleep(0.05)
+    proc.send_signal(signal.SIGKILL)
+    proc.wait()
+    interrupted = _count_terminal(journal)
+    if interrupted >= len(reference):
+        sys.exit("campaign finished before it could be interrupted; "
+                 "raise --budget in this script")
+    print(f"[2/3] SIGKILLed campaign after {interrupted} jobs; resuming")
+
+    resumed = _run(
+        [
+            sys.executable, "-m", "repro", "campaign", "resume",
+            "--journal", str(journal),
+        ],
+        capture_output=True,
+    )
+    if resumed.returncode != 0:
+        sys.exit(f"resume failed:\n{resumed.stderr.decode()}")
+    results = _job_results(journal)
+    if set(results) != set(reference):
+        sys.exit(
+            f"resume job set mismatch: {sorted(set(reference) ^ set(results))}"
+        )
+    for job_id, (status, edp) in sorted(results.items()):
+        ref_status, ref_edp = reference[job_id]
+        if status != "ok" or ref_status != "ok" or edp != ref_edp:
+            sys.exit(
+                f"resume parity violated for {job_id}: "
+                f"{status}/{edp} vs reference {ref_status}/{ref_edp}"
+            )
+    print(f"      resumed campaign matches reference on all "
+          f"{len(results)} jobs (best EDP identical)")
+
+
+def step_faults(workdir: Path, reference: dict) -> None:
+    crash_job = "toy:fig8_d96:ruby-s"
+    doomed_job = "toy:table1_d23:ruby-s"
+    plan = {
+        "schema": 1,
+        "faults": [
+            {"job": crash_job, "attempt": 0, "kind": "crash"},
+        ]
+        + [
+            {
+                "job": doomed_job,
+                "attempt": attempt,
+                "kind": "raise",
+                "message": "injected smoke fault",
+            }
+            for attempt in range(3)
+        ],
+    }
+    plan_path = workdir / "faults.json"
+    plan_path.write_text(json.dumps(plan))
+    journal = workdir / "faulty.jsonl"
+    proc = _run(
+        BASE_CMD
+        + [
+            "--journal", str(journal),
+            "--fault-plan", str(plan_path),
+            "--backoff", "0.05",
+        ],
+        capture_output=True,
+    )
+    if proc.returncode != 0:
+        sys.exit(
+            f"fault-injected campaign aborted (exit {proc.returncode}):\n"
+            f"{proc.stderr.decode()}"
+        )
+    results = _job_results(journal)
+    status, edp = results[crash_job]
+    if status != "ok" or edp != reference[crash_job][1]:
+        sys.exit(f"crashed job not retried to parity: {status}/{edp}")
+    if results[doomed_job][0] != "quarantined":
+        sys.exit(f"doomed job not quarantined: {results[doomed_job]}")
+    ok = sum(1 for status, _ in results.values() if status == "ok")
+    print(
+        f"[3/3] fault injection: crash retried to identical EDP, "
+        f"raiser quarantined ({ok} ok / 1 quarantined)"
+    )
+
+
+def main() -> None:
+    with tempfile.TemporaryDirectory(prefix="campaign-smoke-") as tmp:
+        workdir = Path(tmp)
+        reference = step_reference(workdir)
+        step_kill_and_resume(workdir, reference)
+        step_faults(workdir, reference)
+    print("campaign smoke: OK")
+
+
+if __name__ == "__main__":
+    main()

@@ -8,7 +8,16 @@ Commands:
   preset) architecture and workload specs.
 * ``experiment`` — run one of the paper-reproduction harnesses
   (fig7a..fig7d, table1, fig8, fig9, fig10, fig11, fig12, fig13) and
-  print its report.
+  print its report; ``--journal`` makes fig8–fig13 fault-tolerant
+  (checkpointed, resumable, per-search timeouts).
+* ``campaign`` — run/resume/inspect a fault-tolerant search campaign
+  over a whole workload suite (``campaign run``, ``campaign resume``,
+  ``campaign status``).
+
+Failures exit with per-error-class status codes (SpecError=2,
+InvalidMappingError=3, MapspaceError=4, SearchError=5,
+EvaluationError=6, JobTimeoutError=7, CampaignError=8) and a one-line
+stderr message; pass ``--debug`` for the full traceback.
 """
 
 from __future__ import annotations
@@ -19,6 +28,7 @@ from typing import Dict, List, Optional
 
 from repro.arch import eyeriss_like, simba_like, toy_linear_architecture
 from repro.core.mapper import find_best_mapping
+from repro.exceptions import ReproError
 from repro.io import (
     architecture_from_dict,
     load_json,
@@ -204,10 +214,24 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _experiment_campaign(args: argparse.Namespace):
+    """Build the fault-tolerance config for fig8–fig13 runs (or None)."""
+    if not getattr(args, "journal", None):
+        return None
+    from repro.search.campaign import CampaignConfig
+
+    return CampaignConfig(
+        journal=args.journal,
+        timeout_s=args.timeout,
+        retries=args.retries,
+    )
+
+
 def _cmd_experiment(args: argparse.Namespace) -> int:
     from repro import experiments as ex
 
     name = args.name
+    campaign = _experiment_campaign(args)
     if name.startswith("fig7"):
         from repro.experiments.fig07 import SCENARIOS
 
@@ -221,23 +245,231 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     elif name == "table1":
         print(ex.format_table1(ex.run_table1()))
     elif name == "fig8":
-        print(ex.format_fig8(ex.run_fig8(max_evaluations=args.budget)))
+        print(
+            ex.format_fig8(
+                ex.run_fig8(max_evaluations=args.budget, campaign=campaign)
+            )
+        )
     elif name == "fig9":
-        print(ex.format_fig9(ex.run_fig9(max_evaluations=args.budget)))
+        print(
+            ex.format_fig9(
+                ex.run_fig9(max_evaluations=args.budget, campaign=campaign)
+            )
+        )
     elif name == "fig10":
-        print(ex.format_fig10(ex.run_fig10(max_evaluations=args.budget)))
+        print(
+            ex.format_fig10(
+                ex.run_fig10(max_evaluations=args.budget, campaign=campaign)
+            )
+        )
     elif name == "fig11":
-        print(ex.format_fig11(ex.run_fig11(max_evaluations=args.budget)))
+        print(
+            ex.format_fig11(
+                ex.run_fig11(max_evaluations=args.budget, campaign=campaign)
+            )
+        )
     elif name == "fig12":
-        print(ex.format_fig12(ex.run_fig12(max_evaluations=args.budget)))
+        print(
+            ex.format_fig12(
+                ex.run_fig12(max_evaluations=args.budget, campaign=campaign)
+            )
+        )
     elif name in ("fig13", "fig14"):
         print(
             ex.format_fig13(
-                ex.run_fig13(suite=args.suite, max_evaluations=args.budget)
+                ex.run_fig13(
+                    suite=args.suite,
+                    max_evaluations=args.budget,
+                    campaign=campaign,
+                )
             )
         )
     else:
         raise SystemExit(f"unknown experiment {name!r}")
+    return 0
+
+
+# ----------------------------------------------------------------- campaign
+
+
+def _parse_kinds(text: str) -> List[str]:
+    kinds = [kind.strip() for kind in text.split(",") if kind.strip()]
+    if not kinds:
+        raise SystemExit("--kinds must name at least one mapspace kind")
+    return kinds
+
+
+def _parse_seeds(text: str) -> List[int]:
+    return [int(chunk) for chunk in text.split(",") if chunk.strip()]
+
+
+def _load_fault_plan(path: Optional[str]):
+    if not path:
+        return None
+    from repro.utils.faults import FaultPlan
+
+    return FaultPlan.from_dict(load_json(path))
+
+
+def _print_campaign_result(result) -> None:
+    print(
+        f"campaign: {result.num_ok} ok, {result.num_quarantined} quarantined, "
+        f"{result.num_resumed} resumed from journal "
+        f"(pool={result.pool_mode}, "
+        f"{'complete' if result.complete else 'partial'})"
+    )
+    for outcome in result.outcomes:
+        if outcome.ok:
+            marker = "journal" if outcome.from_journal else f"{outcome.attempts} attempt(s)"
+            print(
+                f"  ok          {outcome.job_id}  "
+                f"EDP={outcome.metrics['edp']:.4e}  [{marker}]"
+            )
+        else:
+            error = outcome.error or {}
+            print(
+                f"  QUARANTINED {outcome.job_id}  "
+                f"{error.get('type')}: {error.get('message')}"
+            )
+
+
+def _campaign_settings(args: argparse.Namespace) -> Dict:
+    from repro.search.campaign import DEFAULT_RETRIES
+
+    return {
+        "workers": args.workers or 1,
+        "timeout_s": args.timeout,
+        "retries": args.retries if args.retries is not None else DEFAULT_RETRIES,
+        "backoff_s": args.backoff,
+        "start_method": args.start_method,
+    }
+
+
+def _cmd_campaign_run(args: argparse.Namespace) -> int:
+    from repro.experiments.campaigns import (
+        build_campaign_jobs,
+        campaign_header_config,
+    )
+    from repro.search.campaign import run_campaign
+
+    arch = _build_arch(args)
+    kinds = _parse_kinds(args.kinds)
+    seeds = _parse_seeds(args.seeds)
+    jobs = build_campaign_jobs(
+        args.suite,
+        arch,
+        kinds=kinds,
+        objective=args.objective,
+        max_evaluations=args.budget,
+        patience=args.patience,
+        seeds=seeds,
+        row_stationary=args.row_stationary,
+    )
+    settings = _campaign_settings(args)
+    header = campaign_header_config(
+        suite=args.suite,
+        arch_name=args.arch,
+        arch_json=args.arch_json,
+        kinds=kinds,
+        objective=args.objective,
+        max_evaluations=args.budget,
+        patience=args.patience,
+        seeds=seeds,
+        row_stationary=args.row_stationary,
+        timeout_s=settings["timeout_s"],
+        retries=settings["retries"],
+        workers=settings["workers"],
+    )
+    result = run_campaign(
+        jobs,
+        journal_path=args.journal,
+        fault_plan=_load_fault_plan(args.fault_plan),
+        resume=not args.fresh,
+        retry_quarantined=args.retry_quarantined,
+        header_config=header,
+        **settings,
+    )
+    _print_campaign_result(result)
+    return 0
+
+
+def _cmd_campaign_resume(args: argparse.Namespace) -> int:
+    from repro.exceptions import CampaignError
+    from repro.experiments.campaigns import build_campaign_jobs
+    from repro.io.journal import Journal
+    from repro.search.campaign import run_campaign
+
+    header = Journal(args.journal).header()
+    config = header.get("config") or {}
+    if not config.get("suite"):
+        raise CampaignError(
+            f"journal {args.journal}: header carries no suite config; "
+            "only journals written by 'campaign run' can be resumed here"
+        )
+    if config.get("arch_json"):
+        arch = architecture_from_dict(load_json(config["arch_json"]))
+    else:
+        arch = ARCH_PRESETS[config["arch"]]()
+    jobs = build_campaign_jobs(
+        config["suite"],
+        arch,
+        kinds=config["kinds"],
+        objective=config["objective"],
+        max_evaluations=config["max_evaluations"],
+        patience=config["patience"],
+        seeds=config["seeds"],
+        row_stationary=config.get("row_stationary", False),
+    )
+    retries = args.retries
+    if retries is None:
+        retries = config.get("retries")
+    if retries is None:
+        from repro.search.campaign import DEFAULT_RETRIES
+
+        retries = DEFAULT_RETRIES
+    result = run_campaign(
+        jobs,
+        journal_path=args.journal,
+        workers=args.workers or config.get("workers") or 1,
+        timeout_s=(
+            args.timeout if args.timeout is not None else config.get("timeout_s")
+        ),
+        retries=retries,
+        backoff_s=args.backoff,
+        resume=True,
+        retry_quarantined=args.retry_quarantined,
+        start_method=args.start_method,
+        header_config=config,
+    )
+    _print_campaign_result(result)
+    return 0
+
+
+def _cmd_campaign_status(args: argparse.Namespace) -> int:
+    from repro.search.campaign import campaign_status
+
+    status = campaign_status(args.journal)
+    print(f"journal: {status['journal']}")
+    if status["config"].get("suite"):
+        config = status["config"]
+        print(
+            f"config: suite={config['suite']} arch={config.get('arch')} "
+            f"kinds={','.join(config.get('kinds', ()))} "
+            f"budget={config.get('max_evaluations')}"
+        )
+    print(
+        f"jobs: {status['total']} total, {len(status['ok'])} ok, "
+        f"{len(status['quarantined'])} quarantined, "
+        f"{len(status['pending'])} pending"
+    )
+    for job_id in status["quarantined"]:
+        print(f"  QUARANTINED {job_id}")
+    for job_id in status["pending"]:
+        print(f"  pending     {job_id}")
+    if status["failed_attempts"]:
+        total_failures = sum(status["failed_attempts"].values())
+        print(f"failed attempts: {total_failures}")
+    print("complete" if status["complete"] else "incomplete")
     return 0
 
 
@@ -246,6 +478,10 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Ruby imperfect-factorization mapper (ISPASS'22 reproduction)",
+    )
+    parser.add_argument(
+        "--debug", action="store_true",
+        help="print full tracebacks instead of one-line error summaries",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -307,16 +543,130 @@ def build_parser() -> argparse.ArgumentParser:
     experiment.add_argument(
         "--suite", choices=["resnet50", "deepbench"], default="resnet50"
     )
+    experiment.add_argument(
+        "--journal",
+        help="run fig8-fig13 searches as a fault-tolerant campaign "
+        "journaled here (checkpointed + resumable)",
+    )
+    experiment.add_argument(
+        "--timeout", type=float, default=None,
+        help="per-search wall-clock timeout in seconds (with --journal)",
+    )
+    experiment.add_argument(
+        "--retries", type=int, default=2,
+        help="retry budget per search before quarantine (with --journal)",
+    )
     experiment.set_defaults(func=_cmd_experiment)
+
+    campaign = sub.add_parser(
+        "campaign", help="fault-tolerant search campaigns over a suite"
+    )
+    campaign_sub = campaign.add_subparsers(dest="campaign_command", required=True)
+
+    def add_campaign_fault_flags(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--journal", required=True,
+            help="append-only JSONL checkpoint journal for this campaign",
+        )
+        p.add_argument(
+            "--timeout", type=float, default=None,
+            help="per-job wall-clock timeout in seconds",
+        )
+        p.add_argument(
+            "--retries", type=int, default=None,
+            help="retry budget per job before quarantine (default 2)",
+        )
+        p.add_argument(
+            "--backoff", type=float, default=0.5,
+            help="base retry backoff in seconds (doubles per attempt)",
+        )
+        p.add_argument(
+            "--workers", type=int, default=None,
+            help="concurrent campaign jobs",
+        )
+        p.add_argument(
+            "--start-method", choices=["fork", "spawn"], default=None,
+            help="force a multiprocessing start method (default: try fork, "
+            "then spawn, then run jobs inline without timeout enforcement)",
+        )
+        p.add_argument(
+            "--retry-quarantined", action="store_true",
+            help="re-attempt jobs the journal marked quarantined",
+        )
+
+    campaign_run = campaign_sub.add_parser(
+        "run", help="run a suite campaign (resumes an existing journal)"
+    )
+    campaign_run.add_argument(
+        "--suite", choices=["toy", "resnet50", "deepbench", "mobilenet"],
+        default="toy",
+    )
+    campaign_run.add_argument(
+        "--arch", choices=sorted(ARCH_PRESETS), default="eyeriss",
+        help="architecture preset",
+    )
+    campaign_run.add_argument(
+        "--arch-json", help="architecture spec JSON (overrides --arch)"
+    )
+    campaign_run.add_argument(
+        "--kinds", default="pfm,ruby-s",
+        help="comma-separated mapspace kinds (default pfm,ruby-s)",
+    )
+    campaign_run.add_argument(
+        "--objective", choices=["edp", "energy", "delay"], default="edp"
+    )
+    campaign_run.add_argument("--budget", type=int, default=1000)
+    campaign_run.add_argument("--patience", type=int, default=None)
+    campaign_run.add_argument(
+        "--seeds", default="1,2", help="comma-separated search seeds"
+    )
+    campaign_run.add_argument(
+        "--row-stationary", action="store_true",
+        help="apply the Eyeriss constraint set to conv workloads",
+    )
+    campaign_run.add_argument(
+        "--fault-plan",
+        help="JSON fault-injection plan (repro.utils.faults schema) "
+        "for robustness testing",
+    )
+    campaign_run.add_argument(
+        "--fresh", action="store_true",
+        help="ignore journaled results and re-run every job",
+    )
+    add_campaign_fault_flags(campaign_run)
+    campaign_run.set_defaults(func=_cmd_campaign_run)
+
+    campaign_resume = campaign_sub.add_parser(
+        "resume", help="resume an interrupted campaign from its journal"
+    )
+    add_campaign_fault_flags(campaign_resume)
+    campaign_resume.set_defaults(func=_cmd_campaign_resume)
+
+    campaign_status = campaign_sub.add_parser(
+        "status", help="summarize a campaign journal without running jobs"
+    )
+    campaign_status.add_argument("--journal", required=True)
+    campaign_status.set_defaults(func=_cmd_campaign_status)
 
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
-    """CLI entry point; returns a process exit code."""
+    """CLI entry point; returns a process exit code.
+
+    ``ReproError`` subclasses map to distinct exit codes (see module
+    docstring) with a one-line stderr summary; ``--debug`` re-raises for
+    the full traceback.
+    """
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except ReproError as error:
+        if args.debug:
+            raise
+        print(f"error ({type(error).__name__}): {error}", file=sys.stderr)
+        return error.exit_code
 
 
 if __name__ == "__main__":

@@ -122,11 +122,50 @@ def evaluate_network(
     independent searches run per layer and the best wins — the laptop-scale
     stand-in for the paper's 24-thread searches.
     """
+    from repro.search.campaign import active_campaign
+
     rng = make_rng(seed)
+    campaign = active_campaign()
     total_energy = 0.0
     total_cycles = 0
     per_layer: List[Tuple[str, float]] = []
     for workload, count in workloads:
+        if campaign is not None:
+            # Campaign mode: derive the restart seeds up front (the shared
+            # rng stream stays identical whether a job runs fresh or is
+            # replayed from the journal, so resume keeps exact parity)
+            # and run the whole multi-restart search as one journaled job.
+            # Note the integer seeds start fresh streams, so campaign-mode
+            # results are deterministic but not identical to the
+            # non-campaign path, which threads the live rng through.
+            from repro.search.campaign import (
+                CampaignJob,
+                default_job_id,
+                run_job_under_scope,
+            )
+
+            job_seeds = tuple(
+                rng.getrandbits(32) for _ in range(max(1, restarts))
+            )
+            job = CampaignJob(
+                job_id=default_job_id(
+                    arch, workload, kind, objective, max_evaluations,
+                    patience, job_seeds,
+                ),
+                arch=arch,
+                workload=workload,
+                kind=MapspaceKind(kind).value,
+                objective=objective,
+                max_evaluations=max_evaluations,
+                patience=patience,
+                seeds=job_seeds,
+                constraints=constraints,
+            )
+            best = run_job_under_scope(campaign, job)
+            total_energy += best.energy_pj * count
+            total_cycles += best.cycles * count
+            per_layer.append((workload.name, best.edp))
+            continue
         config = MapperConfig(
             kind=kind,
             objective=objective,

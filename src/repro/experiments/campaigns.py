@@ -1,0 +1,134 @@
+"""Campaign job builders for the ``repro campaign`` CLI.
+
+Turns a (suite, architecture, mapspace kinds) triple into the flat list
+of :class:`~repro.search.campaign.CampaignJob` s the fault-tolerant
+runner consumes. Job ids are ``{suite}:{workload}:{kind}`` — stable
+across runs, so a journal written by ``campaign run`` is resumable by
+``campaign resume`` from the header config alone.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.arch.spec import Architecture
+from repro.exceptions import CampaignError
+from repro.mapspace.constraints import eyeriss_row_stationary
+from repro.problem.gemm import GemmLayer
+from repro.problem.workload import Workload
+from repro.search.campaign import CampaignJob
+from repro.zoo.deepbench import deepbench_workloads
+from repro.zoo.mobilenet import mobilenet_representative
+from repro.zoo.resnet50 import resnet50_representative
+from repro.zoo.toy import fig8_workload, table1_workload
+
+
+def _toy_suite() -> List[Workload]:
+    """A tiny handcrafted zoo: the paper's awkward vector sizes plus a
+    couple of misaligned GEMMs. Small enough that a full campaign runs in
+    seconds — the smoke-test and resume-parity workhorse."""
+    workloads: List[Workload] = [
+        fig8_workload(96),
+        fig8_workload(100),
+        fig8_workload(113),
+        fig8_workload(127),
+        table1_workload(23),
+        GemmLayer("gemm_12x7x5", m=12, n=7, k=5).workload(),
+        GemmLayer("gemm_9x9x17", m=9, n=9, k=17).workload(),
+    ]
+    return workloads
+
+
+def _weighted(workloads: Sequence[Tuple[Workload, int]]) -> List[Workload]:
+    return [workload for workload, _count in workloads]
+
+
+def _deepbench() -> List[Workload]:
+    return [workload for workload, _domain in deepbench_workloads()]
+
+
+SUITE_BUILDERS = {
+    "toy": _toy_suite,
+    "resnet50": lambda: _weighted(resnet50_representative()),
+    "deepbench": _deepbench,
+    "mobilenet": lambda: _weighted(mobilenet_representative()),
+}
+
+
+def suite_workloads(suite: str) -> List[Workload]:
+    """The workloads of a named campaign suite."""
+    try:
+        builder = SUITE_BUILDERS[suite]
+    except KeyError:
+        raise CampaignError(
+            f"unknown suite {suite!r}; use one of {sorted(SUITE_BUILDERS)}"
+        ) from None
+    return builder()
+
+
+def build_campaign_jobs(
+    suite: str,
+    arch: Architecture,
+    kinds: Sequence[str] = ("pfm", "ruby-s"),
+    objective: str = "edp",
+    max_evaluations: int = 1_000,
+    patience: Optional[int] = None,
+    seeds: Sequence[int] = (1, 2),
+    row_stationary: bool = False,
+) -> List[CampaignJob]:
+    """Expand a suite into one job per (workload, mapspace kind).
+
+    ``row_stationary`` applies the Eyeriss constraint set to conv
+    workloads (those with an R dim); GEMM/vector workloads always run
+    unconstrained, matching the fig. 11 convention.
+    """
+    constraints = eyeriss_row_stationary() if row_stationary else None
+    jobs: List[CampaignJob] = []
+    for workload in suite_workloads(suite):
+        is_conv = "R" in workload.dim_names
+        for kind in kinds:
+            jobs.append(
+                CampaignJob(
+                    job_id=f"{suite}:{workload.name}:{kind}",
+                    arch=arch,
+                    workload=workload,
+                    kind=kind,
+                    objective=objective,
+                    max_evaluations=max_evaluations,
+                    patience=patience,
+                    seeds=tuple(seeds),
+                    constraints=constraints if is_conv else None,
+                )
+            )
+    return jobs
+
+
+def campaign_header_config(
+    suite: str,
+    arch_name: str,
+    arch_json: Optional[str],
+    kinds: Sequence[str],
+    objective: str,
+    max_evaluations: int,
+    patience: Optional[int],
+    seeds: Sequence[int],
+    row_stationary: bool,
+    timeout_s: Optional[float],
+    retries: int,
+    workers: int,
+) -> Dict:
+    """The journal-header config ``campaign resume`` rebuilds jobs from."""
+    return {
+        "suite": suite,
+        "arch": arch_name,
+        "arch_json": arch_json,
+        "kinds": list(kinds),
+        "objective": objective,
+        "max_evaluations": max_evaluations,
+        "patience": patience,
+        "seeds": list(seeds),
+        "row_stationary": row_stationary,
+        "timeout_s": timeout_s,
+        "retries": retries,
+        "workers": workers,
+    }

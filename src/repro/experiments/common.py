@@ -12,6 +12,12 @@ from repro.mapspace.constraints import ConstraintSet
 from repro.mapspace.generator import MapspaceKind
 from repro.model.evaluator import Evaluation
 from repro.problem.workload import Workload
+from repro.search.campaign import (
+    CampaignJob,
+    active_campaign,
+    default_job_id,
+    run_job_under_scope,
+)
 
 
 def multi_seed_search(
@@ -23,13 +29,35 @@ def multi_seed_search(
     max_evaluations: int = 3_000,
     patience: Optional[int] = 1_000,
     constraints: Optional[ConstraintSet] = None,
+    job_id: Optional[str] = None,
 ) -> Evaluation:
     """Best evaluation over several independent random-search starts.
 
     The paper's searches run 3000-patience across 24 threads; a few
     independent seeds at a smaller budget is the laptop-scale equivalent
     that keeps the variance of the best-found mapping manageable.
+
+    Inside a :func:`repro.search.campaign.campaign_scope`, the whole
+    multi-seed search runs as one journaled campaign job (timeout, retry,
+    resume-by-skip); the returned evaluation is identical either way.
     """
+    campaign = active_campaign()
+    if campaign is not None:
+        job = CampaignJob(
+            job_id=job_id
+            or default_job_id(
+                arch, workload, kind, objective, max_evaluations, patience, seeds
+            ),
+            arch=arch,
+            workload=workload,
+            kind=MapspaceKind(kind).value,
+            objective=objective,
+            max_evaluations=max_evaluations,
+            patience=patience,
+            seeds=tuple(seeds),
+            constraints=constraints,
+        )
+        return run_job_under_scope(campaign, job)
     best: Optional[Evaluation] = None
     for seed in seeds:
         result = find_best_mapping(

@@ -17,6 +17,7 @@ from repro.core.report import format_table
 from repro.experiments.common import best_metrics_by_kind
 from repro.experiments.fig10 import LayerComparison
 from repro.mapspace.constraints import eyeriss_row_stationary
+from repro.search.campaign import CampaignConfig, campaign_scope
 from repro.zoo.deepbench import deepbench_workloads
 
 
@@ -52,6 +53,7 @@ def run_fig11(
     max_evaluations: int = 2_500,
     patience: Optional[int] = 800,
     subset: Optional[Sequence[str]] = None,
+    campaign: Optional[CampaignConfig] = None,
 ) -> Fig11Result:
     """DeepBench suite on Eyeriss-like: Ruby-S vs PFM per workload.
 
@@ -61,28 +63,29 @@ def run_fig11(
     arch = eyeriss_like()
     conv_constraints = eyeriss_row_stationary()
     result = Fig11Result()
-    for workload, domain in deepbench_workloads():
-        if subset is not None and workload.name not in subset:
-            continue
-        is_conv = "R" in workload.dim_names
-        best = best_metrics_by_kind(
-            arch,
-            workload,
-            kinds=("pfm", "ruby-s"),
-            seeds=seeds,
-            max_evaluations=max_evaluations,
-            patience=patience,
-            constraints=conv_constraints if is_conv else None,
-        )
-        result.comparisons.append(
-            LayerComparison(
-                name=workload.name,
-                count=1,
-                baseline=best["pfm"],
-                challenger=best["ruby-s"],
+    with campaign_scope(campaign):
+        for workload, domain in deepbench_workloads():
+            if subset is not None and workload.name not in subset:
+                continue
+            is_conv = "R" in workload.dim_names
+            best = best_metrics_by_kind(
+                arch,
+                workload,
+                kinds=("pfm", "ruby-s"),
+                seeds=seeds,
+                max_evaluations=max_evaluations,
+                patience=patience,
+                constraints=conv_constraints if is_conv else None,
             )
-        )
-        result.domains[workload.name] = domain
+            result.comparisons.append(
+                LayerComparison(
+                    name=workload.name,
+                    count=1,
+                    baseline=best["pfm"],
+                    challenger=best["ruby-s"],
+                )
+            )
+            result.domains[workload.name] = domain
     return result
 
 
@@ -91,6 +94,7 @@ def run_fig11_latency(
     max_evaluations: int = 2_500,
     patience: Optional[int] = 800,
     subset: Optional[Sequence[str]] = None,
+    campaign: Optional[CampaignConfig] = None,
 ) -> Fig11Result:
     """The paper's latency-objective variant.
 
@@ -101,29 +105,30 @@ def run_fig11_latency(
     arch = eyeriss_like()
     conv_constraints = eyeriss_row_stationary()
     result = Fig11Result()
-    for workload, domain in deepbench_workloads():
-        if subset is not None and workload.name not in subset:
-            continue
-        is_conv = "R" in workload.dim_names
-        best = best_metrics_by_kind(
-            arch,
-            workload,
-            kinds=("pfm", "ruby-s"),
-            objective="delay",
-            seeds=seeds,
-            max_evaluations=max_evaluations,
-            patience=patience,
-            constraints=conv_constraints if is_conv else None,
-        )
-        result.comparisons.append(
-            LayerComparison(
-                name=workload.name,
-                count=1,
-                baseline=best["pfm"],
-                challenger=best["ruby-s"],
+    with campaign_scope(campaign):
+        for workload, domain in deepbench_workloads():
+            if subset is not None and workload.name not in subset:
+                continue
+            is_conv = "R" in workload.dim_names
+            best = best_metrics_by_kind(
+                arch,
+                workload,
+                kinds=("pfm", "ruby-s"),
+                objective="delay",
+                seeds=seeds,
+                max_evaluations=max_evaluations,
+                patience=patience,
+                constraints=conv_constraints if is_conv else None,
             )
-        )
-        result.domains[workload.name] = domain
+            result.comparisons.append(
+                LayerComparison(
+                    name=workload.name,
+                    count=1,
+                    baseline=best["pfm"],
+                    challenger=best["ruby-s"],
+                )
+            )
+            result.domains[workload.name] = domain
     return result
 
 

@@ -5,6 +5,7 @@ interchange layer so architectures, workloads, and found mappings can be
 saved, versioned, and re-evaluated without Python code.
 """
 
+from repro.io.journal import Journal
 from repro.io.serde import (
     architecture_from_dict,
     architecture_to_dict,
@@ -14,6 +15,7 @@ from repro.io.serde import (
     save_json,
     workload_from_dict,
     workload_to_dict,
+    write_text_atomic,
 )
 
 __all__ = [
@@ -25,4 +27,6 @@ __all__ = [
     "workload_to_dict",
     "load_json",
     "save_json",
+    "write_text_atomic",
+    "Journal",
 ]

@@ -1,0 +1,111 @@
+"""Append-only JSONL journal for long-running campaigns.
+
+One JSON record per line. Appends are flushed and fsynced so a completed
+job's record survives a SIGKILL of the driver; reads tolerate a torn
+trailing line (the one write that *was* in flight when the process died)
+by dropping it, while corruption anywhere else fails loudly.
+
+Record kinds used by :mod:`repro.search.campaign`:
+
+* ``{"kind": "campaign", "config": {...}, "jobs": [...]}`` — written once
+  at the start of a fresh campaign; re-appended with ``"resumed": true``
+  on every resume so the file is its own audit trail.
+* ``{"kind": "attempt", "job_id": ..., "attempt": n, "error": {...}}`` —
+  one per failed attempt (timeout, crash, or recorded exception).
+* ``{"kind": "job", "job_id": ..., "status": "ok" | "quarantined", ...}``
+  — the terminal record; resume skips jobs that have one.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import os
+from pathlib import Path
+from typing import Any, Dict, List, Union
+
+from repro.exceptions import CampaignError
+
+logger = logging.getLogger(__name__)
+
+JOURNAL_SCHEMA = 1
+
+#: Statuses that mean "this job needs no further work on resume".
+TERMINAL_STATUSES = ("ok", "quarantined")
+
+
+class Journal:
+    """An append-only JSONL file of campaign records."""
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+
+    def exists(self) -> bool:
+        return self.path.exists()
+
+    def append(self, record: Dict[str, Any]) -> None:
+        """Append one record as a single fsynced JSON line.
+
+        The line is written with one ``write`` call and fsynced before
+        returning, so a driver killed right after :meth:`append` still
+        leaves the record recoverable on disk.
+        """
+        record = dict(record)
+        record.setdefault("schema", JOURNAL_SCHEMA)
+        line = json.dumps(record, sort_keys=True)
+        if self.path.parent and not self.path.parent.exists():
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+        with open(self.path, "a") as handle:
+            handle.write(line + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+
+    def read(self) -> List[Dict[str, Any]]:
+        """All records, oldest first; a torn trailing line is dropped.
+
+        A line that fails to parse anywhere *except* the end of the file
+        means real corruption and raises :class:`CampaignError` — silently
+        skipping it could resurrect half a campaign's state.
+        """
+        if not self.exists():
+            return []
+        lines = self.path.read_text().splitlines()
+        records: List[Dict[str, Any]] = []
+        for number, line in enumerate(lines):
+            if not line.strip():
+                continue
+            try:
+                records.append(json.loads(line))
+            except json.JSONDecodeError as error:
+                if number == len(lines) - 1:
+                    logger.warning(
+                        "journal %s: dropping torn trailing line %d "
+                        "(interrupted write)",
+                        self.path,
+                        number + 1,
+                    )
+                    break
+                raise CampaignError(
+                    f"journal {self.path}: corrupt record on line "
+                    f"{number + 1}: {error}"
+                ) from error
+        return records
+
+    def terminal_jobs(self) -> Dict[str, Dict[str, Any]]:
+        """Latest terminal (``kind == "job"``) record per job id."""
+        terminal: Dict[str, Dict[str, Any]] = {}
+        for record in self.read():
+            if record.get("kind") != "job":
+                continue
+            if record.get("status") in TERMINAL_STATUSES:
+                terminal[record["job_id"]] = record
+        return terminal
+
+    def header(self) -> Dict[str, Any]:
+        """The most recent campaign header record (config + job list)."""
+        headers = [r for r in self.read() if r.get("kind") == "campaign"]
+        if not headers:
+            raise CampaignError(
+                f"journal {self.path}: no campaign header record"
+            )
+        return headers[-1]

@@ -8,6 +8,8 @@ evaluating the wrong design.
 from __future__ import annotations
 
 import json
+import os
+import tempfile
 from pathlib import Path
 from typing import Any, Dict, List, Union
 
@@ -214,9 +216,40 @@ def mapping_from_dict(data: Dict[str, Any]) -> Mapping:
 # --------------------------------------------------------------- JSON files
 
 
+def write_text_atomic(path: Union[str, Path], text: str) -> None:
+    """Write ``text`` to ``path`` atomically.
+
+    The content goes to a temporary file in the *same directory* (so the
+    final rename never crosses filesystems), is fsynced, and then renamed
+    over the target with ``os.replace``. A crash at any point leaves
+    either the old file or the new file — never a truncated hybrid.
+    """
+    target = Path(path)
+    parent = target.parent if str(target.parent) else Path(".")
+    fd, tmp_name = tempfile.mkstemp(
+        dir=parent, prefix=f".{target.name}.", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w") as handle:
+            handle.write(text)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_name, target)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+
+
 def save_json(obj: Dict[str, Any], path: Union[str, Path]) -> None:
-    """Write a serialized spec to ``path`` (pretty-printed JSON)."""
-    Path(path).write_text(json.dumps(obj, indent=2, sort_keys=True) + "\n")
+    """Write a serialized spec to ``path`` (pretty-printed JSON).
+
+    The write is atomic (temp file + ``os.replace``): a kill mid-write
+    never leaves a truncated or corrupt results file behind.
+    """
+    write_text_atomic(path, json.dumps(obj, indent=2, sort_keys=True) + "\n")
 
 
 def load_json(path: Union[str, Path]) -> Dict[str, Any]:

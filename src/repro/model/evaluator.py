@@ -14,6 +14,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.arch.spec import Architecture
 from repro.energy.accelergy import estimate_energy_table
+from repro.exceptions import EvaluationError, ReproError
 from repro.energy.table import EnergyTable
 from repro.mapping.nest import Mapping
 from repro.mapping.validity import check_mapping
@@ -128,12 +129,32 @@ class Evaluator:
         return evaluation
 
     def _evaluate_uncached(self, mapping: Mapping) -> Evaluation:
-        """The full validity -> access-counts -> energy pipeline."""
+        """The full validity -> access-counts -> energy pipeline.
+
+        Invalid mappings come back as ``Evaluation(valid=False)``.
+        Anything else the model raises on a mapping that *passed*
+        validation is a genuine cost-model failure and is wrapped in
+        :class:`~repro.exceptions.EvaluationError`, so campaign drivers
+        can record it as a structured per-job failure instead of dying on
+        an anonymous ``ZeroDivisionError`` deep in a sweep.
+        """
         violations = check_mapping(mapping, self.arch, self.workload)
         if violations:
             return Evaluation(
                 mapping=mapping, valid=False, violations=tuple(violations)
             )
+        try:
+            return self._cost_mapping(mapping)
+        except ReproError:
+            raise
+        except Exception as error:
+            raise EvaluationError(
+                f"cost model failed on mapping {mapping.signature()!r}: "
+                f"{type(error).__name__}: {error}"
+            ) from error
+
+    def _cost_mapping(self, mapping: Mapping) -> Evaluation:
+        """Price one already-validated mapping."""
         counts = compute_access_counts(self.arch, self.workload, mapping)
         cycles = compute_cycles(self.workload, mapping)
         stall = bandwidth_stall_cycles(self.arch, counts)

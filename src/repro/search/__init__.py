@@ -14,8 +14,24 @@ from repro.search.exhaustive import ExhaustiveSearch, exhaustive_search
 from repro.search.genetic import GeneticSearch
 from repro.search.annealing import SimulatedAnnealing
 from repro.search.pareto_search import ParetoSearch, ParetoSearchResult
+from repro.search.campaign import (
+    CampaignConfig,
+    CampaignJob,
+    CampaignResult,
+    JobOutcome,
+    campaign_scope,
+    campaign_status,
+    run_campaign,
+)
 
 __all__ = [
+    "CampaignConfig",
+    "CampaignJob",
+    "CampaignResult",
+    "JobOutcome",
+    "campaign_scope",
+    "campaign_status",
+    "run_campaign",
     "ConvergencePoint",
     "SearchResult",
     "RandomSearch",

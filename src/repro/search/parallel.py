@@ -26,7 +26,7 @@ from typing import Any, Dict, List, Optional, Tuple, Union
 from repro.arch.spec import Architecture
 from repro.energy.accelergy import estimate_energy_table
 from repro.energy.table import EnergyTable
-from repro.exceptions import SearchError
+from repro.exceptions import SearchError, WorkerError
 from repro.mapspace.constraints import ConstraintSet
 from repro.mapspace.factory import make_mapspace
 from repro.mapspace.generator import MapspaceKind
@@ -77,7 +77,26 @@ def _run_one(job: Tuple[int, int]) -> Tuple[int, SearchResult]:
     index, seed = job
     if _WORKER_STATE is None:  # pragma: no cover - initializer always runs
         raise SearchError("worker state not initialized")
-    return index, _search_once(_WORKER_STATE, seed)
+    return index, _search_once_indexed(_WORKER_STATE, index, seed)
+
+
+def _search_once_indexed(
+    state: Dict[str, Any], index: int, seed: int
+) -> SearchResult:
+    """Run one job, re-raising any failure as a :class:`WorkerError`.
+
+    ``imap_unordered`` re-raises whatever bare exception a worker died
+    with, losing which job failed; wrapping here attaches the failing
+    job's ``(index, seed)`` and pickles cleanly back to the driver.
+    """
+    try:
+        return _search_once(state, seed)
+    except WorkerError:
+        raise
+    except Exception as error:
+        raise WorkerError(
+            index, seed, f"{type(error).__name__}: {error}"
+        ) from error
 
 
 def _search_once(state: Dict[str, Any], seed: int) -> SearchResult:
@@ -161,7 +180,7 @@ def parallel_random_search(
     }
     started = time.perf_counter()
     if workers == 1:
-        results = [_search_once(state, seeds[0])]
+        results = [_search_once_indexed(state, 0, seeds[0])]
         pool_mode = "sequential"
     else:
         results, pool_mode = _map_jobs(state, seeds, workers, start_method)
@@ -221,7 +240,9 @@ def _map_jobs(
             )
     # No usable pool: degrade gracefully but still run every job.
     logger.warning("no multiprocessing start method usable; running sequentially")
-    return [_search_once(state, seed) for _, seed in jobs], "sequential"
+    return [
+        _search_once_indexed(state, index, seed) for index, seed in jobs
+    ], "sequential"
 
 
 def _pool_stats(

@@ -9,10 +9,13 @@ from repro.utils.mathx import (
     prime_factorization,
     product,
 )
+from repro.utils.faults import Fault, FaultPlan
 from repro.utils.pareto import ParetoPoint, pareto_frontier
 from repro.utils.rng import make_rng
 
 __all__ = [
+    "Fault",
+    "FaultPlan",
     "ceil_div",
     "divisors",
     "mixed_radix_digits",

@@ -1,0 +1,125 @@
+"""Deterministic fault injection for testing the campaign layer.
+
+Resilience code that is never exercised is resilience theater: this
+module lets tests (and ``make campaign-smoke``) *schedule* hangs, raised
+exceptions, and hard worker crashes at exact (job, attempt) coordinates,
+so the timeout → retry → quarantine and crash-recovery paths run for real
+instead of being hoped-for.
+
+A :class:`FaultPlan` is immutable, picklable (it ships into campaign
+worker processes under both ``fork`` and ``spawn``), and JSON-round-trip
+serializable (the CLI accepts ``--fault-plan plan.json``). Attempt
+numbers are 0-based; a fault scheduled at attempt 0 fires on the first
+try only, so ``{"attempt": 0, "kind": "crash"}`` means "crash once, then
+succeed on retry".
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, Optional, Tuple
+
+from repro.exceptions import EvaluationError, SpecError
+
+#: Supported fault kinds.
+#: ``hang``  — sleep for ``seconds`` (a worker stuck on a pathological
+#:             mapping; the campaign's per-job timeout must reap it).
+#: ``raise`` — raise :class:`EvaluationError` (a cost-model failure).
+#: ``crash`` — ``os._exit`` the worker process without reporting back
+#:             (an OOM kill or segfault stand-in). Never use in-process.
+FAULT_KINDS = ("hang", "raise", "crash")
+
+
+@dataclass(frozen=True)
+class Fault:
+    """One scheduled fault at a (job_id, attempt) coordinate."""
+
+    job_id: str
+    attempt: int
+    kind: str
+    seconds: float = 3600.0
+    message: str = "injected fault"
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise SpecError(
+                f"unknown fault kind {self.kind!r}; use one of {FAULT_KINDS}"
+            )
+        if self.attempt < 0:
+            raise SpecError(f"fault attempt must be >= 0, got {self.attempt}")
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "job": self.job_id,
+            "attempt": self.attempt,
+            "kind": self.kind,
+            "seconds": self.seconds,
+            "message": self.message,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "Fault":
+        return cls(
+            job_id=data["job"],
+            attempt=int(data.get("attempt", 0)),
+            kind=data["kind"],
+            seconds=float(data.get("seconds", 3600.0)),
+            message=data.get("message", "injected fault"),
+        )
+
+
+class FaultPlan:
+    """A deterministic schedule of faults, keyed by (job_id, attempt)."""
+
+    def __init__(self, faults: Iterable[Fault] = ()) -> None:
+        self._faults: Dict[Tuple[str, int], Fault] = {}
+        for fault in faults:
+            self._faults[(fault.job_id, fault.attempt)] = fault
+
+    def __len__(self) -> int:
+        return len(self._faults)
+
+    def fault_for(self, job_id: str, attempt: int) -> Optional[Fault]:
+        return self._faults.get((job_id, attempt))
+
+    def inject(self, job_id: str, attempt: int) -> None:
+        """Fire the fault scheduled at (job_id, attempt), if any.
+
+        Called by the campaign job entry point *inside the worker
+        process*, right before the real work starts. ``crash`` uses
+        ``os._exit`` so no exception handler, ``finally`` block, or pipe
+        flush runs — exactly what a killed worker looks like.
+        """
+        fault = self.fault_for(job_id, attempt)
+        if fault is None:
+            return
+        if fault.kind == "hang":
+            time.sleep(fault.seconds)
+        elif fault.kind == "raise":
+            raise EvaluationError(
+                f"{fault.message} (job {job_id!r}, attempt {attempt})"
+            )
+        elif fault.kind == "crash":
+            os._exit(86)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "schema": 1,
+            "faults": [
+                fault.to_dict()
+                for fault in sorted(
+                    self._faults.values(),
+                    key=lambda f: (f.job_id, f.attempt),
+                )
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "FaultPlan":
+        if data.get("schema") != 1:
+            raise SpecError(
+                f"fault plan: expected schema 1, got {data.get('schema')!r}"
+            )
+        return cls(Fault.from_dict(entry) for entry in data.get("faults", ()))

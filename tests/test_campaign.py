@@ -1,0 +1,339 @@
+"""Unit tests for fault-tolerant campaigns: journal, retry, resume."""
+
+import json
+import os
+
+import pytest
+
+from repro.arch import toy_glb_architecture
+from repro.exceptions import CampaignError, EvaluationError
+from repro.io.journal import Journal
+from repro.problem.gemm import GemmLayer, vector_workload
+from repro.search.campaign import (
+    CampaignConfig,
+    CampaignJob,
+    campaign_scope,
+    campaign_status,
+    run_campaign,
+)
+from repro.utils.faults import Fault, FaultPlan
+
+
+def _job(job_id="job-a", size=60, budget=80, seeds=(1,)):
+    return CampaignJob(
+        job_id=job_id,
+        arch=toy_glb_architecture(6, 1024),
+        workload=vector_workload(f"v{size}", size),
+        kind="ruby-s",
+        max_evaluations=budget,
+        patience=None,
+        seeds=seeds,
+    )
+
+
+def _infeasible_job(job_id="doomed"):
+    """A 16-byte GLB fits no tile: every mapping is invalid."""
+    return CampaignJob(
+        job_id=job_id,
+        arch=toy_glb_architecture(6, 16),
+        workload=GemmLayer("g64", 64, 64, 64).workload(),
+        kind="pfm",
+        max_evaluations=40,
+        patience=None,
+        seeds=(1,),
+    )
+
+
+class TestJournal:
+    def test_append_read_round_trip(self, tmp_path):
+        journal = Journal(tmp_path / "j.jsonl")
+        journal.append({"kind": "campaign", "config": {}, "jobs": []})
+        journal.append({"kind": "job", "job_id": "a", "status": "ok"})
+        records = journal.read()
+        assert [r["kind"] for r in records] == ["campaign", "job"]
+
+    def test_torn_trailing_line_tolerated(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        journal = Journal(path)
+        journal.append({"kind": "job", "job_id": "a", "status": "ok"})
+        with open(path, "a") as f:
+            f.write('{"kind": "job", "job_id": "b", "sta')  # SIGKILL mid-write
+        records = Journal(path).read()
+        assert len(records) == 1
+        assert records[0]["job_id"] == "a"
+
+    def test_mid_file_corruption_raises(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        path.write_text('not json\n{"kind": "job", "job_id": "a"}\n')
+        with pytest.raises(CampaignError):
+            Journal(path).read()
+
+    def test_terminal_jobs_latest_wins(self, tmp_path):
+        journal = Journal(tmp_path / "j.jsonl")
+        journal.append({"kind": "job", "job_id": "a", "status": "quarantined"})
+        journal.append({"kind": "attempt", "job_id": "a", "attempt": 0})
+        journal.append({"kind": "job", "job_id": "a", "status": "ok"})
+        terminal = journal.terminal_jobs()
+        assert terminal["a"]["status"] == "ok"
+
+    def test_missing_journal_header_raises(self, tmp_path):
+        with pytest.raises(CampaignError):
+            Journal(tmp_path / "absent.jsonl").header()
+
+
+class TestRunCampaign:
+    def test_small_campaign_completes(self, tmp_path):
+        jobs = [_job("a", 60), _job("b", 100)]
+        result = run_campaign(jobs, journal_path=tmp_path / "j.jsonl")
+        assert result.complete
+        assert result.num_ok == 2
+        assert set(result.best_edp()) == {"a", "b"}
+        for outcome in result.outcomes:
+            assert outcome.metrics["edp"] > 0
+            assert outcome.mapping is not None
+
+    def test_duplicate_job_ids_rejected(self, tmp_path):
+        with pytest.raises(CampaignError, match="duplicate"):
+            run_campaign([_job("a"), _job("a")])
+
+    def test_resume_replays_identical_metrics(self, tmp_path):
+        jobs = [_job("a", 60), _job("b", 100)]
+        first = run_campaign(jobs, journal_path=tmp_path / "j.jsonl")
+        second = run_campaign(jobs, journal_path=tmp_path / "j.jsonl")
+        assert second.num_resumed == 2
+        assert all(o.from_journal for o in second.outcomes)
+        assert second.best_edp() == first.best_edp()
+
+    def test_interrupted_campaign_resume_parity(self, tmp_path):
+        """A campaign cut short mid-run finishes to the same best EDPs."""
+        jobs = [_job("a", 60), _job("b", 100), _job("c", 113)]
+        reference = run_campaign(jobs, journal_path=tmp_path / "ref.jsonl")
+
+        partial = run_campaign(
+            jobs, journal_path=tmp_path / "cut.jsonl", max_jobs=1
+        )
+        assert not partial.complete
+        assert len(partial.outcomes) < len(jobs)
+
+        resumed = run_campaign(jobs, journal_path=tmp_path / "cut.jsonl")
+        assert resumed.complete
+        assert resumed.num_resumed >= 1
+        assert resumed.best_edp() == reference.best_edp()
+
+    def test_search_failure_quarantines_not_raises(self, tmp_path):
+        """A job whose mapspace has no valid mapping becomes a structured
+        quarantine record; its siblings still complete."""
+        jobs = [_infeasible_job("doomed"), _job("fine", 60)]
+        result = run_campaign(
+            jobs,
+            journal_path=tmp_path / "j.jsonl",
+            retries=0,
+            backoff_s=0.01,
+        )
+        assert result.complete
+        doomed = result.by_id()["doomed"]
+        assert doomed.status == "quarantined"
+        assert doomed.error["type"] == "SearchError"
+        assert doomed.error["exit_code"] == 5
+        assert result.by_id()["fine"].ok
+
+    def test_raise_fault_retries_then_quarantines(self, tmp_path):
+        plan = FaultPlan(
+            [Fault("a", attempt, "raise", message="boom") for attempt in range(3)]
+        )
+        result = run_campaign(
+            [_job("a", 60)],
+            journal_path=tmp_path / "j.jsonl",
+            retries=2,
+            backoff_s=0.01,
+            fault_plan=plan,
+        )
+        outcome = result.by_id()["a"]
+        assert outcome.status == "quarantined"
+        assert outcome.attempts == 3
+        assert outcome.error["type"] == "EvaluationError"
+        assert "boom" in outcome.error["message"]
+        attempts = [
+            r for r in Journal(tmp_path / "j.jsonl").read()
+            if r.get("kind") == "attempt"
+        ]
+        assert [r["attempt"] for r in attempts] == [0, 1, 2]
+
+    def test_transient_fault_retried_to_success(self, tmp_path):
+        plan = FaultPlan([Fault("a", 0, "raise", message="transient")])
+        clean = run_campaign([_job("a", 60)])
+        result = run_campaign(
+            [_job("a", 60)],
+            journal_path=tmp_path / "j.jsonl",
+            retries=2,
+            backoff_s=0.01,
+            fault_plan=plan,
+        )
+        outcome = result.by_id()["a"]
+        assert outcome.ok
+        assert outcome.attempts == 2
+        assert outcome.metrics["edp"] == clean.by_id()["a"].metrics["edp"]
+
+    def test_retry_quarantined_reruns_job(self, tmp_path):
+        plan = FaultPlan(
+            [Fault("a", attempt, "raise") for attempt in range(2)]
+        )
+        first = run_campaign(
+            [_job("a", 60)],
+            journal_path=tmp_path / "j.jsonl",
+            retries=1,
+            backoff_s=0.01,
+            fault_plan=plan,
+        )
+        assert first.by_id()["a"].status == "quarantined"
+
+        kept = run_campaign([_job("a", 60)], journal_path=tmp_path / "j.jsonl")
+        assert kept.by_id()["a"].status == "quarantined"
+        assert kept.by_id()["a"].from_journal
+
+        rescued = run_campaign(
+            [_job("a", 60)],
+            journal_path=tmp_path / "j.jsonl",
+            retry_quarantined=True,
+        )
+        assert rescued.by_id()["a"].ok
+
+
+@pytest.mark.skipif(
+    not hasattr(os, "fork"), reason="process isolation needs fork"
+)
+class TestProcessIsolation:
+    """Timeout and crash containment require real worker processes."""
+
+    def test_hang_times_out_then_quarantines(self, tmp_path):
+        plan = FaultPlan(
+            [Fault("a", attempt, "hang", seconds=60.0) for attempt in range(2)]
+        )
+        result = run_campaign(
+            [_job("a", 60)],
+            journal_path=tmp_path / "j.jsonl",
+            timeout_s=0.4,
+            retries=1,
+            backoff_s=0.01,
+            start_method="fork",
+            fault_plan=plan,
+        )
+        outcome = result.by_id()["a"]
+        assert outcome.status == "quarantined"
+        assert outcome.attempts == 2
+        assert outcome.error["type"] == "JobTimeoutError"
+        assert outcome.error["exit_code"] == 7
+
+    def test_hang_then_recover(self, tmp_path):
+        plan = FaultPlan([Fault("a", 0, "hang", seconds=60.0)])
+        result = run_campaign(
+            [_job("a", 60)],
+            timeout_s=0.4,
+            retries=1,
+            backoff_s=0.01,
+            start_method="fork",
+            fault_plan=plan,
+        )
+        outcome = result.by_id()["a"]
+        assert outcome.ok
+        assert outcome.attempts == 2
+
+    def test_worker_crash_detected_and_retried(self, tmp_path):
+        plan = FaultPlan([Fault("a", 0, "crash")])
+        clean = run_campaign([_job("a", 60)])
+        result = run_campaign(
+            [_job("a", 60)],
+            journal_path=tmp_path / "j.jsonl",
+            retries=1,
+            backoff_s=0.01,
+            start_method="fork",
+            fault_plan=plan,
+        )
+        outcome = result.by_id()["a"]
+        assert outcome.ok
+        assert outcome.attempts == 2
+        assert outcome.metrics["edp"] == clean.by_id()["a"].metrics["edp"]
+        attempts = [
+            r for r in Journal(tmp_path / "j.jsonl").read()
+            if r.get("kind") == "attempt"
+        ]
+        assert attempts[0]["error"]["type"] == "JobCrashError"
+
+    def test_repeated_crash_quarantines(self, tmp_path):
+        plan = FaultPlan([Fault("a", attempt, "crash") for attempt in range(2)])
+        result = run_campaign(
+            [_job("a", 60)],
+            retries=1,
+            backoff_s=0.01,
+            start_method="fork",
+            fault_plan=plan,
+        )
+        outcome = result.by_id()["a"]
+        assert outcome.status == "quarantined"
+        assert outcome.error["type"] == "JobCrashError"
+        assert outcome.error["exit_code"] == 8
+
+
+class TestCampaignStatus:
+    def test_status_summarizes_partial_journal(self, tmp_path):
+        jobs = [_job("a", 60), _job("b", 100), _job("c", 113)]
+        run_campaign(
+            jobs,
+            journal_path=tmp_path / "j.jsonl",
+            max_jobs=1,
+            header_config={"suite": "test"},
+        )
+        status = campaign_status(tmp_path / "j.jsonl")
+        assert status["total"] == 3
+        assert len(status["ok"]) == 1
+        assert len(status["pending"]) == 2
+        assert not status["complete"]
+        assert status["config"]["suite"] == "test"
+
+    def test_status_missing_journal_raises(self, tmp_path):
+        with pytest.raises(CampaignError):
+            campaign_status(tmp_path / "absent.jsonl")
+
+
+class TestCampaignScope:
+    """The experiments' choke point: multi_seed_search under a scope."""
+
+    def test_multi_seed_search_journals_and_replays(self, tmp_path):
+        from repro.experiments.common import multi_seed_search
+
+        arch = toy_glb_architecture(6, 1024)
+        workload = vector_workload("v96", 96)
+        kwargs = dict(
+            kind="ruby-s", seeds=(1, 2), max_evaluations=80, patience=None
+        )
+        plain = multi_seed_search(arch, workload, **kwargs)
+
+        config = CampaignConfig(journal=tmp_path / "j.jsonl")
+        with campaign_scope(config):
+            first = multi_seed_search(arch, workload, **kwargs)
+        journal_after_first = (tmp_path / "j.jsonl").read_text()
+        with campaign_scope(config):
+            replayed = multi_seed_search(arch, workload, **kwargs)
+
+        assert first.edp == plain.edp
+        assert replayed.edp == plain.edp
+        assert replayed.cycles == plain.cycles
+        # The replay re-evaluated the journaled mapping: no new job record.
+        terminal = Journal(tmp_path / "j.jsonl").terminal_jobs()
+        assert len(terminal) == 1
+        assert (tmp_path / "j.jsonl").read_text() == journal_after_first
+
+    def test_quarantined_job_raises_at_scope_boundary(self, tmp_path):
+        from repro.experiments.common import multi_seed_search
+
+        config = CampaignConfig(
+            journal=tmp_path / "j.jsonl", retries=0, backoff_s=0.01
+        )
+        arch = toy_glb_architecture(6, 16)
+        workload = GemmLayer("g64", 64, 64, 64).workload()
+        with campaign_scope(config):
+            with pytest.raises(CampaignError, match="quarantined"):
+                multi_seed_search(
+                    arch, workload, kind="pfm",
+                    seeds=(1,), max_evaluations=40, patience=None,
+                )

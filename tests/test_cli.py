@@ -124,3 +124,96 @@ class TestParser:
         args = build_parser().parse_args(["search", "--gemm", "M=2,N=2,K=2"])
         assert args.kind == "ruby-s"
         assert args.objective == "edp"
+
+
+class TestCampaignCommand:
+    def _run_toy(self, tmp_path, extra=(), journal_name="j.jsonl"):
+        journal = tmp_path / journal_name
+        code = main(
+            [
+                "campaign", "run",
+                "--suite", "toy",
+                "--arch", "toy16",
+                "--kinds", "ruby-s",
+                "--seeds", "1",
+                "--budget", "60",
+                "--journal", str(journal),
+                *extra,
+            ]
+        )
+        return code, journal
+
+    def test_run_then_status_then_resume(self, tmp_path, capsys):
+        code, journal = self._run_toy(tmp_path)
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "7 ok, 0 quarantined" in out
+        assert journal.exists()
+
+        assert main(["campaign", "status", "--journal", str(journal)]) == 0
+        out = capsys.readouterr().out
+        assert "7 total, 7 ok" in out
+        assert "complete" in out
+
+        assert main(["campaign", "resume", "--journal", str(journal)]) == 0
+        out = capsys.readouterr().out
+        assert "7 resumed from journal" in out
+
+    def test_rerun_replays_from_journal(self, tmp_path, capsys):
+        self._run_toy(tmp_path)
+        capsys.readouterr()
+        code, _ = self._run_toy(tmp_path)
+        assert code == 0
+        assert "7 resumed from journal" in capsys.readouterr().out
+
+    def test_fault_plan_quarantines_without_aborting(self, tmp_path, capsys):
+        import json
+
+        plan = {
+            "schema": 1,
+            "faults": [
+                {"job": "toy:table1_d23:ruby-s", "attempt": a, "kind": "raise"}
+                for a in range(3)
+            ],
+        }
+        plan_path = tmp_path / "plan.json"
+        plan_path.write_text(json.dumps(plan))
+        code, _ = self._run_toy(
+            tmp_path,
+            extra=["--fault-plan", str(plan_path), "--backoff", "0.01"],
+        )
+        assert code == 0  # quarantine is not a campaign failure
+        out = capsys.readouterr().out
+        assert "1 quarantined" in out
+        assert "QUARANTINED toy:table1_d23:ruby-s" in out
+
+    def test_missing_journal_maps_to_exit_code(self, tmp_path, capsys):
+        code = main(
+            ["campaign", "status", "--journal", str(tmp_path / "nope.jsonl")]
+        )
+        assert code == 8  # CampaignError
+        err = capsys.readouterr().err
+        assert err.startswith("error (CampaignError):")
+        assert "\n" == err[-1] and err.count("\n") == 1  # one line, no traceback
+
+    def test_debug_flag_reraises(self, tmp_path):
+        from repro.exceptions import CampaignError
+
+        with pytest.raises(CampaignError):
+            main(
+                [
+                    "--debug", "campaign", "status",
+                    "--journal", str(tmp_path / "nope.jsonl"),
+                ]
+            )
+
+    def test_resume_requires_suite_header(self, tmp_path, capsys):
+        from repro.io.journal import Journal
+
+        journal = tmp_path / "bare.jsonl"
+        Journal(journal).append(
+            {"kind": "campaign", "config": {}, "jobs": []}
+        )
+        code = main(["campaign", "resume", "--journal", str(journal)])
+        assert code == 8
+        assert "no suite config" in capsys.readouterr().err

@@ -101,3 +101,63 @@ class TestRenderEdgeCases:
         mapping = Mapping.from_blocks([("DRAM", [], [])])
         assert "compute()" in render_mapping(mapping)
         assert render_compact(mapping) == "DRAM[-]"
+
+
+class TestErrorPayloadsAndExitCodes:
+    def test_exit_codes_distinct_per_class(self):
+        from repro.exceptions import (
+            CampaignError,
+            EvaluationError,
+            JobTimeoutError,
+        )
+
+        classes = (
+            SpecError, InvalidMappingError, MapspaceError, SearchError,
+            EvaluationError, JobTimeoutError, CampaignError,
+        )
+        codes = [cls.exit_code for cls in classes]
+        assert codes == [2, 3, 4, 5, 6, 7, 8]
+        assert len(set(codes)) == len(codes)
+        assert ReproError.exit_code == 1
+
+    def test_payload_carries_type_message_exit_code(self):
+        error = MapspaceError("no factorization")
+        payload = error.payload()
+        assert payload == {
+            "type": "MapspaceError",
+            "message": "no factorization",
+            "exit_code": 4,
+        }
+
+    def test_worker_error_payload_and_pickle(self):
+        import pickle
+
+        from repro.exceptions import WorkerError
+
+        error = WorkerError(3, 12345, "ValueError: boom")
+        assert error.index == 3 and error.seed == 12345
+        assert "worker job 3" in str(error) and "12345" in str(error)
+        payload = error.payload()
+        assert payload["index"] == 3 and payload["seed"] == 12345
+        rebuilt = pickle.loads(pickle.dumps(error))
+        assert (rebuilt.index, rebuilt.seed) == (3, 12345)
+        assert isinstance(rebuilt, SearchError)
+
+    def test_timeout_and_crash_errors_pickle(self):
+        import pickle
+
+        from repro.exceptions import JobCrashError, JobTimeoutError
+
+        timeout = pickle.loads(
+            pickle.dumps(JobTimeoutError("job-x", 2.5, attempt=1))
+        )
+        assert timeout.job_id == "job-x"
+        assert timeout.timeout_s == 2.5
+        assert timeout.payload()["exit_code"] == 7
+
+        crash = pickle.loads(
+            pickle.dumps(JobCrashError("job-y", exitcode=86, attempt=0))
+        )
+        assert crash.job_id == "job-y"
+        assert crash.exitcode == 86
+        assert crash.payload()["exit_code"] == 8

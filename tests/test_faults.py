@@ -1,0 +1,69 @@
+"""Unit tests for the deterministic fault-injection harness."""
+
+import json
+import pickle
+
+import pytest
+
+from repro.exceptions import EvaluationError, SpecError
+from repro.utils.faults import FAULT_KINDS, Fault, FaultPlan
+
+
+class TestFault:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(SpecError):
+            Fault("a", 0, "explode")
+
+    def test_negative_attempt_rejected(self):
+        with pytest.raises(SpecError):
+            Fault("a", -1, "raise")
+
+    def test_dict_round_trip(self):
+        original = Fault("job-x", 2, "hang", seconds=1.5, message="zzz")
+        assert Fault.from_dict(original.to_dict()) == original
+
+
+class TestFaultPlan:
+    def test_lookup_is_exact_coordinate(self):
+        plan = FaultPlan([Fault("a", 1, "raise")])
+        assert plan.fault_for("a", 1) is not None
+        assert plan.fault_for("a", 0) is None
+        assert plan.fault_for("b", 1) is None
+
+    def test_inject_noop_without_scheduled_fault(self):
+        FaultPlan().inject("anything", 0)  # must not raise
+
+    def test_inject_raise_fires_evaluation_error(self):
+        plan = FaultPlan([Fault("a", 0, "raise", message="boom")])
+        with pytest.raises(EvaluationError, match="boom"):
+            plan.inject("a", 0)
+        plan.inject("a", 1)  # next attempt clean
+
+    def test_deterministic_across_calls(self):
+        plan = FaultPlan([Fault("a", 0, "raise")])
+        for _ in range(3):
+            with pytest.raises(EvaluationError):
+                plan.inject("a", 0)
+
+    def test_json_round_trip(self):
+        plan = FaultPlan(
+            [Fault("a", 0, "crash"), Fault("b", 1, "hang", seconds=9.0)]
+        )
+        data = json.loads(json.dumps(plan.to_dict()))
+        rebuilt = FaultPlan.from_dict(data)
+        assert len(rebuilt) == 2
+        assert rebuilt.fault_for("b", 1).seconds == 9.0
+        assert rebuilt.fault_for("a", 0).kind == "crash"
+
+    def test_wrong_schema_rejected(self):
+        with pytest.raises(SpecError):
+            FaultPlan.from_dict({"schema": 99, "faults": []})
+
+    def test_picklable_for_spawn_workers(self):
+        plan = FaultPlan([Fault("a", 0, kind) for kind in ("raise",)])
+        rebuilt = pickle.loads(pickle.dumps(plan))
+        assert rebuilt.fault_for("a", 0).kind == "raise"
+
+    def test_all_kinds_constructible(self):
+        for kind in FAULT_KINDS:
+            assert Fault("a", 0, kind).kind == kind

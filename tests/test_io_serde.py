@@ -111,3 +111,41 @@ class TestJsonFiles:
         save_json(workload_to_dict(GemmLayer("g", 2, 2, 2).workload()), path)
         text = path.read_text()
         assert text.count("\n") > 5
+
+
+class TestAtomicWrites:
+    def test_failed_replace_leaves_original_intact(self, tmp_path, monkeypatch):
+        """A crash between temp-write and rename must not corrupt the target."""
+        import os as os_module
+
+        path = tmp_path / "data.json"
+        save_json({"version": 1}, path)
+
+        def explode(src, dst):
+            raise OSError("simulated crash during rename")
+
+        monkeypatch.setattr("repro.io.serde.os.replace", explode)
+        with pytest.raises(OSError):
+            save_json({"version": 2}, path)
+        assert load_json(path) == {"version": 1}
+
+    def test_no_temp_file_litter_after_failure(self, tmp_path, monkeypatch):
+        path = tmp_path / "data.json"
+
+        def explode(src, dst):
+            raise OSError("simulated crash")
+
+        monkeypatch.setattr("repro.io.serde.os.replace", explode)
+        with pytest.raises(OSError):
+            save_json({"x": 1}, path)
+        assert list(tmp_path.iterdir()) == []
+
+    def test_write_text_atomic_round_trip(self, tmp_path):
+        from repro.io import write_text_atomic
+
+        path = tmp_path / "nested" / "out.txt"
+        path.parent.mkdir()
+        write_text_atomic(path, "hello")
+        write_text_atomic(path, "world")
+        assert path.read_text() == "world"
+        assert list(path.parent.iterdir()) == [path]

@@ -160,3 +160,78 @@ class TestStartMethods:
         # The fallback still runs every job, not just the first.
         assert result.num_evaluated == 320
         assert len(result.stats["workers"]) == 4
+
+
+class TestWorkerErrorContext:
+    """A failing worker must report which (index, seed) job died."""
+
+    def _raise_in_search(self, monkeypatch):
+        from repro.search.random_search import RandomSearch
+
+        def explode(self, *args, **kwargs):
+            raise RuntimeError("synthetic search failure")
+
+        monkeypatch.setattr(RandomSearch, "run", explode)
+
+    @staticmethod
+    def _worker_seeds(base_seed, workers):
+        from repro.utils.rng import make_rng
+
+        rng = make_rng(base_seed)
+        return [rng.getrandbits(32) for _ in range(workers)]
+
+    def test_single_worker_reports_index_and_seed(self, setting, monkeypatch):
+        from repro.exceptions import WorkerError
+
+        self._raise_in_search(monkeypatch)
+        arch, workload = setting
+        with pytest.raises(WorkerError) as info:
+            parallel_random_search(
+                arch, workload, workers=1, max_evaluations=50,
+                patience=None, seed=7,
+            )
+        assert info.value.index == 0
+        assert info.value.seed == self._worker_seeds(7, 1)[0]
+        assert "synthetic search failure" in str(info.value)
+        payload = info.value.payload()
+        assert payload["index"] == 0 and payload["seed"] == info.value.seed
+
+    def test_sequential_fallback_reports_failing_job(
+        self, setting, monkeypatch
+    ):
+        from repro.exceptions import WorkerError
+
+        def explode(*args, **kwargs):
+            raise ValueError("no process pools here")
+
+        monkeypatch.setattr(
+            "multiprocessing.get_context", explode, raising=True
+        )
+        self._raise_in_search(monkeypatch)
+        arch, workload = setting
+        with pytest.raises(WorkerError) as info:
+            parallel_random_search(
+                arch, workload, workers=3, max_evaluations=50,
+                patience=None, seed=5,
+            )
+        assert info.value.index == 0  # jobs run in order; first one dies
+        assert info.value.seed == self._worker_seeds(5, 3)[0]
+
+    @pytest.mark.skipif(
+        not hasattr(__import__("os"), "fork"), reason="needs fork"
+    )
+    def test_fork_pool_surfaces_worker_error(self, setting, monkeypatch):
+        """Monkeypatches propagate into fork children, so the raised
+        WorkerError crosses the pool boundary with its context intact."""
+        from repro.exceptions import WorkerError
+
+        self._raise_in_search(monkeypatch)
+        arch, workload = setting
+        with pytest.raises(WorkerError) as info:
+            parallel_random_search(
+                arch, workload, workers=2, max_evaluations=50,
+                patience=None, seed=9, start_method="fork",
+            )
+        seeds = self._worker_seeds(9, 2)
+        assert info.value.index in (0, 1)
+        assert info.value.seed == seeds[info.value.index]
