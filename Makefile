@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-fast bench-cache campaign-smoke examples experiments clean
+.PHONY: install test bench bench-fast bench-cache bench-batch campaign-smoke examples experiments clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -24,6 +24,13 @@ bench-fast:
 # any search result. Cheap enough to run in CI on every change.
 bench-cache:
 	$(PYTHON) -m pytest benchmarks/test_perf_eval_cache.py --benchmark-only -s
+
+# Smoke benchmark for the vectorized batch engine: fails if the batch path
+# drops below 5x scalar throughput on the toy exhaustive sweep, falls behind
+# scalar on a ResNet-50 layer search, or diverges from scalar results.
+# Refreshes BENCH_batch_eval.json (the perf trajectory record).
+bench-batch:
+	$(PYTHON) -m pytest benchmarks/test_perf_batch_eval.py --benchmark-only -s
 
 # End-to-end robustness smoke: runs a tiny campaign, SIGKILLs it mid-run,
 # resumes from the journal, and checks best-EDP parity plus fault-injection

@@ -1,0 +1,148 @@
+"""Throughput benchmark for the vectorized batch evaluation engine.
+
+Acceptance criteria from the batch-engine PR:
+
+* the toy exhaustive sweep must run at >= 5x the scalar evaluator's
+  mappings/sec through the batch path, and
+* batched random search on a real ResNet-50 layer must be no slower than
+  the scalar loop,
+
+with results bit-identical in both cases (asserted here too — a fast
+wrong answer is not a speedup). Measured numbers land in
+``BENCH_batch_eval.json`` at the repo root so later PRs have a perf
+trajectory to compare against. Run via ``make bench-batch``.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+import pytest
+
+pytest.importorskip("numpy")
+
+from conftest import run_once
+
+from repro.arch import eyeriss_like, toy_glb_architecture
+from repro.io.serde import save_json
+from repro.mapspace.constraints import eyeriss_row_stationary
+from repro.mapspace.factory import make_mapspace
+from repro.model import Evaluator
+from repro.search.exhaustive import ExhaustiveSearch
+from repro.search.random_search import RandomSearch
+from repro.problem.gemm import vector_workload
+from repro.zoo.resnet50 import RESNET50_LAYERS
+
+RESULTS_PATH = Path(__file__).resolve().parent.parent / "BENCH_batch_eval.json"
+
+_RESULTS: dict = {"benchmark": "batch_eval", "cases": {}}
+
+
+def _record(case: str, payload: dict) -> None:
+    _RESULTS["cases"][case] = payload
+    save_json(_RESULTS, RESULTS_PATH)
+
+
+def _best_of(fn, rounds):
+    best_s = float("inf")
+    result = None
+    for _ in range(rounds):
+        start = time.perf_counter()
+        result = fn()
+        best_s = min(best_s, time.perf_counter() - start)
+    return result, best_s
+
+
+def test_toy_exhaustive_sweep_5x(benchmark):
+    """The headline criterion: >= 5x on the toy exhaustive sweep."""
+    arch = toy_glb_architecture(num_pes=6, glb_bytes=1024)
+    workload = vector_workload("v100", 100)
+    mapspace = make_mapspace(arch, workload, "ruby")
+
+    def sweep(use_batch):
+        return ExhaustiveSearch(
+            mapspace,
+            Evaluator(arch, workload),
+            objective="edp",
+            use_batch=use_batch,
+        ).run()
+
+    rounds = 3
+    scalar, scalar_s = _best_of(lambda: sweep(False), rounds)
+    batched, batched_s = _best_of(lambda: sweep(True), rounds)
+    run_once(benchmark, lambda: sweep(True))
+    assert scalar.best_metric == batched.best_metric
+    assert scalar.num_evaluated == batched.num_evaluated
+    scalar_rate = scalar.num_evaluated / scalar_s
+    batched_rate = batched.num_evaluated / batched_s
+    speedup = batched_rate / scalar_rate
+    print(
+        f"\ntoy exhaustive ({scalar.num_evaluated} mappings): "
+        f"scalar {scalar_rate:,.0f}/s, batch {batched_rate:,.0f}/s "
+        f"-> {speedup:.1f}x "
+        f"(pruned {batched.stats['batch']['pruned']})"
+    )
+    _record(
+        "toy_exhaustive_ruby_v100",
+        {
+            "num_mappings": scalar.num_evaluated,
+            "scalar_mappings_per_sec": round(scalar_rate, 1),
+            "batch_mappings_per_sec": round(batched_rate, 1),
+            "speedup": round(speedup, 2),
+            "pruned": batched.stats["batch"]["pruned"],
+        },
+    )
+    assert speedup >= 5.0
+
+
+def test_resnet_layer_random_search_not_slower(benchmark):
+    """Batch >= scalar throughput on a real conv layer's random search."""
+    arch = eyeriss_like()
+    by_name = {layer.name: layer for layer, _ in RESNET50_LAYERS}
+    workload = by_name["conv3_3x3"].workload()
+    constraints = eyeriss_row_stationary()
+
+    def search(use_batch):
+        return RandomSearch(
+            make_mapspace(arch, workload, "ruby-s", constraints),
+            Evaluator(arch, workload),
+            max_evaluations=400,
+            patience=None,
+            seed=17,
+            use_batch=use_batch,
+        ).run()
+
+    rounds = 2
+    scalar, scalar_s = _best_of(lambda: search(False), rounds)
+    batched, batched_s = _best_of(lambda: search(True), rounds)
+    run_once(benchmark, lambda: search(True))
+    assert scalar.best_metric == batched.best_metric
+    scalar_rate = scalar.num_evaluated / scalar_s
+    batched_rate = batched.num_evaluated / batched_s
+    speedup = batched_rate / scalar_rate
+    print(
+        f"\nconv3_3x3 random search ({scalar.num_evaluated} draws): "
+        f"scalar {scalar_rate:,.0f}/s, batch {batched_rate:,.0f}/s "
+        f"-> {speedup:.1f}x"
+    )
+    _record(
+        "resnet50_conv3_3x3_random_ruby_s",
+        {
+            "num_mappings": scalar.num_evaluated,
+            "scalar_mappings_per_sec": round(scalar_rate, 1),
+            "batch_mappings_per_sec": round(batched_rate, 1),
+            "speedup": round(speedup, 2),
+        },
+    )
+    assert batched_rate >= scalar_rate
+
+
+def test_results_file_is_valid_json():
+    """The trajectory file the next PR will diff against must parse."""
+    if not RESULTS_PATH.exists():
+        pytest.skip("benchmarks above did not run")
+    data = json.loads(RESULTS_PATH.read_text())
+    assert data["benchmark"] == "batch_eval"
+    assert data["cases"]

@@ -116,6 +116,14 @@ def _format_search_stats(stats: Dict) -> List[str]:
         summary.append(f"cache-hit-rate={cache['hit_rate']:.1%}")
     if summary:
         lines.append("  ".join(summary))
+    batch = stats.get("batch")
+    if batch is not None:
+        lines.append(
+            f"  batch: {batch['batches']:,} batches  "
+            f"{batch['candidates']:,} candidates  "
+            f"pruned={batch['pruned']:,} ({batch['prune_rate']:.1%})  "
+            f"scalar-fallback={batch['fallback']:,}"
+        )
     for row in stats.get("workers", ()):
         hit_rate = row.get("cache_hit_rate")
         cache_part = f"  cache-hit={hit_rate:.1%}" if hit_rate is not None else ""
@@ -152,6 +160,8 @@ def _cmd_search(args: argparse.Namespace) -> int:
             seed=args.seed,
             cache_size=0 if args.no_cache else DEFAULT_CACHE_SIZE,
             start_method=args.start_method,
+            use_batch=not args.no_batch,
+            batch_size=args.batch_size,
         )
     else:
         result = find_best_mapping(
@@ -163,6 +173,8 @@ def _cmd_search(args: argparse.Namespace) -> int:
             max_evaluations=args.budget,
             patience=args.patience,
             constraints=constraints,
+            use_batch=not args.no_batch,
+            batch_size=args.batch_size,
         )
     if result.best is None:
         print("no valid mapping found", file=sys.stderr)
@@ -519,6 +531,15 @@ def build_parser() -> argparse.ArgumentParser:
     search.add_argument(
         "--no-cache", action="store_true",
         help="disable the per-worker evaluation cache (parity debugging)",
+    )
+    search.add_argument(
+        "--batch-size", type=int, default=512,
+        help="candidates per vectorized evaluation batch",
+    )
+    search.add_argument(
+        "--no-batch", action="store_true",
+        help="force the scalar evaluator (skip the vectorized batch "
+        "engine; results are identical, only slower)",
     )
     search.add_argument(
         "--row-stationary", action="store_true",

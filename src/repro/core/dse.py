@@ -114,6 +114,8 @@ def evaluate_network(
     objective: str = "edp",
     seed: Optional[Union[int, random.Random]] = None,
     restarts: int = 1,
+    use_batch: bool = True,
+    batch_size: int = 512,
 ) -> Tuple[float, int, List[Tuple[str, float]]]:
     """Search every layer; return (total energy, total cycles, per-layer EDP).
 
@@ -172,6 +174,8 @@ def evaluate_network(
             max_evaluations=max_evaluations,
             patience=patience,
             constraints=constraints,
+            use_batch=use_batch,
+            batch_size=batch_size,
         )
         mapper = Mapper(arch, workload, config)
         best = None
@@ -207,6 +211,8 @@ def sweep_pe_arrays(
     patience: Optional[int] = 500,
     seed: Optional[int] = None,
     restarts: int = 1,
+    use_batch: bool = True,
+    batch_size: int = 512,
 ) -> SweepResult:
     """Run the Fig. 13/14 sweep: every shape x every mapspace kind."""
     rng = make_rng(seed)
@@ -224,6 +230,8 @@ def sweep_pe_arrays(
                 patience=patience,
                 seed=rng,
                 restarts=restarts,
+                use_batch=use_batch,
+                batch_size=batch_size,
             )
             result.points.append(
                 DesignPoint(
@@ -262,6 +270,8 @@ def sweep_glb_sizes(
     patience: Optional[int] = 500,
     seed: Optional[int] = None,
     restarts: int = 1,
+    use_batch: bool = True,
+    batch_size: int = 512,
 ) -> SweepResult:
     """Co-design along the buffer axis: sweep the global-buffer capacity.
 
@@ -289,6 +299,8 @@ def sweep_glb_sizes(
                 patience=patience,
                 seed=rng,
                 restarts=restarts,
+                use_batch=use_batch,
+                batch_size=batch_size,
             )
             result.points.append(
                 DesignPoint(

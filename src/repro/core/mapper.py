@@ -44,6 +44,10 @@ class MapperConfig:
             the paper uses 3000.
         seed: RNG seed for reproducibility.
         constraints: dataflow constraints applied to the mapspace.
+        use_batch: price candidates through the vectorized batch engine
+            when it supports the triple (bit-exact; falls back to the
+            scalar evaluator otherwise).
+        batch_size: candidates per packed batch on the batch path.
     """
 
     kind: Union[str, MapspaceKind] = MapspaceKind.RUBY_S
@@ -53,6 +57,8 @@ class MapperConfig:
     patience: Optional[int] = 1_000
     seed: Optional[int] = None
     constraints: Optional[ConstraintSet] = None
+    use_batch: bool = True
+    batch_size: int = 512
 
 
 class Mapper:
@@ -85,12 +91,16 @@ class Mapper:
                 max_evaluations=self.config.max_evaluations,
                 patience=self.config.patience,
                 seed=effective_seed,
+                use_batch=self.config.use_batch,
+                batch_size=self.config.batch_size,
             ).run()
         if strategy == "exhaustive":
             return ExhaustiveSearch(
                 self.mapspace,
                 self.evaluator,
                 objective=self.config.objective,
+                use_batch=self.config.use_batch,
+                batch_size=self.config.batch_size,
             ).run()
         if strategy == "genetic":
             return GeneticSearch(
@@ -98,6 +108,8 @@ class Mapper:
                 self.evaluator,
                 objective=self.config.objective,
                 seed=effective_seed,
+                use_batch=self.config.use_batch,
+                batch_size=self.config.batch_size,
             ).run()
         if strategy == "annealing":
             from repro.search.annealing import SimulatedAnnealing
@@ -125,6 +137,8 @@ def find_best_mapping(
     seed: Optional[int] = None,
     constraints: Optional[ConstraintSet] = None,
     strategy: str = "random",
+    use_batch: bool = True,
+    batch_size: int = 512,
 ) -> SearchResult:
     """One-call mapping search (see :class:`MapperConfig` for parameters)."""
     config = MapperConfig(
@@ -135,5 +149,7 @@ def find_best_mapping(
         patience=patience,
         seed=seed,
         constraints=constraints,
+        use_batch=use_batch,
+        batch_size=batch_size,
     )
     return Mapper(arch, workload, config).run()

@@ -92,6 +92,7 @@ class MapSpace:
                 temporal_imperfect=False,
                 sampling=sampling,
             )
+        self._batch_layout = None
 
     def _initial_budgets(self) -> Dict[int, int]:
         return {
@@ -277,6 +278,124 @@ class MapSpace:
                 emitted += 1
                 if limit is not None and emitted >= limit:
                     return
+
+    def batch_layout(self):
+        """The columnar :class:`~repro.model.batch.BatchLayout` of this space.
+
+        Built once and cached. The layout's column grid mirrors this
+        space's slots one-to-one (both derive the same fixed skeleton from
+        the architecture), and its virtual position numbering honours the
+        constraints' fixed permutations so materialized batch rows equal
+        what :meth:`assemble` produces with ``rng=None``. Returns ``None``
+        when NumPy is unavailable.
+        """
+        if self._batch_layout is not None:
+            return self._batch_layout
+        from repro.model.batch import HAS_NUMPY, BatchLayout
+
+        if not HAS_NUMPY:
+            return None
+        priorities = {
+            level.name: self.constraints.permutation(level.name)
+            for level in self.arch.levels
+        }
+        layout = BatchLayout(
+            self.arch, self.workload, permutation_priority=priorities
+        )
+        columns = [(c.level_index, c.spatial, c.axis) for c in layout.columns]
+        slots = [(s.level_index, s.spatial, s.axis) for s in self.slots]
+        if columns != slots:
+            raise MapspaceError(
+                "batch layout columns do not mirror the mapspace slots; "
+                "the columnar encoding cannot represent this architecture"
+            )
+        self._batch_layout = layout
+        return layout
+
+    def iter_batches(self, batch_size: int = 512) -> Iterator["object"]:
+        """Exhaustively enumerate straight into packed columnar batches.
+
+        The batch analogue of :meth:`enumerate_mappings` with
+        ``permutations=False``: identical chain combinations in identical
+        order (same joint-fanout filter), but each candidate lands as a
+        row of a :class:`~repro.model.batch.MappingBatch` — no ``Mapping``
+        objects, no per-candidate Python loop-nest assembly. Positions are
+        the layout's virtual grid numbering, which is order-isomorphic to
+        the real nest positions, so batch evaluation results are bit-exact
+        against the scalar evaluator; rows can still be materialized on
+        demand via :meth:`MappingBatch.mapping_at`.
+        """
+        layout = self.batch_layout()
+        if layout is None:
+            raise MapspaceError("batch enumeration requires NumPy")
+        if batch_size < 1:
+            raise MapspaceError("batch_size must be >= 1")
+        import numpy as np
+
+        from repro.model.batch import MappingBatch
+
+        dims = list(self.workload.dim_names)
+        per_dim = []
+        for dim in dims:
+            chains = list(
+                self.allocator.enumerate_chains(dim, self.workload.size(dim))
+            )
+            per_dim.append(
+                [
+                    (
+                        chain,
+                        np.asarray(chain.bounds, dtype=np.int64),
+                        np.asarray(chain.remainders, dtype=np.int64),
+                    )
+                    for chain in chains
+                ]
+            )
+        spatial_caps = [
+            (offset, slot.fanout_cap)
+            for offset, slot in enumerate(self.slots)
+            if slot.spatial
+        ]
+        shape = (batch_size, len(self.slots), len(dims))
+        # Positions are row-constant on the virtual grid; a read-only
+        # broadcast view is enough (kernels never write pos).
+        pos = np.broadcast_to(layout.grid_pos[None, :, :], shape)
+        bounds = np.ones(shape, dtype=np.int64)
+        rems = np.ones(shape, dtype=np.int64)
+        fill = 0
+        for combo in itertools.product(*per_dim):
+            feasible = True
+            for offset, cap in spatial_caps:
+                product = 1
+                for chain, _, _ in combo:
+                    product *= chain.bounds[offset]
+                if product > cap:
+                    feasible = False
+                    break
+            if not feasible:
+                continue
+            for d, (_, chain_bounds, chain_rems) in enumerate(combo):
+                bounds[fill, :, d] = chain_bounds
+                rems[fill, :, d] = chain_rems
+            fill += 1
+            if fill == batch_size:
+                yield MappingBatch(
+                    layout=layout,
+                    bounds=bounds,
+                    rems=rems,
+                    pos=pos,
+                    fallback=np.zeros(batch_size, dtype=bool),
+                )
+                bounds = np.ones(shape, dtype=np.int64)
+                rems = np.ones(shape, dtype=np.int64)
+                fill = 0
+        if fill:
+            yield MappingBatch(
+                layout=layout,
+                bounds=bounds[:fill],
+                rems=rems[:fill],
+                pos=pos[:fill],
+                fallback=np.zeros(fill, dtype=bool),
+            )
 
     def _fanout_ok(
         self, combo: Sequence[DimChain], spatial_offsets: List[int]

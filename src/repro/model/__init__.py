@@ -18,8 +18,26 @@ from repro.model.reference_sim import SimulationResult, simulate
 from repro.model.roofline import RooflinePoint, roofline_point
 from repro.model.diff import EvaluationDiff, diff_evaluations, format_diff
 from repro.model.sparsity import gated_evaluation
+from repro.model.batch import (
+    DEFAULT_BATCH_SIZE,
+    HAS_NUMPY,
+    BatchEvaluator,
+    BatchLayout,
+    BatchOutcome,
+    CandidateOutcome,
+    MappingBatch,
+    pack_mappings,
+)
 
 __all__ = [
+    "DEFAULT_BATCH_SIZE",
+    "HAS_NUMPY",
+    "BatchEvaluator",
+    "BatchLayout",
+    "BatchOutcome",
+    "CandidateOutcome",
+    "MappingBatch",
+    "pack_mappings",
     "TensorPath",
     "tensor_paths",
     "AccessCounts",

@@ -1,0 +1,985 @@
+"""Vectorized batch evaluation: the columnar (structure-of-arrays) cost model.
+
+The scalar :class:`~repro.model.evaluator.Evaluator` prices one mapping at a
+time through pure-Python recursions; search loops are bounded by interpreter
+overhead, not by the math. This module packs N candidate mappings into three
+integer tensors and replays the exact same recursions as NumPy kernels over
+whole batches:
+
+* ``bounds[n, c, d]`` / ``rems[n, c, d]`` — the Eq. (5) bound and remainder
+  of candidate ``n`` at *column* ``c`` for problem dimension ``d``. Columns
+  are the fixed loop-block skeleton of the architecture (one temporal block
+  per storage level plus one spatial block per mesh axis with fanout), the
+  same skeleton :func:`~repro.mapspace.slots.build_slots` derives. An absent
+  loop is the identity cell ``(bound=1, remainder=1)``, which every cost
+  recursion passes through unchanged — so kernels run over the full fixed
+  grid with no per-candidate filtering.
+* ``pos[n, c, d]`` — the loop's position in the global nest (``-1`` when
+  absent). Only *order* matters: the one order-sensitive quantity in the
+  cost model is the innermost-relevant-temporal cutoff, and every predicate
+  against it compares positions of loops that are both present, so any
+  order-isomorphic numbering works (enumeration uses a virtual grid
+  numbering; packed ``Mapping`` objects use their real positions).
+
+Exactness: integers stay integers (int64, with a float-side overflow guard
+that routes rows whose intermediates could exceed 2**53 back to the scalar
+evaluator), and floats are composed in the same order as the scalar model
+(per-level energy accumulation in architecture order, compute energy last),
+so energy_pj, cycles, EDP — and utilization — match the scalar evaluator
+bit for bit. The parity suite in ``tests/test_batch_eval.py`` asserts this
+across presets, workload kinds, and imperfect mappings.
+
+Lower-bound pruning: traffic through every boundary is at least one full
+sweep of delivered tiles, and the per-rank delivery sum is multilinear in
+the per-dimension tile counts, so its minimum over the feasible box
+``t_j in [1, size_j]`` is attained at a box vertex. Minimizing over the
+(at most four) vertices per rank yields a compulsory-traffic energy bound
+that is a true constant per (architecture, workload); multiplied by the
+(cheaply vectorized) exact cycle count it lower-bounds EDP, letting the
+engine discard candidates that cannot beat the incumbent *before* the
+expensive traffic stage. A relative margin keeps float rounding from ever
+pruning a true improvement (see :data:`PRUNE_MARGIN`).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.arch.spec import Architecture
+from repro.mapping.loop import Loop
+from repro.mapping.nest import LevelNest, Mapping
+from repro.model.evaluator import Evaluation, Evaluator
+from repro.problem.workload import Workload
+
+try:  # pragma: no cover - exercised via the scalar-fallback tests
+    import numpy as np
+
+    HAS_NUMPY = True
+except ImportError:  # pragma: no cover
+    np = None  # type: ignore[assignment]
+    HAS_NUMPY = False
+
+#: Default number of candidates packed per batch. Large enough to amortize
+#: kernel launch overhead, small enough that a pruned batch wastes little.
+DEFAULT_BATCH_SIZE = 512
+
+#: Relative safety margin on the lower-bound prune test. A candidate is
+#: pruned only when ``lower_bound * (1 - PRUNE_MARGIN) >= incumbent``; the
+#: bound is computed with a handful of float roundings (relative error
+#: ~1e-15), so the margin guarantees a pruned candidate's true metric is
+#: strictly worse than the incumbent — no improvement is ever discarded,
+#: and exact ties are left to the (tie-rejecting) search loops.
+PRUNE_MARGIN = 1e-9
+
+#: Intermediate integer quantities are kept below 2**53 so that int64
+#: arithmetic cannot wrap and int->float conversions stay exact. Rows that
+#: could exceed it fall back to the scalar evaluator (exact bigints).
+_EXACT_LIMIT = float(2**53)
+
+
+@dataclass(frozen=True)
+class Column:
+    """One loop block of the fixed columnar grid.
+
+    Mirrors :class:`~repro.mapspace.slots.Slot` structure (which depends
+    only on the architecture — constraints change caps and allowed dims,
+    never which blocks exist), plus the hardware fanout limit used by the
+    vectorized validity check.
+    """
+
+    level_index: int
+    level_name: str
+    spatial: bool
+    axis: int = 0
+    fanout_limit: int = 0  # hardware per-axis limit (spatial columns only)
+
+
+def derive_columns(arch: Architecture) -> List[Column]:
+    """Build the columnar grid skeleton for ``arch`` (outer to inner)."""
+    columns: List[Column] = []
+    for index, level in enumerate(arch.levels):
+        columns.append(Column(index, level.name, spatial=False))
+        if level.fanout > 1:
+            axis_fanouts = [(0, level.fanout_x), (1, level.fanout_y)]
+            if level.fanout_x is None:
+                axis_fanouts = [(0, level.fanout)]
+            for axis, axis_fanout in axis_fanouts:
+                if axis_fanout is None or axis_fanout < 2:
+                    continue
+                columns.append(
+                    Column(
+                        index,
+                        level.name,
+                        spatial=True,
+                        axis=axis,
+                        fanout_limit=axis_fanout,
+                    )
+                )
+    return columns
+
+
+@dataclass(frozen=True)
+class _TensorMeta:
+    """Precomputed per-tensor projection structure (dim names -> indices)."""
+
+    name: str
+    is_output: bool
+    bits_per_element: int
+    ranks: Tuple[Tuple[Tuple[int, int], ...], ...]  # ((dim_idx, coef), ...)
+    relevant_idx: Tuple[int, ...]  # workload dim order
+    irrelevant_idx: Tuple[int, ...]  # workload dim order
+    keepers: Tuple[int, ...]
+    boundaries: Tuple[Tuple[int, Optional[int]], ...]  # (parent, child)
+    partition_words: Tuple[Optional[int], ...]  # per storage level
+
+
+class BatchLayout:
+    """The fixed columnar structure of one (architecture, workload) pair.
+
+    Holds everything that depends only on the specs — the column grid, the
+    virtual position numbering used by enumeration, per-tensor projection
+    metadata, and the per-level capacity/fanout limits. Energy coefficients
+    live in :class:`BatchEvaluator` (they come from the evaluator's table).
+
+    Args:
+        arch: target architecture.
+        workload: the tensor operation.
+        permutation_priority: optional ``{level_name: fixed_dim_order}``
+            matching the mapspace's constraint permutations, so the virtual
+            grid numbering is order-isomorphic to the real nest positions
+            that :meth:`~repro.mapspace.generator.MapSpace.assemble`
+            produces with ``rng=None``. Irrelevant for packed ``Mapping``
+            objects, which carry their real positions.
+    """
+
+    def __init__(
+        self,
+        arch: Architecture,
+        workload: Workload,
+        permutation_priority: Optional[Dict[str, Optional[Tuple[str, ...]]]] = None,
+    ) -> None:
+        if not HAS_NUMPY:
+            raise RuntimeError("BatchLayout requires NumPy")
+        self.arch = arch
+        self.workload = workload
+        self.columns = derive_columns(arch)
+        self.num_columns = len(self.columns)
+        self.level_names: Tuple[str, ...] = tuple(l.name for l in arch.levels)
+        self.num_levels = len(arch.levels)
+        self.dims: Tuple[str, ...] = workload.dim_names
+        self.dim_index: Dict[str, int] = {d: i for i, d in enumerate(self.dims)}
+        self.num_dims = len(self.dims)
+        self.sizes = np.array(
+            [workload.size(d) for d in self.dims], dtype=np.int64
+        )
+        self.col_level: Tuple[int, ...] = tuple(
+            c.level_index for c in self.columns
+        )
+        self.col_spatial: Tuple[bool, ...] = tuple(c.spatial for c in self.columns)
+        self.col_axis: Tuple[int, ...] = tuple(c.axis for c in self.columns)
+        self._col_lookup: Dict[Tuple[int, bool, int], int] = {}
+        for offset, column in enumerate(self.columns):
+            key = (column.level_index, column.spatial, column.axis)
+            self._col_lookup[key] = offset
+        self._build_grid(permutation_priority or {})
+        self._build_tensor_meta()
+        self._build_limits()
+
+    # -- construction ---------------------------------------------------
+
+    def _build_grid(self, priorities: Dict[str, Optional[Tuple[str, ...]]]) -> None:
+        """Number the grid cells in virtual nest order (see module doc)."""
+        order: List[Tuple[int, int]] = []
+        self.grid_cells_by_level: List[List[Tuple[int, int]]] = []
+        for level_index, level_name in enumerate(self.level_names):
+            cells: List[Tuple[int, int]] = []
+            fixed = priorities.get(level_name)
+            if fixed:
+                priority = {dim: i for i, dim in enumerate(fixed)}
+                dim_order = sorted(
+                    range(self.num_dims),
+                    key=lambda d: (
+                        priority.get(self.dims[d], len(priority)),
+                        d,
+                    ),
+                )
+            else:
+                dim_order = list(range(self.num_dims))
+            for offset, column in enumerate(self.columns):
+                if column.level_index != level_index or column.spatial:
+                    continue
+                cells.extend((offset, d) for d in dim_order)
+            for offset, column in enumerate(self.columns):
+                if column.level_index != level_index or not column.spatial:
+                    continue
+                cells.extend((offset, d) for d in range(self.num_dims))
+            self.grid_cells_by_level.append(cells)
+            order.extend(cells)
+        self.grid_pos = np.full(
+            (self.num_columns, self.num_dims), -1, dtype=np.int64
+        )
+        for position, (offset, d) in enumerate(order):
+            self.grid_pos[offset, d] = position
+
+    def _build_tensor_meta(self) -> None:
+        self.tensors: List[_TensorMeta] = []
+        self.paths_supported = True
+        self.paths_reason = ""
+        for tensor in self.workload.tensors:
+            relevant = tensor.relevant_dims
+            rel_idx = tuple(
+                i for i, d in enumerate(self.dims) if d in relevant
+            )
+            irr_idx = tuple(
+                i for i, d in enumerate(self.dims) if d not in relevant
+            )
+            ranks = tuple(
+                tuple((self.dim_index[term.dim], term.coefficient) for term in rank)
+                for rank in tensor.ranks
+            )
+            keepers = tuple(
+                i
+                for i, level in enumerate(self.arch.levels)
+                if level.keeps_tensor(tensor.name)
+            )
+            if not keepers or keepers[0] != 0:
+                # The scalar model raises SpecError on these architectures;
+                # keep its semantics by refusing the batch path entirely.
+                self.paths_supported = False
+                self.paths_reason = (
+                    f"tensor {tensor.name} has no outermost keeper level"
+                )
+            boundaries: List[Tuple[int, Optional[int]]] = [
+                (parent, child) for parent, child in zip(keepers, keepers[1:])
+            ]
+            if keepers:
+                boundaries.append((keepers[-1], None))
+            partition = tuple(
+                level.tensor_capacity(tensor.name) for level in self.arch.levels
+            )
+            self.tensors.append(
+                _TensorMeta(
+                    name=tensor.name,
+                    is_output=tensor.is_output,
+                    bits_per_element=tensor.bits_per_element,
+                    ranks=ranks,
+                    relevant_idx=rel_idx,
+                    irrelevant_idx=irr_idx,
+                    keepers=keepers,
+                    boundaries=tuple(boundaries),
+                    partition_words=partition,
+                )
+            )
+
+    def _build_limits(self) -> None:
+        # Spatial-dataflow restrictions: per spatial column, the dims that
+        # may NOT take a nontrivial bound there (None = unrestricted).
+        self.spatial_disallowed: List[Optional[Any]] = []
+        for column in self.columns:
+            if not column.spatial:
+                self.spatial_disallowed.append(None)
+                continue
+            allowed = self.arch.levels[column.level_index].spatial_dims
+            if allowed is None:
+                self.spatial_disallowed.append(None)
+            else:
+                mask = np.array(
+                    [d not in allowed for d in self.dims], dtype=bool
+                )
+                self.spatial_disallowed.append(mask if mask.any() else None)
+        # Capacity checks: per bounded level, which tensors are kept there.
+        self.capacity_levels: List[Tuple[int, Any]] = []
+        for level_index, level in enumerate(self.arch.levels):
+            if level.total_capacity_words is None:
+                continue
+            kept = tuple(
+                t
+                for t, tensor in enumerate(self.workload.tensors)
+                if level.keeps_tensor(tensor.name)
+            )
+            suffix_cols = tuple(
+                c
+                for c in range(self.num_columns)
+                if self.col_level[c] >= level_index
+            )
+            self.capacity_levels.append(
+                (
+                    level_index,
+                    {
+                        "kept": kept,
+                        "cols": suffix_cols,
+                        "word_bits": level.word_bits,
+                        "shared_capacity": (
+                            level.capacity_words
+                            if not level.is_partitioned
+                            else None
+                        ),
+                    },
+                )
+            )
+
+    # -- packing and materialization ------------------------------------
+
+    def column_for(
+        self, level_index: int, spatial: bool, axis: int
+    ) -> Optional[int]:
+        """Grid column holding a loop at ``(level, block, axis)``, if any."""
+        return self._col_lookup.get((level_index, spatial, axis if spatial else 0))
+
+    def materialize(self, bounds_row: Any, rems_row: Any) -> Mapping:
+        """Rebuild the :class:`Mapping` a packed enumeration row encodes.
+
+        Inverse of the ``iter_batches`` packing: loops are emitted in
+        virtual grid order, which equals the order
+        :meth:`~repro.mapspace.generator.MapSpace.assemble` uses with
+        ``rng=None`` (temporal dims sorted by the fixed permutation then
+        dim order, spatial blocks in column/dim order).
+        """
+        nests: List[LevelNest] = []
+        for level_index, level_name in enumerate(self.level_names):
+            temporal: List[Loop] = []
+            spatial: List[Loop] = []
+            for offset, d in self.grid_cells_by_level[level_index]:
+                bound = int(bounds_row[offset, d])
+                remainder = int(rems_row[offset, d])
+                if bound == 1 and remainder == 1:
+                    continue
+                column = self.columns[offset]
+                loop = Loop(
+                    self.dims[d],
+                    bound,
+                    remainder,
+                    spatial=column.spatial,
+                    axis=column.axis,
+                )
+                (spatial if column.spatial else temporal).append(loop)
+            nests.append(
+                LevelNest(
+                    level_name=level_name,
+                    temporal=tuple(temporal),
+                    spatial=tuple(spatial),
+                )
+            )
+        return Mapping(levels=tuple(nests))
+
+
+@dataclass
+class MappingBatch:
+    """N candidate mappings in structure-of-arrays form.
+
+    ``bounds``/``rems``/``pos`` are int64 arrays of shape
+    ``[n, num_columns, num_dims]``; absent loops hold the identity cell
+    ``(1, 1, -1)``. ``fallback`` flags rows the columnar grid cannot
+    represent (bypass sets, misaligned levels, duplicate cells); those are
+    priced by the scalar evaluator instead.
+    """
+
+    layout: BatchLayout
+    bounds: Any
+    rems: Any
+    pos: Any
+    fallback: Any
+    mappings: Optional[List[Mapping]] = None
+
+    @property
+    def size(self) -> int:
+        return int(self.bounds.shape[0])
+
+    def mapping_at(self, index: int) -> Mapping:
+        """The ``Mapping`` object of row ``index`` (rebuilt if not stored)."""
+        if self.mappings is not None:
+            return self.mappings[index]
+        return self.layout.materialize(self.bounds[index], self.rems[index])
+
+
+def pack_mappings(layout: BatchLayout, mappings: Sequence[Mapping]) -> MappingBatch:
+    """Pack ``Mapping`` objects into columnar form (real nest positions).
+
+    Rows the grid cannot represent are flagged ``fallback`` rather than
+    rejected, so callers get uniform batch semantics with scalar-exact
+    results for the exotic cases.
+    """
+    n = len(mappings)
+    shape = (n, layout.num_columns, layout.num_dims)
+    bounds = np.ones(shape, dtype=np.int64)
+    rems = np.ones(shape, dtype=np.int64)
+    pos = np.full(shape, -1, dtype=np.int64)
+    fallback = np.zeros(n, dtype=bool)
+    for i, mapping in enumerate(mappings):
+        if mapping.bypass:
+            fallback[i] = True
+            continue
+        if tuple(nest.level_name for nest in mapping.levels) != layout.level_names:
+            fallback[i] = True
+            continue
+        for placed in mapping.placed_loops():
+            loop = placed.loop
+            d = layout.dim_index.get(loop.dim)
+            if d is None:
+                # Unknown dim: the scalar validity check reports it even
+                # for trivial loops, so the row must go scalar.
+                fallback[i] = True
+                break
+            if loop.bound == 1:
+                continue  # identity cell; nontrivial_loops drops it too
+            c = layout.column_for(placed.level_index, loop.spatial, loop.axis)
+            if c is None or pos[i, c, d] != -1:
+                fallback[i] = True
+                break
+            bounds[i, c, d] = loop.bound
+            rems[i, c, d] = loop.remainder
+            pos[i, c, d] = placed.position
+    return MappingBatch(
+        layout=layout,
+        bounds=bounds,
+        rems=rems,
+        pos=pos,
+        fallback=fallback,
+        mappings=list(mappings),
+    )
+
+
+@dataclass(frozen=True)
+class CandidateOutcome:
+    """Per-candidate result of :meth:`BatchEvaluator.evaluate_mappings`.
+
+    ``metric`` is ``inf`` for invalid or pruned candidates. ``evaluation``
+    is populated only when a full scalar :class:`Evaluation` was produced
+    anyway (cache hits and fallback rows); improvements should be
+    re-priced through :meth:`Evaluator.evaluate_fresh` by the caller.
+    """
+
+    valid: bool
+    pruned: bool
+    metric: float
+    evaluation: Optional[Evaluation] = None
+
+
+@dataclass
+class BatchOutcome:
+    """Vectorized results for one :class:`MappingBatch`.
+
+    Arrays are indexed by batch row. ``metric`` holds ``inf`` at invalid
+    and pruned rows; ``energy_pj``/``cycles``/``utilization`` are only
+    meaningful where ``valid & ~pruned``. ``evaluations`` maps fallback
+    row indices to their full scalar evaluations.
+    """
+
+    valid: Any
+    pruned: Any
+    fallback: Any
+    metric: Any
+    energy_pj: Any
+    cycles: Any
+    utilization: Any
+    evaluations: Dict[int, Evaluation] = field(default_factory=dict)
+
+
+class BatchEvaluator:
+    """Price whole batches of mappings with vectorized kernels.
+
+    Wraps a scalar :class:`Evaluator` (whose energy table, cache, and
+    fallback path it reuses) and guarantees bit-exact agreement with it on
+    ``energy_pj``, ``cycles``, EDP, and ``utilization`` for every row it
+    prices vectorized; rows it cannot represent go through the scalar
+    evaluator unchanged. Check :attr:`supported` before use — searches
+    keep their scalar loops when the engine is unavailable (no NumPy,
+    NoC/static energy or bandwidth stalls enabled, or degenerate tensor
+    paths).
+    """
+
+    def __init__(
+        self, evaluator: Evaluator, layout: Optional[BatchLayout] = None
+    ) -> None:
+        self.evaluator = evaluator
+        self.supported, self.unsupported_reason = self._support_check(evaluator)
+        self.layout: Optional[BatchLayout] = None
+        self.batches_evaluated = 0
+        self.candidates_evaluated = 0
+        self.candidates_pruned = 0
+        self.candidates_fallback = 0
+        if not self.supported:
+            return
+        self.layout = layout or BatchLayout(evaluator.arch, evaluator.workload)
+        if not self.layout.paths_supported:
+            self.supported = False
+            self.unsupported_reason = self.layout.paths_reason
+            return
+        self._precompute()
+
+    @staticmethod
+    def _support_check(evaluator: Evaluator) -> Tuple[bool, str]:
+        if not HAS_NUMPY:
+            return False, "numpy unavailable"
+        if evaluator.include_noc or evaluator.include_static:
+            return False, "NoC/static energy components enabled"
+        if any(
+            level.bandwidth_words_per_cycle is not None
+            for level in evaluator.arch.levels
+        ):
+            return False, "bandwidth stall model enabled"
+        if evaluator.workload.total_operations >= _EXACT_LIMIT:
+            return False, "workload exceeds exact-float operation count"
+        return True, ""
+
+    def _precompute(self) -> None:
+        layout = self.layout
+        assert layout is not None
+        table = self.evaluator.energy_table
+        self.read_pj: List[float] = []
+        self.write_pj: List[float] = []
+        for level in layout.arch.levels:
+            self.read_pj.append(table.read_pj(level.name))
+            self.write_pj.append(table.write_pj(level.name))
+        # Matches the scalar energy model: compute energy is one exact
+        # int * float product added after the per-level accumulation.
+        self.compute_energy = layout.workload.total_operations * table.mac_pj
+        self.units_opc = (
+            layout.arch.total_compute_units * layout.arch.compute.ops_per_cycle
+        )
+        self.ops_f = float(layout.workload.total_operations)
+        sizes = {d: int(s) for d, s in zip(layout.dims, layout.sizes)}
+        self._build_lower_bound(sizes)
+        self._build_overflow_guard()
+
+    def _build_lower_bound(self, sizes: Dict[str, int]) -> None:
+        """Compulsory-energy constant: see the module docstring derivation."""
+        layout = self.layout
+        assert layout is not None
+        lower = 0.0
+        for meta in layout.tensors:
+            base_lb = 1
+            for rank in meta.ranks:
+                base_lb *= self._rank_vertex_min(rank, layout)
+            for parent, child in meta.boundaries:
+                if not meta.is_output:
+                    lower += self.read_pj[parent] * base_lb
+                    if child is not None:
+                        lower += self.write_pj[child] * base_lb
+                else:
+                    lower += self.write_pj[parent] * base_lb
+                    if child is not None:
+                        lower += self.read_pj[child] * base_lb
+        self.lb_energy = lower + self.compute_energy
+
+    @staticmethod
+    def _rank_vertex_min(
+        rank: Tuple[Tuple[int, int], ...], layout: "BatchLayout"
+    ) -> int:
+        """Minimum delivery sum of one rank over the tile-count box.
+
+        The sum is affine in each (independently relaxed) tile count, so
+        the box minimum sits at a vertex ``t_j in {1, size_j}``.
+        """
+        sizes = [int(layout.sizes[d]) for d, _ in rank]
+        best: Optional[int] = None
+        for vertex in itertools.product(*[(1, s) for s in sizes]):
+            all_tiles = 1
+            for t in vertex:
+                all_tiles *= t
+            total = all_tiles
+            for (d, coef), t, size in zip(rank, vertex, sizes):
+                total += coef * (size - t) * (all_tiles // t)
+            if best is None or total < best:
+                best = total
+        return best if best is not None else 1
+
+    def _build_overflow_guard(self) -> None:
+        """Per-tensor bound factors: traffic <= C_t * prod_d BD_d**e_td.
+
+        ``BD_d`` is the product of all of dim ``d``'s bounds; relevant dims
+        contribute once per rank they appear in (the delivery-sum bound),
+        irrelevant dims once (the projection-count bound); ``C_t`` collects
+        the ``1 + sum(coef)`` slack per rank. Rows where any factor — or
+        the iteration-space product times the compute capacity — reaches
+        2**53 fall back to the exact scalar path.
+        """
+        layout = self.layout
+        assert layout is not None
+        self._guard_tensors: List[Tuple[float, Any]] = []
+        for meta in layout.tensors:
+            c_const = 1.0
+            exponents = np.ones(layout.num_dims, dtype=np.float64)
+            for d in meta.relevant_idx:
+                exponents[d] = 0.0
+            for rank in meta.ranks:
+                c_const *= 1.0 + sum(coef for _, coef in rank)
+                for d, _ in rank:
+                    exponents[d] += 1.0
+            self._guard_tensors.append((c_const, exponents))
+
+    # -- public API ------------------------------------------------------
+
+    def stats_payload(self) -> Dict[str, Any]:
+        """Observability counters for ``SearchResult.stats['batch']``."""
+        evaluated = self.candidates_evaluated
+        return {
+            "batches": self.batches_evaluated,
+            "candidates": evaluated,
+            "pruned": self.candidates_pruned,
+            "prune_rate": (self.candidates_pruned / evaluated) if evaluated else 0.0,
+            "fallback": self.candidates_fallback,
+        }
+
+    def evaluate_batch(
+        self,
+        batch: MappingBatch,
+        objective: str = "edp",
+        incumbent: float = float("inf"),
+        prune: bool = False,
+    ) -> BatchOutcome:
+        """Price one packed batch; optionally prune against ``incumbent``."""
+        if not self.supported:
+            raise RuntimeError(
+                f"batch evaluation unsupported: {self.unsupported_reason}"
+            )
+        layout = self.layout
+        assert layout is not None
+        n = batch.size
+        bounds, rems, pos = batch.bounds, batch.rems, batch.pos
+        fallback = batch.fallback | self._overflow_rows(bounds)
+        valid = self._validity(bounds, rems)
+        cycles = self._cycles(bounds, rems)
+        cycles_f = cycles.astype(np.float64)
+        pruned = np.zeros(n, dtype=bool)
+        if prune and incumbent != float("inf"):
+            if objective == "edp":
+                bound_metric = self.lb_energy * cycles_f
+            elif objective == "energy":
+                bound_metric = np.full(n, self.lb_energy)
+            else:
+                bound_metric = cycles_f
+            pruned = (
+                valid
+                & ~fallback
+                & (bound_metric * (1.0 - PRUNE_MARGIN) >= incumbent)
+            )
+        metric = np.full(n, float("inf"))
+        energy = np.full(n, float("nan"))
+        utilization = np.full(n, float("nan"))
+        live = np.flatnonzero(valid & ~fallback & ~pruned)
+        if live.size:
+            reads, writes = self._traffic(bounds, rems, pos, live)
+            live_energy = self._energy(reads, writes)
+            energy[live] = live_energy
+            capacity = (cycles[live] * self.units_opc).astype(np.float64)
+            utilization[live] = self.ops_f / capacity
+            if objective == "edp":
+                metric[live] = live_energy * cycles_f[live]
+            elif objective == "energy":
+                metric[live] = live_energy
+            else:
+                metric[live] = cycles_f[live]
+        evaluations: Dict[int, Evaluation] = {}
+        for i in np.flatnonzero(fallback):
+            i = int(i)
+            evaluation = self.evaluator.evaluate_fresh(batch.mapping_at(i))
+            evaluations[i] = evaluation
+            valid[i] = evaluation.valid
+            pruned[i] = False
+            if evaluation.valid:
+                metric[i] = evaluation.metric(objective)
+                energy[i] = evaluation.energy_pj
+                cycles[i] = evaluation.cycles
+                utilization[i] = evaluation.utilization
+            else:
+                metric[i] = float("inf")
+        self.batches_evaluated += 1
+        self.candidates_evaluated += n
+        self.candidates_pruned += int(pruned.sum())
+        self.candidates_fallback += int(fallback.sum())
+        return BatchOutcome(
+            valid=valid,
+            pruned=pruned,
+            fallback=fallback,
+            metric=metric,
+            energy_pj=energy,
+            cycles=cycles,
+            utilization=utilization,
+            evaluations=evaluations,
+        )
+
+    def evaluate_mappings(
+        self,
+        mappings: Sequence[Mapping],
+        objective: str = "edp",
+        incumbent: float = float("inf"),
+        prune: bool = False,
+    ) -> List[CandidateOutcome]:
+        """Price a list of ``Mapping`` objects through the batch engine.
+
+        With a cache attached to the wrapped evaluator, every candidate
+        costs exactly one cache lookup (matching the scalar path's
+        lookup count); hits bypass the kernels entirely. Misses are
+        packed and priced vectorized — only improvements and fallback
+        rows are re-priced scalar (and stored), so a batched search fills
+        the cache more sparsely than a scalar one.
+        """
+        if not self.supported:
+            raise RuntimeError(
+                f"batch evaluation unsupported: {self.unsupported_reason}"
+            )
+        cache = self.evaluator.cache
+        outcomes: List[Optional[CandidateOutcome]] = [None] * len(mappings)
+        misses: List[Mapping] = []
+        miss_rows: List[int] = []
+        for i, mapping in enumerate(mappings):
+            if cache is not None:
+                hit = cache.get(mapping.signature())
+                if hit is not None:
+                    if hit.mapping is not mapping:
+                        hit = replace(hit, mapping=mapping)
+                    outcomes[i] = CandidateOutcome(
+                        valid=hit.valid,
+                        pruned=False,
+                        metric=hit.metric(objective) if hit.valid else float("inf"),
+                        evaluation=hit,
+                    )
+                    continue
+            misses.append(mapping)
+            miss_rows.append(i)
+        if misses:
+            assert self.layout is not None
+            batch = pack_mappings(self.layout, misses)
+            outcome = self.evaluate_batch(
+                batch, objective=objective, incumbent=incumbent, prune=prune
+            )
+            for row, i in enumerate(miss_rows):
+                outcomes[i] = CandidateOutcome(
+                    valid=bool(outcome.valid[row]),
+                    pruned=bool(outcome.pruned[row]),
+                    metric=float(outcome.metric[row]),
+                    evaluation=outcome.evaluations.get(row),
+                )
+        return [outcome for outcome in outcomes if outcome is not None]
+
+    # -- vectorized kernels ----------------------------------------------
+
+    def _overflow_rows(self, bounds: Any) -> Any:
+        layout = self.layout
+        assert layout is not None
+        bd = np.ones((bounds.shape[0], layout.num_dims), dtype=np.float64)
+        bounds_f = bounds.astype(np.float64)
+        for c in range(layout.num_columns):
+            bd *= bounds_f[:, c, :]
+        over = bd.prod(axis=1) * self.units_opc >= _EXACT_LIMIT
+        for c_const, exponents in self._guard_tensors:
+            over |= c_const * (bd**exponents).prod(axis=1) >= _EXACT_LIMIT
+        return over
+
+    def _validity(self, bounds: Any, rems: Any) -> Any:
+        """Replay ``check_mapping`` as boolean masks (structure is packed)."""
+        layout = self.layout
+        assert layout is not None
+        n = bounds.shape[0]
+        # Coverage: the full per-dim Eq. (5) chain must equal the dim size.
+        cov = np.zeros((n, layout.num_dims), dtype=np.int64)
+        for c in range(layout.num_columns):
+            cov = cov * bounds[:, c, :] + rems[:, c, :] - 1
+        valid = ((cov + 1) == layout.sizes[None, :]).all(axis=1)
+        # Fanout and dataflow restrictions per spatial column.
+        for c, column in enumerate(layout.columns):
+            if not column.spatial:
+                continue
+            allocation = bounds[:, c, :].prod(axis=1)
+            valid &= allocation <= column.fanout_limit
+            disallowed = layout.spatial_disallowed[c]
+            if disallowed is not None:
+                valid &= ~(bounds[:, c, disallowed] > 1).any(axis=1)
+        # Capacity: the largest tile held at each bounded level must fit.
+        for level_index, info in layout.capacity_levels:
+            ext = np.ones((n, layout.num_dims), dtype=np.int64)
+            for c in info["cols"]:
+                ext *= bounds[:, c, :]
+            shared = np.zeros(n, dtype=np.int64)
+            for t in info["kept"]:
+                meta = layout.tensors[t]
+                footprint = np.ones(n, dtype=np.int64)
+                for rank in meta.ranks:
+                    span = np.zeros(n, dtype=np.int64)
+                    for d, coef in rank:
+                        span += coef * (ext[:, d] - 1)
+                    footprint *= span + 1
+                words = np.maximum(
+                    footprint * meta.bits_per_element // info["word_bits"], 1
+                )
+                partition = meta.partition_words[level_index]
+                if partition is not None:
+                    valid &= words <= partition
+                else:
+                    shared += words
+            if info["shared_capacity"] is not None:
+                valid &= shared <= info["shared_capacity"]
+        return valid
+
+    def _cycles(self, bounds: Any, rems: Any) -> Any:
+        """Per-dim shadowed temporal-step recursion, product over dims."""
+        layout = self.layout
+        assert layout is not None
+        n = bounds.shape[0]
+        steps = np.zeros((n, layout.num_dims), dtype=np.int64)
+        shadowed = np.zeros((n, layout.num_dims), dtype=bool)
+        for c in range(layout.num_columns):
+            if layout.col_spatial[c]:
+                shadowed |= rems[:, c, :] >= 2
+            else:
+                effective = np.where(shadowed, bounds[:, c, :], rems[:, c, :])
+                steps = steps * bounds[:, c, :] + effective - 1
+        return (steps + 1).prod(axis=1)
+
+    def _traffic(
+        self, bounds: Any, rems: Any, pos: Any, live: Any
+    ) -> Tuple[Any, Any]:
+        """Exact per-level reads/writes for the surviving rows.
+
+        A direct vectorization of ``compute_access_counts``: identical
+        recursions over the fixed grid, with boundary predicates reduced
+        to level comparisons and the cutoff carried as a per-row position.
+        """
+        layout = self.layout
+        assert layout is not None
+        b = bounds[live]
+        r = rems[live]
+        p = pos[live]
+        m = live.size
+        reads = np.zeros((m, layout.num_levels), dtype=np.int64)
+        writes = np.zeros((m, layout.num_levels), dtype=np.int64)
+        for meta in layout.tensors:
+            rel = list(meta.relevant_idx)
+            for parent, child in meta.boundaries:
+                child_level = layout.num_levels if child is None else child
+                above = [
+                    c
+                    for c in range(layout.num_columns)
+                    if layout.col_level[c] < child_level
+                ]
+                # Innermost relevant temporal loop above the boundary.
+                cutoff = np.full(m, -1, dtype=np.int64)
+                for c in above:
+                    if layout.col_spatial[c]:
+                        continue
+                    candidate = np.where(b[:, c, rel] > 1, p[:, c, rel], -1)
+                    if candidate.shape[1]:
+                        cutoff = np.maximum(cutoff, candidate.max(axis=1))
+                # Delivered-tile counts per dim above the boundary.
+                tiles = np.zeros((m, layout.num_dims), dtype=np.int64)
+                for c in above:
+                    tiles = tiles * b[:, c, :] + r[:, c, :] - 1
+                tiles += 1
+                base = np.ones(m, dtype=np.int64)
+                for rank in meta.ranks:
+                    all_tiles = np.ones(m, dtype=np.int64)
+                    for d, _ in rank:
+                        all_tiles = all_tiles * tiles[:, d]
+                    total = all_tiles.copy()
+                    for d, coef in rank:
+                        total += (
+                            coef
+                            * (layout.sizes[d] - tiles[:, d])
+                            * (all_tiles // tiles[:, d])
+                        )
+                    base *= total
+                inner, outer, inner_sp, outer_sp = self._projection_multipliers(
+                    b, r, p, meta, above, cutoff, parent
+                )
+                if not meta.is_output:
+                    reads[:, parent] += base * outer
+                    if child is not None:
+                        writes[:, child] += base * inner
+                else:
+                    writes[:, parent] += base * outer
+                    reads[:, parent] += base * (outer - outer_sp)
+                    if child is not None:
+                        reads[:, child] += base * inner
+                        writes[:, child] += base * (inner - inner_sp)
+        return reads, writes
+
+    def _projection_multipliers(
+        self,
+        b: Any,
+        r: Any,
+        p: Any,
+        meta: _TensorMeta,
+        above: List[int],
+        cutoff: Any,
+        parent: int,
+    ) -> Tuple[Any, Any, Any, Any]:
+        """The four ``_projection_count`` products over irrelevant dims.
+
+        Each recursion walks the boundary's columns inner to outer keeping
+        (full-subtree, last-path) projection counts; a selected loop
+        multiplies, an unselected one promotes ``full`` when it carries a
+        genuine remainder. Selections (see ``_boundary_traffic``):
+
+        * inner: spatial or inside-the-cutoff temporal (refetch + copies);
+        * outer: spatial above the parent, or inside-the-cutoff temporal;
+        * inner_spatial / outer_spatial: the copy-only multiplicities.
+        """
+        layout = self.layout
+        assert layout is not None
+        m = b.shape[0]
+        ones = np.ones(m, dtype=np.int64)
+        inner = ones.copy()
+        outer = ones.copy()
+        inner_sp = ones.copy()
+        outer_sp = ones.copy()
+        for d in meta.irrelevant_idx:
+            f_in, l_in = ones.copy(), ones.copy()
+            f_out, l_out = ones.copy(), ones.copy()
+            f_is, l_is = ones.copy(), ones.copy()
+            f_os, l_os = ones.copy(), ones.copy()
+            for c in reversed(above):
+                bc = b[:, c, d]
+                rc = r[:, c, d]
+                if layout.col_spatial[c]:
+                    above_parent = layout.col_level[c] < parent
+                    # inner / inner_spatial: always selected.
+                    l_in = (rc - 1) * f_in + l_in
+                    f_in = bc * f_in
+                    l_is = (rc - 1) * f_is + l_is
+                    f_is = bc * f_is
+                    if above_parent:
+                        l_out = (rc - 1) * f_out + l_out
+                        f_out = bc * f_out
+                        l_os = (rc - 1) * f_os + l_os
+                        f_os = bc * f_os
+                    else:
+                        l_out = np.where(rc >= 2, f_out, l_out)
+                        l_os = np.where(rc >= 2, f_os, l_os)
+                else:
+                    selected = p[:, c, d] < cutoff
+                    promoted = rc >= 2
+                    l_in = np.where(
+                        selected,
+                        (rc - 1) * f_in + l_in,
+                        np.where(promoted, f_in, l_in),
+                    )
+                    f_in = np.where(selected, bc * f_in, f_in)
+                    l_out = np.where(
+                        selected,
+                        (rc - 1) * f_out + l_out,
+                        np.where(promoted, f_out, l_out),
+                    )
+                    f_out = np.where(selected, bc * f_out, f_out)
+                    l_is = np.where(promoted, f_is, l_is)
+                    l_os = np.where(promoted, f_os, l_os)
+            inner = inner * l_in
+            outer = outer * l_out
+            inner_sp = inner_sp * l_is
+            outer_sp = outer_sp * l_os
+        return inner, outer, inner_sp, outer_sp
+
+    def _energy(self, reads: Any, writes: Any) -> Any:
+        """Float accumulation in the scalar model's exact operation order."""
+        layout = self.layout
+        assert layout is not None
+        total = np.zeros(reads.shape[0], dtype=np.float64)
+        for level in range(layout.num_levels):
+            level_energy = (
+                reads[:, level].astype(np.float64) * self.read_pj[level]
+                + writes[:, level].astype(np.float64) * self.write_pj[level]
+            )
+            total = total + level_energy
+        return total + self.compute_energy

@@ -128,6 +128,18 @@ class Evaluator:
         self.cache.put(key, evaluation)
         return evaluation
 
+    def evaluate_fresh(self, mapping: Mapping) -> Evaluation:
+        """Run the full pipeline unconditionally and store the result.
+
+        Skips the cache *lookup* (the caller already knows the mapping is
+        unseen — e.g. the batch engine, which consults the cache itself)
+        but still records the evaluation so later lookups hit.
+        """
+        evaluation = self._evaluate_uncached(mapping)
+        if self.cache is not None:
+            self.cache.put(mapping.signature(), evaluation)
+        return evaluation
+
     def _evaluate_uncached(self, mapping: Mapping) -> Evaluation:
         """The full validity -> access-counts -> energy pipeline.
 

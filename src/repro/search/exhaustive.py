@@ -14,12 +14,25 @@ from repro.search.result import ConvergencePoint, SearchResult, throughput_stats
 class ExhaustiveSearch:
     """Evaluate every mapping of a mapspace (deduplicated).
 
+    By default the sweep runs through the vectorized batch engine
+    (:class:`~repro.model.batch.BatchEvaluator`): candidates are packed
+    straight from the chain enumerator into columnar batches and priced in
+    bulk, with admissible lower-bound pruning skipping the expensive
+    traffic stage for candidates that provably cannot beat the incumbent.
+    Results are bit-exact against the scalar path. The scalar loop is kept
+    for permutation sweeps and NumPy-less environments.
+
     Args:
         mapspace: must be small enough to enumerate.
         evaluator: prices each mapping.
         objective: optimization metric name.
-        permutations: also enumerate temporal loop orders.
+        permutations: also enumerate temporal loop orders (scalar path).
         limit: safety cap on enumerated mappings; exceeding it raises.
+        use_batch: price candidates through the batch engine when it
+            supports this (arch, workload, evaluator) triple.
+        batch_size: candidates per packed batch.
+        prune: enable lower-bound pruning on the batch path. Never changes
+            the search outcome — only which candidates get fully priced.
     """
 
     def __init__(
@@ -29,14 +42,97 @@ class ExhaustiveSearch:
         objective: str = "edp",
         permutations: bool = False,
         limit: int = 1_000_000,
+        use_batch: bool = True,
+        batch_size: int = 512,
+        prune: bool = True,
     ) -> None:
         self.mapspace = mapspace
         self.evaluator = evaluator
         self.objective = objective
         self.permutations = permutations
         self.limit = limit
+        self.use_batch = use_batch
+        self.batch_size = batch_size
+        self.prune = prune
+
+    def _batch_engine(self):
+        """The batch engine, or None when this sweep must run scalar."""
+        if not self.use_batch or self.permutations:
+            # Permutation sweeps leave the columnar grid (several temporal
+            # loops per level per dim) — enumerate them scalar.
+            return None
+        layout = self.mapspace.batch_layout()
+        if layout is None:
+            return None
+        from repro.model.batch import BatchEvaluator
+
+        engine = BatchEvaluator(self.evaluator, layout=layout)
+        return engine if engine.supported else None
 
     def run(self) -> SearchResult:
+        engine = self._batch_engine()
+        if engine is not None:
+            return self._run_batched(engine)
+        return self._run_scalar()
+
+    def _run_batched(self, engine) -> SearchResult:
+        best: Optional[Evaluation] = None
+        best_metric = float("inf")
+        num_valid = 0
+        evaluations = 0
+        curve = []
+        cache = getattr(self.evaluator, "cache", None)
+        cache_baseline = (cache.hits, cache.misses) if cache is not None else (0, 0)
+        # Clamp so the limit check below always fires before a batch that
+        # would push past the cap is priced (and bound batch memory).
+        batch_size = max(1, min(self.batch_size, self.limit + 1))
+        started = time.perf_counter()
+        for batch in self.mapspace.iter_batches(batch_size=batch_size):
+            if evaluations + batch.size > self.limit:
+                raise SearchError(
+                    f"exhaustive search exceeded limit of {self.limit} mappings"
+                )
+            outcome = engine.evaluate_batch(
+                batch,
+                objective=self.objective,
+                incumbent=best_metric,
+                prune=self.prune,
+            )
+            for i in range(batch.size):
+                evaluations += 1
+                if not outcome.valid[i]:
+                    continue
+                num_valid += 1
+                if outcome.pruned[i]:
+                    continue  # provably no better than the incumbent
+                metric = float(outcome.metric[i])
+                if metric < best_metric:
+                    evaluation = outcome.evaluations.get(i)
+                    if evaluation is None:
+                        evaluation = self.evaluator.evaluate_fresh(
+                            batch.mapping_at(i)
+                        )
+                    best = evaluation
+                    best_metric = metric
+                    curve.append(
+                        ConvergencePoint(
+                            evaluations=evaluations, best_metric=metric
+                        )
+                    )
+        elapsed = time.perf_counter() - started
+        stats = throughput_stats(evaluations, elapsed, cache, cache_baseline)
+        stats["batch"] = engine.stats_payload()
+        return SearchResult(
+            best=best,
+            objective=self.objective,
+            num_evaluated=evaluations,
+            num_valid=num_valid,
+            terminated_by="exhausted",
+            curve=curve,
+            stats=stats,
+        )
+
+    def _run_scalar(self) -> SearchResult:
         best: Optional[Evaluation] = None
         best_metric = float("inf")
         seen = set()
@@ -49,7 +145,9 @@ class ExhaustiveSearch:
         for mapping in self.mapspace.enumerate_mappings(
             permutations=self.permutations
         ):
-            key = mapping.canonical_key()
+            # Dedup on the signature — the same key the evaluation cache
+            # uses, and cheaper to hold than whole mappings.
+            key = mapping.signature()
             if key in seen:
                 continue
             seen.add(key)
@@ -87,6 +185,9 @@ def exhaustive_search(
     objective: str = "edp",
     permutations: bool = False,
     limit: int = 1_000_000,
+    use_batch: bool = True,
+    batch_size: int = 512,
+    prune: bool = True,
 ) -> SearchResult:
     """One-shot functional wrapper around :class:`ExhaustiveSearch`."""
     return ExhaustiveSearch(
@@ -95,4 +196,7 @@ def exhaustive_search(
         objective=objective,
         permutations=permutations,
         limit=limit,
+        use_batch=use_batch,
+        batch_size=batch_size,
+        prune=prune,
     ).run()

@@ -39,6 +39,15 @@ class GeneticSearch:
         mutation_rate: probability of mutating each offspring.
         tournament: tournament size for parent selection.
         seed: RNG seed or generator.
+        use_batch: score each population through the vectorized
+            :class:`~repro.model.batch.BatchEvaluator` when supported.
+            Genomes are assembled in population order before scoring (the
+            RNG stream is untouched by evaluation), and the engine is
+            bit-exact, so the evolution trajectory is identical to the
+            scalar path. Pruning stays off — selection needs every
+            individual's fitness, not just the incumbent-beaters.
+        batch_size: unused on the scalar path; populations are scored as
+            one batch each (they are search-sized, not sweep-sized).
     """
 
     def __init__(
@@ -51,6 +60,8 @@ class GeneticSearch:
         mutation_rate: float = 0.3,
         tournament: int = 3,
         seed: Optional[Union[int, random.Random]] = None,
+        use_batch: bool = True,
+        batch_size: int = 512,
     ) -> None:
         if population_size < 2:
             raise SearchError("population_size must be >= 2")
@@ -68,9 +79,24 @@ class GeneticSearch:
         self.mutation_rate = mutation_rate
         self.tournament = tournament
         self.rng = make_rng(seed)
+        self.use_batch = use_batch
+        self.batch_size = batch_size
+
+    def _batch_engine(self):
+        """The batch engine, or None when scoring must run scalar."""
+        if not self.use_batch:
+            return None
+        layout = self.mapspace.batch_layout()
+        if layout is None:
+            return None
+        from repro.model.batch import BatchEvaluator
+
+        engine = BatchEvaluator(self.evaluator, layout=layout)
+        return engine if engine.supported else None
 
     def run(self) -> SearchResult:
         """Evolve the population and return the best mapping found."""
+        engine = self._batch_engine()
         cache = getattr(self.evaluator, "cache", None)
         cache_baseline = (cache.hits, cache.misses) if cache is not None else (0, 0)
         started = time.perf_counter()
@@ -85,24 +111,56 @@ class GeneticSearch:
         curve: List[ConvergencePoint] = []
         scored: List[Tuple[float, Genome]] = []
 
-        def score(genome: Genome) -> float:
-            nonlocal evaluations, num_valid, best, best_metric
-            mapping = self.mapspace.assemble(genome, self.rng)
-            evaluation = self.evaluator.evaluate(mapping)
-            evaluations += 1
-            if not evaluation.valid:
-                return float("inf")
-            num_valid += 1
-            metric = evaluation.metric(self.objective)
-            if metric < best_metric:
-                best = evaluation
-                best_metric = metric
-                curve.append(
-                    ConvergencePoint(evaluations=evaluations, best_metric=metric)
-                )
-            return metric
+        def score_population(genomes: List[Genome]) -> List[float]:
+            """Fitness of a whole population, in population order.
 
-        scored = [(score(genome), genome) for genome in population]
+            All genomes are assembled first (the only RNG consumer), then
+            priced in one batch when the engine is available — the stream
+            and the metrics match per-genome scalar scoring exactly.
+            """
+            nonlocal evaluations, num_valid, best, best_metric
+            mappings = [
+                self.mapspace.assemble(genome, self.rng) for genome in genomes
+            ]
+            outcomes = None
+            if engine is not None:
+                outcomes = engine.evaluate_mappings(
+                    mappings, objective=self.objective, prune=False
+                )
+            metrics: List[float] = []
+            for index, mapping in enumerate(mappings):
+                if outcomes is not None:
+                    outcome = outcomes[index]
+                    valid = outcome.valid
+                    metric = outcome.metric
+                    evaluation = outcome.evaluation
+                else:
+                    evaluation = self.evaluator.evaluate(mapping)
+                    valid = evaluation.valid
+                    metric = (
+                        evaluation.metric(self.objective)
+                        if valid
+                        else float("inf")
+                    )
+                evaluations += 1
+                if not valid:
+                    metrics.append(float("inf"))
+                    continue
+                num_valid += 1
+                if metric < best_metric:
+                    if evaluation is None:
+                        evaluation = self.evaluator.evaluate_fresh(mapping)
+                    best = evaluation
+                    best_metric = metric
+                    curve.append(
+                        ConvergencePoint(
+                            evaluations=evaluations, best_metric=metric
+                        )
+                    )
+                metrics.append(metric)
+            return metrics
+
+        scored = list(zip(score_population(population), population))
         for _ in range(self.generations):
             offspring: List[Genome] = []
             while len(offspring) < self.population_size:
@@ -112,11 +170,14 @@ class GeneticSearch:
                 if self.rng.random() < self.mutation_rate:
                     child = self._mutate(child)
                 offspring.append(child)
-            scored_offspring = [(score(genome), genome) for genome in offspring]
+            scored_offspring = list(zip(score_population(offspring), offspring))
             pool = scored + scored_offspring
             pool.sort(key=lambda pair: pair[0])
             scored = pool[: self.population_size]
         elapsed = time.perf_counter() - started
+        stats = throughput_stats(evaluations, elapsed, cache, cache_baseline)
+        if engine is not None:
+            stats["batch"] = engine.stats_payload()
         return SearchResult(
             best=best,
             objective=self.objective,
@@ -124,7 +185,7 @@ class GeneticSearch:
             num_valid=num_valid,
             terminated_by="budget",
             curve=curve,
-            stats=throughput_stats(evaluations, elapsed, cache, cache_baseline),
+            stats=stats,
         )
 
     def _select(self, scored: List[Tuple[float, Genome]]) -> Genome:

@@ -124,6 +124,8 @@ def _search_once(state: Dict[str, Any], seed: int) -> SearchResult:
         max_evaluations=state["max_evaluations"],
         patience=state["patience"],
         seed=seed,
+        use_batch=state["use_batch"],
+        batch_size=state["batch_size"],
     ).run()
 
 
@@ -140,6 +142,8 @@ def parallel_random_search(
     energy_table: Optional[EnergyTable] = None,
     cache_size: Optional[int] = DEFAULT_CACHE_SIZE,
     start_method: Optional[str] = None,
+    use_batch: bool = True,
+    batch_size: int = 512,
 ) -> SearchResult:
     """Run ``workers`` independent searches and merge the best result.
 
@@ -157,6 +161,10 @@ def parallel_random_search(
         start_method: force a multiprocessing start method ("fork" or
             "spawn"); by default each is tried in that order before
             degrading to sequential execution.
+        use_batch: let each worker price candidates through the
+            vectorized batch engine when supported (bit-exact; results
+            are identical either way).
+        batch_size: per-worker batch size on the batch path.
 
     The returned ``stats`` carry ``pool_mode`` (which execution mode
     actually ran), wall-clock ``elapsed_s``/``evals_per_sec`` across the
@@ -177,6 +185,8 @@ def parallel_random_search(
         "patience": patience,
         "energy_table": energy_table or estimate_energy_table(arch),
         "cache_size": cache_size,
+        "use_batch": use_batch,
+        "batch_size": batch_size,
     }
     started = time.perf_counter()
     if workers == 1:

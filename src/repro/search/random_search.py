@@ -40,6 +40,13 @@ class RandomSearch:
             mappings; ``None`` disables the criterion. Defaults to the
             paper's 3000.
         seed: RNG seed or generator for reproducibility.
+        use_batch: price candidates through the vectorized
+            :class:`~repro.model.batch.BatchEvaluator` when it supports
+            this (arch, workload, evaluator) triple. Draws, metrics,
+            improvements, and termination are identical to the scalar
+            loop (bit-exact engine + chunk sizes bounded by the remaining
+            patience, so the RNG stream never runs ahead).
+        batch_size: candidates priced per batch on the batch path.
     """
 
     def __init__(
@@ -50,6 +57,8 @@ class RandomSearch:
         max_evaluations: int = 10_000,
         patience: Optional[int] = DEFAULT_PATIENCE,
         seed: Optional[Union[int, random.Random]] = None,
+        use_batch: bool = True,
+        batch_size: int = 512,
     ) -> None:
         if max_evaluations < 1:
             raise SearchError("max_evaluations must be >= 1")
@@ -61,9 +70,100 @@ class RandomSearch:
         self.max_evaluations = max_evaluations
         self.patience = patience
         self.rng = make_rng(seed)
+        self.use_batch = use_batch
+        self.batch_size = batch_size
+
+    def _batch_engine(self):
+        """The batch engine, or None when this search must run scalar."""
+        if not self.use_batch:
+            return None
+        layout = self.mapspace.batch_layout()
+        if layout is None:
+            return None
+        from repro.model.batch import BatchEvaluator
+
+        engine = BatchEvaluator(self.evaluator, layout=layout)
+        return engine if engine.supported else None
 
     def run(self) -> SearchResult:
         """Run the search to termination."""
+        engine = self._batch_engine()
+        if engine is not None:
+            return self._run_batched(engine)
+        return self._run_scalar()
+
+    def _run_batched(self, engine) -> SearchResult:
+        best: Optional[Evaluation] = None
+        best_metric = float("inf")
+        consecutive_non_improving = 0
+        num_valid = 0
+        evaluations = 0
+        curve = []
+        terminated_by = "budget"
+        cache = getattr(self.evaluator, "cache", None)
+        cache_baseline = (cache.hits, cache.misses) if cache is not None else (0, 0)
+        started = time.perf_counter()
+        while evaluations < self.max_evaluations:
+            # A chunk never outruns the scalar loop's stopping point: it
+            # is capped by both the remaining budget and the draws still
+            # needed to exhaust patience, so a patience break can only
+            # land on the chunk's last draw and the RNG stream stays
+            # position-identical to the scalar path.
+            room = self.max_evaluations - evaluations
+            if self.patience is not None:
+                room = min(room, self.patience - consecutive_non_improving)
+            chunk = max(1, min(self.batch_size, room))
+            mappings = [self.mapspace.sample(self.rng) for _ in range(chunk)]
+            outcomes = engine.evaluate_mappings(
+                mappings,
+                objective=self.objective,
+                incumbent=best_metric,
+                prune=True,
+            )
+            stop = False
+            for mapping, outcome in zip(mappings, outcomes):
+                evaluations += 1
+                if not outcome.valid:
+                    continue
+                num_valid += 1
+                if not outcome.pruned and outcome.metric < best_metric:
+                    evaluation = outcome.evaluation
+                    if evaluation is None:
+                        evaluation = self.evaluator.evaluate_fresh(mapping)
+                    best = evaluation
+                    best_metric = outcome.metric
+                    consecutive_non_improving = 0
+                    curve.append(
+                        ConvergencePoint(
+                            evaluations=evaluations,
+                            best_metric=outcome.metric,
+                        )
+                    )
+                else:
+                    consecutive_non_improving += 1
+                    if (
+                        self.patience is not None
+                        and consecutive_non_improving >= self.patience
+                    ):
+                        terminated_by = "patience"
+                        stop = True
+                        break
+            if stop:
+                break
+        elapsed = time.perf_counter() - started
+        stats = throughput_stats(evaluations, elapsed, cache, cache_baseline)
+        stats["batch"] = engine.stats_payload()
+        return SearchResult(
+            best=best,
+            objective=self.objective,
+            num_evaluated=evaluations,
+            num_valid=num_valid,
+            terminated_by=terminated_by,
+            curve=curve,
+            stats=stats,
+        )
+
+    def _run_scalar(self) -> SearchResult:
         best: Optional[Evaluation] = None
         best_metric = float("inf")
         consecutive_non_improving = 0
@@ -116,6 +216,8 @@ def random_search(
     max_evaluations: int = 10_000,
     patience: Optional[int] = DEFAULT_PATIENCE,
     seed: Optional[Union[int, random.Random]] = None,
+    use_batch: bool = True,
+    batch_size: int = 512,
 ) -> SearchResult:
     """One-shot functional wrapper around :class:`RandomSearch`."""
     return RandomSearch(
@@ -125,4 +227,6 @@ def random_search(
         max_evaluations=max_evaluations,
         patience=patience,
         seed=seed,
+        use_batch=use_batch,
+        batch_size=batch_size,
     ).run()

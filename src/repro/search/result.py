@@ -35,7 +35,10 @@ class SearchResult:
             :func:`throughput_stats`); cached evaluators add a ``cache``
             sub-dict (hits/misses/hit_rate); the parallel driver adds
             ``pool_mode`` ("fork", "spawn", or "sequential") and a
-            ``workers`` list with per-worker counts.
+            ``workers`` list with per-worker counts. Searches that ran
+            through the vectorized engine add a ``batch`` sub-dict
+            (batches/candidates/pruned/prune_rate/fallback — see
+            :meth:`repro.model.batch.BatchEvaluator.stats_payload`).
     """
 
     best: Optional[Evaluation]

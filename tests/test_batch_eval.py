@@ -1,0 +1,361 @@
+"""Scalar <-> batch parity for the vectorized evaluation engine.
+
+The batch engine's contract is *bit-exactness*: every quantity a search
+compares (energy_pj, cycles, EDP, utilization, validity) must equal the
+scalar :class:`~repro.model.evaluator.Evaluator`'s result with ``==``, not
+``pytest.approx`` — otherwise batched searches could diverge from the
+figures. These tests sweep presets x mapspace kinds with imperfect
+(remainder-carrying) mappings and invalid candidates included, and assert
+the searches themselves are trajectory-identical with batching on or off.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+np = pytest.importorskip("numpy")
+
+from repro.arch import (
+    eyeriss_like,
+    simba_like,
+    toy_glb_architecture,
+    toy_linear_architecture,
+)
+from repro.exceptions import SearchError
+from repro.mapspace.constraints import eyeriss_row_stationary
+from repro.mapspace.factory import make_mapspace
+from repro.model import BatchEvaluator, Evaluator, pack_mappings
+from repro.model.eval_cache import EvaluationCache
+from repro.problem import ConvLayer, GemmLayer
+from repro.problem.gemm import vector_workload
+from repro.search.exhaustive import ExhaustiveSearch
+from repro.search.genetic import GeneticSearch
+from repro.search.random_search import RandomSearch
+
+KINDS = ("pfm", "ruby", "ruby-s", "ruby-t")
+
+
+def _presets():
+    return [
+        (
+            "toy",
+            toy_glb_architecture(num_pes=6, glb_bytes=1024),
+            vector_workload("v100", 100),
+        ),
+        (
+            "linear9",
+            toy_linear_architecture(9),
+            vector_workload("v500", 500),
+        ),
+        (
+            "eyeriss",
+            eyeriss_like(),
+            ConvLayer("conv", c=8, m=16, p=6, q=6, r=3, s=3).workload(),
+        ),
+        (
+            "simba",
+            simba_like(),
+            GemmLayer("gemm", m=12, n=10, k=8).workload(),
+        ),
+    ]
+
+
+def _assert_same_result(a, b, *, check_stats_batch=False):
+    """Two SearchResults from identical-trajectory searches must agree."""
+    assert a.num_evaluated == b.num_evaluated
+    assert a.num_valid == b.num_valid
+    assert a.terminated_by == b.terminated_by
+    assert [(p.evaluations, p.best_metric) for p in a.curve] == [
+        (p.evaluations, p.best_metric) for p in b.curve
+    ]
+    assert (a.best is None) == (b.best is None)
+    if a.best is not None:
+        assert a.best.metric(a.objective) == b.best.metric(b.objective)
+        assert a.best.energy_pj == b.best.energy_pj
+        assert a.best.cycles == b.best.cycles
+        assert a.best.mapping.signature() == b.best.mapping.signature()
+    if check_stats_batch:
+        batch = b.stats["batch"]
+        assert batch["candidates"] == b.num_evaluated
+        assert 0.0 <= batch["prune_rate"] <= 1.0
+
+
+@pytest.mark.parametrize("kind", KINDS)
+@pytest.mark.parametrize(
+    "preset", _presets(), ids=lambda case: case[0]
+)
+def test_random_sample_parity(preset, kind):
+    """Property-style sweep: batch == scalar on random (in)valid samples."""
+    _, arch, workload = preset
+    mapspace = make_mapspace(arch, workload, kind)
+    evaluator = Evaluator(arch, workload)
+    engine = BatchEvaluator(evaluator, layout=mapspace.batch_layout())
+    assert engine.supported, engine.unsupported_reason
+    rng = random.Random(20260805)
+    mappings = [mapspace.sample(rng) for _ in range(50)]
+    batch = pack_mappings(mapspace.batch_layout(), mappings)
+    outcome = engine.evaluate_batch(batch, objective="edp")
+    saw_invalid = saw_imperfect = False
+    for i, mapping in enumerate(mappings):
+        scalar = evaluator.evaluate(mapping)
+        assert scalar.valid == bool(outcome.valid[i])
+        if not scalar.valid:
+            saw_invalid = True
+            assert outcome.metric[i] == float("inf")
+            continue
+        if mapping.has_imperfect_loops():
+            saw_imperfect = True
+        # Exact equality — the whole point of the columnar engine.
+        assert scalar.energy_pj == float(outcome.energy_pj[i])
+        assert scalar.cycles == int(outcome.cycles[i])
+        assert scalar.utilization == float(outcome.utilization[i])
+        assert scalar.edp == float(outcome.metric[i])
+    assert saw_invalid or all(
+        bool(v) for v in outcome.valid
+    ), "sampler produced no invalid mapping and none were flagged"
+    if kind != "pfm":
+        assert saw_imperfect, "imperfect kinds must exercise remainders"
+
+
+@pytest.mark.parametrize("kind", KINDS)
+def test_enumeration_batch_matches_scalar(kind):
+    """iter_batches rows equal enumerate_mappings, one for one."""
+    arch = toy_glb_architecture(num_pes=6, glb_bytes=1024)
+    workload = vector_workload("v100", 100)
+    mapspace = make_mapspace(arch, workload, kind)
+    evaluator = Evaluator(arch, workload)
+    engine = BatchEvaluator(evaluator, layout=mapspace.batch_layout())
+    scalar_mappings = list(mapspace.enumerate_mappings(permutations=False))
+    rows = []
+    for batch in mapspace.iter_batches(batch_size=32):
+        outcome = engine.evaluate_batch(batch, objective="edp")
+        for i in range(batch.size):
+            rows.append((batch.mapping_at(i), outcome, i))
+    assert len(rows) == len(scalar_mappings)
+    for mapping, (materialized, outcome, i) in zip(scalar_mappings, rows):
+        assert mapping.signature() == materialized.signature()
+        scalar = evaluator.evaluate(mapping)
+        assert scalar.valid == bool(outcome.valid[i])
+        if scalar.valid:
+            assert scalar.edp == float(outcome.metric[i])
+
+
+@pytest.mark.parametrize("kind", KINDS)
+def test_pruning_never_discards_the_best(kind):
+    """Acceptance gate: pruned and unpruned sweeps return identical results."""
+    arch = toy_glb_architecture(num_pes=6, glb_bytes=1024)
+    workload = vector_workload("v100", 100)
+    mapspace = make_mapspace(arch, workload, kind)
+
+    def sweep(**kwargs):
+        return ExhaustiveSearch(
+            mapspace, Evaluator(arch, workload), objective="edp", **kwargs
+        ).run()
+
+    scalar = sweep(use_batch=False)
+    unpruned = sweep(use_batch=True, prune=False, batch_size=64)
+    pruned = sweep(use_batch=True, prune=True, batch_size=64)
+    _assert_same_result(scalar, unpruned)
+    _assert_same_result(scalar, pruned, check_stats_batch=True)
+
+
+def test_pruning_skips_candidates_somewhere():
+    """The lower bound actually fires on a space with bad candidates."""
+    arch = toy_glb_architecture(num_pes=6, glb_bytes=1024)
+    workload = vector_workload("v100", 100)
+    mapspace = make_mapspace(arch, workload, "ruby")
+    result = ExhaustiveSearch(
+        mapspace, Evaluator(arch, workload), prune=True, batch_size=64
+    ).run()
+    assert result.stats["batch"]["pruned"] > 0
+
+
+@pytest.mark.parametrize("kind", ("pfm", "ruby", "ruby-s"))
+def test_random_search_batch_parity(kind):
+    """Batched RandomSearch is draw-for-draw identical to the scalar loop."""
+    arch = eyeriss_like()
+    workload = ConvLayer("conv", c=8, m=16, p=6, q=6, r=3, s=3).workload()
+    constraints = eyeriss_row_stationary()
+
+    def search(use_batch):
+        return RandomSearch(
+            make_mapspace(arch, workload, kind, constraints),
+            Evaluator(arch, workload),
+            max_evaluations=400,
+            patience=80,
+            seed=11,
+            use_batch=use_batch,
+            batch_size=64,
+        ).run()
+
+    _assert_same_result(
+        search(False), search(True), check_stats_batch=True
+    )
+
+
+def test_random_search_patience_termination_matches():
+    """A patience stop lands on the same draw with and without batching."""
+    arch = toy_glb_architecture(num_pes=6, glb_bytes=1024)
+    workload = vector_workload("v100", 100)
+
+    def search(use_batch):
+        return RandomSearch(
+            make_mapspace(arch, workload, "pfm"),
+            Evaluator(arch, workload),
+            max_evaluations=5000,
+            patience=40,
+            seed=3,
+            use_batch=use_batch,
+            batch_size=256,
+        ).run()
+
+    a, b = search(False), search(True)
+    assert a.terminated_by == "patience"
+    _assert_same_result(a, b)
+
+
+def test_genetic_batch_parity():
+    """Batched population scoring evolves the exact same trajectory."""
+    arch = eyeriss_like()
+    workload = GemmLayer("gemm", m=12, n=10, k=8).workload()
+
+    def search(use_batch):
+        return GeneticSearch(
+            make_mapspace(arch, workload, "ruby-s"),
+            Evaluator(arch, workload),
+            population_size=14,
+            generations=5,
+            seed=21,
+            use_batch=use_batch,
+        ).run()
+
+    _assert_same_result(search(False), search(True), check_stats_batch=True)
+
+
+def test_exhaustive_limit_enforced_on_batch_path():
+    """The safety cap raises before a too-large batch is priced."""
+    arch = toy_linear_architecture(9)
+    workload = vector_workload("v500", 500)
+    mapspace = make_mapspace(arch, workload, "ruby")
+    with pytest.raises(SearchError, match="exceeded limit"):
+        ExhaustiveSearch(
+            mapspace, Evaluator(arch, workload), limit=50, use_batch=True
+        ).run()
+
+
+def test_exhaustive_scalar_dedups_on_signature():
+    """The scalar sweep's seen-set now keys on Mapping.signature()."""
+    arch = toy_glb_architecture(num_pes=6, glb_bytes=1024)
+    workload = vector_workload("v100", 100)
+    mapspace = make_mapspace(arch, workload, "ruby")
+    result = ExhaustiveSearch(
+        mapspace, Evaluator(arch, workload), use_batch=False
+    ).run()
+    signatures = {
+        m.signature() for m in mapspace.enumerate_mappings(permutations=False)
+    }
+    assert result.num_evaluated == len(signatures)
+
+
+def test_bypass_mappings_fall_back_to_scalar():
+    """Rows the grid cannot encode (bypass sets) are priced scalar-exact."""
+    arch = eyeriss_like()
+    workload = ConvLayer("conv", c=8, m=16, p=6, q=6, r=3, s=3).workload()
+    mapspace = make_mapspace(arch, workload, "ruby-s")
+    mapspace.explore_bypass = True
+    evaluator = Evaluator(arch, workload)
+    engine = BatchEvaluator(evaluator, layout=mapspace.batch_layout())
+    rng = random.Random(77)
+    mappings = [mapspace.sample(rng) for _ in range(40)]
+    assert any(m.bypass for m in mappings), "no bypass mapping drawn"
+    batch = pack_mappings(mapspace.batch_layout(), mappings)
+    outcome = engine.evaluate_batch(batch, objective="edp")
+    assert bool(outcome.fallback.any())
+    for i, mapping in enumerate(mappings):
+        scalar = evaluator.evaluate(mapping)
+        assert scalar.valid == bool(outcome.valid[i])
+        if scalar.valid:
+            assert scalar.edp == float(outcome.metric[i])
+            assert scalar.energy_pj == float(outcome.energy_pj[i])
+
+
+def test_unsupported_evaluator_runs_scalar_path():
+    """NoC/static components disable the engine; searches stay correct."""
+    arch = toy_glb_architecture(num_pes=6, glb_bytes=1024)
+    workload = vector_workload("v100", 100)
+    evaluator = Evaluator(arch, workload, include_noc=True)
+    engine = BatchEvaluator(evaluator)
+    assert not engine.supported
+
+    def search(use_batch):
+        return RandomSearch(
+            make_mapspace(arch, workload, "ruby-s"),
+            Evaluator(arch, workload, include_noc=True),
+            max_evaluations=120,
+            patience=None,
+            seed=5,
+            use_batch=use_batch,
+        ).run()
+
+    a, b = search(False), search(True)
+    _assert_same_result(a, b)
+    assert "batch" not in b.stats  # engine never engaged
+
+
+def test_cache_lookup_counts_preserved_on_batch_path():
+    """One cache lookup per draw — the PR-1 accounting contract holds."""
+    arch = toy_glb_architecture(num_pes=6, glb_bytes=1024)
+    workload = vector_workload("v100", 100)
+    cache = EvaluationCache(1024)
+    evaluator = Evaluator(arch, workload, cache=cache)
+    result = RandomSearch(
+        make_mapspace(arch, workload, "ruby-s"),
+        evaluator,
+        max_evaluations=200,
+        patience=None,
+        seed=9,
+        use_batch=True,
+        batch_size=64,
+    ).run()
+    assert cache.hits + cache.misses == result.num_evaluated == 200
+
+
+def test_cached_and_uncached_batched_searches_agree():
+    """The cache changes hit counts, never results, on the batch path."""
+    arch = toy_glb_architecture(num_pes=6, glb_bytes=1024)
+    workload = vector_workload("v100", 100)
+
+    def search(cache):
+        return RandomSearch(
+            make_mapspace(arch, workload, "ruby-s"),
+            Evaluator(arch, workload, cache=cache),
+            max_evaluations=300,
+            patience=None,
+            seed=123,
+            use_batch=True,
+            batch_size=64,
+        ).run()
+
+    _assert_same_result(search(None), search(EvaluationCache(1024)))
+
+
+def test_objective_energy_and_delay_parity():
+    """Non-EDP objectives route through the same exact kernels."""
+    arch = simba_like()
+    workload = GemmLayer("gemm", m=12, n=10, k=8).workload()
+    for objective in ("energy", "delay"):
+        def search(use_batch):
+            return RandomSearch(
+                make_mapspace(arch, workload, "ruby-s"),
+                Evaluator(arch, workload),
+                objective=objective,
+                max_evaluations=200,
+                patience=60,
+                seed=31,
+                use_batch=use_batch,
+                batch_size=64,
+            ).run()
+
+        _assert_same_result(search(False), search(True))
