@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-fast bench-cache bench-batch campaign-smoke examples experiments clean
+.PHONY: install test bench bench-fast bench-cache bench-batch campaign-smoke obs-smoke examples experiments clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -37,6 +37,12 @@ bench-batch:
 # retry/quarantine semantics. See scripts/campaign_smoke.py.
 campaign-smoke:
 	$(PYTHON) scripts/campaign_smoke.py
+
+# End-to-end observability smoke: runs a traced toy search and validates
+# the span schema, duration nesting, metric counts against the search's
+# own report, and the `repro obs` CLI. See scripts/obs_smoke.py.
+obs-smoke:
+	$(PYTHON) scripts/obs_smoke.py
 
 examples:
 	@for f in examples/*.py; do echo "== $$f =="; $(PYTHON) $$f; done

@@ -12,7 +12,14 @@ Commands:
   (checkpointed, resumable, per-search timeouts).
 * ``campaign`` — run/resume/inspect a fault-tolerant search campaign
   over a whole workload suite (``campaign run``, ``campaign resume``,
-  ``campaign status``).
+  ``campaign status``; ``status --follow`` polls a live journal).
+* ``obs`` — inspect a span-trace JSONL written via ``--trace``
+  (``obs dump``, ``obs summarize``).
+
+``search``, ``experiment``, and the ``campaign`` run/resume commands
+accept ``--trace PATH`` (stream span records as JSONL) and
+``--metrics-out PATH`` (write the metrics-registry snapshot as JSON on
+exit); see ``docs/observability.md``.
 
 Failures exit with per-error-class status codes (SpecError=2,
 InvalidMappingError=3, MapspaceError=4, SearchError=5,
@@ -23,8 +30,11 @@ stderr message; pass ``--debug`` for the full traceback.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
-from typing import Dict, List, Optional
+import time
+from contextlib import contextmanager
+from typing import Dict, Iterator, List, Optional
 
 from repro.arch import eyeriss_like, simba_like, toy_linear_architecture
 from repro.core.mapper import find_best_mapping
@@ -113,7 +123,12 @@ def _format_search_stats(stats: Dict) -> List[str]:
         summary.append(f"pool={stats['pool_mode']}")
     cache = stats.get("cache")
     if cache is not None:
-        summary.append(f"cache-hit-rate={cache['hit_rate']:.1%}")
+        rate = cache.get("hit_rate")
+        # hit_rate is None when the cache saw no lookups during the run.
+        summary.append(
+            f"cache-hit-rate={rate:.1%}" if rate is not None
+            else "cache-hit-rate=n/a"
+        )
     if summary:
         lines.append("  ".join(summary))
     batch = stats.get("batch")
@@ -134,6 +149,31 @@ def _format_search_stats(stats: Dict) -> List[str]:
             f"{rate:,.0f} evals/s{cache_part}  ({row['terminated_by']})"
         )
     return lines
+
+
+@contextmanager
+def _obs_session(args: argparse.Namespace) -> Iterator[None]:
+    """Route a command through ``obs_scope`` when ``--trace`` or
+    ``--metrics-out`` was given; a no-op otherwise.
+
+    The registry snapshot is written (and the tracer closed) after the
+    command body finishes, so the JSON artifacts reflect the whole run.
+    """
+    trace = getattr(args, "trace", None)
+    metrics_out = getattr(args, "metrics_out", None)
+    if not trace and not metrics_out:
+        yield
+        return
+    from repro.obs import MetricsRegistry, obs_scope
+
+    registry = MetricsRegistry()
+    with obs_scope(registry=registry, trace_path=trace or None):
+        yield
+    if metrics_out:
+        save_json(registry.to_json(), metrics_out)
+        print(f"metrics saved to {metrics_out}")
+    if trace:
+        print(f"trace saved to {trace}")
 
 
 def _cmd_search(args: argparse.Namespace) -> int:
@@ -457,10 +497,7 @@ def _cmd_campaign_resume(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_campaign_status(args: argparse.Namespace) -> int:
-    from repro.search.campaign import campaign_status
-
-    status = campaign_status(args.journal)
+def _print_campaign_status(status: Dict) -> None:
     print(f"journal: {status['journal']}")
     if status["config"].get("suite"):
         config = status["config"]
@@ -469,19 +506,84 @@ def _cmd_campaign_status(args: argparse.Namespace) -> int:
             f"kinds={','.join(config.get('kinds', ()))} "
             f"budget={config.get('max_evaluations')}"
         )
+    running = status.get("running", [])
     print(
         f"jobs: {status['total']} total, {len(status['ok'])} ok, "
         f"{len(status['quarantined'])} quarantined, "
-        f"{len(status['pending'])} pending"
+        f"{len(status['pending'])} pending, {len(running)} running"
     )
+    counters = status.get("counters", {})
     for job_id in status["quarantined"]:
-        print(f"  QUARANTINED {job_id}")
+        print(f"  QUARANTINED {job_id}{_heartbeat_part(counters, job_id)}")
     for job_id in status["pending"]:
-        print(f"  pending     {job_id}")
+        marker = "running    " if job_id in running else "pending    "
+        print(f"  {marker} {job_id}{_heartbeat_part(counters, job_id)}")
     if status["failed_attempts"]:
         total_failures = sum(status["failed_attempts"].values())
         print(f"failed attempts: {total_failures}")
     print("complete" if status["complete"] else "incomplete")
+
+
+def _heartbeat_part(counters: Dict, job_id: str) -> str:
+    """Render one job's heartbeat counters, e.g. `` [start=2 retry=1]``."""
+    per_job = counters.get(job_id)
+    if not per_job:
+        return ""
+    body = " ".join(f"{k}={v}" for k, v in sorted(per_job.items()))
+    return f"  [{body}]"
+
+
+def _cmd_campaign_status(args: argparse.Namespace) -> int:
+    from repro.exceptions import CampaignError
+    from repro.search.campaign import campaign_status
+
+    follow = getattr(args, "follow", False)
+    interval = getattr(args, "interval", 2.0)
+    first = True
+    while True:
+        try:
+            status = campaign_status(args.journal)
+        except CampaignError:
+            # Following a campaign whose journal has not appeared yet (or
+            # is still empty) should wait, not die.
+            if not follow:
+                raise
+            if first:
+                print(f"waiting for journal {args.journal} ...")
+                first = False
+            time.sleep(interval)
+            continue
+        if not first:
+            print()
+        first = False
+        _print_campaign_status(status)
+        if not follow or status["complete"]:
+            return 0
+        time.sleep(interval)
+
+
+# ---------------------------------------------------------------------- obs
+
+
+def _cmd_obs(args: argparse.Namespace) -> int:
+    """Inspect a span-trace JSONL file (``obs dump`` / ``obs summarize``)."""
+    from repro.obs import flame_summary, read_trace, validate_span
+
+    records = read_trace(args.trace_file)
+    problems: List[str] = []
+    for index, record in enumerate(records):
+        for problem in validate_span(record):
+            problems.append(f"record {index}: {problem}")
+    if args.obs_command == "dump":
+        for record in records:
+            print(json.dumps(record, sort_keys=True))
+    else:
+        if not records:
+            print("no span records", file=sys.stderr)
+            return 1
+        print(flame_summary(records))
+    for problem in problems:
+        print(f"warning: {problem}", file=sys.stderr)
     return 0
 
 
@@ -496,6 +598,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="print full tracebacks instead of one-line error summaries",
     )
     sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_obs_flags(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--trace",
+            help="stream span-trace JSONL here (inspect with 'repro obs')",
+        )
+        p.add_argument(
+            "--metrics-out",
+            help="write the metrics-registry snapshot JSON here on exit",
+        )
 
     def add_common(p: argparse.ArgumentParser) -> None:
         p.add_argument(
@@ -547,6 +659,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     search.add_argument("--save-mapping", help="write best mapping JSON here")
     search.add_argument("--save-workload", help="write workload JSON here")
+    add_obs_flags(search)
     search.set_defaults(func=_cmd_search)
 
     evaluate = sub.add_parser("evaluate", help="evaluate a saved mapping")
@@ -577,6 +690,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--retries", type=int, default=2,
         help="retry budget per search before quarantine (with --journal)",
     )
+    add_obs_flags(experiment)
     experiment.set_defaults(func=_cmd_experiment)
 
     campaign = sub.add_parser(
@@ -655,19 +769,45 @@ def build_parser() -> argparse.ArgumentParser:
         help="ignore journaled results and re-run every job",
     )
     add_campaign_fault_flags(campaign_run)
+    add_obs_flags(campaign_run)
     campaign_run.set_defaults(func=_cmd_campaign_run)
 
     campaign_resume = campaign_sub.add_parser(
         "resume", help="resume an interrupted campaign from its journal"
     )
     add_campaign_fault_flags(campaign_resume)
+    add_obs_flags(campaign_resume)
     campaign_resume.set_defaults(func=_cmd_campaign_resume)
 
     campaign_status = campaign_sub.add_parser(
         "status", help="summarize a campaign journal without running jobs"
     )
     campaign_status.add_argument("--journal", required=True)
+    campaign_status.add_argument(
+        "--follow", action="store_true",
+        help="poll the journal and re-print the summary until the "
+        "campaign completes (live per-job heartbeat counters)",
+    )
+    campaign_status.add_argument(
+        "--interval", type=float, default=2.0,
+        help="poll interval in seconds for --follow (default 2)",
+    )
     campaign_status.set_defaults(func=_cmd_campaign_status)
+
+    obs_cmd = sub.add_parser(
+        "obs", help="inspect a span-trace JSONL written via --trace"
+    )
+    obs_sub = obs_cmd.add_subparsers(dest="obs_command", required=True)
+    obs_dump = obs_sub.add_parser(
+        "dump", help="print every span record (validated) as JSON lines"
+    )
+    obs_dump.add_argument("trace_file", help="span-trace JSONL path")
+    obs_dump.set_defaults(func=_cmd_obs)
+    obs_summarize = obs_sub.add_parser(
+        "summarize", help="print a flame-style duration summary of a trace"
+    )
+    obs_summarize.add_argument("trace_file", help="span-trace JSONL path")
+    obs_summarize.set_defaults(func=_cmd_obs)
 
     return parser
 
@@ -682,7 +822,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     try:
-        return args.func(args)
+        with _obs_session(args):
+            return args.func(args)
     except ReproError as error:
         if args.debug:
             raise

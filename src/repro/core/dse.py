@@ -12,6 +12,7 @@ import random
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
+from repro import obs
 from repro.arch.eyeriss import eyeriss_like
 from repro.arch.spec import Architecture
 from repro.core.mapper import Mapper, MapperConfig
@@ -132,69 +133,76 @@ def evaluate_network(
     total_cycles = 0
     per_layer: List[Tuple[str, float]] = []
     for workload, count in workloads:
-        if campaign is not None:
-            # Campaign mode: derive the restart seeds up front (the shared
-            # rng stream stays identical whether a job runs fresh or is
-            # replayed from the journal, so resume keeps exact parity)
-            # and run the whole multi-restart search as one journaled job.
-            # Note the integer seeds start fresh streams, so campaign-mode
-            # results are deterministic but not identical to the
-            # non-campaign path, which threads the live rng through.
-            from repro.search.campaign import (
-                CampaignJob,
-                default_job_id,
-                run_job_under_scope,
-            )
+        with obs.trace(
+            "dse.layer",
+            workload=workload.name,
+            kind=MapspaceKind(kind).value,
+            count=count,
+        ):
+            if campaign is not None:
+                # Campaign mode: derive the restart seeds up front (the
+                # shared rng stream stays identical whether a job runs
+                # fresh or is replayed from the journal, so resume keeps
+                # exact parity) and run the whole multi-restart search as
+                # one journaled job. Note the integer seeds start fresh
+                # streams, so campaign-mode results are deterministic but
+                # not identical to the non-campaign path, which threads
+                # the live rng through.
+                from repro.search.campaign import (
+                    CampaignJob,
+                    default_job_id,
+                    run_job_under_scope,
+                )
 
-            job_seeds = tuple(
-                rng.getrandbits(32) for _ in range(max(1, restarts))
-            )
-            job = CampaignJob(
-                job_id=default_job_id(
-                    arch, workload, kind, objective, max_evaluations,
-                    patience, job_seeds,
-                ),
-                arch=arch,
-                workload=workload,
-                kind=MapspaceKind(kind).value,
+                job_seeds = tuple(
+                    rng.getrandbits(32) for _ in range(max(1, restarts))
+                )
+                job = CampaignJob(
+                    job_id=default_job_id(
+                        arch, workload, kind, objective, max_evaluations,
+                        patience, job_seeds,
+                    ),
+                    arch=arch,
+                    workload=workload,
+                    kind=MapspaceKind(kind).value,
+                    objective=objective,
+                    max_evaluations=max_evaluations,
+                    patience=patience,
+                    seeds=job_seeds,
+                    constraints=constraints,
+                )
+                best = run_job_under_scope(campaign, job)
+                total_energy += best.energy_pj * count
+                total_cycles += best.cycles * count
+                per_layer.append((workload.name, best.edp))
+                continue
+            config = MapperConfig(
+                kind=kind,
                 objective=objective,
                 max_evaluations=max_evaluations,
                 patience=patience,
-                seeds=job_seeds,
                 constraints=constraints,
+                use_batch=use_batch,
+                batch_size=batch_size,
             )
-            best = run_job_under_scope(campaign, job)
+            mapper = Mapper(arch, workload, config)
+            best = None
+            for _ in range(max(1, restarts)):
+                result = mapper.run(seed=rng)
+                if result.best is None:
+                    continue
+                if best is None or result.best.metric(
+                    objective
+                ) < best.metric(objective):
+                    best = result.best
+            if best is None:
+                raise SearchError(
+                    f"no valid {MapspaceKind(kind).value} mapping found for "
+                    f"{workload.name} on {arch.name}"
+                )
             total_energy += best.energy_pj * count
             total_cycles += best.cycles * count
             per_layer.append((workload.name, best.edp))
-            continue
-        config = MapperConfig(
-            kind=kind,
-            objective=objective,
-            max_evaluations=max_evaluations,
-            patience=patience,
-            constraints=constraints,
-            use_batch=use_batch,
-            batch_size=batch_size,
-        )
-        mapper = Mapper(arch, workload, config)
-        best = None
-        for _ in range(max(1, restarts)):
-            result = mapper.run(seed=rng)
-            if result.best is None:
-                continue
-            if best is None or result.best.metric(objective) < best.metric(
-                objective
-            ):
-                best = result.best
-        if best is None:
-            raise SearchError(
-                f"no valid {MapspaceKind(kind).value} mapping found for "
-                f"{workload.name} on {arch.name}"
-            )
-        total_energy += best.energy_pj * count
-        total_cycles += best.cycles * count
-        per_layer.append((workload.name, best.edp))
     return total_energy, total_cycles, per_layer
 
 

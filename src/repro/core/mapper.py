@@ -17,6 +17,7 @@ import random
 from dataclasses import dataclass, field
 from typing import Optional, Union
 
+from repro import obs
 from repro.arch.spec import Architecture
 from repro.energy.table import EnergyTable
 from repro.exceptions import SearchError
@@ -81,6 +82,18 @@ class Mapper:
 
     def run(self, seed: Optional[Union[int, random.Random]] = None) -> SearchResult:
         """Run the configured search; ``seed`` overrides the config seed."""
+        with obs.trace(
+            "mapper.run",
+            strategy=self.config.strategy,
+            kind=MapspaceKind(self.config.kind).value,
+            objective=self.config.objective,
+            workload=self.workload.name,
+        ):
+            return self._run(seed)
+
+    def _run(
+        self, seed: Optional[Union[int, random.Random]] = None
+    ) -> SearchResult:
         effective_seed = seed if seed is not None else self.config.seed
         strategy = self.config.strategy
         if strategy == "random":

@@ -12,8 +12,20 @@ Record kinds used by :mod:`repro.search.campaign`:
   on every resume so the file is its own audit trail.
 * ``{"kind": "attempt", "job_id": ..., "attempt": n, "error": {...}}`` —
   one per failed attempt (timeout, crash, or recorded exception).
+* ``{"kind": "heartbeat", "event": "start" | "retry" | "timeout" | "ok" |
+  "quarantine", "job_id": ..., "attempt": n}`` — lifecycle breadcrumbs for
+  live status tooling; never consulted by resume.
 * ``{"kind": "job", "job_id": ..., "status": "ok" | "quarantined", ...}``
   — the terminal record; resume skips jobs that have one.
+
+Timestamped records carry both ``time`` (wall clock) and ``monotonic_s``
+(``time.monotonic()``); durations should be computed from the latter,
+which is immune to wall-clock jumps within one driver process.
+
+Span traces (:mod:`repro.obs.tracing`) reuse this framing — one JSON
+object per line with a ``schema`` field, torn-tail-tolerant reads — but
+stream through their own flushed (not fsynced) handle, since spans are
+diagnostics rather than checkpoints.
 """
 
 from __future__ import annotations

@@ -19,6 +19,7 @@ from repro.mapping.nest import LevelNest, Mapping
 from repro.mapspace.allocation import DimAllocator, DimChain
 from repro.mapspace.constraints import ConstraintSet
 from repro.mapspace.slots import Slot, build_slots
+from repro.obs import scope as _obs
 from repro.utils.rng import make_rng
 
 
@@ -104,6 +105,7 @@ class MapSpace:
     def sample(self, rng: Optional[random.Random] = None) -> Mapping:
         """Sample one mapping (bounds, remainders, permutations, bypass)."""
         rng = make_rng(rng)
+        _obs.inc("mapspace.samples")
         mapping = self.assemble(self.sample_chains(rng), rng)
         if self.explore_bypass and self._bypass_candidates:
             bypass = [
@@ -378,6 +380,8 @@ class MapSpace:
                 rems[fill, :, d] = chain_rems
             fill += 1
             if fill == batch_size:
+                _obs.inc("mapspace.batches")
+                _obs.inc("mapspace.candidates", batch_size)
                 yield MappingBatch(
                     layout=layout,
                     bounds=bounds,
@@ -389,6 +393,8 @@ class MapSpace:
                 rems = np.ones(shape, dtype=np.int64)
                 fill = 0
         if fill:
+            _obs.inc("mapspace.batches")
+            _obs.inc("mapspace.candidates", fill)
             yield MappingBatch(
                 layout=layout,
                 bounds=bounds[:fill],

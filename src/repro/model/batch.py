@@ -51,6 +51,7 @@ from repro.arch.spec import Architecture
 from repro.mapping.loop import Loop
 from repro.mapping.nest import LevelNest, Mapping
 from repro.model.evaluator import Evaluation, Evaluator
+from repro.obs import scope as _obs
 from repro.problem.workload import Workload
 
 try:  # pragma: no cover - exercised via the scalar-fallback tests
@@ -690,6 +691,10 @@ class BatchEvaluator:
         self.candidates_evaluated += n
         self.candidates_pruned += int(pruned.sum())
         self.candidates_fallback += int(fallback.sum())
+        _obs.inc("batch.batches")
+        _obs.inc("batch.candidates", n)
+        _obs.inc("batch.pruned", int(pruned.sum()))
+        _obs.inc("batch.fallback", int(fallback.sum()))
         return BatchOutcome(
             valid=valid,
             pruned=pruned,

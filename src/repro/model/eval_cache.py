@@ -20,6 +20,7 @@ from collections import OrderedDict
 from typing import TYPE_CHECKING, Dict, Hashable, Optional
 
 from repro.exceptions import SearchError
+from repro.obs import scope as _obs
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (evaluator imports us)
     from repro.model.evaluator import Evaluation
@@ -65,9 +66,11 @@ class EvaluationCache:
         entry = self._entries.get(key)
         if entry is None:
             self.misses += 1
+            _obs.inc("evaluator.cache_misses")
             return None
         self._entries.move_to_end(key)
         self.hits += 1
+        _obs.inc("evaluator.cache_hits")
         return entry
 
     def put(self, key: Hashable, evaluation: "Evaluation") -> None:

@@ -21,6 +21,7 @@ from repro.mapping.validity import check_mapping
 from repro.model.access_counts import AccessCounts, compute_access_counts
 from repro.model.eval_cache import EvaluationCache
 from repro.model.energy_model import compute_energy_pj
+from repro.obs import scope as _obs
 from repro.model.latency import (
     bandwidth_stall_cycles,
     compute_cycles,
@@ -150,6 +151,7 @@ class Evaluator:
         can record it as a structured per-job failure instead of dying on
         an anonymous ``ZeroDivisionError`` deep in a sweep.
         """
+        _obs.inc("evaluator.evals")
         violations = check_mapping(mapping, self.arch, self.workload)
         if violations:
             return Evaluation(

@@ -1,0 +1,71 @@
+"""``repro.obs`` — dependency-free observability for the whole stack.
+
+Three layers, all opt-in and near-free when disabled:
+
+* **Metrics** (:mod:`repro.obs.metrics`) — a process-wide registry of
+  counters, gauges, and log-bucketed histograms with labeled series,
+  snapshot/merge for cross-process aggregation, and Prometheus-text /
+  JSON exporters.
+* **Tracing** (:mod:`repro.obs.tracing`) — nested spans with monotonic
+  durations, streamed as JSONL in the :mod:`repro.io.journal` framing,
+  plus flame-style summaries (``repro obs summarize``).
+* **Scope** (:mod:`repro.obs.scope`) — the ambient ``obs_scope()``
+  context (mirroring ``campaign_scope``) behind the one-line helpers
+  ``inc`` / ``observe`` / ``set_gauge`` / ``trace`` that instrumented
+  code calls unconditionally.
+
+:class:`~repro.obs.timing.SearchTimer` is the shared run-timing helper
+every search driver uses to build ``SearchResult.stats``.
+
+See ``docs/observability.md`` for the metric-name and span taxonomy.
+"""
+
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    default_registry,
+)
+from repro.obs.scope import (
+    ObsContext,
+    active_obs,
+    inc,
+    obs_scope,
+    observe,
+    set_gauge,
+    trace,
+)
+from repro.obs.timing import SearchTimer
+from repro.obs.tracing import (
+    SPAN_REQUIRED_KEYS,
+    Span,
+    Tracer,
+    flame_summary,
+    read_trace,
+    validate_span,
+)
+
+__all__ = [
+    "DEFAULT_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "ObsContext",
+    "SearchTimer",
+    "Span",
+    "SPAN_REQUIRED_KEYS",
+    "Tracer",
+    "active_obs",
+    "default_registry",
+    "flame_summary",
+    "inc",
+    "obs_scope",
+    "observe",
+    "read_trace",
+    "set_gauge",
+    "trace",
+    "validate_span",
+]

@@ -1,0 +1,93 @@
+"""Shared run timing for search drivers.
+
+Every searcher used to hand-roll the same four lines — snapshot the
+evaluation-cache counters, ``started = time.perf_counter()``, run,
+``elapsed = time.perf_counter() - started`` — and then hand-build its
+stats dict. :class:`SearchTimer` is that block as one reusable context
+manager: it owns the monotonic clock, the cache baseline, and the
+``SearchResult.stats`` payload (keys unchanged: ``elapsed_s``,
+``evals_per_sec``, optional ``cache`` and ``batch`` sub-dicts), and it
+mirrors the run into the ambient metrics registry when an
+:func:`~repro.obs.scope.obs_scope` is active:
+
+    timer = SearchTimer(evaluator, driver="random")
+    with timer:
+        ...draw and evaluate candidates...
+    stats = timer.stats(num_evaluated, engine=batch_engine)
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Dict, Optional
+
+from repro.obs import scope as _scope
+
+
+class SearchTimer:
+    """Times one search run and builds its throughput-stats payload.
+
+    Args:
+        evaluator: the run's evaluator; its attached cache (if any) is
+            baselined on construction so shared caches report per-run
+            deltas, exactly like the old hand-rolled blocks.
+        driver: label attached to the mirrored registry metrics
+            (``search.evaluations{driver="random"}`` etc.).
+    """
+
+    def __init__(self, evaluator: Any = None, driver: str = "search") -> None:
+        self.driver = driver
+        self.cache = getattr(evaluator, "cache", None)
+        self.cache_baseline = (
+            (self.cache.hits, self.cache.misses)
+            if self.cache is not None
+            else (0, 0)
+        )
+        self.elapsed_s: float = 0.0
+        self._started: Optional[float] = None
+
+    def __enter__(self) -> "SearchTimer":
+        self._started = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if self._started is not None:
+            self.elapsed_s = time.perf_counter() - self._started
+
+    def stats(
+        self, num_evaluated: int, engine: Any = None
+    ) -> Dict[str, Any]:
+        """Build the ``SearchResult.stats`` payload for this run.
+
+        Args:
+            num_evaluated: mappings drawn during the run.
+            engine: the run's :class:`~repro.model.batch.BatchEvaluator`,
+                if one was used; adds the ``batch`` sub-dict.
+        """
+        from repro.search.result import throughput_stats
+
+        payload = throughput_stats(
+            num_evaluated, self.elapsed_s, self.cache, self.cache_baseline
+        )
+        if engine is not None:
+            payload["batch"] = engine.stats_payload()
+        self._publish(payload, num_evaluated)
+        return payload
+
+    def _publish(self, payload: Dict[str, Any], num_evaluated: int) -> None:
+        """Mirror the run into the ambient registry (no-op when inactive)."""
+        if _scope.active_obs() is None:
+            return
+        driver = self.driver
+        _scope.inc("search.runs", driver=driver)
+        _scope.inc("search.evaluations", num_evaluated, driver=driver)
+        _scope.observe("search.run_seconds", self.elapsed_s, driver=driver)
+        cache = payload.get("cache")
+        if cache is not None:
+            _scope.inc("cache.hits", cache["hits"], driver=driver)
+            _scope.inc("cache.misses", cache["misses"], driver=driver)
+        # Batch-engine counters are NOT mirrored here: the engine itself
+        # publishes live, unlabeled ``batch.*`` counters per batch (see
+        # BatchEvaluator.evaluate_batch), and re-adding the run aggregate
+        # would double-count the family. The per-run aggregate still rides
+        # in the returned payload's ``batch`` sub-dict.

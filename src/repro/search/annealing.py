@@ -10,13 +10,14 @@ from __future__ import annotations
 
 import math
 import random
-import time
 from typing import Optional, Union
 
+from repro import obs
 from repro.exceptions import SearchError
 from repro.mapspace.generator import MapSpace
 from repro.model.evaluator import Evaluation, Evaluator
-from repro.search.result import ConvergencePoint, SearchResult, throughput_stats
+from repro.obs import SearchTimer
+from repro.search.result import ConvergencePoint, SearchResult
 from repro.utils.rng import make_rng
 
 
@@ -69,9 +70,7 @@ class SimulatedAnnealing:
         evaluations = 0
         num_valid = 0
         curve = []
-        cache = getattr(self.evaluator, "cache", None)
-        cache_baseline = (cache.hits, cache.misses) if cache is not None else (0, 0)
-        started = time.perf_counter()
+        timer = SearchTimer(self.evaluator, driver="annealing")
 
         def evaluate(genome):
             nonlocal evaluations, num_valid, best, best_metric
@@ -87,27 +86,41 @@ class SimulatedAnnealing:
                 curve.append(
                     ConvergencePoint(evaluations=evaluations, best_metric=metric)
                 )
+                obs.inc("search.improvements", driver="annealing")
+                obs.set_gauge("search.best_metric", metric, driver="annealing")
             return metric
 
-        for _ in range(self.restarts):
-            current = self.mapspace.sample_chains(self.rng)
-            current_metric = evaluate(current)
-            attempts = 0
-            while current_metric == float("inf") and attempts < 50:
-                current = self.mapspace.sample_chains(self.rng)
-                current_metric = evaluate(current)
-                attempts += 1
-            if current_metric == float("inf"):
-                continue
-            temperature = self.initial_temperature * current_metric
-            for _ in range(self.steps):
-                dim = self.rng.choice(list(current))
-                neighbor = self.mapspace.resample_dim(current, dim, self.rng)
-                neighbor_metric = evaluate(neighbor)
-                if self._accept(current_metric, neighbor_metric, temperature):
-                    current, current_metric = neighbor, neighbor_metric
-                temperature *= self.cooling
-        elapsed = time.perf_counter() - started
+        with timer, obs.trace(
+            "search.run", driver="annealing", mode="scalar",
+            objective=self.objective,
+        ):
+            for restart in range(self.restarts):
+                with obs.trace("search.restart", index=restart):
+                    current = self.mapspace.sample_chains(self.rng)
+                    current_metric = evaluate(current)
+                    attempts = 0
+                    while current_metric == float("inf") and attempts < 50:
+                        current = self.mapspace.sample_chains(self.rng)
+                        current_metric = evaluate(current)
+                        attempts += 1
+                    if current_metric == float("inf"):
+                        continue
+                    temperature = self.initial_temperature * current_metric
+                    for _ in range(self.steps):
+                        dim = self.rng.choice(list(current))
+                        neighbor = self.mapspace.resample_dim(
+                            current, dim, self.rng
+                        )
+                        neighbor_metric = evaluate(neighbor)
+                        if self._accept(
+                            current_metric, neighbor_metric, temperature
+                        ):
+                            current, current_metric = neighbor, neighbor_metric
+                            obs.inc("search.accepts", driver="annealing")
+                        else:
+                            obs.inc("search.rejects", driver="annealing")
+                        temperature *= self.cooling
+            obs.inc("search.candidates", evaluations, driver="annealing")
         return SearchResult(
             best=best,
             objective=self.objective,
@@ -115,7 +128,7 @@ class SimulatedAnnealing:
             num_valid=num_valid,
             terminated_by="budget",
             curve=curve,
-            stats=throughput_stats(evaluations, elapsed, cache, cache_baseline),
+            stats=timer.stats(evaluations),
         )
 
     def _accept(self, current: float, candidate: float, temperature: float) -> bool:

@@ -39,6 +39,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Deque, Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
+from repro import obs
 from repro.arch.spec import Architecture
 from repro.exceptions import (
     CampaignError,
@@ -316,6 +317,7 @@ def run_campaign(
     start_method: Optional[str] = None,
     max_jobs: Optional[int] = None,
     header_config: Optional[Dict[str, Any]] = None,
+    heartbeats: bool = True,
 ) -> CampaignResult:
     """Run ``jobs`` with journaling, per-job timeouts, retry, and quarantine.
 
@@ -341,6 +343,15 @@ def run_campaign(
             this config is appended (marked ``resumed`` on a non-empty
             journal) — the batch CLI uses it so ``campaign resume`` can
             rebuild the job list from the journal alone.
+        heartbeats: append ``kind: "heartbeat"`` lifecycle records
+            (start/retry/timeout/ok/quarantine, one per event) to the
+            journal so ``campaign_status`` / ``repro campaign status``
+            can report live per-job progress while the run is in flight.
+
+    Every journal record carries both ``time`` (wall clock, for humans)
+    and ``monotonic_s`` (``time.monotonic()``, for durations): deltas
+    between monotonic stamps written by the same driver process are
+    immune to NTP steps and suspend/resume wall-clock jumps.
 
     Returns:
         A :class:`CampaignResult` with one terminal outcome per processed
@@ -366,6 +377,7 @@ def run_campaign(
                 "config": header_config or {},
                 "jobs": ids,
                 "time": time.time(),
+                "monotonic_s": time.monotonic(),
             }
             if had_records:
                 header["resumed"] = True
@@ -391,6 +403,22 @@ def run_campaign(
     running: Dict[str, _Running] = {}
     budget_left = max_jobs if max_jobs is not None else None
 
+    def beat(event: str, job_id: str, attempt: int) -> None:
+        """Record one lifecycle event: registry counter + journal record."""
+        obs.inc("campaign.events", event=event)
+        if journal is None or not heartbeats:
+            return
+        journal.append(
+            {
+                "kind": "heartbeat",
+                "event": event,
+                "job_id": job_id,
+                "attempt": attempt,
+                "time": time.time(),
+                "monotonic_s": time.monotonic(),
+            }
+        )
+
     def finish(
         pend_or_run, status: str, attempt: int, payload: Dict[str, Any]
     ) -> None:
@@ -411,8 +439,12 @@ def run_campaign(
             outcome.num_valid = payload["num_valid"]
         else:
             outcome.error = payload
+        beat("ok" if status == "ok" else "quarantine", job.job_id, attempt)
         if journal is not None:
-            journal.append(outcome.record(job))
+            record = outcome.record(job)
+            record["time"] = time.time()
+            record["monotonic_s"] = time.monotonic()
+            journal.append(record)
         fresh[job.job_id] = outcome
         if budget_left is not None:
             budget_left -= 1
@@ -427,9 +459,12 @@ def run_campaign(
                     "job_id": job.job_id,
                     "attempt": attempt,
                     "error": payload,
+                    "time": time.time(),
+                    "monotonic_s": time.monotonic(),
                 }
             )
         if attempt < retries:
+            beat("retry", job.job_id, attempt)
             delay = backoff_s * (backoff_factor ** attempt)
             logger.info(
                 "campaign: job %r attempt %d failed (%s); retrying in %.2fs",
@@ -476,6 +511,7 @@ def run_campaign(
                 started_first = (
                     item.started_first if item.started_first is not None else started
                 )
+                beat("start", item.job.job_id, item.attempt)
                 if context is None:
                     # Inline mode: synchronous, no timeout enforcement.
                     status, payload = _run_job_guarded(
@@ -551,6 +587,7 @@ def run_campaign(
                     run.conn.close()
                     del running[job_id]
                     progressed = True
+                    beat("timeout", job_id, run.attempt)
                     timeout = JobTimeoutError(job_id, timeout_s, run.attempt)
                     fail_attempt(
                         run.job, run.attempt, timeout.payload(),
@@ -589,7 +626,14 @@ def campaign_status(journal_path: Union[str, Path]) -> Dict[str, Any]:
 
     Derives the expected job set from the union of all header records'
     job lists (scoped experiment runs may append several) plus every job
-    id that shows up in an attempt or terminal record.
+    id that shows up in an attempt, heartbeat, or terminal record.
+
+    Heartbeat records (when the campaign ran with ``heartbeats=True``)
+    additionally yield per-job lifecycle ``counters`` (start / retry /
+    timeout / ok / quarantine events) and a ``running`` list: jobs whose
+    latest started attempt has neither failed nor reached a terminal
+    record yet — i.e. what is in flight *right now* while the journal is
+    still being written.
     """
     journal = Journal(journal_path)
     if not journal.exists():
@@ -600,6 +644,7 @@ def campaign_status(journal_path: Union[str, Path]) -> Dict[str, Any]:
     expected: List[str] = []
     attempts: Dict[str, int] = {}
     terminal: Dict[str, Dict[str, Any]] = {}
+    counters: Dict[str, Dict[str, int]] = {}
     config: Dict[str, Any] = {}
     for record in records:
         kind = record.get("kind")
@@ -613,6 +658,13 @@ def campaign_status(journal_path: Union[str, Path]) -> Dict[str, Any]:
             attempts[job_id] = attempts.get(job_id, 0) + 1
             if job_id not in expected:
                 expected.append(job_id)
+        elif kind == "heartbeat":
+            job_id = record["job_id"]
+            event = record.get("event", "unknown")
+            per_job = counters.setdefault(job_id, {})
+            per_job[event] = per_job.get(event, 0) + 1
+            if job_id not in expected:
+                expected.append(job_id)
         elif kind == "job":
             job_id = record["job_id"]
             if record.get("status") in TERMINAL_STATUSES:
@@ -624,6 +676,14 @@ def campaign_status(journal_path: Union[str, Path]) -> Dict[str, Any]:
         j for j, r in terminal.items() if r["status"] == "quarantined"
     )
     pendings = [j for j in expected if j not in terminal]
+    # Every started attempt eventually lands either a failed-attempt
+    # record or a terminal record; a surplus of starts means an attempt
+    # is in flight at the journal's tail.
+    running = [
+        j
+        for j in pendings
+        if counters.get(j, {}).get("start", 0) > attempts.get(j, 0)
+    ]
     return {
         "journal": str(journal_path),
         "config": config,
@@ -631,7 +691,9 @@ def campaign_status(journal_path: Union[str, Path]) -> Dict[str, Any]:
         "ok": ok,
         "quarantined": quarantined,
         "pending": pendings,
+        "running": running,
         "failed_attempts": attempts,
+        "counters": counters,
         "complete": not pendings,
     }
 
@@ -656,6 +718,7 @@ class CampaignConfig:
     start_method: Optional[str] = None
     fault_plan: Optional[FaultPlan] = None
     retry_quarantined: bool = False
+    heartbeats: bool = True
 
 
 _ACTIVE_CONFIG: Optional[CampaignConfig] = None
@@ -704,6 +767,7 @@ def run_job_under_scope(config: CampaignConfig, job: CampaignJob):
         resume=True,
         retry_quarantined=config.retry_quarantined,
         start_method=config.start_method,
+        heartbeats=config.heartbeats,
     )
     outcome = result.outcomes[0]
     if not outcome.ok:

@@ -2,13 +2,14 @@
 
 from __future__ import annotations
 
-import time
 from typing import Optional
 
+from repro import obs
 from repro.exceptions import SearchError
 from repro.mapspace.generator import MapSpace
 from repro.model.evaluator import Evaluation, Evaluator
-from repro.search.result import ConvergencePoint, SearchResult, throughput_stats
+from repro.obs import SearchTimer
+from repro.search.result import ConvergencePoint, SearchResult
 
 
 class ExhaustiveSearch:
@@ -81,47 +82,53 @@ class ExhaustiveSearch:
         num_valid = 0
         evaluations = 0
         curve = []
-        cache = getattr(self.evaluator, "cache", None)
-        cache_baseline = (cache.hits, cache.misses) if cache is not None else (0, 0)
         # Clamp so the limit check below always fires before a batch that
         # would push past the cap is priced (and bound batch memory).
         batch_size = max(1, min(self.batch_size, self.limit + 1))
-        started = time.perf_counter()
-        for batch in self.mapspace.iter_batches(batch_size=batch_size):
-            if evaluations + batch.size > self.limit:
-                raise SearchError(
-                    f"exhaustive search exceeded limit of {self.limit} mappings"
-                )
-            outcome = engine.evaluate_batch(
-                batch,
-                objective=self.objective,
-                incumbent=best_metric,
-                prune=self.prune,
-            )
-            for i in range(batch.size):
-                evaluations += 1
-                if not outcome.valid[i]:
-                    continue
-                num_valid += 1
-                if outcome.pruned[i]:
-                    continue  # provably no better than the incumbent
-                metric = float(outcome.metric[i])
-                if metric < best_metric:
-                    evaluation = outcome.evaluations.get(i)
-                    if evaluation is None:
-                        evaluation = self.evaluator.evaluate_fresh(
-                            batch.mapping_at(i)
-                        )
-                    best = evaluation
-                    best_metric = metric
-                    curve.append(
-                        ConvergencePoint(
-                            evaluations=evaluations, best_metric=metric
-                        )
+        timer = SearchTimer(self.evaluator, driver="exhaustive")
+        with timer, obs.trace(
+            "search.run", driver="exhaustive", mode="batch",
+            objective=self.objective,
+        ):
+            for batch in self.mapspace.iter_batches(batch_size=batch_size):
+                if evaluations + batch.size > self.limit:
+                    raise SearchError(
+                        f"exhaustive search exceeded limit of {self.limit} "
+                        "mappings"
                     )
-        elapsed = time.perf_counter() - started
-        stats = throughput_stats(evaluations, elapsed, cache, cache_baseline)
-        stats["batch"] = engine.stats_payload()
+                with obs.trace("search.batch", size=batch.size):
+                    outcome = engine.evaluate_batch(
+                        batch,
+                        objective=self.objective,
+                        incumbent=best_metric,
+                        prune=self.prune,
+                    )
+                obs.inc("search.candidates", batch.size, driver="exhaustive")
+                for i in range(batch.size):
+                    evaluations += 1
+                    if not outcome.valid[i]:
+                        continue
+                    num_valid += 1
+                    if outcome.pruned[i]:
+                        continue  # provably no better than the incumbent
+                    metric = float(outcome.metric[i])
+                    if metric < best_metric:
+                        evaluation = outcome.evaluations.get(i)
+                        if evaluation is None:
+                            evaluation = self.evaluator.evaluate_fresh(
+                                batch.mapping_at(i)
+                            )
+                        best = evaluation
+                        best_metric = metric
+                        curve.append(
+                            ConvergencePoint(
+                                evaluations=evaluations, best_metric=metric
+                            )
+                        )
+                        obs.inc("search.improvements", driver="exhaustive")
+                        obs.set_gauge(
+                            "search.best_metric", metric, driver="exhaustive"
+                        )
         return SearchResult(
             best=best,
             objective=self.objective,
@@ -129,7 +136,7 @@ class ExhaustiveSearch:
             num_valid=num_valid,
             terminated_by="exhausted",
             curve=curve,
-            stats=stats,
+            stats=timer.stats(evaluations, engine=engine),
         )
 
     def _run_scalar(self) -> SearchResult:
@@ -139,35 +146,44 @@ class ExhaustiveSearch:
         num_valid = 0
         evaluations = 0
         curve = []
-        cache = getattr(self.evaluator, "cache", None)
-        cache_baseline = (cache.hits, cache.misses) if cache is not None else (0, 0)
-        started = time.perf_counter()
-        for mapping in self.mapspace.enumerate_mappings(
-            permutations=self.permutations
+        timer = SearchTimer(self.evaluator, driver="exhaustive")
+        with timer, obs.trace(
+            "search.run", driver="exhaustive", mode="scalar",
+            objective=self.objective,
         ):
-            # Dedup on the signature — the same key the evaluation cache
-            # uses, and cheaper to hold than whole mappings.
-            key = mapping.signature()
-            if key in seen:
-                continue
-            seen.add(key)
-            evaluations += 1
-            if evaluations > self.limit:
-                raise SearchError(
-                    f"exhaustive search exceeded limit of {self.limit} mappings"
-                )
-            evaluation = self.evaluator.evaluate(mapping)
-            if not evaluation.valid:
-                continue
-            num_valid += 1
-            metric = evaluation.metric(self.objective)
-            if metric < best_metric:
-                best = evaluation
-                best_metric = metric
-                curve.append(
-                    ConvergencePoint(evaluations=evaluations, best_metric=metric)
-                )
-        elapsed = time.perf_counter() - started
+            for mapping in self.mapspace.enumerate_mappings(
+                permutations=self.permutations
+            ):
+                # Dedup on the signature — the same key the evaluation cache
+                # uses, and cheaper to hold than whole mappings.
+                key = mapping.signature()
+                if key in seen:
+                    continue
+                seen.add(key)
+                evaluations += 1
+                if evaluations > self.limit:
+                    raise SearchError(
+                        f"exhaustive search exceeded limit of {self.limit} "
+                        "mappings"
+                    )
+                evaluation = self.evaluator.evaluate(mapping)
+                if not evaluation.valid:
+                    continue
+                num_valid += 1
+                metric = evaluation.metric(self.objective)
+                if metric < best_metric:
+                    best = evaluation
+                    best_metric = metric
+                    curve.append(
+                        ConvergencePoint(
+                            evaluations=evaluations, best_metric=metric
+                        )
+                    )
+                    obs.inc("search.improvements", driver="exhaustive")
+                    obs.set_gauge(
+                        "search.best_metric", metric, driver="exhaustive"
+                    )
+            obs.inc("search.candidates", evaluations, driver="exhaustive")
         return SearchResult(
             best=best,
             objective=self.objective,
@@ -175,7 +191,7 @@ class ExhaustiveSearch:
             num_valid=num_valid,
             terminated_by="exhausted",
             curve=curve,
-            stats=throughput_stats(evaluations, elapsed, cache, cache_baseline),
+            stats=timer.stats(evaluations),
         )
 
 

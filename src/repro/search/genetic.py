@@ -14,14 +14,15 @@ per-dimension bound chains plus the permutation choice, with:
 from __future__ import annotations
 
 import random
-import time
 from typing import Dict, List, Optional, Tuple, Union
 
+from repro import obs
 from repro.exceptions import SearchError
 from repro.mapspace.allocation import DimChain
 from repro.mapspace.generator import MapSpace
 from repro.model.evaluator import Evaluation, Evaluator
-from repro.search.result import ConvergencePoint, SearchResult, throughput_stats
+from repro.obs import SearchTimer
+from repro.search.result import ConvergencePoint, SearchResult
 from repro.utils.rng import make_rng
 
 Genome = Dict[str, DimChain]
@@ -97,13 +98,7 @@ class GeneticSearch:
     def run(self) -> SearchResult:
         """Evolve the population and return the best mapping found."""
         engine = self._batch_engine()
-        cache = getattr(self.evaluator, "cache", None)
-        cache_baseline = (cache.hits, cache.misses) if cache is not None else (0, 0)
-        started = time.perf_counter()
-        population = [
-            self.mapspace.sample_chains(self.rng)
-            for _ in range(self.population_size)
-        ]
+        timer = SearchTimer(self.evaluator, driver="genetic")
         evaluations = 0
         num_valid = 0
         best: Optional[Evaluation] = None
@@ -157,27 +152,43 @@ class GeneticSearch:
                             evaluations=evaluations, best_metric=metric
                         )
                     )
+                    obs.inc("search.improvements", driver="genetic")
+                    obs.set_gauge(
+                        "search.best_metric", metric, driver="genetic"
+                    )
                 metrics.append(metric)
+            obs.inc("search.candidates", len(genomes), driver="genetic")
             return metrics
 
-        scored = list(zip(score_population(population), population))
-        for _ in range(self.generations):
-            offspring: List[Genome] = []
-            while len(offspring) < self.population_size:
-                mother = self._select(scored)
-                father = self._select(scored)
-                child = self._crossover(mother, father)
-                if self.rng.random() < self.mutation_rate:
-                    child = self._mutate(child)
-                offspring.append(child)
-            scored_offspring = list(zip(score_population(offspring), offspring))
-            pool = scored + scored_offspring
-            pool.sort(key=lambda pair: pair[0])
-            scored = pool[: self.population_size]
-        elapsed = time.perf_counter() - started
-        stats = throughput_stats(evaluations, elapsed, cache, cache_baseline)
-        if engine is not None:
-            stats["batch"] = engine.stats_payload()
+        with timer, obs.trace(
+            "search.run", driver="genetic",
+            mode="batch" if engine is not None else "scalar",
+            objective=self.objective,
+        ):
+            population = [
+                self.mapspace.sample_chains(self.rng)
+                for _ in range(self.population_size)
+            ]
+            with obs.trace("search.generation", index=0):
+                scored = list(zip(score_population(population), population))
+            for generation in range(self.generations):
+                with obs.trace("search.generation", index=generation + 1):
+                    offspring: List[Genome] = []
+                    while len(offspring) < self.population_size:
+                        mother = self._select(scored)
+                        father = self._select(scored)
+                        child = self._crossover(mother, father)
+                        if self.rng.random() < self.mutation_rate:
+                            child = self._mutate(child)
+                        offspring.append(child)
+                    scored_offspring = list(
+                        zip(score_population(offspring), offspring)
+                    )
+                    pool = scored + scored_offspring
+                    pool.sort(key=lambda pair: pair[0])
+                    scored = pool[: self.population_size]
+                obs.inc("search.generations", driver="genetic")
+        stats = timer.stats(evaluations, engine=engine)
         return SearchResult(
             best=best,
             objective=self.objective,

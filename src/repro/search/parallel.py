@@ -20,9 +20,9 @@ from __future__ import annotations
 import logging
 import os
 import sys
-import time
 from typing import Any, Dict, List, Optional, Tuple, Union
 
+from repro import obs
 from repro.arch.spec import Architecture
 from repro.energy.accelergy import estimate_energy_table
 from repro.energy.table import EnergyTable
@@ -32,6 +32,7 @@ from repro.mapspace.factory import make_mapspace
 from repro.mapspace.generator import MapspaceKind
 from repro.model.eval_cache import DEFAULT_CACHE_SIZE, EvaluationCache
 from repro.model.evaluator import Evaluator
+from repro.obs import MetricsRegistry, SearchTimer
 from repro.search.random_search import DEFAULT_PATIENCE, RandomSearch
 from repro.search.result import SearchResult
 from repro.utils.rng import make_rng
@@ -99,12 +100,25 @@ def _search_once_indexed(
         ) from error
 
 
+#: Transient ``SearchResult.stats`` key a worker uses to ship its private
+#: metrics-registry snapshot back to the driver; popped (and merged into
+#: the ambient registry) before the merged stats are assembled, so it is
+#: never visible to callers.
+_OBS_SNAPSHOT_KEY = "_obs_registry"
+
+
 def _search_once(state: Dict[str, Any], seed: int) -> SearchResult:
     """Rebuild the mapspace/evaluator stack and run one seeded search.
 
     The energy table arrives pre-built in ``state`` — estimating it is the
     only expensive part of evaluator construction, and it depends solely
     on the architecture, so the driver hoists it out of the workers.
+
+    When the driver had an observability scope active it sets
+    ``state["obs"]``; the worker then runs under a *private* registry
+    (deliberately replacing any scope inherited across ``fork``, whose
+    tracer file handle must not be shared) and ships a picklable snapshot
+    back inside the result's stats for the driver to merge.
     """
     mapspace = make_mapspace(
         state["arch"], state["workload"], state["kind"], state["constraints"]
@@ -117,7 +131,7 @@ def _search_once(state: Dict[str, Any], seed: int) -> SearchResult:
         energy_table=state["energy_table"],
         cache=cache,
     )
-    return RandomSearch(
+    search = RandomSearch(
         mapspace,
         evaluator,
         objective=state["objective"],
@@ -126,7 +140,14 @@ def _search_once(state: Dict[str, Any], seed: int) -> SearchResult:
         seed=seed,
         use_batch=state["use_batch"],
         batch_size=state["batch_size"],
-    ).run()
+    )
+    if not state.get("obs"):
+        return search.run()
+    registry = MetricsRegistry()
+    with obs.obs_scope(registry=registry):
+        result = search.run()
+    result.stats[_OBS_SNAPSHOT_KEY] = registry.snapshot()
+    return result
 
 
 def parallel_random_search(
@@ -187,17 +208,41 @@ def parallel_random_search(
         "cache_size": cache_size,
         "use_batch": use_batch,
         "batch_size": batch_size,
+        "obs": obs.active_obs() is not None,
     }
-    started = time.perf_counter()
-    if workers == 1:
-        results = [_search_once_indexed(state, 0, seeds[0])]
-        pool_mode = "sequential"
-    else:
-        results, pool_mode = _map_jobs(state, seeds, workers, start_method)
-    elapsed = time.perf_counter() - started
+    timer = SearchTimer(driver="parallel")
+    with timer, obs.trace(
+        "search.run", driver="parallel", workers=workers, objective=objective
+    ):
+        if workers == 1:
+            results = [_search_once_indexed(state, 0, seeds[0])]
+            pool_mode = "sequential"
+        else:
+            results, pool_mode = _map_jobs(state, seeds, workers, start_method)
+    _collect_worker_obs(results)
     merged = _merge(results, objective)
-    merged.stats.update(_pool_stats(results, seeds, pool_mode, elapsed))
+    merged.stats.update(
+        _pool_stats(results, seeds, pool_mode, timer.elapsed_s)
+    )
+    obs.inc("search.runs", driver="parallel")
+    obs.inc("search.evaluations", merged.num_evaluated, driver="parallel")
+    obs.observe("search.run_seconds", timer.elapsed_s, driver="parallel")
     return merged
+
+
+def _collect_worker_obs(results: List[SearchResult]) -> None:
+    """Merge worker registry snapshots into the driver's ambient registry.
+
+    Each worker accumulated metrics into its own process-local registry
+    (see :func:`_search_once`); fold those counts into whichever registry
+    the caller's :func:`~repro.obs.scope.obs_scope` installed, and strip
+    the transport key so the stats payload keeps its documented shape.
+    """
+    context = obs.active_obs()
+    for result in results:
+        snapshot = result.stats.pop(_OBS_SNAPSHOT_KEY, None)
+        if snapshot is not None and context is not None:
+            context.registry.merge(snapshot)
 
 
 def _map_jobs(
@@ -265,6 +310,8 @@ def _pool_stats(
     worker_rows = []
     cache_hits = 0
     cache_misses = 0
+    cache_size = 0
+    cache_capacity = 0
     cache_enabled = False
     for index, (worker_seed, result) in enumerate(zip(seeds, results)):
         row: Dict[str, Any] = {
@@ -281,6 +328,8 @@ def _pool_stats(
             cache_enabled = True
             cache_hits += cache["hits"]
             cache_misses += cache["misses"]
+            cache_size += cache.get("size") or 0
+            cache_capacity += cache.get("max_entries") or 0
             row["cache_hit_rate"] = cache["hit_rate"]
         worker_rows.append(row)
     total_evaluated = sum(r.num_evaluated for r in results)
@@ -291,11 +340,18 @@ def _pool_stats(
         "workers": worker_rows,
     }
     if cache_enabled:
+        # As in throughput_stats: no lookups at all means the rate is
+        # unknowable, not zero.
         lookups = cache_hits + cache_misses
+        # Same key set as throughput_stats so callers can treat the
+        # merged payload and a single-worker payload interchangeably;
+        # size/max_entries are summed across the (now-gone) worker caches.
         stats["cache"] = {
             "hits": cache_hits,
             "misses": cache_misses,
-            "hit_rate": (cache_hits / lookups) if lookups else 0.0,
+            "hit_rate": (cache_hits / lookups) if lookups else None,
+            "size": cache_size,
+            "max_entries": cache_capacity or None,
         }
     return stats
 

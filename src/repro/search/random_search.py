@@ -9,13 +9,14 @@ across 24 threads), or after a hard evaluation budget.
 from __future__ import annotations
 
 import random
-import time
 from typing import Optional, Union
 
+from repro import obs
 from repro.exceptions import SearchError
 from repro.mapspace.generator import MapSpace
 from repro.model.evaluator import Evaluation, Evaluator
-from repro.search.result import ConvergencePoint, SearchResult, throughput_stats
+from repro.obs import SearchTimer
+from repro.search.result import ConvergencePoint, SearchResult
 from repro.utils.rng import make_rng
 
 #: The paper's per-thread termination criterion (Section IV-B): 3000
@@ -100,59 +101,68 @@ class RandomSearch:
         evaluations = 0
         curve = []
         terminated_by = "budget"
-        cache = getattr(self.evaluator, "cache", None)
-        cache_baseline = (cache.hits, cache.misses) if cache is not None else (0, 0)
-        started = time.perf_counter()
-        while evaluations < self.max_evaluations:
-            # A chunk never outruns the scalar loop's stopping point: it
-            # is capped by both the remaining budget and the draws still
-            # needed to exhaust patience, so a patience break can only
-            # land on the chunk's last draw and the RNG stream stays
-            # position-identical to the scalar path.
-            room = self.max_evaluations - evaluations
-            if self.patience is not None:
-                room = min(room, self.patience - consecutive_non_improving)
-            chunk = max(1, min(self.batch_size, room))
-            mappings = [self.mapspace.sample(self.rng) for _ in range(chunk)]
-            outcomes = engine.evaluate_mappings(
-                mappings,
-                objective=self.objective,
-                incumbent=best_metric,
-                prune=True,
-            )
-            stop = False
-            for mapping, outcome in zip(mappings, outcomes):
-                evaluations += 1
-                if not outcome.valid:
-                    continue
-                num_valid += 1
-                if not outcome.pruned and outcome.metric < best_metric:
-                    evaluation = outcome.evaluation
-                    if evaluation is None:
-                        evaluation = self.evaluator.evaluate_fresh(mapping)
-                    best = evaluation
-                    best_metric = outcome.metric
-                    consecutive_non_improving = 0
-                    curve.append(
-                        ConvergencePoint(
-                            evaluations=evaluations,
-                            best_metric=outcome.metric,
-                        )
+        timer = SearchTimer(self.evaluator, driver="random")
+        with timer, obs.trace(
+            "search.run", driver="random", mode="batch",
+            objective=self.objective,
+        ):
+            while evaluations < self.max_evaluations:
+                # A chunk never outruns the scalar loop's stopping point: it
+                # is capped by both the remaining budget and the draws still
+                # needed to exhaust patience, so a patience break can only
+                # land on the chunk's last draw and the RNG stream stays
+                # position-identical to the scalar path.
+                room = self.max_evaluations - evaluations
+                if self.patience is not None:
+                    room = min(room, self.patience - consecutive_non_improving)
+                chunk = max(1, min(self.batch_size, room))
+                with obs.trace("search.batch", size=chunk):
+                    mappings = [
+                        self.mapspace.sample(self.rng) for _ in range(chunk)
+                    ]
+                    outcomes = engine.evaluate_mappings(
+                        mappings,
+                        objective=self.objective,
+                        incumbent=best_metric,
+                        prune=True,
                     )
-                else:
-                    consecutive_non_improving += 1
-                    if (
-                        self.patience is not None
-                        and consecutive_non_improving >= self.patience
-                    ):
-                        terminated_by = "patience"
-                        stop = True
-                        break
-            if stop:
-                break
-        elapsed = time.perf_counter() - started
-        stats = throughput_stats(evaluations, elapsed, cache, cache_baseline)
-        stats["batch"] = engine.stats_payload()
+                obs.inc("search.candidates", chunk, driver="random")
+                stop = False
+                for mapping, outcome in zip(mappings, outcomes):
+                    evaluations += 1
+                    if not outcome.valid:
+                        continue
+                    num_valid += 1
+                    if not outcome.pruned and outcome.metric < best_metric:
+                        evaluation = outcome.evaluation
+                        if evaluation is None:
+                            evaluation = self.evaluator.evaluate_fresh(mapping)
+                        best = evaluation
+                        best_metric = outcome.metric
+                        consecutive_non_improving = 0
+                        curve.append(
+                            ConvergencePoint(
+                                evaluations=evaluations,
+                                best_metric=outcome.metric,
+                            )
+                        )
+                        obs.inc("search.improvements", driver="random")
+                        obs.set_gauge(
+                            "search.best_metric", outcome.metric,
+                            driver="random",
+                        )
+                    else:
+                        consecutive_non_improving += 1
+                        if (
+                            self.patience is not None
+                            and consecutive_non_improving >= self.patience
+                        ):
+                            terminated_by = "patience"
+                            stop = True
+                            break
+                if stop:
+                    break
+        stats = timer.stats(evaluations, engine=engine)
         return SearchResult(
             best=best,
             objective=self.objective,
@@ -170,34 +180,42 @@ class RandomSearch:
         num_valid = 0
         curve = []
         terminated_by = "budget"
-        cache = getattr(self.evaluator, "cache", None)
-        cache_baseline = (cache.hits, cache.misses) if cache is not None else (0, 0)
-        started = time.perf_counter()
-        for evaluations in range(1, self.max_evaluations + 1):
-            mapping = self.mapspace.sample(self.rng)
-            evaluation = self.evaluator.evaluate(mapping)
-            if not evaluation.valid:
-                continue
-            num_valid += 1
-            metric = evaluation.metric(self.objective)
-            if metric < best_metric:
-                best = evaluation
-                best_metric = metric
-                consecutive_non_improving = 0
-                curve.append(
-                    ConvergencePoint(evaluations=evaluations, best_metric=metric)
-                )
+        timer = SearchTimer(self.evaluator, driver="random")
+        with timer, obs.trace(
+            "search.run", driver="random", mode="scalar",
+            objective=self.objective,
+        ):
+            for evaluations in range(1, self.max_evaluations + 1):
+                mapping = self.mapspace.sample(self.rng)
+                evaluation = self.evaluator.evaluate(mapping)
+                if not evaluation.valid:
+                    continue
+                num_valid += 1
+                metric = evaluation.metric(self.objective)
+                if metric < best_metric:
+                    best = evaluation
+                    best_metric = metric
+                    consecutive_non_improving = 0
+                    curve.append(
+                        ConvergencePoint(
+                            evaluations=evaluations, best_metric=metric
+                        )
+                    )
+                    obs.inc("search.improvements", driver="random")
+                    obs.set_gauge(
+                        "search.best_metric", metric, driver="random"
+                    )
+                else:
+                    consecutive_non_improving += 1
+                    if (
+                        self.patience is not None
+                        and consecutive_non_improving >= self.patience
+                    ):
+                        terminated_by = "patience"
+                        break
             else:
-                consecutive_non_improving += 1
-                if (
-                    self.patience is not None
-                    and consecutive_non_improving >= self.patience
-                ):
-                    terminated_by = "patience"
-                    break
-        else:
-            evaluations = self.max_evaluations
-        elapsed = time.perf_counter() - started
+                evaluations = self.max_evaluations
+            obs.inc("search.candidates", evaluations, driver="random")
         return SearchResult(
             best=best,
             objective=self.objective,
@@ -205,7 +223,7 @@ class RandomSearch:
             num_valid=num_valid,
             terminated_by=terminated_by,
             curve=curve,
-            stats=throughput_stats(evaluations, elapsed, cache, cache_baseline),
+            stats=timer.stats(evaluations),
         )
 
 

@@ -86,6 +86,11 @@ def throughput_stats(
         cache: the evaluator's cache, if one was attached.
         cache_baseline: ``(hits, misses)`` snapshot taken before the run,
             so a cache shared across runs reports per-run deltas.
+
+    A live cache that saw **no lookups** during the run (e.g. the batch
+    engine priced every candidate itself and ``num_evaluated`` was 0)
+    reports ``hit_rate: None`` rather than a misleading ``0.0`` — zero
+    means "every lookup missed", which is a different claim.
     """
     stats: Dict[str, Any] = {
         "elapsed_s": elapsed_s,
@@ -98,7 +103,7 @@ def throughput_stats(
         stats["cache"] = {
             "hits": hits,
             "misses": misses,
-            "hit_rate": (hits / lookups) if lookups else 0.0,
+            "hit_rate": (hits / lookups) if lookups else None,
             "size": len(cache),
             "max_entries": cache.max_entries,
         }

@@ -337,3 +337,102 @@ class TestCampaignScope:
                     arch, workload, kind="pfm",
                     seeds=(1,), max_evaluations=40, patience=None,
                 )
+
+
+class TestHeartbeats:
+    REQUIRED_KEYS = {"kind", "event", "job_id", "attempt", "time", "monotonic_s"}
+
+    def test_heartbeats_written_with_required_keys(self, tmp_path):
+        run_campaign([_job("a", 60)], journal_path=tmp_path / "j.jsonl")
+        beats = [
+            r
+            for r in Journal(tmp_path / "j.jsonl").read()
+            if r.get("kind") == "heartbeat"
+        ]
+        assert [b["event"] for b in beats] == ["start", "ok"]
+        for beat in beats:
+            assert self.REQUIRED_KEYS <= set(beat)
+            assert beat["job_id"] == "a"
+            assert beat["attempt"] == 0
+            assert isinstance(beat["monotonic_s"], float)
+
+    def test_retry_and_quarantine_heartbeats(self, tmp_path):
+        plan = FaultPlan(
+            [Fault("a", attempt, "raise", message="boom") for attempt in range(2)]
+        )
+        run_campaign(
+            [_job("a", 60)],
+            journal_path=tmp_path / "j.jsonl",
+            retries=1,
+            backoff_s=0.01,
+            fault_plan=plan,
+        )
+        events = [
+            r["event"]
+            for r in Journal(tmp_path / "j.jsonl").read()
+            if r.get("kind") == "heartbeat"
+        ]
+        assert events == ["start", "retry", "start", "quarantine"]
+
+    def test_heartbeats_false_suppresses_records(self, tmp_path):
+        run_campaign(
+            [_job("a", 60)],
+            journal_path=tmp_path / "j.jsonl",
+            heartbeats=False,
+        )
+        kinds = {r.get("kind") for r in Journal(tmp_path / "j.jsonl").read()}
+        assert "heartbeat" not in kinds
+
+    def test_all_journal_records_carry_monotonic_s(self, tmp_path):
+        plan = FaultPlan([Fault("a", 0, "raise", message="transient")])
+        run_campaign(
+            [_job("a", 60)],
+            journal_path=tmp_path / "j.jsonl",
+            retries=1,
+            backoff_s=0.01,
+            fault_plan=plan,
+        )
+        for record in Journal(tmp_path / "j.jsonl").read():
+            assert "monotonic_s" in record, record["kind"]
+            assert "time" in record
+
+    def test_status_reports_counters_and_running(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        run_campaign([_job("a", 60), _job("b", 100)], journal_path=path)
+        status = campaign_status(path)
+        assert status["running"] == []
+        assert status["counters"]["a"] == {"start": 1, "ok": 1}
+        assert status["counters"]["b"] == {"start": 1, "ok": 1}
+
+    def test_status_infers_running_from_start_surplus(self, tmp_path):
+        """A started attempt with no failure/terminal record is in flight."""
+        path = tmp_path / "j.jsonl"
+        journal = Journal(path)
+        journal.append(
+            {"kind": "campaign", "config": {}, "jobs": ["a", "b"]}
+        )
+        for job_id in ("a", "b"):
+            journal.append(
+                {
+                    "kind": "heartbeat",
+                    "event": "start",
+                    "job_id": job_id,
+                    "attempt": 0,
+                    "time": 1.0,
+                    "monotonic_s": 1.0,
+                }
+            )
+        journal.append({"kind": "job", "job_id": "b", "status": "ok"})
+        status = campaign_status(path)
+        assert status["running"] == ["a"]
+        assert "a" in status["pending"]
+
+    def test_registry_counts_campaign_events(self, tmp_path):
+        from repro.obs import MetricsRegistry, obs_scope
+
+        registry = MetricsRegistry()
+        with obs_scope(registry=registry):
+            run_campaign([_job("a", 60)], journal_path=tmp_path / "j.jsonl")
+        counter = registry.counter("campaign.events")
+        assert counter.value(event="start") == 1.0
+        assert counter.value(event="ok") == 1.0

@@ -1,5 +1,7 @@
 """Unit tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import _parse_shape, build_parser, main
@@ -217,3 +219,124 @@ class TestCampaignCommand:
         code = main(["campaign", "resume", "--journal", str(journal)])
         assert code == 8
         assert "no suite config" in capsys.readouterr().err
+
+
+class TestObsFlags:
+    def test_search_with_trace_and_metrics_out(self, tmp_path, capsys):
+        trace = tmp_path / "trace.jsonl"
+        metrics = tmp_path / "metrics.json"
+        code = main(
+            [
+                "search",
+                "--arch", "toy9",
+                "--conv", "C=8,M=8,P=4",
+                "--budget", "100",
+                "--trace", str(trace),
+                "--metrics-out", str(metrics),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert f"metrics saved to {metrics}" in out
+        assert f"trace saved to {trace}" in out
+
+        from repro.obs import read_trace, validate_span
+
+        records = read_trace(trace)
+        assert records
+        assert all(validate_span(r) == [] for r in records)
+
+        payload = json.loads(metrics.read_text())
+        assert payload["schema"] == 1
+        assert "search.evaluations" in payload["metrics"]["counters"]
+
+    def test_obs_dump_and_summarize(self, tmp_path, capsys):
+        trace = tmp_path / "trace.jsonl"
+        code = main(
+            [
+                "search",
+                "--arch", "toy9",
+                "--conv", "C=8,M=8,P=4",
+                "--budget", "100",
+                "--trace", str(trace),
+            ]
+        )
+        assert code == 0
+        capsys.readouterr()
+
+        assert main(["obs", "dump", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert '"kind": "span"' in out
+
+        assert main(["obs", "summarize", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "search.run" in out
+        assert "span" in out  # header row
+
+    def test_obs_summarize_empty_trace_fails(self, tmp_path, capsys):
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("")
+        assert main(["obs", "summarize", str(empty)]) == 1
+        assert "no span records" in capsys.readouterr().err
+
+
+class TestCampaignStatusHeartbeats:
+    def test_status_shows_heartbeat_counters(self, tmp_path, capsys):
+        """In-flight jobs print their lifecycle counters inline."""
+        from repro.io.journal import Journal
+
+        journal = Journal(tmp_path / "j.jsonl")
+        journal.append({"kind": "campaign", "config": {}, "jobs": ["a", "b"]})
+        for job_id, attempt in (("a", 0), ("a", 1), ("b", 0)):
+            journal.append(
+                {
+                    "kind": "heartbeat",
+                    "event": "start",
+                    "job_id": job_id,
+                    "attempt": attempt,
+                    "time": 1.0,
+                    "monotonic_s": 1.0,
+                }
+            )
+        journal.append(
+            {
+                "kind": "heartbeat",
+                "event": "retry",
+                "job_id": "a",
+                "attempt": 0,
+                "time": 1.0,
+                "monotonic_s": 1.0,
+            }
+        )
+        journal.append({"kind": "attempt", "job_id": "a", "attempt": 0})
+        journal.append({"kind": "job", "job_id": "b", "status": "ok"})
+
+        assert main(["campaign", "status", "--journal", str(journal.path)]) == 0
+        out = capsys.readouterr().out
+        assert "1 running" in out
+        assert "running     a  [retry=1 start=2]" in out
+
+    def test_status_follow_exits_when_complete(self, tmp_path, capsys):
+        journal = tmp_path / "j.jsonl"
+        main(
+            [
+                "campaign", "run",
+                "--suite", "toy",
+                "--arch", "toy16",
+                "--kinds", "ruby-s",
+                "--seeds", "1",
+                "--budget", "60",
+                "--journal", str(journal),
+            ]
+        )
+        capsys.readouterr()
+        code = main(
+            [
+                "campaign", "status",
+                "--journal", str(journal),
+                "--follow",
+                "--interval", "0.05",
+            ]
+        )
+        assert code == 0
+        assert "complete" in capsys.readouterr().out

@@ -260,3 +260,40 @@ class TestSearchParityWithCache:
         cache_stats = result.stats["cache"]
         assert cache_stats["hits"] + cache_stats["misses"] == 200
         assert 0.0 <= cache_stats["hit_rate"] <= 1.0
+
+    def test_hit_rate_none_when_no_lookups(self, setting):
+        """A cache that saw zero lookups reports hit_rate None, not 0.0.
+
+        Zero would claim "every lookup missed"; None says the rate is
+        unknowable because there were no lookups to score.
+        """
+        from repro.search.result import throughput_stats
+
+        arch, workload, _ = setting
+        cache = EvaluationCache()
+        Evaluator(arch, workload, cache=cache)  # attached, never consulted
+        stats = throughput_stats(0, 0.5, cache=cache)
+        assert stats["cache"]["hits"] == 0
+        assert stats["cache"]["misses"] == 0
+        assert stats["cache"]["hit_rate"] is None
+
+    def test_hit_rate_none_with_shared_cache_baseline(self, setting):
+        """Per-run deltas of zero lookups also yield hit_rate None."""
+        from repro.search.result import throughput_stats
+
+        arch, workload, space = setting
+        cache = EvaluationCache()
+        RandomSearch(
+            space,
+            Evaluator(arch, workload, cache=cache),
+            max_evaluations=50,
+            patience=None,
+            seed=1,
+            use_batch=False,
+        ).run()
+        # A second "run" that reuses the warm cache but performs no
+        # lookups: the baseline swallows the prior run's counts.
+        stats = throughput_stats(
+            0, 0.1, cache=cache, cache_baseline=(cache.hits, cache.misses)
+        )
+        assert stats["cache"]["hit_rate"] is None
