@@ -15,6 +15,11 @@ Commands:
   ``campaign status``; ``status --follow`` polls a live journal).
 * ``obs`` — inspect a span-trace JSONL written via ``--trace``
   (``obs dump``, ``obs summarize``).
+* ``verify`` — differential verification: cross-check the scalar, cached,
+  batch, and reference-simulator evaluation paths on generated mappings
+  and run the metamorphic invariant suite (``--quick`` / ``--deep``
+  profiles, ``--seed N``, ``--replay COUNTEREXAMPLE.json``); see
+  ``docs/verification.md``.
 
 ``search``, ``experiment``, and the ``campaign`` run/resume commands
 accept ``--trace PATH`` (stream span records as JSONL) and
@@ -23,8 +28,9 @@ exit); see ``docs/observability.md``.
 
 Failures exit with per-error-class status codes (SpecError=2,
 InvalidMappingError=3, MapspaceError=4, SearchError=5,
-EvaluationError=6, JobTimeoutError=7, CampaignError=8) and a one-line
-stderr message; pass ``--debug`` for the full traceback.
+EvaluationError=6, JobTimeoutError=7, CampaignError=8,
+VerificationError=9) and a one-line stderr message; pass ``--debug`` for
+the full traceback.
 """
 
 from __future__ import annotations
@@ -587,6 +593,69 @@ def _cmd_obs(args: argparse.Namespace) -> int:
     return 0
 
 
+# ------------------------------------------------------------------- verify
+
+#: Differential-verification profiles: (cases, min_ref_sim, decoys).
+VERIFY_PROFILES = {
+    "quick": (500, 50, 6),
+    "deep": (5000, 500, 10),
+}
+
+
+def _cmd_verify(args: argparse.Namespace) -> int:
+    """Cross-check every evaluation path and the metamorphic invariants."""
+    from repro.exceptions import VerificationError
+    from repro.verify.differential import (
+        DifferentialConfig,
+        replay_counterexample,
+        run_differential,
+    )
+    from repro.verify.invariants import run_invariants
+
+    if args.replay:
+        report = replay_counterexample(args.replay)
+        for divergence in report.divergences:
+            print(divergence.describe())
+        if report.divergences:
+            raise VerificationError(
+                f"counterexample {args.replay} still diverges "
+                f"({len(report.divergences)} quantities)"
+            )
+        print(f"counterexample {args.replay}: all paths agree now")
+        return 0
+
+    profile = "deep" if args.deep else "quick"
+    cases, min_ref_sim, decoys = VERIFY_PROFILES[profile]
+    if args.cases is not None:
+        cases = args.cases
+    config = DifferentialConfig(
+        cases=cases,
+        seed=args.seed,
+        min_ref_sim=min_ref_sim,
+        decoys=decoys,
+        dump_dir=args.dump_dir,
+    )
+    differential = run_differential(config)
+    print(differential.summary())
+    invariants = run_invariants(
+        seed=args.seed, include_parallel=not args.no_parallel
+    )
+    print(invariants.summary())
+    if not differential.ok or not invariants.ok:
+        hint = (
+            f"; replay with: repro verify --replay "
+            f"{differential.counterexample_paths[0]}"
+            if differential.counterexample_paths
+            else ""
+        )
+        raise VerificationError(
+            f"{len(differential.divergent)} divergent case(s), "
+            f"{len(invariants.violations)} invariant violation(s){hint}"
+        )
+    print(f"verify [{profile}]: all evaluation paths agree (seed {args.seed})")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Build the argparse CLI (search / evaluate / experiment)."""
     parser = argparse.ArgumentParser(
@@ -808,6 +877,41 @@ def build_parser() -> argparse.ArgumentParser:
     )
     obs_summarize.add_argument("trace_file", help="span-trace JSONL path")
     obs_summarize.set_defaults(func=_cmd_obs)
+
+    verify = sub.add_parser(
+        "verify",
+        help="differentially cross-check every evaluation path "
+        "(scalar / cache / batch / reference sim) plus invariants",
+    )
+    verify_profile = verify.add_mutually_exclusive_group()
+    verify_profile.add_argument(
+        "--quick", action="store_true",
+        help="quick profile: 500 cases, >=50 reference-sim cross-checks "
+        "(the default)",
+    )
+    verify_profile.add_argument(
+        "--deep", action="store_true",
+        help="deep profile: 5000 cases, >=500 reference-sim cross-checks",
+    )
+    verify.add_argument("--seed", type=int, default=0)
+    verify.add_argument(
+        "--cases", type=int, default=None,
+        help="override the profile's case count",
+    )
+    verify.add_argument(
+        "--dump-dir", default=".",
+        help="directory for shrunk counterexample dumps (default: cwd)",
+    )
+    verify.add_argument(
+        "--no-parallel", action="store_true",
+        help="skip the fork/spawn start-method determinism invariant "
+        "(the only one that spawns worker processes)",
+    )
+    verify.add_argument(
+        "--replay", metavar="COUNTEREXAMPLE",
+        help="re-run a dumped counterexample JSON instead of sweeping",
+    )
+    verify.set_defaults(func=_cmd_verify)
 
     return parser
 

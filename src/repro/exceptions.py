@@ -130,6 +130,18 @@ class CampaignError(ReproError):
     exit_code = 8
 
 
+class VerificationError(ReproError):
+    """The differential verification harness found paths in disagreement.
+
+    Raised by ``repro verify`` when generated mappings price differently
+    across the scalar, cached, batch, or reference-simulator paths, or
+    when a metamorphic invariant is violated. The divergence details and
+    any dumped counterexample paths are in the printed report.
+    """
+
+    exit_code = 9
+
+
 class JobCrashError(CampaignError):
     """A campaign job's worker process died without reporting a result."""
 

@@ -19,13 +19,23 @@ Sliding-window (conv input) ranks couple two dimensions; their footprint
 sums use the closed form in :func:`_rank_delivery_sum`.
 
 Accuracy: the formulas are exact (validated against the reference
-simulator in ``tests/test_reference_sim.py``) except in one corner —
-when a *spatial remainder* sits on a dimension relevant to a tensor AND an
-irrelevant counting loop encloses it, an instance that idles through the
-remainder window keeps its resident tile, so revisits of that tile are not
-real refetches. The closed form counts them anyway: a deliberately
+simulator in ``tests/test_reference_sim.py`` and continuously by
+``repro verify``) except in two corners where real tile reuse survives a
+remainder and the closed form still charges for it — a deliberately
 **conservative** approximation (it can overcount, never undercount, so it
-biases against — never inflates — the benefit of imperfect factorization).
+biases against — never inflates — the benefit of imperfect factorization):
+
+* a *spatial remainder* on a dimension relevant to a tensor with an
+  irrelevant counting loop enclosing it: an instance that idles through
+  the remainder window keeps its resident tile, so revisits of that tile
+  are not real refetches;
+* a *temporal remainder* on a relevant dimension under an irrelevant
+  counting loop: when the remainder pass collapses to a single tile,
+  consecutive trips of the counting loop see an unchanged tile (no
+  displacement, no refetch), but the trip count is multiplied in anyway.
+
+See :func:`repro.verify.differential.compare_case` for the tolerance
+bounds these corners are held to.
 """
 
 from __future__ import annotations

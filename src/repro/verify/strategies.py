@@ -1,0 +1,500 @@
+"""Case generators for the differential verification harness.
+
+Two layers live here:
+
+* **Seed-deterministic cores** — plain-``random.Random`` generators for
+  workloads, preset architectures, and (valid, remaindered) mappings,
+  including the adversarial corners the paper's Eq. 5 semantics make
+  interesting: prime dimension sizes, ``R = 1`` remainders, ``R = P``
+  collapse-to-perfect loops, and bypass combinations. The differential
+  runner and the CLI use these directly, so ``repro verify --seed N`` is
+  reproducible without Hypothesis installed.
+* **Hypothesis strategies** — thin wrappers over the same cores (plus the
+  spec-level strategies that used to live inline in
+  ``tests/test_io_properties.py``), so property tests across the suite
+  share one vocabulary and get shrinking for free. These require the
+  optional ``hypothesis`` test dependency and raise a clear error when it
+  is missing.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, replace
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.arch import (
+    Architecture,
+    StorageLevel,
+    eyeriss_like,
+    simba_like,
+    toy_glb_architecture,
+    toy_linear_architecture,
+)
+from repro.mapping.loop import Loop
+from repro.mapping.nest import LevelNest, Mapping
+from repro.mapspace.generator import MapSpace, MapspaceKind
+from repro.problem import ConvLayer, GemmLayer
+from repro.problem.gemm import vector_workload
+from repro.problem.workload import Workload
+
+try:  # pragma: no cover - exercised indirectly by the property tests
+    from hypothesis import strategies as st
+
+    HAS_HYPOTHESIS = True
+except ImportError:  # pragma: no cover
+    st = None  # type: ignore[assignment]
+    HAS_HYPOTHESIS = False
+
+#: Sizes the workload generator draws from. Primes (7, 11, 13, 17) force
+#: genuinely imperfect factorizations; composites exercise the perfect
+#: sub-space; 1 exercises trivial-loop elision.
+DIM_SIZE_POOL: Tuple[int, ...] = (1, 2, 3, 4, 5, 6, 7, 8, 9, 11, 12, 13)
+
+#: Vector (rank-1) problem sizes: the paper's 100-element example plus
+#: primes and power-of-two/odd mixes around it.
+VECTOR_SIZE_POOL: Tuple[int, ...] = (17, 24, 36, 49, 60, 97, 100, 127)
+
+
+def preset_architecture_names() -> Tuple[str, ...]:
+    """Architecture presets the verification harness draws from."""
+    return ("toy-glb", "toy-linear", "eyeriss", "simba")
+
+
+def preset_architecture(
+    name: str, rng: Optional[random.Random] = None
+) -> Architecture:
+    """Build one preset architecture, with toy shapes varied by ``rng``."""
+    rng = rng or random.Random(0)
+    if name == "toy-glb":
+        return toy_glb_architecture(
+            num_pes=rng.choice((4, 6, 8)),
+            glb_bytes=rng.choice((1024, 4096, 8192)),
+        )
+    if name == "toy-linear":
+        return toy_linear_architecture(rng.choice((9, 16)))
+    if name == "eyeriss":
+        return eyeriss_like()
+    if name == "simba":
+        return simba_like()
+    raise ValueError(f"unknown architecture preset {name!r}")
+
+
+def random_workload(
+    rng: random.Random, sim_friendly: bool = False
+) -> Workload:
+    """Draw a random small workload (vector, GEMM, or conv).
+
+    With ``sim_friendly=True`` the shape is kept small enough that most
+    mappings of it stay within the reference simulator's budget.
+    """
+    kind = rng.choice(("vector", "gemm", "gemm", "conv"))
+    if kind == "vector":
+        return vector_workload("v", rng.choice(VECTOR_SIZE_POOL))
+    cap = 7 if sim_friendly else max(DIM_SIZE_POOL)
+    pool = [s for s in DIM_SIZE_POOL if s <= cap]
+    if kind == "gemm":
+        m, n, k = (rng.choice(pool) for _ in range(3))
+        return GemmLayer("g", m=m, n=n, k=k).workload()
+    conv_pool = [s for s in pool if s <= 6]
+    c, m, p = (rng.choice(conv_pool) for _ in range(3))
+    q = rng.choice((1, 2, 3))
+    r = rng.choice((1, 2, 3))
+    s = rng.choice((1, 2))
+    return ConvLayer("c", c=c, m=m, p=p, q=q, r=r, s=s).workload()
+
+
+def eq5_chain(size: int, inner: int) -> Tuple[int, int, int]:
+    """Split ``size`` into an Eq. 5 two-loop chain around bound ``inner``.
+
+    Returns ``(outer, inner, remainder)`` with
+    ``(outer - 1) * inner + remainder == size`` — the outer loop takes
+    ``outer`` passes, the inner takes ``inner`` iterations on each but the
+    globally-last pass, which takes ``remainder``.
+    """
+    if size < 1 or inner < 1:
+        raise ValueError("size and inner must be >= 1")
+    inner = min(inner, size)
+    outer = -(-size // inner)  # ceil division
+    remainder = size - (outer - 1) * inner
+    return outer, inner, remainder
+
+
+@dataclass(frozen=True)
+class VerifyCase:
+    """One differential-verification case: an (arch, workload, mapping).
+
+    ``kind`` records which mapspace the mapping was sampled from (``None``
+    for handcrafted adversarial cases); ``source`` is a human-readable tag
+    of how the case was produced, carried into counterexample dumps.
+    """
+
+    name: str
+    arch: Architecture
+    workload: Workload
+    mapping: Mapping
+    kind: Optional[MapspaceKind] = None
+    source: str = "sampled"
+    seed: Optional[int] = None
+
+
+def _bypass_candidates(
+    arch: Architecture, workload: Workload
+) -> List[Tuple[str, str]]:
+    return [
+        (level.name, tensor.name)
+        for level in arch.levels[1:]
+        for tensor in workload.tensors
+        if level.keeps_tensor(tensor.name)
+    ]
+
+
+def _tweak_mapping(
+    mapping: Mapping, arch: Architecture, workload: Workload, rng: random.Random
+) -> Tuple[Mapping, str]:
+    """Apply one adversarial transformation to a sampled mapping.
+
+    The result is not guaranteed valid — validity *agreement* across
+    evaluation paths is itself a checked property — but every transform
+    preserves mapping well-formedness.
+    """
+    choice = rng.choice(("perfect", "r1", "bypass"))
+    if choice == "bypass":
+        candidates = _bypass_candidates(arch, workload)
+        if candidates:
+            picked = [p for p in candidates if rng.random() < 0.5]
+            if picked:
+                return mapping.with_bypass(picked), "adversarial:bypass"
+        choice = "perfect"
+    imperfect = [
+        (i, j, loop)
+        for i, nest in enumerate(mapping.levels)
+        for j, loop in enumerate(nest.temporal + nest.spatial)
+        if not loop.is_perfect
+    ]
+    if choice == "perfect" and imperfect:
+        # Collapse every remainder to R = P: the mapping drops back into
+        # the perfect-factorization notation (coverage may overshoot).
+        new_levels = tuple(
+            LevelNest(
+                level_name=nest.level_name,
+                temporal=tuple(
+                    replace(l, remainder=l.bound) for l in nest.temporal
+                ),
+                spatial=tuple(
+                    replace(l, remainder=l.bound) for l in nest.spatial
+                ),
+            )
+            for nest in mapping.levels
+        )
+        return (
+            Mapping(levels=new_levels, bypass=mapping.bypass),
+            "adversarial:collapse-to-perfect",
+        )
+    nontrivial = [
+        (i, j, loop)
+        for i, nest in enumerate(mapping.levels)
+        for j, loop in enumerate(nest.temporal + nest.spatial)
+        if loop.bound > 1
+    ]
+    if not nontrivial:
+        return mapping, "sampled"
+    i, j, loop = rng.choice(nontrivial)
+    nest = mapping.levels[i]
+    flat = list(nest.temporal + nest.spatial)
+    flat[j] = replace(loop, remainder=1)
+    split = len(nest.temporal)
+    new_nest = LevelNest(
+        level_name=nest.level_name,
+        temporal=tuple(flat[:split]),
+        spatial=tuple(flat[split:]),
+    )
+    levels = list(mapping.levels)
+    levels[i] = new_nest
+    return (
+        Mapping(levels=tuple(levels), bypass=mapping.bypass),
+        "adversarial:r1",
+    )
+
+
+#: Probability a sampled case gets an adversarial transformation.
+TWEAK_PROBABILITY = 0.25
+
+
+def random_case(
+    rng: random.Random,
+    sim_bias: float = 0.7,
+    index: int = 0,
+) -> VerifyCase:
+    """Draw one verification case.
+
+    ``sim_bias`` is the probability of drawing a toy architecture with a
+    sim-friendly workload (so reference-simulator cross-checks stay
+    plentiful); the rest of the mass goes to the eyeriss/simba presets,
+    which exercise deeper hierarchies through the analytical paths only.
+    """
+    toy = rng.random() < sim_bias
+    arch_name = rng.choice(("toy-glb", "toy-linear")) if toy else rng.choice(
+        ("eyeriss", "simba")
+    )
+    arch = preset_architecture(arch_name, rng)
+    workload = random_workload(rng, sim_friendly=toy)
+    kind = rng.choice(tuple(MapspaceKind))
+    space = MapSpace(
+        arch, workload, kind, explore_bypass=rng.random() < 0.3
+    )
+    mapping = space.sample(rng)
+    source = "sampled"
+    if rng.random() < TWEAK_PROBABILITY:
+        mapping, source = _tweak_mapping(mapping, arch, workload, rng)
+    return VerifyCase(
+        name=f"case-{index}:{arch.name}:{workload.name}:{kind.value}",
+        arch=arch,
+        workload=workload,
+        mapping=mapping,
+        kind=kind,
+        source=source,
+    )
+
+
+def adversarial_cases(rng: random.Random) -> List[VerifyCase]:
+    """Handcrafted Eq. 5-exact corner cases (always-valid mappings).
+
+    Covers prime sizes, ``R = 1``, ``R = P`` collapse-to-perfect, bypass,
+    and the multicast/spatial-reduction geometry of the toy GLB hierarchy.
+    """
+    cases: List[VerifyCase] = []
+    glb = toy_glb_architecture(num_pes=6, glb_bytes=4096)
+
+    def vector_case(tag: str, d: int, inner: int, spatial: bool) -> VerifyCase:
+        workload = vector_workload("v", d)
+        outer, inner_b, rem = eq5_chain(d, inner)
+        inner_loop = Loop("D", inner_b, rem, spatial=spatial)
+        if spatial:
+            glb_block = ("GlobalBuffer", [Loop("D", outer)], [inner_loop])
+        else:
+            glb_block = ("GlobalBuffer", [Loop("D", outer), inner_loop], [])
+        mapping = Mapping.from_blocks(
+            [("DRAM", [], []), glb_block, ("PERegister", [], [])]
+        )
+        return VerifyCase(
+            name=f"adv:{tag}", arch=glb, workload=workload, mapping=mapping,
+            source=f"adversarial:{tag}",
+        )
+
+    # Prime size, imperfect spatial remainder (Fig. 5 geometry).
+    cases.append(vector_case("prime-spatial", 97, 6, spatial=True))
+    # R = 1: 100 = 34 passes of 3 with a 1-wide last pass.
+    cases.append(vector_case("r1-temporal", 100, 3, spatial=False))
+    # R = P collapse-to-perfect: 100 = 20 x 5 exactly.
+    cases.append(vector_case("perfect-collapse", 100, 5, spatial=True))
+
+    # Imperfect spatial GEMM with a prime M (multicast + reduction mix).
+    m = rng.choice((7, 11, 13))
+    outer, inner, rem = eq5_chain(m, 4)
+    gemm = GemmLayer("g", m=m, n=3, k=2).workload()
+    cases.append(
+        VerifyCase(
+            name="adv:imperfect-spatial-gemm",
+            arch=glb,
+            workload=gemm,
+            mapping=Mapping.from_blocks(
+                [
+                    ("DRAM", [], []),
+                    (
+                        "GlobalBuffer",
+                        [Loop("K", 2), Loop("M", outer)],
+                        [Loop("M", inner, rem, spatial=True)],
+                    ),
+                    ("PERegister", [Loop("N", 3)], []),
+                ]
+            ),
+            source="adversarial:imperfect-spatial-gemm",
+        )
+    )
+
+    # Bypass combination: weights skip the GLB entirely.
+    gemm2 = GemmLayer("g", m=6, n=5, k=4).workload()
+    cases.append(
+        VerifyCase(
+            name="adv:bypass-combo",
+            arch=glb,
+            workload=gemm2,
+            mapping=Mapping.from_blocks(
+                [
+                    ("DRAM", [Loop("M", 2)], []),
+                    (
+                        "GlobalBuffer",
+                        [Loop("K", 4), Loop("M", 3)],
+                        [Loop("N", 5, spatial=True)],
+                    ),
+                    ("PERegister", [], []),
+                ],
+                bypass=[("GlobalBuffer", "B")],
+            ),
+            source="adversarial:bypass-combo",
+        )
+    )
+
+    # Conv sliding window with an imperfect output-column chain.
+    outer, inner, rem = eq5_chain(5, 2)
+    conv = ConvLayer("c", c=2, m=2, p=5, q=1, r=3, s=1).workload()
+    cases.append(
+        VerifyCase(
+            name="adv:conv-sliding-window",
+            arch=glb,
+            workload=conv,
+            mapping=Mapping.from_blocks(
+                [
+                    ("DRAM", [Loop("P", outer)], []),
+                    (
+                        "GlobalBuffer",
+                        [Loop("C", 2), Loop("P", inner, rem)],
+                        [Loop("M", 2, spatial=True)],
+                    ),
+                    ("PERegister", [Loop("R", 3)], []),
+                ]
+            ),
+            source="adversarial:conv-sliding-window",
+        )
+    )
+    return cases
+
+
+# --------------------------------------------------------------------------
+# Hypothesis strategies (optional dependency).
+# --------------------------------------------------------------------------
+
+
+def _require_hypothesis() -> None:
+    if not HAS_HYPOTHESIS:
+        raise RuntimeError(
+            "repro.verify.strategies' Hypothesis strategies need the "
+            "optional 'hypothesis' package (pip install repro[test])"
+        )
+
+
+def dim_sizes(max_size: int = 64):
+    """Dimension sizes ``1..max_size`` (the old test_io_properties `dims`)."""
+    _require_hypothesis()
+    return st.integers(min_value=1, max_value=max_size)
+
+
+def strides(max_stride: int = 3):
+    """Convolution strides ``1..max_stride``."""
+    _require_hypothesis()
+    return st.integers(min_value=1, max_value=max_stride)
+
+
+def gemm_workloads(max_dim: int = 64):
+    """GEMM workloads with dims up to ``max_dim``."""
+    _require_hypothesis()
+    return st.builds(
+        lambda m, n, k: GemmLayer("g", m=m, n=n, k=k).workload(),
+        m=dim_sizes(max_dim),
+        n=dim_sizes(max_dim),
+        k=dim_sizes(max_dim),
+    )
+
+
+def conv_workloads(max_dim: int = 64, max_rs: int = 7):
+    """Conv workloads with spatial dims up to ``max_dim``."""
+    _require_hypothesis()
+    return st.builds(
+        lambda c, m, p, q, r, s, stride: ConvLayer(
+            "w", c=c, m=m, p=p, q=q, r=r, s=s,
+            stride_h=stride, stride_w=stride,
+        ).workload(),
+        c=dim_sizes(max_dim),
+        m=dim_sizes(max_dim),
+        p=dim_sizes(max_dim),
+        q=dim_sizes(max_dim),
+        r=st.integers(min_value=1, max_value=max_rs),
+        s=st.integers(min_value=1, max_value=max_rs),
+        stride=strides(),
+    )
+
+
+def workloads(max_dim: int = 12):
+    """Small mixed workloads (vector / GEMM / conv) for model checks."""
+    _require_hypothesis()
+    return st.one_of(
+        st.sampled_from(VECTOR_SIZE_POOL).map(
+            lambda d: vector_workload("v", d)
+        ),
+        gemm_workloads(max_dim),
+        conv_workloads(max_dim, max_rs=3),
+    )
+
+
+def mapspace_kinds():
+    """One of the paper's four mapspace kinds."""
+    _require_hypothesis()
+    return st.sampled_from(list(MapspaceKind))
+
+
+def two_level_architectures(max_capacity: int = 10**6, max_fanout: int = 32):
+    """Arbitrary DRAM + L1 architectures (spec round-trip coverage)."""
+    _require_hypothesis()
+
+    def build(capacity, fanout_x, fanout_y, word_bits, bandwidth):
+        return Architecture(
+            name="prop",
+            levels=(
+                StorageLevel.build("DRAM", word_bits=word_bits),
+                StorageLevel.build(
+                    "L1",
+                    capacity_words=capacity,
+                    word_bits=word_bits,
+                    fanout=fanout_x * fanout_y,
+                    fanout_x=fanout_x,
+                    fanout_y=fanout_y,
+                    bandwidth_words_per_cycle=bandwidth,
+                ),
+            ),
+        )
+
+    return st.builds(
+        build,
+        capacity=st.integers(min_value=1, max_value=max_capacity),
+        fanout_x=st.integers(min_value=1, max_value=max_fanout),
+        fanout_y=st.integers(min_value=1, max_value=max_fanout),
+        word_bits=st.sampled_from([8, 16, 32]),
+        bandwidth=st.one_of(
+            st.none(), st.floats(min_value=0.5, max_value=64.0)
+        ),
+    )
+
+
+def sampled_mappings(max_dim: int = 64):
+    """Mappings sampled from a toy-GLB mapspace over random GEMMs.
+
+    Mirrors what the serde round-trip property used to build inline: all
+    four mapspace kinds, optional bypass exploration, seed-deterministic.
+    """
+    _require_hypothesis()
+
+    def build(kind, m, n, k, seed, bypass):
+        arch = toy_glb_architecture(6, 4096)
+        workload = GemmLayer("g", m, n, k).workload()
+        space = MapSpace(arch, workload, kind, explore_bypass=bypass)
+        return space.sample(random.Random(seed))
+
+    return st.builds(
+        build,
+        kind=mapspace_kinds(),
+        m=dim_sizes(max_dim),
+        n=dim_sizes(max_dim),
+        k=dim_sizes(max_dim),
+        seed=st.integers(min_value=0, max_value=2**16),
+        bypass=st.booleans(),
+    )
+
+
+def verify_cases(sim_bias: float = 0.7):
+    """Full differential-verification cases, driven by a drawn seed."""
+    _require_hypothesis()
+    return st.builds(
+        lambda seed: random_case(random.Random(seed), sim_bias=sim_bias),
+        seed=st.integers(min_value=0, max_value=2**32 - 1),
+    )

@@ -1,10 +1,12 @@
-"""Property-based round-trip tests for the JSON spec serialization."""
+"""Property-based round-trip tests for the JSON spec serialization.
 
-import random
+The strategies live in :mod:`repro.verify.strategies` (shared with the
+differential verification harness) — these tests only supply the
+round-trip assertions.
+"""
 
-from hypothesis import given, settings, strategies as st
+from hypothesis import given, settings
 
-from repro.arch import Architecture, StorageLevel
 from repro.io import (
     architecture_from_dict,
     architecture_to_dict,
@@ -13,81 +15,37 @@ from repro.io import (
     workload_from_dict,
     workload_to_dict,
 )
-from repro.mapspace.generator import MapSpace, MapspaceKind
-from repro.problem import ConvLayer, GemmLayer
-
-dims = st.integers(min_value=1, max_value=64)
-strides = st.integers(min_value=1, max_value=3)
+from repro.verify.strategies import (
+    conv_workloads,
+    gemm_workloads,
+    sampled_mappings,
+    two_level_architectures,
+)
 
 
 class TestWorkloadRoundTripProperties:
-    @given(c=dims, m=dims, p=dims, q=dims,
-           r=st.integers(min_value=1, max_value=7),
-           s=st.integers(min_value=1, max_value=7),
-           stride=strides)
+    @given(workload=conv_workloads())
     @settings(max_examples=50, deadline=None)
-    def test_conv_round_trip(self, c, m, p, q, r, s, stride):
-        original = ConvLayer(
-            "w", c=c, m=m, p=p, q=q, r=r, s=s,
-            stride_h=stride, stride_w=stride,
-        ).workload()
-        rebuilt = workload_from_dict(workload_to_dict(original))
-        assert rebuilt == original
+    def test_conv_round_trip(self, workload):
+        assert workload_from_dict(workload_to_dict(workload)) == workload
 
-    @given(m=dims, n=dims, k=dims)
+    @given(workload=gemm_workloads())
     @settings(max_examples=50, deadline=None)
-    def test_gemm_round_trip(self, m, n, k):
-        original = GemmLayer("g", m, n, k).workload()
-        assert workload_from_dict(workload_to_dict(original)) == original
+    def test_gemm_round_trip(self, workload):
+        assert workload_from_dict(workload_to_dict(workload)) == workload
 
 
 class TestMappingRoundTripProperties:
-    @given(
-        kind=st.sampled_from(list(MapspaceKind)),
-        m=dims, n=dims, k=dims,
-        seed=st.integers(min_value=0, max_value=2**16),
-        bypass=st.booleans(),
-    )
+    @given(mapping=sampled_mappings())
     @settings(max_examples=60, deadline=None)
-    def test_sampled_mappings_round_trip(self, kind, m, n, k, seed, bypass):
-        from repro.arch import toy_glb_architecture
-
-        arch = toy_glb_architecture(6, 4096)
-        workload = GemmLayer("g", m, n, k).workload()
-        space = MapSpace(arch, workload, kind, explore_bypass=bypass)
-        mapping = space.sample(random.Random(seed))
+    def test_sampled_mappings_round_trip(self, mapping):
         rebuilt = mapping_from_dict(mapping_to_dict(mapping))
         assert rebuilt == mapping
         assert rebuilt.canonical_key() == mapping.canonical_key()
 
 
 class TestArchitectureRoundTripProperties:
-    @given(
-        capacity=st.integers(min_value=1, max_value=10**6),
-        fanout_x=st.integers(min_value=1, max_value=32),
-        fanout_y=st.integers(min_value=1, max_value=32),
-        word_bits=st.sampled_from([8, 16, 32]),
-        bandwidth=st.one_of(
-            st.none(), st.floats(min_value=0.5, max_value=64.0)
-        ),
-    )
+    @given(arch=two_level_architectures())
     @settings(max_examples=50, deadline=None)
-    def test_arbitrary_levels_round_trip(
-        self, capacity, fanout_x, fanout_y, word_bits, bandwidth
-    ):
-        arch = Architecture(
-            name="prop",
-            levels=(
-                StorageLevel.build("DRAM", word_bits=word_bits),
-                StorageLevel.build(
-                    "L1",
-                    capacity_words=capacity,
-                    word_bits=word_bits,
-                    fanout=fanout_x * fanout_y,
-                    fanout_x=fanout_x,
-                    fanout_y=fanout_y,
-                    bandwidth_words_per_cycle=bandwidth,
-                ),
-            ),
-        )
+    def test_arbitrary_levels_round_trip(self, arch):
         assert architecture_from_dict(architecture_to_dict(arch)) == arch

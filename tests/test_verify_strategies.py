@@ -1,0 +1,164 @@
+"""Tests for the shared verification case generators."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.mapping.chains import chain_coverage
+from repro.mapspace.generator import MapspaceKind
+from repro.verify.strategies import (
+    DIM_SIZE_POOL,
+    VECTOR_SIZE_POOL,
+    VerifyCase,
+    adversarial_cases,
+    eq5_chain,
+    preset_architecture,
+    preset_architecture_names,
+    random_case,
+    random_workload,
+    verify_cases,
+)
+
+
+class TestEq5Chain:
+    @given(
+        size=st.integers(min_value=1, max_value=10_000),
+        inner=st.integers(min_value=1, max_value=128),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_coverage_identity(self, size, inner):
+        outer, inner_b, remainder = eq5_chain(size, inner)
+        assert (outer - 1) * inner_b + remainder == size
+        assert 1 <= remainder <= inner_b
+        assert inner_b <= size
+
+    def test_paper_example(self):
+        # 97 over bound-6 spatial: 17 passes, last one 1 wide.
+        assert eq5_chain(97, 6) == (17, 6, 1)
+        # Exact division collapses to perfect (R = P).
+        assert eq5_chain(100, 5) == (20, 5, 5)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            eq5_chain(0, 3)
+        with pytest.raises(ValueError):
+            eq5_chain(5, 0)
+
+
+class TestPresets:
+    def test_all_presets_build(self):
+        rng = random.Random(0)
+        for name in preset_architecture_names():
+            arch = preset_architecture(name, rng)
+            assert len(arch.levels) >= 2
+
+    def test_unknown_preset_rejected(self):
+        with pytest.raises(ValueError):
+            preset_architecture("tpu-v9")
+
+    def test_toy_shapes_vary_with_rng(self):
+        shapes = {
+            tuple(
+                level.capacity_words
+                for level in preset_architecture(
+                    "toy-glb", random.Random(seed)
+                ).levels
+            )
+            for seed in range(20)
+        }
+        assert len(shapes) > 1
+
+
+class TestRandomWorkload:
+    def test_seed_determinism(self):
+        a = random_workload(random.Random(7))
+        b = random_workload(random.Random(7))
+        assert a == b
+
+    def test_sim_friendly_caps_sizes(self):
+        for seed in range(30):
+            workload = random_workload(random.Random(seed), sim_friendly=True)
+            if len(workload.dims) == 1:
+                assert workload.dim_sizes["D"] in VECTOR_SIZE_POOL
+            else:
+                assert all(
+                    size <= max(VECTOR_SIZE_POOL)
+                    for size in workload.dim_sizes.values()
+                )
+
+    def test_draws_cover_the_pool(self):
+        kinds = {
+            len(random_workload(random.Random(seed)).dims)
+            for seed in range(40)
+        }
+        assert {1, 3} <= kinds or {1, 6} <= kinds  # vector plus gemm/conv
+
+
+class TestRandomCase:
+    def test_seed_determinism(self):
+        a = random_case(random.Random(3), index=3)
+        b = random_case(random.Random(3), index=3)
+        assert a.name == b.name
+        assert a.mapping == b.mapping
+        assert a.workload == b.workload
+
+    def test_sim_bias_extremes(self):
+        for seed in range(15):
+            toy = random_case(random.Random(seed), sim_bias=1.0)
+            assert toy.arch.name.startswith("toy-")
+            preset = random_case(random.Random(seed), sim_bias=0.0)
+            assert preset.arch.name.startswith(("eyeriss", "simba"))
+
+    def test_sources_are_tagged(self):
+        sources = {
+            random_case(random.Random(seed)).source for seed in range(200)
+        }
+        assert "sampled" in sources
+        assert any(s.startswith("adversarial:") for s in sources)
+
+
+class TestAdversarialCases:
+    def test_structure_and_coverage_valid(self):
+        # Capacity validity is deliberately not guaranteed (validity
+        # *agreement* across paths is itself checked downstream), but the
+        # handcrafted chains must be structurally sound and Eq. 5-exact.
+        for case in adversarial_cases(random.Random(0)):
+            assert isinstance(case, VerifyCase)
+            structure = [nest.level_name for nest in case.mapping.levels]
+            assert structure == [level.name for level in case.arch.levels]
+            for dim, size in case.workload.dim_sizes.items():
+                loops = [
+                    p.loop
+                    for p in case.mapping.placed_loops()
+                    if p.loop.dim == dim
+                ]
+                assert chain_coverage(loops) == size, (case.name, dim)
+
+    def test_corner_taxonomy_present(self):
+        names = {case.name for case in adversarial_cases(random.Random(0))}
+        assert {
+            "adv:prime-spatial",
+            "adv:r1-temporal",
+            "adv:perfect-collapse",
+            "adv:imperfect-spatial-gemm",
+            "adv:bypass-combo",
+            "adv:conv-sliding-window",
+        } <= names
+
+    def test_bypass_combo_has_bypass(self):
+        by_name = {c.name: c for c in adversarial_cases(random.Random(0))}
+        assert by_name["adv:bypass-combo"].mapping.bypass
+
+
+class TestHypothesisLayer:
+    @given(case=verify_cases())
+    @settings(max_examples=20, deadline=None)
+    def test_verify_cases_strategy_builds(self, case):
+        assert isinstance(case, VerifyCase)
+        assert case.kind in set(MapspaceKind)
+        assert case.workload.dim_sizes
+
+    def test_pools_exercise_primes(self):
+        assert {7, 11, 13} <= set(DIM_SIZE_POOL)
+        assert 97 in VECTOR_SIZE_POOL
