@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test coverage verify-diff verify-smoke bench bench-fast bench-cache bench-batch campaign-smoke obs-smoke examples experiments clean
+.PHONY: install test coverage verify-diff verify-smoke bench bench-fast bench-cache bench-batch bench-bnb campaign-smoke obs-smoke examples experiments clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -51,6 +51,13 @@ bench-cache:
 # Refreshes BENCH_batch_eval.json (the perf trajectory record).
 bench-batch:
 	$(PYTHON) -m pytest benchmarks/test_perf_batch_eval.py --benchmark-only -s
+
+# Smoke benchmark for the branch-and-bound mapper: fails if it drops below
+# 2x batched-exhaustive speed on a ResNet-50 layer's Eyeriss mapspace,
+# stops pruning subtrees, or diverges from the exhaustive optimum.
+# Refreshes BENCH_branch_bound.json (the perf trajectory record).
+bench-bnb:
+	$(PYTHON) -m pytest benchmarks/test_perf_branch_bound.py --benchmark-only -s
 
 # End-to-end robustness smoke: runs a tiny campaign, SIGKILLs it mid-run,
 # resumes from the journal, and checks best-EDP parity plus fault-injection

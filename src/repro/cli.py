@@ -137,13 +137,27 @@ def _format_search_stats(stats: Dict) -> List[str]:
         )
     if summary:
         lines.append("  ".join(summary))
+    # The batch sub-dict is schema-uniform across searchers (present with
+    # zero counters on scalar paths) — gate the footer on activity, never
+    # on key existence.
     batch = stats.get("batch")
-    if batch is not None:
+    if batch and batch.get("candidates"):
         lines.append(
             f"  batch: {batch['batches']:,} batches  "
             f"{batch['candidates']:,} candidates  "
             f"pruned={batch['pruned']:,} ({batch['prune_rate']:.1%})  "
             f"scalar-fallback={batch['fallback']:,}"
+        )
+    bnb = stats.get("bnb")
+    if bnb and bnb.get("nodes_expanded"):
+        tightness = bnb.get("bound_tightness")
+        tightness_part = (
+            f"  bound-tightness={tightness:.1%}" if tightness is not None else ""
+        )
+        lines.append(
+            f"  bnb: {bnb['nodes_expanded']:,} nodes expanded  "
+            f"subtrees-pruned={bnb['subtrees_pruned']:,}  "
+            f"infeasible={bnb['infeasible_subtrees']:,}{tightness_part}"
         )
     for row in stats.get("workers", ()):
         hit_rate = row.get("cache_hit_rate")
@@ -191,6 +205,11 @@ def _cmd_search(args: argparse.Namespace) -> int:
         else None
     )
     if args.workers > 1:
+        if args.searcher != "random":
+            raise SystemExit(
+                "--workers > 1 drives the parallel random search; combine "
+                "it with --searcher random (the default) only"
+            )
         from repro.model.eval_cache import DEFAULT_CACHE_SIZE
         from repro.search.parallel import parallel_random_search
 
@@ -215,6 +234,7 @@ def _cmd_search(args: argparse.Namespace) -> int:
             workload,
             kind=args.kind,
             objective=args.objective,
+            strategy=args.searcher,
             seed=args.seed,
             max_evaluations=args.budget,
             patience=args.patience,
@@ -696,6 +716,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     search.add_argument(
         "--objective", choices=["edp", "energy", "delay"], default="edp"
+    )
+    search.add_argument(
+        "--searcher",
+        choices=["random", "exhaustive", "branch-bound", "genetic", "annealing"],
+        default="random",
+        help="search strategy; branch-bound is exact with subtree pruning "
+        "(enumerable mapspaces only)",
     )
     search.add_argument("--budget", type=int, default=5000)
     search.add_argument("--patience", type=int, default=1500)

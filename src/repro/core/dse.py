@@ -117,13 +117,17 @@ def evaluate_network(
     restarts: int = 1,
     use_batch: bool = True,
     batch_size: int = 512,
+    strategy: str = "random",
 ) -> Tuple[float, int, List[Tuple[str, float]]]:
     """Search every layer; return (total energy, total cycles, per-layer EDP).
 
     ``workloads`` pairs each unique layer with its occurrence count in the
     network (ResNet-50 repeats layer shapes many times). ``restarts``
     independent searches run per layer and the best wins — the laptop-scale
-    stand-in for the paper's 24-thread searches.
+    stand-in for the paper's 24-thread searches. ``strategy`` selects the
+    per-layer searcher (any :class:`MapperConfig` strategy, e.g.
+    "branch-bound" for exact sweeps of enumerable spaces); campaign-mode
+    runs journal random searches and ignore it.
     """
     from repro.search.campaign import active_campaign
 
@@ -179,6 +183,7 @@ def evaluate_network(
             config = MapperConfig(
                 kind=kind,
                 objective=objective,
+                strategy=strategy,
                 max_evaluations=max_evaluations,
                 patience=patience,
                 constraints=constraints,

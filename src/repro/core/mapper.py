@@ -39,7 +39,8 @@ class MapperConfig:
     Attributes:
         kind: mapspace variant ("pfm", "ruby", "ruby-s", "ruby-t").
         objective: "edp" (paper default), "energy", or "delay".
-        strategy: "random" (Timeloop-style), "exhaustive", or "genetic".
+        strategy: "random" (Timeloop-style), "exhaustive", "branch-bound"
+            (exact, with subtree pruning), "genetic", or "annealing".
         max_evaluations: budget for the random strategy.
         patience: consecutive-non-improving termination (random strategy);
             the paper uses 3000.
@@ -115,6 +116,17 @@ class Mapper:
                 use_batch=self.config.use_batch,
                 batch_size=self.config.batch_size,
             ).run()
+        if strategy == "branch-bound":
+            from repro.search.branch_bound import BranchBoundSearch
+
+            return BranchBoundSearch(
+                self.mapspace,
+                self.evaluator,
+                objective=self.config.objective,
+                seed=effective_seed,
+                use_batch=self.config.use_batch,
+                batch_size=self.config.batch_size,
+            ).run()
         if strategy == "genetic":
             return GeneticSearch(
                 self.mapspace,
@@ -133,10 +145,12 @@ class Mapper:
                 objective=self.config.objective,
                 steps=self.config.max_evaluations,
                 seed=effective_seed,
+                use_batch=self.config.use_batch,
+                batch_size=self.config.batch_size,
             ).run()
         raise SearchError(
             f"unknown strategy {strategy!r}; use random, exhaustive, "
-            f"genetic, or annealing"
+            f"branch-bound, genetic, or annealing"
         )
 
 

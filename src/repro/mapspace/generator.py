@@ -94,6 +94,7 @@ class MapSpace:
                 sampling=sampling,
             )
         self._batch_layout = None
+        self._dim_chain_menus: Optional[List[Tuple[str, Tuple[DimChain, ...]]]] = None
 
     def _initial_budgets(self) -> Dict[int, int]:
         return {
@@ -184,6 +185,79 @@ class MapSpace:
             if used > slot.fanout_cap:
                 return False
         return True
+
+    # -- prefix enumeration ----------------------------------------------
+    #
+    # The flat enumeration (enumerate_mappings / iter_batches) walks the
+    # cartesian product of per-dimension chain menus. A *prefix* fixes the
+    # chains of a subset of dimensions; the prefix tree over dimensions is
+    # the decomposition under which the cost model factors exactly (cycles
+    # are a per-dim product, delivered-tile counts are per-dim folds), so a
+    # hierarchical searcher can bound and prune whole subtrees before they
+    # are ever enumerated.
+
+    def dim_chain_menus(self) -> List[Tuple[str, Tuple[DimChain, ...]]]:
+        """Per-dimension chain menus in workload dim order (cached).
+
+        Each menu is the full ``enumerate_chains`` list for that dimension;
+        the flat enumeration is exactly the joint-fanout-filtered cartesian
+        product of these menus.
+        """
+        if self._dim_chain_menus is None:
+            self._dim_chain_menus = [
+                (
+                    dim,
+                    tuple(
+                        self.allocator.enumerate_chains(
+                            dim, self.workload.size(dim)
+                        )
+                    ),
+                )
+                for dim in self.workload.dim_names
+            ]
+        return self._dim_chain_menus
+
+    def prefix_feasible(self, chains: Dict[str, DimChain]) -> bool:
+        """True when some completion of ``chains`` can fit the fanout caps.
+
+        Unassigned dimensions contribute a spatial bound of at least 1, so
+        a prefix whose running per-slot product already exceeds a cap has
+        no feasible completion — the whole subtree can be discarded.
+        """
+        for offset, slot in enumerate(self.slots):
+            if not slot.spatial:
+                continue
+            used = 1
+            for chain in chains.values():
+                used *= chain.bounds[offset]
+            if used > slot.fanout_cap:
+                return False
+        return True
+
+    def count_completions(
+        self, prefix: Optional[Dict[str, DimChain]] = None
+    ) -> int:
+        """Exact number of enumerated mappings completing ``prefix``.
+
+        Counts the joint-fanout-filtered product of the unassigned menus
+        with the prefix dims pinned; ``prefix=None`` counts the whole flat
+        enumeration. Summed over all chains of any one dimension this
+        reproduces the flat count exactly (the prefix tree partitions the
+        enumeration) — asserted by the prefix-counting tests.
+        """
+        prefix = prefix or {}
+        per_dim = [
+            [prefix[dim]] if dim in prefix else list(menu)
+            for dim, menu in self.dim_chain_menus()
+        ]
+        spatial_offsets = [
+            offset for offset, slot in enumerate(self.slots) if slot.spatial
+        ]
+        count = 0
+        for combo in itertools.product(*per_dim):
+            if self._fanout_ok(combo, spatial_offsets):
+                count += 1
+        return count
 
     def sample_many(
         self, count: int, rng: Optional[random.Random] = None
@@ -314,7 +388,11 @@ class MapSpace:
         self._batch_layout = layout
         return layout
 
-    def iter_batches(self, batch_size: int = 512) -> Iterator["object"]:
+    def iter_batches(
+        self,
+        batch_size: int = 512,
+        prefix: Optional[Dict[str, DimChain]] = None,
+    ) -> Iterator["object"]:
         """Exhaustively enumerate straight into packed columnar batches.
 
         The batch analogue of :meth:`enumerate_mappings` with
@@ -326,6 +404,29 @@ class MapSpace:
         the real nest positions, so batch evaluation results are bit-exact
         against the scalar evaluator; rows can still be materialized on
         demand via :meth:`MappingBatch.mapping_at`.
+
+        ``prefix`` pins some dimensions to fixed chains and enumerates
+        only the completions — the leaf-pricing primitive of the
+        branch-and-bound searcher. The prefix dims keep their menu slot in
+        the product order, so iterating every prefix of one dimension
+        reproduces the flat enumeration order exactly.
+        """
+        yield from self.iter_prefix_batches(
+            [prefix or {}], batch_size=batch_size
+        )
+
+    def iter_prefix_batches(
+        self,
+        prefixes: Sequence[Optional[Dict[str, DimChain]]],
+        batch_size: int = 512,
+    ) -> Iterator["object"]:
+        """Enumerate many prefixes' completions into *shared* packed batches.
+
+        Rows from consecutive prefixes share one fill buffer, so pricing a
+        large set of small subtrees (the branch-and-bound leaf regime)
+        still produces full-width batches — one partial batch per call,
+        not one per subtree. Within each prefix the candidate order
+        matches :meth:`iter_batches` exactly.
         """
         layout = self.batch_layout()
         if layout is None:
@@ -337,21 +438,31 @@ class MapSpace:
         from repro.model.batch import MappingBatch
 
         dims = list(self.workload.dim_names)
-        per_dim = []
-        for dim in dims:
-            chains = list(
-                self.allocator.enumerate_chains(dim, self.workload.size(dim))
-            )
-            per_dim.append(
-                [
+        # The menus and their packed arrays never change for a given
+        # mapspace; cache them (the branch-and-bound leaf flush calls this
+        # many times per search). entry_by_id short-circuits the pinned
+        # branch below for chains drawn from these same menus.
+        cached = getattr(self, "_menu_entry_cache", None)
+        if cached is None:
+            menu_entries = {
+                dim: [
                     (
                         chain,
                         np.asarray(chain.bounds, dtype=np.int64),
                         np.asarray(chain.remainders, dtype=np.int64),
                     )
-                    for chain in chains
+                    for chain in menu
                 ]
-            )
+                for dim, menu in self.dim_chain_menus()
+            }
+            entry_by_id = {
+                id(entry[0]): entry
+                for entries in menu_entries.values()
+                for entry in entries
+            }
+            cached = (menu_entries, entry_by_id)
+            self._menu_entry_cache = cached
+        menu_entries, entry_by_id = cached
         spatial_caps = [
             (offset, slot.fanout_cap)
             for offset, slot in enumerate(self.slots)
@@ -364,34 +475,53 @@ class MapSpace:
         bounds = np.ones(shape, dtype=np.int64)
         rems = np.ones(shape, dtype=np.int64)
         fill = 0
-        for combo in itertools.product(*per_dim):
-            feasible = True
-            for offset, cap in spatial_caps:
-                product = 1
-                for chain, _, _ in combo:
-                    product *= chain.bounds[offset]
-                if product > cap:
-                    feasible = False
-                    break
-            if not feasible:
-                continue
-            for d, (_, chain_bounds, chain_rems) in enumerate(combo):
-                bounds[fill, :, d] = chain_bounds
-                rems[fill, :, d] = chain_rems
-            fill += 1
-            if fill == batch_size:
-                _obs.inc("mapspace.batches")
-                _obs.inc("mapspace.candidates", batch_size)
-                yield MappingBatch(
-                    layout=layout,
-                    bounds=bounds,
-                    rems=rems,
-                    pos=pos,
-                    fallback=np.zeros(batch_size, dtype=bool),
+        for prefix in prefixes:
+            prefix = prefix or {}
+            per_dim = [
+                (
+                    [
+                        entry_by_id.get(id(prefix[dim]))
+                        or (
+                            prefix[dim],
+                            np.asarray(prefix[dim].bounds, dtype=np.int64),
+                            np.asarray(
+                                prefix[dim].remainders, dtype=np.int64
+                            ),
+                        )
+                    ]
+                    if dim in prefix
+                    else menu_entries[dim]
                 )
-                bounds = np.ones(shape, dtype=np.int64)
-                rems = np.ones(shape, dtype=np.int64)
-                fill = 0
+                for dim in dims
+            ]
+            for combo in itertools.product(*per_dim):
+                feasible = True
+                for offset, cap in spatial_caps:
+                    product = 1
+                    for chain, _, _ in combo:
+                        product *= chain.bounds[offset]
+                    if product > cap:
+                        feasible = False
+                        break
+                if not feasible:
+                    continue
+                for d, (_, chain_bounds, chain_rems) in enumerate(combo):
+                    bounds[fill, :, d] = chain_bounds
+                    rems[fill, :, d] = chain_rems
+                fill += 1
+                if fill == batch_size:
+                    _obs.inc("mapspace.batches")
+                    _obs.inc("mapspace.candidates", batch_size)
+                    yield MappingBatch(
+                        layout=layout,
+                        bounds=bounds,
+                        rems=rems,
+                        pos=pos,
+                        fallback=np.zeros(batch_size, dtype=bool),
+                    )
+                    bounds = np.ones(shape, dtype=np.int64)
+                    rems = np.ones(shape, dtype=np.int64)
+                    fill = 0
         if fill:
             _obs.inc("mapspace.batches")
             _obs.inc("mapspace.candidates", fill)

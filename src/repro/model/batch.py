@@ -450,12 +450,19 @@ class CandidateOutcome:
     is populated only when a full scalar :class:`Evaluation` was produced
     anyway (cache hits and fallback rows); improvements should be
     re-priced through :meth:`Evaluator.evaluate_fresh` by the caller.
+    ``energy_pj``/``cycles``/``utilization`` carry the bit-exact component
+    metrics for valid, unpruned candidates (multi-objective searches need
+    the raw coordinates, not just the collapsed objective) and are ``None``
+    otherwise.
     """
 
     valid: bool
     pruned: bool
     metric: float
     evaluation: Optional[Evaluation] = None
+    energy_pj: Optional[float] = None
+    cycles: Optional[int] = None
+    utilization: Optional[float] = None
 
 
 @dataclass
@@ -741,6 +748,9 @@ class BatchEvaluator:
                         pruned=False,
                         metric=hit.metric(objective) if hit.valid else float("inf"),
                         evaluation=hit,
+                        energy_pj=hit.energy_pj if hit.valid else None,
+                        cycles=hit.cycles if hit.valid else None,
+                        utilization=hit.utilization if hit.valid else None,
                     )
                     continue
             misses.append(mapping)
@@ -752,11 +762,17 @@ class BatchEvaluator:
                 batch, objective=objective, incumbent=incumbent, prune=prune
             )
             for row, i in enumerate(miss_rows):
+                live = bool(outcome.valid[row]) and not bool(outcome.pruned[row])
                 outcomes[i] = CandidateOutcome(
                     valid=bool(outcome.valid[row]),
                     pruned=bool(outcome.pruned[row]),
                     metric=float(outcome.metric[row]),
                     evaluation=outcome.evaluations.get(row),
+                    energy_pj=float(outcome.energy_pj[row]) if live else None,
+                    cycles=int(outcome.cycles[row]) if live else None,
+                    utilization=(
+                        float(outcome.utilization[row]) if live else None
+                    ),
                 )
         return [outcome for outcome in outcomes if outcome is not None]
 
@@ -988,3 +1004,749 @@ class BatchEvaluator:
             )
             total = total + level_energy
         return total + self.compute_energy
+
+
+class PartialBoundEngine:
+    """Admissible completion bounds for partial chain assignments.
+
+    The batch engine's lower bound (:meth:`BatchEvaluator._build_lower_bound`)
+    is a single constant — the per-rank multilinear delivery sum minimized
+    over the whole tile-count box. This class refines that bound along the
+    per-dimension prefix tree: a prefix pins the full Eq. (5) chains of a
+    subset of problem dimensions, which fixes those dimensions' per-boundary
+    delivered-tile counts and per-dimension cycle factors *exactly*, while
+    unassigned dimensions stay relaxed over the box spanned by their chain
+    menu. The result lower-bounds the metric of **every** mapping that
+    completes the prefix, so a branch-and-bound search can discard whole
+    subtrees before they are enumerated:
+
+    * **cycles** — the cycle count is an exact per-dimension product
+      (see :meth:`BatchEvaluator._cycles`); assigned dims contribute their
+      exact factor, free dims the minimum factor over their menu.
+    * **energy** — each tensor boundary's traffic is its rank delivery-sum
+      product times per-dimension projection multipliers over the
+      irrelevant dims. Each rank sum is multilinear in the per-dim
+      delivered tile counts, so with assigned counts pinned the minimum
+      over the free counts sits at a vertex of their menu's [min, max]
+      box. The multipliers factor per irrelevant dimension and are coupled
+      to the rest of the mapping only through the boundary's *cutoff* (the
+      innermost relevant temporal position above it, a max over relevant
+      dims); both the per-dim factor and the cutoff are monotone under
+      assignment, so replaying each factor at a cutoff *lower bound*
+      (assigned relevant dims exact, free ones at their menu minimum)
+      stays admissible. The output tensor's read-delta terms
+      (``outer - outer_sp`` / ``inner - inner_sp``), which are always
+      nonnegative, are the only traffic dropped outright.
+    * **EDP** — both factors are nonnegative, so the product of the two
+      bounds lower-bounds the product.
+
+    Bounds are monotone along the tree (fixing more dimensions can only
+    raise them), which makes best-first search with a single
+    front-of-heap cutoff exact. All arithmetic is Python ints/floats —
+    no overflow concerns — and the same :data:`PRUNE_MARGIN` discipline
+    as row-level pruning keeps float rounding from ever cutting a true
+    improvement.
+    """
+
+    def __init__(
+        self,
+        engine: BatchEvaluator,
+        menus: Sequence[Tuple[str, Sequence[Any]]],
+    ) -> None:
+        if not engine.supported:
+            raise RuntimeError(
+                f"partial bounds need a supported batch engine: "
+                f"{engine.unsupported_reason}"
+            )
+        self.engine = engine
+        layout = engine.layout
+        assert layout is not None
+        self.layout = layout
+        # Boundary cut levels at which delivered-tile counts are needed
+        # (a boundary (parent, child) folds the columns above ``child``;
+        # the innermost boundary folds everything).
+        self.cuts: Tuple[int, ...] = tuple(
+            sorted(
+                {
+                    layout.num_levels if child is None else child
+                    for meta in layout.tensors
+                    for _, child in meta.boundaries
+                }
+            )
+        )
+        #: Per dim, per menu chain: (cycle factor, {cut: delivered tiles}).
+        self.chain_stats: Dict[str, List[Tuple[int, Dict[int, int]]]] = {}
+        #: Per dim: minimum cycle factor over the menu (free-dim relaxation).
+        self.min_cycles: Dict[str, int] = {}
+        #: Per dim, per cut: [min, max] delivered-tile box over the menu.
+        self.tile_range: Dict[str, Dict[int, Tuple[int, int]]] = {}
+        #: Per dim: the menu chains themselves (projection-factor replay).
+        self.menus: Dict[str, Sequence[Any]] = {}
+        #: Per dim, per chain: {cut: innermost qualifying temporal position}
+        #: (-1 when the chain has no bound>1 temporal loop above the cut).
+        self.qual: Dict[str, List[Dict[int, int]]] = {}
+        #: Per dim: {cut: minimum qualifying position over the menu}.
+        self.qual_min: Dict[str, Dict[int, int]] = {}
+        for dim, menu in menus:
+            stats = [
+                (self._chain_cycles(chain), self._chain_tiles(chain))
+                for chain in menu
+            ]
+            if not stats:
+                raise RuntimeError(f"dimension {dim} has an empty chain menu")
+            self.chain_stats[dim] = stats
+            self.min_cycles[dim] = min(s[0] for s in stats)
+            self.tile_range[dim] = {
+                cut: (
+                    min(s[1][cut] for s in stats),
+                    max(s[1][cut] for s in stats),
+                )
+                for cut in self.cuts
+            }
+            self.menus[dim] = list(menu)
+            quals = [self._chain_qual(dim, chain) for chain in menu]
+            self.qual[dim] = quals
+            self.qual_min[dim] = {
+                cut: min(q[cut] for q in quals) for cut in self.cuts
+            }
+        self._factor_cache: Dict[Tuple, int] = {}
+        self._factor_min_cache: Dict[Tuple, int] = {}
+        # Menu-vectorized views of the per-chain stats, for pricing every
+        # child of a tree node in one :meth:`child_bounds` call.
+        self._cyc_vec = {
+            dim: np.array([s[0] for s in stats], dtype=np.int64)
+            for dim, stats in self.chain_stats.items()
+        }
+        self._tiles_vec = {
+            dim: {
+                cut: np.array([s[1][cut] for s in stats], dtype=np.int64)
+                for cut in self.cuts
+            }
+            for dim, stats in self.chain_stats.items()
+        }
+        self._qual_vec = {
+            dim: {
+                cut: np.array([q[cut] for q in quals], dtype=np.int64)
+                for cut in self.cuts
+            }
+            for dim, quals in self.qual.items()
+        }
+        #: Largest possible cutoff (cutoffs are virtual grid positions, or
+        #: -1); factor-vs-cutoff tables are indexed by ``cutoff + 1``.
+        self._cutoff_hi = int(self.layout.grid_pos.max())
+        self._factor_table_cache: Dict[Tuple, Any] = {}
+        self._factor_min_table_cache: Dict[Tuple, Any] = {}
+        self._factor_menu_cache: Dict[Tuple, Any] = {}
+        self._factor_menu_table_cache: Dict[Tuple, Any] = {}
+
+    def _chain_cycles(self, chain: Any) -> int:
+        """One dimension's exact factor of the cycle product.
+
+        The scalar replay of the :meth:`BatchEvaluator._cycles` kernel for
+        a single (dim, chain) column walk.
+        """
+        layout = self.layout
+        steps = 0
+        shadowed = False
+        for c in range(layout.num_columns):
+            b = chain.bounds[c]
+            r = chain.remainders[c]
+            if layout.col_spatial[c]:
+                shadowed = shadowed or r >= 2
+            else:
+                steps = steps * b + (b if shadowed else r) - 1
+        return steps + 1
+
+    def _chain_tiles(self, chain: Any) -> Dict[int, int]:
+        """Delivered-tile counts of one dimension above each boundary cut.
+
+        The per-dim fold from :meth:`BatchEvaluator._traffic`: columns are
+        level-ordered, so the cuts (ascending) share one running fold.
+        """
+        layout = self.layout
+        tiles: Dict[int, int] = {}
+        t = 0
+        c = 0
+        for cut in self.cuts:
+            while c < layout.num_columns and layout.col_level[c] < cut:
+                t = t * chain.bounds[c] + chain.remainders[c] - 1
+                c += 1
+            tiles[cut] = t + 1
+        return tiles
+
+    def _chain_qual(self, dim: str, chain: Any) -> Dict[int, int]:
+        """Innermost qualifying temporal position per cut for one chain.
+
+        The per-dim ingredient of a boundary's cutoff in
+        :meth:`BatchEvaluator._traffic`: the deepest virtual grid position
+        among this dimension's bound>1 temporal loops above the cut, or
+        ``-1`` when there is none. The boundary cutoff is the max of these
+        over the tensor's relevant dims.
+        """
+        layout = self.layout
+        d = layout.dim_index[dim]
+        qual: Dict[int, int] = {}
+        for cut in self.cuts:
+            deepest = -1
+            for c in range(layout.num_columns):
+                if layout.col_level[c] >= cut or layout.col_spatial[c]:
+                    continue
+                if chain.bounds[c] > 1:
+                    deepest = max(deepest, int(layout.grid_pos[c, d]))
+            qual[cut] = deepest
+        return qual
+
+    def _projection_factor(
+        self, dim: str, chain: Any, cut: int, parent: int,
+        inner: bool, cutoff: int,
+    ) -> int:
+        """One irrelevant dimension's projection-count factor, replayed.
+
+        The scalar replay of one ``d`` iteration of
+        :meth:`BatchEvaluator._projection_multipliers`, at a given cutoff:
+        walk the boundary's columns inner to outer keeping (full-subtree,
+        last-path) counts; spatial loops are always selected on the inner
+        multiplier and selected above the parent on the outer one;
+        temporal loops are selected when their position is inside the
+        cutoff, and otherwise promote the full count when they carry a
+        genuine remainder. Both counts are monotone in the selected set,
+        so evaluating at a cutoff lower bound is admissible.
+        """
+        layout = self.layout
+        d = layout.dim_index[dim]
+        f = 1
+        l = 1
+        for c in range(layout.num_columns - 1, -1, -1):
+            if layout.col_level[c] >= cut:
+                continue
+            b = int(chain.bounds[c])
+            r = int(chain.remainders[c])
+            if layout.col_spatial[c]:
+                if inner or layout.col_level[c] < parent:
+                    l = (r - 1) * f + l
+                    f = b * f
+                elif r >= 2:
+                    l = f
+            else:
+                if int(layout.grid_pos[c, d]) < cutoff:
+                    l = (r - 1) * f + l
+                    f = b * f
+                elif r >= 2:
+                    l = f
+        return l
+
+    def _factor(
+        self, dim: str, idx: int, cut: int, parent: int,
+        inner: bool, cutoff: int,
+    ) -> int:
+        """Memoized exact projection factor of one assigned chain."""
+        key = (dim, idx, cut, parent, inner, cutoff)
+        cached = self._factor_cache.get(key)
+        if cached is None:
+            cached = self._projection_factor(
+                dim, self.menus[dim][idx], cut, parent, inner, cutoff
+            )
+            self._factor_cache[key] = cached
+        return cached
+
+    def _factor_min(
+        self, dim: str, cut: int, parent: int, inner: bool, cutoff: int
+    ) -> int:
+        """Memoized menu-minimum projection factor of a free dimension."""
+        key = (dim, cut, parent, inner, cutoff)
+        cached = self._factor_min_cache.get(key)
+        if cached is None:
+            cached = min(
+                self._factor(dim, idx, cut, parent, inner, cutoff)
+                for idx in range(len(self.menus[dim]))
+            )
+            self._factor_min_cache[key] = cached
+        return cached
+
+    def _factor_table(
+        self, dim: str, idx: int, cut: int, parent: int, inner: bool
+    ) -> Any:
+        """One assigned chain's projection factor, tabulated over cutoffs.
+
+        Index ``cutoff + 1`` (cutoffs range over ``[-1, _cutoff_hi]``), so
+        a per-child cutoff vector gathers factors in one fancy-index.
+        """
+        key = (dim, idx, cut, parent, inner)
+        table = self._factor_table_cache.get(key)
+        if table is None:
+            table = np.array(
+                [
+                    self._factor(dim, idx, cut, parent, inner, cutoff)
+                    for cutoff in range(-1, self._cutoff_hi + 1)
+                ],
+                dtype=np.int64,
+            )
+            self._factor_table_cache[key] = table
+        return table
+
+    def _factor_min_table(
+        self, dim: str, cut: int, parent: int, inner: bool
+    ) -> Any:
+        """A free dimension's menu-minimum factor, tabulated over cutoffs."""
+        key = (dim, cut, parent, inner)
+        table = self._factor_min_table_cache.get(key)
+        if table is None:
+            table = np.array(
+                [
+                    self._factor_min(dim, cut, parent, inner, cutoff)
+                    for cutoff in range(-1, self._cutoff_hi + 1)
+                ],
+                dtype=np.int64,
+            )
+            self._factor_min_table_cache[key] = table
+        return table
+
+    def _factor_menu_vec(
+        self, dim: str, cut: int, parent: int, inner: bool, cutoff: int
+    ) -> Any:
+        """All of one dimension's menu factors at one fixed cutoff."""
+        key = (dim, cut, parent, inner, cutoff)
+        vec = self._factor_menu_cache.get(key)
+        if vec is None:
+            vec = np.array(
+                [
+                    self._factor(dim, idx, cut, parent, inner, cutoff)
+                    for idx in range(len(self.menus[dim]))
+                ],
+                dtype=np.int64,
+            )
+            self._factor_menu_cache[key] = vec
+        return vec
+
+    def _factor_menu_table(
+        self, dim: str, cut: int, parent: int, inner: bool
+    ) -> Any:
+        """One dimension's factors over (menu index, cutoff), 2-D."""
+        key = (dim, cut, parent, inner)
+        table = self._factor_menu_table_cache.get(key)
+        if table is None:
+            table = np.stack(
+                [
+                    self._factor_table(dim, idx, cut, parent, inner)
+                    for idx in range(len(self.menus[dim]))
+                ]
+            )
+            self._factor_menu_table_cache[key] = table
+        return table
+
+    def suffix_bounds(
+        self, assigned: Dict[str, int], objective: str = "edp"
+    ) -> Any:
+        """:meth:`bound` of every *complete* assignment extending ``assigned``.
+
+        Returns an array shaped by the free dimensions' menu lengths (in
+        layout dim order). Nothing is relaxed — each cell fixes every
+        dimension, so the cell value equals the scalar ``bound`` of that
+        full assignment: the tightest partial bound the engine can state,
+        computed densely. This is the leaf regime of the tree walk: once
+        a subtree is small, sweeping all of its completions' bounds in a
+        few broadcast kernels costs far less than branching further, and
+        the cells it cuts are never even enumerated into batches.
+        """
+        layout = self.layout
+        free = [dim for dim in layout.dims if dim not in assigned]
+        axis = {dim: i for i, dim in enumerate(free)}
+        k = len(free)
+
+        def spread(dim: str, arr: Any) -> Any:
+            shape = [1] * k
+            shape[axis[dim]] = arr.shape[0]
+            return arr.reshape(shape)
+
+        cycles_scalar = 1
+        for dim in layout.dims:
+            idx = assigned.get(dim)
+            if idx is not None:
+                cycles_scalar *= self.chain_stats[dim][idx][0]
+        cycles: Any = np.int64(cycles_scalar)
+        for dim in free:
+            cycles = cycles * spread(dim, self._cyc_vec[dim])
+        if objective == "delay":
+            return np.broadcast_to(
+                cycles, tuple(len(self.menus[dim]) for dim in free)
+            ).astype(float)
+        engine = self.engine
+        energy: Any = np.float64(engine.compute_energy)
+        for meta in layout.tensors:
+            for parent, child in meta.boundaries:
+                cut = layout.num_levels if child is None else child
+                base: Any = 1
+                for rank in meta.ranks:
+                    tiles = []
+                    sizes = []
+                    for d, _ in rank:
+                        dim = layout.dims[d]
+                        sizes.append(int(layout.sizes[d]))
+                        idx = assigned.get(dim)
+                        if idx is not None:
+                            tiles.append(
+                                np.int64(self.chain_stats[dim][idx][1][cut])
+                            )
+                        else:
+                            tiles.append(
+                                spread(dim, self._tiles_vec[dim][cut])
+                            )
+                    all_tiles: Any = 1
+                    for t in tiles:
+                        all_tiles = all_tiles * t
+                    total = all_tiles
+                    for (_, coef), t, size in zip(rank, tiles, sizes):
+                        total = total + coef * (size - t) * (all_tiles // t)
+                    base = base * total
+                cutoff: Any = np.int64(-1)
+                for d in meta.relevant_idx:
+                    dim = layout.dims[d]
+                    idx = assigned.get(dim)
+                    if idx is not None:
+                        cutoff = np.maximum(
+                            cutoff, np.int64(self.qual[dim][idx][cut])
+                        )
+                    else:
+                        cutoff = np.maximum(
+                            cutoff, spread(dim, self._qual_vec[dim][cut])
+                        )
+                cutoff_idx = cutoff + 1
+                outer: Any = 1
+                inner: Any = 1
+                for d in meta.irrelevant_idx:
+                    dim = layout.dims[d]
+                    idx = assigned.get(dim)
+                    if idx is not None:
+                        outer = outer * self._factor_table(
+                            dim, idx, cut, parent, False
+                        )[cutoff_idx]
+                        if child is not None:
+                            inner = inner * self._factor_table(
+                                dim, idx, cut, parent, True
+                            )[cutoff_idx]
+                    else:
+                        m = len(self.menus[dim])
+                        idx_grid = spread(dim, np.arange(m, dtype=np.int64))
+                        outer = outer * self._factor_menu_table(
+                            dim, cut, parent, False
+                        )[idx_grid, cutoff_idx]
+                        if child is not None:
+                            inner = inner * self._factor_menu_table(
+                                dim, cut, parent, True
+                            )[idx_grid, cutoff_idx]
+                if not meta.is_output:
+                    energy = energy + engine.read_pj[parent] * (base * outer)
+                    if child is not None:
+                        energy = energy + engine.write_pj[child] * (
+                            base * inner
+                        )
+                else:
+                    energy = energy + engine.write_pj[parent] * (base * outer)
+                    if child is not None:
+                        energy = energy + engine.read_pj[child] * (
+                            base * inner
+                        )
+        shape = tuple(len(self.menus[dim]) for dim in free)
+        if objective == "energy":
+            return np.broadcast_to(energy, shape).astype(float)
+        return np.broadcast_to(energy * cycles.astype(float), shape)
+
+    def _rank_min_vec(
+        self,
+        rank: Tuple[Tuple[int, int], ...],
+        cut: int,
+        assigned: Dict[str, int],
+        branch_dim: str,
+    ) -> Any:
+        """:meth:`_rank_min` with ``branch_dim`` swept over its whole menu.
+
+        Returns a scalar when the branch dimension does not appear in the
+        rank (the sum is then child-independent), else an int64 vector
+        over the branch menu. Identical vertex-relaxation math, so every
+        element equals the scalar bound of the corresponding child.
+        """
+        b_idx = self.layout.dim_index[branch_dim]
+        if all(d != b_idx for d, _ in rank):
+            return self._rank_min(rank, cut, assigned)
+        t_branch = self._tiles_vec[branch_dim][cut]
+        choices: List[Optional[Tuple[int, ...]]] = []
+        sizes: List[int] = []
+        for d, _ in rank:
+            dim = self.layout.dims[d]
+            sizes.append(int(self.layout.sizes[d]))
+            if d == b_idx:
+                choices.append(None)  # placeholder: the swept menu axis
+                continue
+            idx = assigned.get(dim)
+            if idx is not None:
+                choices.append((self.chain_stats[dim][idx][1][cut],))
+            else:
+                lo, hi = self.tile_range[dim][cut]
+                choices.append((lo,) if lo == hi else (lo, hi))
+        best: Any = None
+        for vertex in itertools.product(
+            *[c if c is not None else (None,) for c in choices]
+        ):
+            scalar_tiles = 1
+            for t in vertex:
+                if t is not None:
+                    scalar_tiles *= t
+            all_tiles = t_branch * scalar_tiles
+            total = all_tiles.copy()
+            for (_, coef), t, size in zip(rank, vertex, sizes):
+                tv = t_branch if t is None else t
+                total = total + coef * (size - tv) * (all_tiles // tv)
+            best = total if best is None else np.minimum(best, total)
+        return best
+
+    def child_bounds(
+        self, assigned: Dict[str, int], branch_dim: str,
+        objective: str = "edp",
+    ) -> Any:
+        """:meth:`bound` for every child of a node, menu-vectorized.
+
+        Element ``k`` is the bound of ``assigned | {branch_dim: k}`` —
+        the same per-component math as the scalar path (asserted by the
+        admissibility tests), computed once per expansion instead of once
+        per child. This is what makes deep branching affordable: the
+        scalar bound re-derives every rank sum per child, turning tree
+        walks over wide menus into millions of tiny Python folds.
+        """
+        layout = self.layout
+        menu_len = len(self.menus[branch_dim])
+        b_idx = layout.dim_index[branch_dim]
+        cycles_base = 1
+        for dim in layout.dims:
+            if dim == branch_dim:
+                continue
+            idx = assigned.get(dim)
+            cycles_base *= (
+                self.chain_stats[dim][idx][0]
+                if idx is not None
+                else self.min_cycles[dim]
+            )
+        cycles_vec = cycles_base * self._cyc_vec[branch_dim]
+        if objective == "delay":
+            return cycles_vec.astype(float)
+        engine = self.engine
+        energy = np.full(menu_len, engine.compute_energy, dtype=float)
+        for meta in layout.tensors:
+            branch_relevant = b_idx in meta.relevant_idx
+            for parent, child in meta.boundaries:
+                cut = layout.num_levels if child is None else child
+                base: Any = 1
+                for rank in meta.ranks:
+                    base = base * self._rank_min_vec(
+                        rank, cut, assigned, branch_dim
+                    )
+                if branch_relevant:
+                    fixed = -1
+                    for d in meta.relevant_idx:
+                        if d == b_idx:
+                            continue
+                        dim = layout.dims[d]
+                        idx = assigned.get(dim)
+                        qual = (
+                            self.qual[dim][idx][cut]
+                            if idx is not None
+                            else self.qual_min[dim][cut]
+                        )
+                        if qual > fixed:
+                            fixed = qual
+                    cutoff_idx = (
+                        np.maximum(fixed, self._qual_vec[branch_dim][cut]) + 1
+                    )
+                    outer: Any = np.ones(menu_len, dtype=np.int64)
+                    inner: Any = np.ones(menu_len, dtype=np.int64)
+                    for d in meta.irrelevant_idx:
+                        dim = layout.dims[d]
+                        idx = assigned.get(dim)
+                        if idx is not None:
+                            outer = outer * self._factor_table(
+                                dim, idx, cut, parent, False
+                            )[cutoff_idx]
+                            if child is not None:
+                                inner = inner * self._factor_table(
+                                    dim, idx, cut, parent, True
+                                )[cutoff_idx]
+                        else:
+                            outer = outer * self._factor_min_table(
+                                dim, cut, parent, False
+                            )[cutoff_idx]
+                            if child is not None:
+                                inner = inner * self._factor_min_table(
+                                    dim, cut, parent, True
+                                )[cutoff_idx]
+                else:
+                    # The branch dim is irrelevant here, so the cutoff is
+                    # child-independent and the branch contributes its
+                    # menu factor vector at that one cutoff.
+                    cutoff = -1
+                    for d in meta.relevant_idx:
+                        dim = layout.dims[d]
+                        idx = assigned.get(dim)
+                        qual = (
+                            self.qual[dim][idx][cut]
+                            if idx is not None
+                            else self.qual_min[dim][cut]
+                        )
+                        if qual > cutoff:
+                            cutoff = qual
+                    outer = self._factor_menu_vec(
+                        branch_dim, cut, parent, False, cutoff
+                    )
+                    inner = (
+                        self._factor_menu_vec(
+                            branch_dim, cut, parent, True, cutoff
+                        )
+                        if child is not None
+                        else None
+                    )
+                    for d in meta.irrelevant_idx:
+                        if d == b_idx:
+                            continue
+                        dim = layout.dims[d]
+                        idx = assigned.get(dim)
+                        if idx is not None:
+                            outer = outer * self._factor(
+                                dim, idx, cut, parent, False, cutoff
+                            )
+                            if child is not None:
+                                inner = inner * self._factor(
+                                    dim, idx, cut, parent, True, cutoff
+                                )
+                        else:
+                            outer = outer * self._factor_min(
+                                dim, cut, parent, False, cutoff
+                            )
+                            if child is not None:
+                                inner = inner * self._factor_min(
+                                    dim, cut, parent, True, cutoff
+                                )
+                if not meta.is_output:
+                    energy = energy + engine.read_pj[parent] * (base * outer)
+                    if child is not None:
+                        energy = energy + engine.write_pj[child] * (
+                            base * inner
+                        )
+                else:
+                    energy = energy + engine.write_pj[parent] * (base * outer)
+                    if child is not None:
+                        energy = energy + engine.read_pj[child] * (
+                            base * inner
+                        )
+        if objective == "energy":
+            return energy
+        return energy * cycles_vec.astype(float)
+
+    def bound(self, assigned: Dict[str, int], objective: str = "edp") -> float:
+        """Lower bound on ``objective`` over all completions of ``assigned``.
+
+        ``assigned`` maps dimension names to chain indices into the menus
+        this engine was built with. Invalid completions price to ``inf``
+        under every search, so bounding the raw model metric is admissible
+        for them too.
+        """
+        cycles_lb = 1
+        for dim in self.layout.dims:
+            idx = assigned.get(dim)
+            cycles_lb *= (
+                self.chain_stats[dim][idx][0]
+                if idx is not None
+                else self.min_cycles[dim]
+            )
+        if objective == "delay":
+            return float(cycles_lb)
+        engine = self.engine
+        layout = self.layout
+        energy = 0.0
+        for meta in layout.tensors:
+            for parent, child in meta.boundaries:
+                cut = layout.num_levels if child is None else child
+                base = 1
+                for rank in meta.ranks:
+                    base *= self._rank_min(rank, cut, assigned)
+                # Cutoff lower bound: assigned relevant dims contribute
+                # their exact innermost qualifying position, free ones
+                # their menu minimum. The true cutoff is the max over
+                # exact positions, so this never overshoots.
+                cutoff = -1
+                for d in meta.relevant_idx:
+                    dim = layout.dims[d]
+                    idx = assigned.get(dim)
+                    qual = (
+                        self.qual[dim][idx][cut]
+                        if idx is not None
+                        else self.qual_min[dim][cut]
+                    )
+                    if qual > cutoff:
+                        cutoff = qual
+                outer = 1
+                inner = 1
+                for d in meta.irrelevant_idx:
+                    dim = layout.dims[d]
+                    idx = assigned.get(dim)
+                    if idx is not None:
+                        outer *= self._factor(
+                            dim, idx, cut, parent, False, cutoff
+                        )
+                        if child is not None:
+                            inner *= self._factor(
+                                dim, idx, cut, parent, True, cutoff
+                            )
+                    else:
+                        outer *= self._factor_min(
+                            dim, cut, parent, False, cutoff
+                        )
+                        if child is not None:
+                            inner *= self._factor_min(
+                                dim, cut, parent, True, cutoff
+                            )
+                if not meta.is_output:
+                    energy += engine.read_pj[parent] * base * outer
+                    if child is not None:
+                        energy += engine.write_pj[child] * base * inner
+                else:
+                    energy += engine.write_pj[parent] * base * outer
+                    if child is not None:
+                        energy += engine.read_pj[child] * base * inner
+        energy += engine.compute_energy
+        if objective == "energy":
+            return energy
+        return energy * float(cycles_lb)
+
+    def _rank_min(
+        self,
+        rank: Tuple[Tuple[int, int], ...],
+        cut: int,
+        assigned: Dict[str, int],
+    ) -> int:
+        """Box-vertex minimum of one rank's delivery sum at one boundary.
+
+        Assigned dims contribute their exact delivered-tile count at this
+        cut; free dims relax over their menu's [min, max] box. The sum is
+        affine in each count separately, so the box minimum sits at a
+        vertex (at most 2**|free| evaluations; ranks couple <= 2 dims).
+        """
+        choices: List[Tuple[int, ...]] = []
+        sizes: List[int] = []
+        for d, _ in rank:
+            dim = self.layout.dims[d]
+            sizes.append(int(self.layout.sizes[d]))
+            idx = assigned.get(dim)
+            if idx is not None:
+                choices.append((self.chain_stats[dim][idx][1][cut],))
+            else:
+                lo, hi = self.tile_range[dim][cut]
+                choices.append((lo,) if lo == hi else (lo, hi))
+        best: Optional[int] = None
+        for vertex in itertools.product(*choices):
+            all_tiles = 1
+            for t in vertex:
+                all_tiles *= t
+            total = all_tiles
+            for (_, coef), t, size in zip(rank, vertex, sizes):
+                total += coef * (size - t) * (all_tiles // t)
+            if best is None or total < best:
+                best = total
+        return best if best is not None else 1

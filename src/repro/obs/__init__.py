@@ -37,7 +37,7 @@ from repro.obs.scope import (
     set_gauge,
     trace,
 )
-from repro.obs.timing import SearchTimer
+from repro.obs.timing import SearchTimer, empty_batch_stats
 from repro.obs.tracing import (
     SPAN_REQUIRED_KEYS,
     Span,
@@ -55,6 +55,7 @@ __all__ = [
     "MetricsRegistry",
     "ObsContext",
     "SearchTimer",
+    "empty_batch_stats",
     "Span",
     "SPAN_REQUIRED_KEYS",
     "Tracer",

@@ -24,6 +24,22 @@ from typing import Any, Dict, Optional
 from repro.obs import scope as _scope
 
 
+def empty_batch_stats() -> Dict[str, Any]:
+    """The all-zero ``batch`` stats sub-dict of a scalar (engine-less) run.
+
+    Same key set as :meth:`repro.model.batch.BatchEvaluator.stats_payload`,
+    so ``SearchResult.stats["batch"]`` has a uniform schema across every
+    searcher and path.
+    """
+    return {
+        "batches": 0,
+        "candidates": 0,
+        "pruned": 0,
+        "prune_rate": 0.0,
+        "fallback": 0,
+    }
+
+
 class SearchTimer:
     """Times one search run and builds its throughput-stats payload.
 
@@ -62,15 +78,19 @@ class SearchTimer:
         Args:
             num_evaluated: mappings drawn during the run.
             engine: the run's :class:`~repro.model.batch.BatchEvaluator`,
-                if one was used; adds the ``batch`` sub-dict.
+                if one was used. The ``batch`` sub-dict is **always**
+                present with the full key set — all-zero counters on
+                scalar runs — so consumers (CLI footers, campaign
+                aggregation) never have to special-case key existence.
         """
         from repro.search.result import throughput_stats
 
         payload = throughput_stats(
             num_evaluated, self.elapsed_s, self.cache, self.cache_baseline
         )
-        if engine is not None:
-            payload["batch"] = engine.stats_payload()
+        payload["batch"] = (
+            engine.stats_payload() if engine is not None else empty_batch_stats()
+        )
         self._publish(payload, num_evaluated)
         return payload
 

@@ -11,6 +11,7 @@ orthogonal to and composable with better search.
 from repro.search.result import ConvergencePoint, SearchResult
 from repro.search.random_search import RandomSearch, random_search
 from repro.search.exhaustive import ExhaustiveSearch, exhaustive_search
+from repro.search.branch_bound import BranchBoundSearch, branch_bound_search
 from repro.search.genetic import GeneticSearch
 from repro.search.annealing import SimulatedAnnealing
 from repro.search.pareto_search import ParetoSearch, ParetoSearchResult
@@ -38,6 +39,8 @@ __all__ = [
     "random_search",
     "ExhaustiveSearch",
     "exhaustive_search",
+    "BranchBoundSearch",
+    "branch_bound_search",
     "GeneticSearch",
     "SimulatedAnnealing",
     "ParetoSearch",

@@ -34,6 +34,17 @@ class SimulatedAnnealing:
         cooling: geometric decay factor per step.
         restarts: independent annealing chains; best result wins.
         seed: RNG seed or generator.
+        use_batch: price candidates through the vectorized
+            :class:`~repro.model.batch.BatchEvaluator` when it supports
+            this (arch, workload, evaluator) triple, falling back to the
+            scalar evaluator otherwise — the same wiring as the other
+            searchers. The Metropolis chain is inherently sequential
+            (each step's candidate depends on the previous acceptance),
+            so candidates are priced one at a time; the engine is
+            bit-exact and evaluation consumes no RNG, so the trajectory
+            is identical to the scalar path.
+        batch_size: unused (the chain prices single candidates); kept for
+            signature uniformity with the other searchers.
     """
 
     def __init__(
@@ -46,6 +57,8 @@ class SimulatedAnnealing:
         cooling: float = 0.995,
         restarts: int = 1,
         seed: Optional[Union[int, random.Random]] = None,
+        use_batch: bool = True,
+        batch_size: int = 512,
     ) -> None:
         if steps < 1:
             raise SearchError("steps must be >= 1")
@@ -63,6 +76,20 @@ class SimulatedAnnealing:
         self.cooling = cooling
         self.restarts = restarts
         self.rng = make_rng(seed)
+        self.use_batch = use_batch
+        self.batch_size = batch_size
+
+    def _batch_engine(self):
+        """The batch engine, or None when this search must run scalar."""
+        if not self.use_batch:
+            return None
+        layout = self.mapspace.batch_layout()
+        if layout is None:
+            return None
+        from repro.model.batch import BatchEvaluator
+
+        engine = BatchEvaluator(self.evaluator, layout=layout)
+        return engine if engine.supported else None
 
     def run(self) -> SearchResult:
         best: Optional[Evaluation] = None
@@ -71,17 +98,35 @@ class SimulatedAnnealing:
         num_valid = 0
         curve = []
         timer = SearchTimer(self.evaluator, driver="annealing")
+        engine = self._batch_engine()
 
         def evaluate(genome):
             nonlocal evaluations, num_valid, best, best_metric
             mapping = self.mapspace.assemble(genome, self.rng)
-            evaluation = self.evaluator.evaluate(mapping)
-            evaluations += 1
-            if not evaluation.valid:
-                return float("inf")
-            num_valid += 1
-            metric = evaluation.metric(self.objective)
+            if engine is not None:
+                # Batch-of-one: the Metropolis chain is sequential, but
+                # pricing through the engine keeps the scalar evaluator
+                # off the hot path and the trajectory bit-identical
+                # (evaluation consumes no RNG).
+                outcome = engine.evaluate_mappings(
+                    [mapping], objective=self.objective, prune=False
+                )[0]
+                evaluations += 1
+                if not outcome.valid:
+                    return float("inf")
+                num_valid += 1
+                metric = outcome.metric
+                evaluation = outcome.evaluation
+            else:
+                evaluation = self.evaluator.evaluate(mapping)
+                evaluations += 1
+                if not evaluation.valid:
+                    return float("inf")
+                num_valid += 1
+                metric = evaluation.metric(self.objective)
             if metric < best_metric:
+                if evaluation is None:
+                    evaluation = self.evaluator.evaluate_fresh(mapping)
                 best, best_metric = evaluation, metric
                 curve.append(
                     ConvergencePoint(evaluations=evaluations, best_metric=metric)
@@ -91,7 +136,8 @@ class SimulatedAnnealing:
             return metric
 
         with timer, obs.trace(
-            "search.run", driver="annealing", mode="scalar",
+            "search.run", driver="annealing",
+            mode="batch" if engine is not None else "scalar",
             objective=self.objective,
         ):
             for restart in range(self.restarts):
@@ -128,7 +174,7 @@ class SimulatedAnnealing:
             num_valid=num_valid,
             terminated_by="budget",
             curve=curve,
-            stats=timer.stats(evaluations),
+            stats=timer.stats(evaluations, engine=engine),
         )
 
     def _accept(self, current: float, candidate: float, temperature: float) -> bool:

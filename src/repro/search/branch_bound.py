@@ -1,0 +1,489 @@
+"""Hierarchical branch-and-bound mapper with partial-cost pruning.
+
+The flat searchers traverse the whole chain-product enumeration, pricing
+every candidate at least partially (the batch engine's row pruning still
+packs and cycles every row). This searcher instead walks the *prefix tree*
+over problem dimensions: each tree level fixes one dimension's complete
+Eq. (5) bound+remainder chain, and every node is priced with an admissible
+lower bound over all completions
+(:class:`~repro.model.batch.PartialBoundEngine`). Any subtree whose bound
+cannot beat the incumbent is cut before a single one of its candidates is
+enumerated — the lift from "prune rows in a packed batch" to "prune
+regions of the mapspace" (ROADMAP item 2; cf. the level-by-level
+ComputeLevelMapper idiom).
+
+Search order and exactness:
+
+* **warm start** — a short random-sampling pass seeds the incumbent. The
+  samples are assembled in canonical loop order (``assemble(..., rng=None)``),
+  so every warm candidate is a member of the enumerated space and the
+  final best is always an enumeration member.
+* **best-first** — nodes pop in ascending bound order (ties broken by a
+  monotone insertion counter, so the trajectory is seed-deterministic).
+  Bounds are monotone along the tree, so the first prunable node at the
+  front of the heap proves every remaining node prunable and the search
+  terminates with the exact optimum.
+* **leaf batches** — once a subtree is small enough, it is buffered
+  rather than branched; buffered subtrees flush together through
+  :meth:`MapSpace.iter_prefix_batches`, which packs completions from
+  *many* subtrees into shared full-width batches (tiny per-leaf batches
+  would otherwise dominate the runtime). At flush time each buffered
+  bound is re-checked against the incumbent — which usually improved
+  since the leaf was popped — so late leaves are often cut without
+  enumerating a row. Surviving rows are priced by the bit-exact
+  vectorized engine with row-level pruning against the same incumbent.
+  The returned best-EDP is therefore bit-identical to
+  :class:`~repro.search.exhaustive.ExhaustiveSearch` — asserted by the
+  ``branch-bound-parity`` invariant in :mod:`repro.verify.invariants`.
+
+When the batch engine does not support the (arch, workload, evaluator)
+triple, the search degrades to the scalar exhaustive sweep — same result,
+no subtree pruning — and reports ``mode="scalar-fallback"``.
+"""
+
+from __future__ import annotations
+
+import heapq
+import random
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro import obs
+from repro.exceptions import SearchError
+from repro.mapspace.generator import MapSpace
+from repro.model.evaluator import Evaluation, Evaluator
+from repro.obs import SearchTimer
+from repro.search.result import ConvergencePoint, SearchResult
+from repro.utils.rng import make_rng
+
+#: Default number of warm-start samples seeding the incumbent.
+DEFAULT_WARM_SAMPLES = 64
+
+#: Default subtree size below which completions are priced as batches
+#: rather than branched further. Leaves get a dense per-completion bound
+#: sweep at flush time, so wide leaves are cheap: the sweep is a handful
+#: of broadcast kernels, and only surviving cells are ever enumerated.
+DEFAULT_LEAF_WIDTH = 4_096
+
+#: Buffered leaf rows (pre-fanout-filter estimate) that trigger a flush.
+#: Large enough that flushes pack full batches; small enough that the
+#: incumbent stays fresh between flushes.
+FLUSH_ROWS_FACTOR = 8
+
+
+class BranchBoundSearch:
+    """Exact best-first branch-and-bound over the per-dimension prefix tree.
+
+    Args:
+        mapspace: must be enumerable (same regime as exhaustive search).
+        evaluator: prices candidates (through the batch engine when
+            supported).
+        objective: optimization metric name ("edp", "energy", "delay").
+        warm_samples: random samples seeding the incumbent before the
+            tree walk; 0 disables warm start.
+        leaf_width: subtrees with at most this many candidates are priced
+            as packed batches instead of being branched further.
+        batch_size: candidates per packed leaf batch.
+        limit: safety cap on *priced* candidates (pruned subtrees are
+            free); exceeding it raises. ``None`` disables the cap.
+        seed: RNG seed or generator (consumed only by the warm start).
+        use_batch: allow the vectorized engine; without it (or NumPy, or
+            an unsupported evaluator config) the search falls back to the
+            scalar exhaustive sweep.
+    """
+
+    def __init__(
+        self,
+        mapspace: MapSpace,
+        evaluator: Evaluator,
+        objective: str = "edp",
+        warm_samples: int = DEFAULT_WARM_SAMPLES,
+        leaf_width: int = DEFAULT_LEAF_WIDTH,
+        batch_size: int = 512,
+        limit: Optional[int] = 10_000_000,
+        seed: Optional[Union[int, random.Random]] = None,
+        use_batch: bool = True,
+    ) -> None:
+        if warm_samples < 0:
+            raise SearchError("warm_samples must be >= 0")
+        if leaf_width < 1:
+            raise SearchError("leaf_width must be >= 1")
+        if batch_size < 1:
+            raise SearchError("batch_size must be >= 1")
+        self.mapspace = mapspace
+        self.evaluator = evaluator
+        self.objective = objective
+        self.warm_samples = warm_samples
+        self.leaf_width = leaf_width
+        self.batch_size = batch_size
+        self.limit = limit
+        self.rng = make_rng(seed)
+        self.use_batch = use_batch
+
+    def _batch_engine(self):
+        """The batch engine, or None when this search must run scalar."""
+        if not self.use_batch:
+            return None
+        layout = self.mapspace.batch_layout()
+        if layout is None:
+            return None
+        from repro.model.batch import BatchEvaluator
+
+        engine = BatchEvaluator(self.evaluator, layout=layout)
+        return engine if engine.supported else None
+
+    def run(self) -> SearchResult:
+        engine = self._batch_engine()
+        if engine is None:
+            return self._run_scalar_fallback()
+        return self._run_tree(engine)
+
+    # -- scalar fallback -------------------------------------------------
+
+    def _run_scalar_fallback(self) -> SearchResult:
+        """No engine, no bounds: degrade to the scalar exhaustive sweep.
+
+        Same best mapping (the tree walk is exact), uniform stats schema
+        (zeroed ``batch`` and ``bnb`` sub-dicts), driver relabeled so the
+        run is attributable in traces and footers.
+        """
+        from repro.search.exhaustive import ExhaustiveSearch
+
+        with obs.trace(
+            "search.run", driver="branch-bound", mode="scalar-fallback",
+            objective=self.objective,
+        ):
+            result = ExhaustiveSearch(
+                self.mapspace,
+                self.evaluator,
+                objective=self.objective,
+                limit=self.limit if self.limit is not None else 1_000_000_000,
+                use_batch=False,
+            ).run()
+        result.stats["bnb"] = _bnb_stats()
+        return result
+
+    # -- the tree walk ---------------------------------------------------
+
+    def _run_tree(self, engine) -> SearchResult:
+        from repro.model.batch import PRUNE_MARGIN, PartialBoundEngine
+
+        mapspace = self.mapspace
+        menus = mapspace.dim_chain_menus()
+        menu_by_dim = dict(menus)
+        bound_engine = PartialBoundEngine(engine, menus)
+        # Branch the widest menus first: that is where bounds can cut the
+        # largest subtrees, and it keeps the frontier small. Ties break on
+        # workload dim order, so the trajectory is fully deterministic.
+        dims_order: List[Tuple[str, Tuple]] = sorted(
+            menus, key=lambda pair: (-len(pair[1]), pair[0])
+        )
+        num_dims = len(dims_order)
+        # suffix_product[k] = candidates (pre-fanout-filter) below depth k.
+        suffix_product = [1] * (num_dims + 1)
+        for k in range(num_dims - 1, -1, -1):
+            suffix_product[k] = suffix_product[k + 1] * len(dims_order[k][1])
+
+        best: Optional[Evaluation] = None
+        best_metric = float("inf")
+        evaluations = 0
+        num_valid = 0
+        curve: List[ConvergencePoint] = []
+        nodes_expanded = 0
+        subtrees_pruned = 0
+        infeasible_subtrees = 0
+        warm_metric: Optional[float] = None
+
+        def improve(metric: float, evaluation: Evaluation) -> None:
+            nonlocal best, best_metric
+            best = evaluation
+            best_metric = metric
+            curve.append(
+                ConvergencePoint(evaluations=evaluations, best_metric=metric)
+            )
+            obs.inc("search.improvements", driver="branch-bound")
+            obs.set_gauge("search.best_metric", metric, driver="branch-bound")
+
+        # Leaf subtrees are buffered and flushed together so their rows
+        # pack into shared full-width batches (a per-leaf iter_batches
+        # call would emit mostly-empty batches and the per-batch kernel
+        # overhead would swamp the pruning win). At flush time each leaf's
+        # stored bound is re-checked against the incumbent — which usually
+        # improved since the leaf was popped — and surviving leaves get a
+        # dense per-completion bound sweep (suffix_bounds): complete
+        # assignments are the tightest bounds the engine can state, and a
+        # cell cut there is never even enumerated into a batch.
+        leaf_buffer: List[Tuple[float, Tuple[int, ...]]] = []
+        leaf_rows = 0
+        flush_rows = FLUSH_ROWS_FACTOR * self.batch_size
+
+        def flush_leaves(engine, bound_engine) -> None:
+            nonlocal evaluations, num_valid, subtrees_pruned, leaf_rows
+            import numpy as np
+
+            from repro.model.batch import PRUNE_MARGIN
+
+            if not leaf_buffer:
+                return
+            pinned: List[Dict[str, object]] = []
+            for leaf_bound, leaf_indices in leaf_buffer:
+                if (
+                    best_metric != float("inf")
+                    and leaf_bound * (1.0 - PRUNE_MARGIN) >= best_metric
+                ):
+                    subtrees_pruned += 1
+                    obs.inc("search.subtrees_pruned", driver="branch-bound")
+                    continue
+                assigned = {
+                    dims_order[i][0]: k for i, k in enumerate(leaf_indices)
+                }
+                if len(leaf_indices) == num_dims:
+                    pinned.append(
+                        {
+                            dims_order[i][0]: dims_order[i][1][k]
+                            for i, k in enumerate(leaf_indices)
+                        }
+                    )
+                    continue
+                cells = bound_engine.suffix_bounds(assigned, self.objective)
+                free = [
+                    dim
+                    for dim in bound_engine.layout.dims
+                    if dim not in assigned
+                ]
+                flat = cells.reshape(-1)
+                if best_metric != float("inf"):
+                    keep = np.flatnonzero(
+                        flat * (1.0 - PRUNE_MARGIN) < best_metric
+                    )
+                    cut = flat.size - keep.size
+                    if cut:
+                        subtrees_pruned += cut
+                        obs.inc(
+                            "search.subtrees_pruned", cut,
+                            driver="branch-bound",
+                        )
+                else:
+                    keep = np.arange(flat.size)
+                base = {
+                    dims_order[i][0]: dims_order[i][1][k]
+                    for i, k in enumerate(leaf_indices)
+                }
+                for flat_idx in keep:
+                    cell = np.unravel_index(int(flat_idx), cells.shape)
+                    full = dict(base)
+                    for dim, idx in zip(free, cell):
+                        full[dim] = menu_by_dim[dim][idx]
+                    pinned.append(full)
+            leaf_buffer.clear()
+            leaf_rows = 0
+            if not pinned:
+                return
+            with obs.trace("search.leaf_flush", subtrees=len(pinned)):
+                for batch in self.mapspace.iter_prefix_batches(
+                    pinned, batch_size=self.batch_size
+                ):
+                    if (
+                        self.limit is not None
+                        and evaluations + batch.size > self.limit
+                    ):
+                        raise SearchError(
+                            f"branch-and-bound search exceeded limit of "
+                            f"{self.limit} priced mappings"
+                        )
+                    outcome = engine.evaluate_batch(
+                        batch,
+                        objective=self.objective,
+                        incumbent=best_metric,
+                        prune=True,
+                    )
+                    obs.inc(
+                        "search.candidates", batch.size, driver="branch-bound"
+                    )
+                    for i in range(batch.size):
+                        evaluations += 1
+                        if not outcome.valid[i]:
+                            continue
+                        num_valid += 1
+                        if outcome.pruned[i]:
+                            continue
+                        metric = float(outcome.metric[i])
+                        if metric < best_metric:
+                            evaluation = outcome.evaluations.get(i)
+                            if evaluation is None:
+                                evaluation = self.evaluator.evaluate_fresh(
+                                    batch.mapping_at(i)
+                                )
+                            improve(metric, evaluation)
+
+        timer = SearchTimer(self.evaluator, driver="branch-bound")
+        with timer, obs.trace(
+            "search.run", driver="branch-bound", mode="batch",
+            objective=self.objective,
+        ):
+            # Warm start: seed the incumbent so bounds bite immediately.
+            if self.warm_samples:
+                with obs.trace("search.warm_start", samples=self.warm_samples):
+                    chain_sets = [
+                        mapspace.sample_chains(self.rng)
+                        for _ in range(self.warm_samples)
+                    ]
+                    mappings = [
+                        mapspace.assemble(chains, rng=None)
+                        for chains in chain_sets
+                    ]
+                    outcomes = engine.evaluate_mappings(
+                        mappings, objective=self.objective, prune=False
+                    )
+                for mapping, outcome in zip(mappings, outcomes):
+                    evaluations += 1
+                    if not outcome.valid:
+                        continue
+                    num_valid += 1
+                    if outcome.metric < best_metric:
+                        evaluation = outcome.evaluation
+                        if evaluation is None:
+                            evaluation = self.evaluator.evaluate_fresh(mapping)
+                        improve(outcome.metric, evaluation)
+                warm_metric = best_metric if best is not None else None
+                obs.inc("search.candidates", self.warm_samples,
+                        driver="branch-bound")
+
+            root_bound = bound_engine.bound({}, self.objective)
+            # Heap entries: (bound, insertion counter, chain-index tuple
+            # along dims_order). The counter makes ties deterministic.
+            heap: List[Tuple[float, int, Tuple[int, ...]]] = [
+                (root_bound, 0, ())
+            ]
+            counter = 1
+            while heap:
+                node_bound, _, indices = heapq.heappop(heap)
+                if (
+                    best_metric != float("inf")
+                    and node_bound * (1.0 - PRUNE_MARGIN) >= best_metric
+                ):
+                    # Best-first: every remaining node's bound is at least
+                    # this one, so the whole frontier is proved prunable.
+                    pruned_now = 1 + len(heap)
+                    subtrees_pruned += pruned_now
+                    obs.inc("search.subtrees_pruned", pruned_now,
+                            driver="branch-bound")
+                    heap.clear()
+                    break
+                depth = len(indices)
+                if depth == num_dims or suffix_product[depth] <= self.leaf_width:
+                    leaf_buffer.append((node_bound, indices))
+                    leaf_rows += suffix_product[depth]
+                    if leaf_rows >= flush_rows:
+                        flush_leaves(engine, bound_engine)
+                    continue
+                nodes_expanded += 1
+                dim, menu = dims_order[depth]
+                prefix = {
+                    dims_order[i][0]: dims_order[i][1][k]
+                    for i, k in enumerate(indices)
+                }
+                assigned = {
+                    dims_order[i][0]: k for i, k in enumerate(indices)
+                }
+                # One vectorized call prices the whole menu of children —
+                # per-child scalar bounds were the walk's hotspot.
+                child_bounds = bound_engine.child_bounds(
+                    assigned, dim, self.objective
+                )
+                for k, chain in enumerate(menu):
+                    prefix[dim] = chain
+                    if not mapspace.prefix_feasible(prefix):
+                        # No completion fits the fanout caps; not a bound
+                        # decision, so counted separately.
+                        infeasible_subtrees += 1
+                        continue
+                    child_bound = float(child_bounds[k])
+                    if (
+                        best_metric != float("inf")
+                        and child_bound * (1.0 - PRUNE_MARGIN) >= best_metric
+                    ):
+                        subtrees_pruned += 1
+                        obs.inc("search.subtrees_pruned",
+                                driver="branch-bound")
+                        continue
+                    heapq.heappush(
+                        heap, (child_bound, counter, indices + (k,))
+                    )
+                    counter += 1
+
+            # Leaves buffered after the last threshold flush (including
+            # any left when the frontier drained) still need pricing; the
+            # flush re-checks their bounds against the final incumbent.
+            flush_leaves(engine, bound_engine)
+
+            tightness = (
+                root_bound / best_metric
+                if best is not None and best_metric > 0
+                else None
+            )
+            if tightness is not None:
+                obs.set_gauge(
+                    "search.bound_tightness", tightness, driver="branch-bound"
+                )
+
+        stats = timer.stats(evaluations, engine=engine)
+        stats["bnb"] = _bnb_stats(
+            nodes_expanded=nodes_expanded,
+            subtrees_pruned=subtrees_pruned,
+            infeasible_subtrees=infeasible_subtrees,
+            root_bound=root_bound,
+            bound_tightness=tightness,
+            warm_start_metric=warm_metric,
+        )
+        return SearchResult(
+            best=best,
+            objective=self.objective,
+            num_evaluated=evaluations,
+            num_valid=num_valid,
+            terminated_by="exhausted",
+            curve=curve,
+            stats=stats,
+        )
+
+def _bnb_stats(
+    nodes_expanded: int = 0,
+    subtrees_pruned: int = 0,
+    infeasible_subtrees: int = 0,
+    root_bound: Optional[float] = None,
+    bound_tightness: Optional[float] = None,
+    warm_start_metric: Optional[float] = None,
+) -> Dict[str, object]:
+    """The ``bnb`` stats sub-dict (uniform keys on every path)."""
+    return {
+        "nodes_expanded": nodes_expanded,
+        "subtrees_pruned": subtrees_pruned,
+        "infeasible_subtrees": infeasible_subtrees,
+        "root_bound": root_bound,
+        "bound_tightness": bound_tightness,
+        "warm_start_metric": warm_start_metric,
+    }
+
+
+def branch_bound_search(
+    mapspace: MapSpace,
+    evaluator: Evaluator,
+    objective: str = "edp",
+    warm_samples: int = DEFAULT_WARM_SAMPLES,
+    leaf_width: int = DEFAULT_LEAF_WIDTH,
+    batch_size: int = 512,
+    limit: Optional[int] = 10_000_000,
+    seed: Optional[Union[int, random.Random]] = None,
+    use_batch: bool = True,
+) -> SearchResult:
+    """One-shot functional wrapper around :class:`BranchBoundSearch`."""
+    return BranchBoundSearch(
+        mapspace,
+        evaluator,
+        objective=objective,
+        warm_samples=warm_samples,
+        leaf_width=leaf_width,
+        batch_size=batch_size,
+        limit=limit,
+        seed=seed,
+        use_batch=use_batch,
+    ).run()

@@ -13,7 +13,7 @@ from repro.search.result import ConvergencePoint, SearchResult
 
 
 class ExhaustiveSearch:
-    """Evaluate every mapping of a mapspace (deduplicated).
+    """Evaluate every mapping of a mapspace, each exactly once.
 
     By default the sweep runs through the vectorized batch engine
     (:class:`~repro.model.batch.BatchEvaluator`): candidates are packed
@@ -142,7 +142,6 @@ class ExhaustiveSearch:
     def _run_scalar(self) -> SearchResult:
         best: Optional[Evaluation] = None
         best_metric = float("inf")
-        seen = set()
         num_valid = 0
         evaluations = 0
         curve = []
@@ -154,12 +153,11 @@ class ExhaustiveSearch:
             for mapping in self.mapspace.enumerate_mappings(
                 permutations=self.permutations
             ):
-                # Dedup on the signature — the same key the evaluation cache
-                # uses, and cheaper to hold than whole mappings.
-                key = mapping.signature()
-                if key in seen:
-                    continue
-                seen.add(key)
+                # No dedup: chain enumeration emits each candidate exactly
+                # once (distinct chain combinations produce distinct cells,
+                # hence distinct signatures), so a seen-set would only hide
+                # a count mismatch against the batched path. The
+                # enumeration-count-parity invariant checks this.
                 evaluations += 1
                 if evaluations > self.limit:
                     raise SearchError(

@@ -131,16 +131,37 @@ def _search_once(state: Dict[str, Any], seed: int) -> SearchResult:
         energy_table=state["energy_table"],
         cache=cache,
     )
-    search = RandomSearch(
-        mapspace,
-        evaluator,
-        objective=state["objective"],
-        max_evaluations=state["max_evaluations"],
-        patience=state["patience"],
-        seed=seed,
-        use_batch=state["use_batch"],
-        batch_size=state["batch_size"],
-    )
+    strategy = state.get("strategy", "random")
+    if strategy == "branch-bound":
+        # Exact search: workers differ only in their warm-start seed, so
+        # the merged best is a cross-seed determinism check, not a
+        # coverage gain — every worker proves the same optimum.
+        from repro.search.branch_bound import BranchBoundSearch
+
+        search = BranchBoundSearch(
+            mapspace,
+            evaluator,
+            objective=state["objective"],
+            seed=seed,
+            use_batch=state["use_batch"],
+            batch_size=state["batch_size"],
+        )
+    elif strategy == "random":
+        search = RandomSearch(
+            mapspace,
+            evaluator,
+            objective=state["objective"],
+            max_evaluations=state["max_evaluations"],
+            patience=state["patience"],
+            seed=seed,
+            use_batch=state["use_batch"],
+            batch_size=state["batch_size"],
+        )
+    else:
+        raise SearchError(
+            f"parallel search supports the 'random' and 'branch-bound' "
+            f"strategies, not {strategy!r}"
+        )
     if not state.get("obs"):
         return search.run()
     registry = MetricsRegistry()
@@ -165,6 +186,7 @@ def parallel_random_search(
     start_method: Optional[str] = None,
     use_batch: bool = True,
     batch_size: int = 512,
+    strategy: str = "random",
 ) -> SearchResult:
     """Run ``workers`` independent searches and merge the best result.
 
@@ -186,6 +208,9 @@ def parallel_random_search(
             vectorized batch engine when supported (bit-exact; results
             are identical either way).
         batch_size: per-worker batch size on the batch path.
+        strategy: "random" (the paper's multi-start setup) or
+            "branch-bound" (each worker runs the exact search from its own
+            warm-start seed; useful as a determinism cross-check).
 
     The returned ``stats`` carry ``pool_mode`` (which execution mode
     actually ran), wall-clock ``elapsed_s``/``evals_per_sec`` across the
@@ -208,6 +233,7 @@ def parallel_random_search(
         "cache_size": cache_size,
         "use_batch": use_batch,
         "batch_size": batch_size,
+        "strategy": strategy,
         "obs": obs.active_obs() is not None,
     }
     timer = SearchTimer(driver="parallel")
@@ -307,12 +333,15 @@ def _pool_stats(
     elapsed: float,
 ) -> Dict[str, Any]:
     """Aggregate per-worker observability into the merged stats payload."""
+    from repro.obs import empty_batch_stats
+
     worker_rows = []
     cache_hits = 0
     cache_misses = 0
     cache_size = 0
     cache_capacity = 0
     cache_enabled = False
+    batch_totals = empty_batch_stats()
     for index, (worker_seed, result) in enumerate(zip(seeds, results)):
         row: Dict[str, Any] = {
             "worker": index,
@@ -331,13 +360,24 @@ def _pool_stats(
             cache_size += cache.get("size") or 0
             cache_capacity += cache.get("max_entries") or 0
             row["cache_hit_rate"] = cache["hit_rate"]
+        batch = result.stats.get("batch")
+        if batch:
+            for key in ("batches", "candidates", "pruned", "fallback"):
+                batch_totals[key] += batch.get(key, 0)
         worker_rows.append(row)
+    if batch_totals["candidates"]:
+        batch_totals["prune_rate"] = (
+            batch_totals["pruned"] / batch_totals["candidates"]
+        )
     total_evaluated = sum(r.num_evaluated for r in results)
     stats: Dict[str, Any] = {
         "pool_mode": pool_mode,
         "elapsed_s": elapsed,
         "evals_per_sec": (total_evaluated / elapsed) if elapsed > 0 else 0.0,
         "workers": worker_rows,
+        # Uniform schema: the merged payload carries the same batch key
+        # set as a single-worker payload, summed across the pool.
+        "batch": batch_totals,
     }
     if cache_enabled:
         # As in throughput_stats: no lookups at all means the rate is

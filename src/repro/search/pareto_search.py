@@ -10,11 +10,13 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import List, Optional, Union
+from typing import Dict, List, Optional, Union
 
+from repro import obs
 from repro.exceptions import SearchError
 from repro.mapspace.generator import MapSpace
 from repro.model.evaluator import Evaluation, Evaluator
+from repro.obs import SearchTimer
 from repro.utils.rng import make_rng
 
 
@@ -24,11 +26,14 @@ class ParetoSearchResult:
 
     ``frontier`` is sorted by ascending energy (so descending-or-equal
     cycles); every entry is a valid evaluation no other entry dominates.
+    ``stats`` carries the uniform searcher stats payload (wall time,
+    evaluator counters, and the always-present ``batch`` sub-dict).
     """
 
     frontier: List[Evaluation] = field(default_factory=list)
     num_evaluated: int = 0
     num_valid: int = 0
+    stats: Dict = field(default_factory=dict)
 
     def best_by(self, objective: str) -> Optional[Evaluation]:
         """Frontier entry minimizing one metric ('energy'/'delay'/'edp')."""
@@ -53,12 +58,18 @@ class ParetoSearchResult:
         return min(candidates, key=lambda e: e.energy_pj)
 
 
-def _dominates(a: Evaluation, b: Evaluation) -> bool:
+def _dominates_xy(
+    a_energy: float, a_cycles: int, b_energy: float, b_cycles: int
+) -> bool:
     return (
-        a.energy_pj <= b.energy_pj
-        and a.cycles <= b.cycles
-        and (a.energy_pj < b.energy_pj or a.cycles < b.cycles)
+        a_energy <= b_energy
+        and a_cycles <= b_cycles
+        and (a_energy < b_energy or a_cycles < b_cycles)
     )
+
+
+def _dominates(a: Evaluation, b: Evaluation) -> bool:
+    return _dominates_xy(a.energy_pj, a.cycles, b.energy_pj, b.cycles)
 
 
 class ParetoSearch:
@@ -69,6 +80,13 @@ class ParetoSearch:
         evaluator: prices each mapping.
         max_evaluations: sampling budget.
         seed: RNG seed or generator.
+        use_batch: price sampled candidates in chunks through the
+            vectorized :class:`~repro.model.batch.BatchEvaluator` when it
+            supports the triple (bit-exact; scalar fallback otherwise).
+            Sampling consumes the RNG stream one draw at a time and
+            evaluation consumes none, so chunked pricing visits exactly
+            the candidates the scalar path would.
+        batch_size: candidates per chunk on the batch path.
     """
 
     def __init__(
@@ -77,16 +95,51 @@ class ParetoSearch:
         evaluator: Evaluator,
         max_evaluations: int = 10_000,
         seed: Optional[Union[int, random.Random]] = None,
+        use_batch: bool = True,
+        batch_size: int = 512,
     ) -> None:
         if max_evaluations < 1:
             raise SearchError("max_evaluations must be >= 1")
+        if batch_size < 1:
+            raise SearchError("batch_size must be >= 1")
         self.mapspace = mapspace
         self.evaluator = evaluator
         self.max_evaluations = max_evaluations
         self.rng = make_rng(seed)
+        self.use_batch = use_batch
+        self.batch_size = batch_size
+
+    def _batch_engine(self):
+        """The batch engine, or None when this search must run scalar."""
+        if not self.use_batch:
+            return None
+        layout = self.mapspace.batch_layout()
+        if layout is None:
+            return None
+        from repro.model.batch import BatchEvaluator
+
+        engine = BatchEvaluator(self.evaluator, layout=layout)
+        return engine if engine.supported else None
 
     def run(self) -> ParetoSearchResult:
         result = ParetoSearchResult()
+        timer = SearchTimer(self.evaluator, driver="pareto")
+        engine = self._batch_engine()
+        with timer, obs.trace(
+            "search.run", driver="pareto",
+            mode="batch" if engine is not None else "scalar",
+        ):
+            if engine is not None:
+                frontier = self._run_batched(engine, result)
+            else:
+                frontier = self._run_scalar(result)
+            obs.inc("search.candidates", result.num_evaluated, driver="pareto")
+        frontier.sort(key=lambda e: (e.energy_pj, e.cycles))
+        result.frontier = frontier
+        result.stats = timer.stats(result.num_evaluated, engine=engine)
+        return result
+
+    def _run_scalar(self, result: ParetoSearchResult) -> List[Evaluation]:
         frontier: List[Evaluation] = []
         for _ in range(self.max_evaluations):
             mapping = self.mapspace.sample(self.rng)
@@ -95,12 +148,43 @@ class ParetoSearch:
             if not evaluation.valid:
                 continue
             result.num_valid += 1
-            if any(_dominates(kept, evaluation) for kept in frontier):
-                continue
-            frontier = [
-                kept for kept in frontier if not _dominates(evaluation, kept)
+            self._admit(frontier, evaluation)
+        return frontier
+
+    def _run_batched(self, engine, result: ParetoSearchResult) -> List[Evaluation]:
+        frontier: List[Evaluation] = []
+        remaining = self.max_evaluations
+        while remaining > 0:
+            chunk_size = min(self.batch_size, remaining)
+            mappings = [
+                self.mapspace.sample(self.rng) for _ in range(chunk_size)
             ]
-            frontier.append(evaluation)
-        frontier.sort(key=lambda e: (e.energy_pj, e.cycles))
-        result.frontier = frontier
-        return result
+            outcomes = engine.evaluate_mappings(mappings, prune=False)
+            result.num_evaluated += chunk_size
+            remaining -= chunk_size
+            for mapping, outcome in zip(mappings, outcomes):
+                if not outcome.valid:
+                    continue
+                result.num_valid += 1
+                energy, cycles = outcome.energy_pj, outcome.cycles
+                if any(
+                    _dominates_xy(kept.energy_pj, kept.cycles, energy, cycles)
+                    for kept in frontier
+                ):
+                    continue
+                # Materialize the full Evaluation only for frontier
+                # entrants — dominated candidates never leave the batch.
+                evaluation = outcome.evaluation
+                if evaluation is None:
+                    evaluation = self.evaluator.evaluate_fresh(mapping)
+                self._admit(frontier, evaluation)
+        return frontier
+
+    @staticmethod
+    def _admit(frontier: List[Evaluation], evaluation: Evaluation) -> None:
+        if any(_dominates(kept, evaluation) for kept in frontier):
+            return
+        frontier[:] = [
+            kept for kept in frontier if not _dominates(evaluation, kept)
+        ]
+        frontier.append(evaluation)

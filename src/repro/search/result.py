@@ -35,10 +35,16 @@ class SearchResult:
             :func:`throughput_stats`); cached evaluators add a ``cache``
             sub-dict (hits/misses/hit_rate); the parallel driver adds
             ``pool_mode`` ("fork", "spawn", or "sequential") and a
-            ``workers`` list with per-worker counts. Searches that ran
-            through the vectorized engine add a ``batch`` sub-dict
+            ``workers`` list with per-worker counts. Every driver that
+            builds stats via :meth:`repro.obs.SearchTimer.stats` includes
+            a ``batch`` sub-dict with the full uniform key set
             (batches/candidates/pruned/prune_rate/fallback — see
-            :meth:`repro.model.batch.BatchEvaluator.stats_payload`).
+            :meth:`repro.model.batch.BatchEvaluator.stats_payload`);
+            scalar-path runs report it with all-zero counters, so
+            consumers can read the keys unconditionally. The
+            branch-and-bound driver adds a ``bnb`` sub-dict
+            (nodes_expanded/subtrees_pruned/infeasible_subtrees/
+            root_bound/bound_tightness/warm_start_metric).
     """
 
     best: Optional[Evaluation]

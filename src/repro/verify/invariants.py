@@ -16,7 +16,16 @@ answers are known a priori:
 * **Prune parity** — batch evaluation with lower-bound pruning on and off
   agrees on every surviving row, never prunes the best row, and every
   pruned row's true metric is at or above the incumbent;
-* **Seed determinism** — each of the five searchers run twice from one
+* **Enumeration count parity** — the scalar chain enumeration emits each
+  candidate exactly once (unique signatures), and its count matches both
+  the prefix-tree closed-form count and the number of rows the batched
+  path packs — the differential check behind removing the scalar path's
+  vestigial dedup set;
+* **Branch-bound parity** — the hierarchical branch-and-bound searcher
+  finds the bit-identical best mapping (same signature, energy, and
+  cycles) as exhaustive enumeration on toy and Eyeriss-preset mapspaces,
+  regardless of its warm-start seed;
+* **Seed determinism** — each of the six searchers run twice from one
   seed produces the same trajectory, and ``parallel_random_search`` finds
   the same best metric under fork and spawn start methods.
 
@@ -44,6 +53,7 @@ from repro.model.evaluator import Evaluator
 from repro.problem import GemmLayer
 from repro.problem.gemm import vector_workload
 from repro.search import (
+    BranchBoundSearch,
     ExhaustiveSearch,
     GeneticSearch,
     ParetoSearch,
@@ -280,8 +290,112 @@ def check_prune_parity(
     return checked, violations
 
 
+def check_enumeration_count_parity(seed: int = 0) -> Tuple[int, List[str]]:
+    """Scalar enumeration, batched packing, and the closed count agree.
+
+    The scalar exhaustive path used to carry a signature dedup set; this
+    check is the evidence it was vestigial: chain enumeration emits each
+    candidate exactly once (distinct chain combinations produce distinct
+    cells, hence distinct signatures), so all three counts must match.
+    """
+    _, arch, workload = _toy_setup(seed)
+    checked = 0
+    violations: List[str] = []
+    for kind in MapspaceKind:
+        checked += 1
+        space = MapSpace(arch, workload, kind)
+        signatures = [
+            m.signature() for m in space.enumerate_mappings(limit=200_000)
+        ]
+        scalar_count = len(signatures)
+        unique_count = len(set(signatures))
+        if scalar_count != unique_count:
+            violations.append(
+                f"count-parity: {kind.value} scalar enumeration emitted "
+                f"{scalar_count - unique_count} duplicate signatures"
+            )
+        closed_count = space.count_completions()
+        if scalar_count != closed_count:
+            violations.append(
+                f"count-parity: {kind.value} scalar enumeration count "
+                f"{scalar_count} != closed-form count {closed_count}"
+            )
+        batch_rows = sum(
+            batch.size for batch in space.iter_batches(batch_size=512)
+        )
+        if batch_rows != scalar_count:
+            violations.append(
+                f"count-parity: {kind.value} batched path packed "
+                f"{batch_rows} rows vs {scalar_count} scalar candidates"
+            )
+    return checked, violations
+
+
+def _parity_fixtures(seed: int):
+    """(label, mapspace, evaluator) triples for branch-bound parity."""
+    from repro.arch.eyeriss import eyeriss_like
+
+    _, toy_arch, toy_workload = _toy_setup(seed)
+    toy_table = estimate_energy_table(toy_arch)
+    fixtures = []
+    for kind in (MapspaceKind.PFM, MapspaceKind.RUBY_S):
+        fixtures.append(
+            (
+                f"toy/{kind.value}",
+                MapSpace(toy_arch, toy_workload, kind),
+                Evaluator(toy_arch, toy_workload, toy_table),
+            )
+        )
+    eyeriss = eyeriss_like()
+    gemm = GemmLayer("g8x4x4", m=8, n=4, k=4).workload()
+    eyeriss_table = estimate_energy_table(eyeriss)
+    fixtures.append(
+        (
+            "eyeriss/pfm",
+            MapSpace(eyeriss, gemm, MapspaceKind.PFM),
+            Evaluator(eyeriss, gemm, eyeriss_table),
+        )
+    )
+    return fixtures
+
+
+def check_branch_bound_parity(seed: int = 0) -> Tuple[int, List[str]]:
+    """Branch-and-bound matches exhaustive search on the optimum exactly.
+
+    On each fixture the B&B searcher must reach the bit-identical best
+    EDP that full enumeration finds, from two different warm-start seeds —
+    the pruning bound is admissible, so the warm start only affects speed,
+    never the answer. The comparison is on the metric, not the mapping
+    signature: mapspaces routinely hold several co-optimal mappings, and
+    which one a searcher reports depends on visit order (enumeration order
+    for exhaustive, best-first heap order for B&B).
+    """
+    checked = 0
+    violations: List[str] = []
+    for label, space, evaluator in _parity_fixtures(seed):
+        checked += 1
+        exhaustive = ExhaustiveSearch(space, evaluator, limit=200_000).run()
+        runs = [
+            BranchBoundSearch(space, evaluator, seed=s).run()
+            for s in (seed, seed + 1)
+        ]
+        keys = []
+        for result in (exhaustive, *runs):
+            best = result.best
+            keys.append(
+                best.metric("edp") if best is not None else None
+            )
+        if keys[1] != keys[0] or keys[2] != keys[0]:
+            violations.append(
+                f"branch-bound-parity: {label}: best EDP diverges from "
+                f"exhaustive (exhaustive={keys[0]!r}, "
+                f"bnb={keys[1]!r}/{keys[2]!r})"
+            )
+    return checked, violations
+
+
 def _searcher_runs(seed: int):
-    """(name, run-callable) pairs for the five searchers, tiny budgets."""
+    """(name, run-callable) pairs for the six searchers, tiny budgets."""
     _, arch, workload = _toy_setup(seed)
     table = estimate_energy_table(arch)
 
@@ -313,9 +427,14 @@ def _searcher_runs(seed: int):
         space, evaluator = fixture(MapspaceKind.RUBY)
         return ParetoSearch(space, evaluator, max_evaluations=150, seed=seed).run()
 
+    def branch_bound_run():
+        space, evaluator = fixture(MapspaceKind.RUBY_S)
+        return BranchBoundSearch(space, evaluator, seed=seed).run()
+
     return [
         ("random", random_run),
         ("exhaustive", exhaustive_run),
+        ("branch-bound", branch_bound_run),
         ("genetic", genetic_run),
         ("annealing", annealing_run),
         ("pareto", pareto_run),
@@ -397,6 +516,8 @@ INVARIANTS: Tuple[Tuple[str, Callable[[int], Tuple[int, List[str]]]], ...] = (
     ("counting-consistency", check_counting_consistency),
     ("cache-transparency", check_cache_transparency),
     ("prune-parity", check_prune_parity),
+    ("count-parity", check_enumeration_count_parity),
+    ("branch-bound-parity", check_branch_bound_parity),
     ("seed-determinism", check_seed_determinism),
     ("start-method-determinism", check_parallel_start_methods),
 )

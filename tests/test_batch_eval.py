@@ -301,7 +301,10 @@ def test_unsupported_evaluator_runs_scalar_path():
 
     a, b = search(False), search(True)
     _assert_same_result(a, b)
-    assert "batch" not in b.stats  # engine never engaged
+    # Engine never engaged: the uniform schema still carries the batch
+    # sub-dict, with every counter at zero.
+    assert b.stats["batch"]["candidates"] == 0
+    assert b.stats["batch"]["batches"] == 0
 
 
 def test_cache_lookup_counts_preserved_on_batch_path():

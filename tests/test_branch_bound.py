@@ -1,0 +1,418 @@
+"""Branch-and-bound mapper: prefix enumeration, bounds, and the search.
+
+Three layers of guarantees, mirroring the construction:
+
+* the prefix tree partitions the enumeration — per-prefix counts sum to
+  the flat counts and the closed forms, and prefix batches reproduce the
+  flat batch stream exactly;
+* the partial-cost bounds are admissible — never above the true metric
+  of any completion — and the vectorized paths (``child_bounds``,
+  ``suffix_bounds``) agree with the scalar ``bound`` elementwise;
+* the search itself returns the exhaustive optimum bit-for-bit, on
+  every mapspace kind, deterministically per seed, with or without the
+  batch engine.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+
+import numpy as np
+import pytest
+
+from repro.arch import eyeriss_like, toy_glb_architecture
+from repro.exceptions import SearchError
+from repro.mapspace import MapspaceKind
+from repro.mapspace.constraints import eyeriss_row_stationary
+from repro.mapspace.counting import count_mapspace_size
+from repro.mapspace.factory import make_mapspace
+from repro.model import Evaluator
+from repro.model.batch import BatchEvaluator, PartialBoundEngine
+from repro.problem import ConvLayer, GemmLayer
+from repro.search import BranchBoundSearch, branch_bound_search
+from repro.search.exhaustive import ExhaustiveSearch
+
+
+def _toy():
+    return toy_glb_architecture(num_pes=6, glb_bytes=1024)
+
+
+def _bound_engine(space, evaluator):
+    engine = BatchEvaluator(evaluator, layout=space.batch_layout())
+    assert engine.supported, engine.unsupported_reason
+    return PartialBoundEngine(engine, space.dim_chain_menus())
+
+
+def _cell_metrics(space, evaluator, objective="edp"):
+    """True metric per enumerated candidate, keyed by menu-index cell.
+
+    The flat enumeration is the row-major product of the per-dim menus
+    with jointly-infeasible combos skipped, so walking the index product
+    in the same order aligns cells with batch rows one-to-one.
+    """
+    engine = BatchEvaluator(evaluator, layout=space.batch_layout())
+    metrics = []
+    for batch in space.iter_batches(batch_size=256):
+        out = engine.evaluate_batch(batch, objective=objective, prune=False)
+        for i in range(batch.size):
+            metrics.append(
+                float(out.metric[i]) if out.valid[i] else float("inf")
+            )
+    menus = space.dim_chain_menus()
+    cells = []
+    for combo_idx in itertools.product(
+        *[range(len(menu)) for _, menu in menus]
+    ):
+        chains = {
+            menus[d][0]: menus[d][1][k] for d, k in enumerate(combo_idx)
+        }
+        if space.prefix_feasible(chains):
+            cells.append(combo_idx)
+    assert len(cells) == len(metrics)
+    return dict(zip(cells, metrics))
+
+
+class TestPrefixEnumeration:
+    @pytest.mark.parametrize("kind", list(MapspaceKind))
+    def test_prefix_counts_partition_flat_count(self, vector100, kind):
+        """Per-prefix counts sum to the flat count and the closed form."""
+        arch = _toy()
+        space = make_mapspace(arch, vector100, kind.value)
+        flat = space.count_completions()
+        assert flat == count_mapspace_size(
+            arch, vector100, kind, count_valid=False
+        ).raw
+        for dim, menu in space.dim_chain_menus():
+            by_prefix = sum(
+                space.count_completions({dim: chain}) for chain in menu
+            )
+            assert by_prefix == flat
+
+    def test_prefix_counts_partition_along_every_dim(self, small_gemm):
+        """Multi-dim space: any dimension's menu partitions the count."""
+        space = make_mapspace(_toy(), small_gemm, "pfm")
+        flat = space.count_completions()
+        assert flat > 0
+        for dim, menu in space.dim_chain_menus():
+            assert (
+                sum(space.count_completions({dim: chain}) for chain in menu)
+                == flat
+            )
+        # A two-dim prefix partitions one dim's sub-count the same way.
+        (d0, menu0), (d1, menu1) = space.dim_chain_menus()[:2]
+        for chain0 in menu0[:3]:
+            assert space.count_completions({d0: chain0}) == sum(
+                space.count_completions({d0: chain0, d1: chain1})
+                for chain1 in menu1
+            )
+
+    def test_batch_counts_match_prefix_counts(self, small_gemm):
+        space = make_mapspace(_toy(), small_gemm, "pfm")
+        dim, menu = space.dim_chain_menus()[0]
+        for chain in menu[:4]:
+            batched = sum(
+                batch.size
+                for batch in space.iter_batches(
+                    batch_size=64, prefix={dim: chain}
+                )
+            )
+            assert batched == space.count_completions({dim: chain})
+
+    def test_prefix_batches_reproduce_flat_stream(self, small_gemm):
+        """Concatenating one dim's prefix batches equals the flat stream."""
+        space = make_mapspace(_toy(), small_gemm, "pfm")
+        dim, menu = space.dim_chain_menus()[0]
+
+        def stacked(batches):
+            batches = list(batches)
+            bounds = np.concatenate([b.bounds for b in batches])
+            rems = np.concatenate([b.rems for b in batches])
+            return bounds, rems
+
+        flat_bounds, flat_rems = stacked(space.iter_batches(batch_size=128))
+        pref_bounds, pref_rems = stacked(
+            space.iter_prefix_batches(
+                [{dim: chain} for chain in menu], batch_size=128
+            )
+        )
+        assert np.array_equal(flat_bounds, pref_bounds)
+        assert np.array_equal(flat_rems, pref_rems)
+
+    def test_infeasible_prefix_counts_zero(self, small_gemm):
+        space = make_mapspace(_toy(), small_gemm, "pfm")
+        menus = space.dim_chain_menus()
+        full = {dim: menu[0] for dim, menu in menus}
+        if space.prefix_feasible(full):
+            assert space.count_completions(full) == 1
+        else:
+            assert space.count_completions(full) == 0
+
+
+class TestBoundAdmissibility:
+    CASES = [
+        ("toy-gemm-pfm", "toy"),
+        ("toy-v100-ruby-s", "toy"),
+        ("eyeriss-conv-pfm", "eyeriss"),
+    ]
+
+    def _setup(self, case, vector100, small_gemm):
+        if case == "toy-gemm-pfm":
+            arch = _toy()
+            return arch, small_gemm, make_mapspace(arch, small_gemm, "pfm")
+        if case == "toy-v100-ruby-s":
+            arch = _toy()
+            return arch, vector100, make_mapspace(arch, vector100, "ruby-s")
+        # Adversarial: a conv with genuine R/S coefficient ranks, under
+        # the row-stationary constraint set (sliding-window reuse is the
+        # hard case for the projection-multiplier bound).
+        arch = eyeriss_like()
+        workload = ConvLayer(
+            "tiny", c=2, m=2, p=3, q=3, r=3, s=3
+        ).workload()
+        return arch, workload, make_mapspace(
+            arch, workload, "pfm", eyeriss_row_stationary()
+        )
+
+    @pytest.mark.parametrize("case", [c for c, _ in CASES])
+    def test_full_assignment_bound_below_true_metric(
+        self, case, vector100, small_gemm
+    ):
+        """The tightest bound (all dims pinned) never exceeds the truth."""
+        arch, workload, space = self._setup(case, vector100, small_gemm)
+        evaluator = Evaluator(arch, workload)
+        be = _bound_engine(space, evaluator)
+        metrics = _cell_metrics(space, evaluator)
+        for cell, metric in metrics.items():
+            if metric == float("inf"):
+                continue
+            assigned = {
+                dim: k
+                for (dim, _), k in zip(space.dim_chain_menus(), cell)
+            }
+            assert be.bound(assigned) <= metric * (1 + 1e-9)
+
+    @pytest.mark.parametrize("case", [c for c, _ in CASES])
+    def test_partial_bounds_admissible_on_random_prefixes(
+        self, case, vector100, small_gemm
+    ):
+        """bound(prefix) <= min true metric over the prefix's completions."""
+        arch, workload, space = self._setup(case, vector100, small_gemm)
+        evaluator = Evaluator(arch, workload)
+        be = _bound_engine(space, evaluator)
+        metrics = _cell_metrics(space, evaluator)
+        menus = space.dim_chain_menus()
+        dims = [dim for dim, _ in menus]
+        rng = random.Random(7)
+        for _ in range(40):
+            chosen = rng.sample(dims, rng.randrange(len(dims) + 1))
+            assigned = {
+                dim: rng.randrange(len(dict(menus)[dim]))
+                for dim in chosen
+            }
+            completions = [
+                metric
+                for cell, metric in metrics.items()
+                if all(
+                    cell[d] == assigned[dim]
+                    for d, dim in enumerate(dims)
+                    if dim in assigned
+                )
+            ]
+            finite = [m for m in completions if m != float("inf")]
+            if not finite:
+                continue
+            for objective in ("edp", "energy", "delay"):
+                true_min = min(
+                    m
+                    for cell, m in metrics.items()
+                    if all(
+                        cell[d] == assigned[dim]
+                        for d, dim in enumerate(dims)
+                        if dim in assigned
+                    )
+                ) if objective == "edp" else None
+                bound = be.bound(assigned, objective)
+                if objective == "edp":
+                    assert bound <= true_min * (1 + 1e-9)
+                else:
+                    assert bound >= 0
+
+    @pytest.mark.parametrize("case", [c for c, _ in CASES])
+    def test_vectorized_bounds_match_scalar(
+        self, case, vector100, small_gemm
+    ):
+        """child_bounds and suffix_bounds equal the scalar bound per cell."""
+        arch, workload, space = self._setup(case, vector100, small_gemm)
+        be = _bound_engine(space, Evaluator(arch, workload))
+        menus = dict(space.dim_chain_menus())
+        dims = list(be.layout.dims)
+        rng = random.Random(3)
+        for _ in range(12):
+            chosen = rng.sample(dims, rng.randrange(len(dims)))
+            assigned = {d: rng.randrange(len(menus[d])) for d in chosen}
+            free = [d for d in dims if d not in assigned]
+            for objective in ("edp", "energy", "delay"):
+                if free:
+                    branch = rng.choice(free)
+                    vec = be.child_bounds(assigned, branch, objective)
+                    for idx in range(len(menus[branch])):
+                        scalar = be.bound(
+                            {**assigned, branch: idx}, objective
+                        )
+                        assert float(vec[idx]) == pytest.approx(
+                            scalar, rel=1e-12
+                        )
+                grid = be.suffix_bounds(assigned, objective)
+                assert grid.shape == tuple(len(menus[d]) for d in free)
+                probe = [0] * len(free)
+                full = dict(assigned)
+                for d, i in zip(free, probe):
+                    full[d] = i
+                assert float(grid[tuple(probe)]) == pytest.approx(
+                    be.bound(full, objective), rel=1e-12
+                )
+
+    def test_bound_monotone_under_assignment(self, small_gemm):
+        """Assigning a dim never loosens the bound (tree monotonicity)."""
+        arch = _toy()
+        space = make_mapspace(arch, small_gemm, "pfm")
+        be = _bound_engine(space, Evaluator(arch, small_gemm))
+        menus = dict(space.dim_chain_menus())
+        dims = list(be.layout.dims)
+        rng = random.Random(11)
+        for _ in range(30):
+            chosen = rng.sample(dims, rng.randrange(len(dims)))
+            assigned = {d: rng.randrange(len(menus[d])) for d in chosen}
+            parent = be.bound(assigned)
+            free = [d for d in dims if d not in assigned]
+            if not free:
+                continue
+            branch = rng.choice(free)
+            child = min(
+                be.bound({**assigned, branch: idx})
+                for idx in range(len(menus[branch]))
+            )
+            assert child >= parent * (1 - 1e-12)
+
+
+class TestBranchBoundSearch:
+    @pytest.mark.parametrize("kind", ["pfm", "ruby-s"])
+    def test_matches_exhaustive_on_toy(
+        self, toy_arch, vector100, toy_evaluator, kind
+    ):
+        space = make_mapspace(toy_arch, vector100, kind)
+        exact = ExhaustiveSearch(space, toy_evaluator).run()
+        pruned = BranchBoundSearch(
+            make_mapspace(toy_arch, vector100, kind),
+            Evaluator(toy_arch, vector100),
+            seed=0,
+        ).run()
+        assert pruned.best_metric == exact.best_metric
+
+    def test_matches_exhaustive_on_eyeriss_gemm(self):
+        arch = eyeriss_like()
+        workload = GemmLayer("g8x4x4", m=8, n=4, k=4).workload()
+        exact = ExhaustiveSearch(
+            make_mapspace(arch, workload, "pfm"), Evaluator(arch, workload)
+        ).run()
+        pruned = branch_bound_search(
+            make_mapspace(arch, workload, "pfm"),
+            Evaluator(arch, workload),
+            seed=5,
+        )
+        assert pruned.best_metric == exact.best_metric
+
+    def test_seed_deterministic(self, toy_arch, vector100):
+        def run():
+            return BranchBoundSearch(
+                make_mapspace(toy_arch, vector100, "pfm"),
+                Evaluator(toy_arch, vector100),
+                seed=42,
+            ).run()
+
+        a, b = run(), run()
+        assert a.best_metric == b.best_metric
+        assert a.num_evaluated == b.num_evaluated
+        assert a.best.mapping.signature() == b.best.mapping.signature()
+        assert a.stats["bnb"] == b.stats["bnb"]
+
+    def test_leaf_width_does_not_change_optimum(self, toy_arch, small_gemm):
+        metrics = set()
+        for leaf_width in (1, 8, 512, 100_000):
+            result = BranchBoundSearch(
+                make_mapspace(toy_arch, small_gemm, "pfm"),
+                Evaluator(toy_arch, small_gemm),
+                seed=2,
+                leaf_width=leaf_width,
+            ).run()
+            metrics.add(result.best_metric)
+        assert len(metrics) == 1
+
+    def test_scalar_fallback_same_optimum_and_schema(
+        self, toy_arch, vector100
+    ):
+        batched = BranchBoundSearch(
+            make_mapspace(toy_arch, vector100, "pfm"),
+            Evaluator(toy_arch, vector100),
+            seed=0,
+        ).run()
+        fallback = BranchBoundSearch(
+            make_mapspace(toy_arch, vector100, "pfm"),
+            Evaluator(toy_arch, vector100),
+            seed=0,
+            use_batch=False,
+        ).run()
+        assert fallback.best_metric == batched.best_metric
+        assert set(fallback.stats["bnb"]) == set(batched.stats["bnb"])
+        assert fallback.stats["bnb"]["subtrees_pruned"] == 0
+        assert fallback.stats["batch"]["candidates"] == 0
+
+    def test_stats_schema(self, toy_arch, vector100):
+        result = BranchBoundSearch(
+            make_mapspace(toy_arch, vector100, "pfm"),
+            Evaluator(toy_arch, vector100),
+            seed=0,
+        ).run()
+        assert set(result.stats["batch"]) == {
+            "batches", "candidates", "pruned", "prune_rate", "fallback",
+        }
+        assert set(result.stats["bnb"]) == {
+            "nodes_expanded", "subtrees_pruned", "infeasible_subtrees",
+            "root_bound", "bound_tightness", "warm_start_metric",
+        }
+        assert result.stats["bnb"]["root_bound"] is not None
+
+    def test_warm_start_disabled_still_exact(self, toy_arch, vector100):
+        exact = ExhaustiveSearch(
+            make_mapspace(toy_arch, vector100, "pfm"),
+            Evaluator(toy_arch, vector100),
+        ).run()
+        cold = BranchBoundSearch(
+            make_mapspace(toy_arch, vector100, "pfm"),
+            Evaluator(toy_arch, vector100),
+            seed=0,
+            warm_samples=0,
+        ).run()
+        assert cold.best_metric == exact.best_metric
+        assert cold.stats["bnb"]["warm_start_metric"] is None
+
+    def test_constructor_validation(self, toy_arch, vector100):
+        space = make_mapspace(toy_arch, vector100, "pfm")
+        evaluator = Evaluator(toy_arch, vector100)
+        with pytest.raises(SearchError):
+            BranchBoundSearch(space, evaluator, warm_samples=-1)
+        with pytest.raises(SearchError):
+            BranchBoundSearch(space, evaluator, leaf_width=0)
+        with pytest.raises(SearchError):
+            BranchBoundSearch(space, evaluator, batch_size=0)
+
+    def test_limit_enforced(self, toy_arch, vector100):
+        with pytest.raises(SearchError):
+            BranchBoundSearch(
+                make_mapspace(toy_arch, vector100, "pfm"),
+                Evaluator(toy_arch, vector100),
+                seed=0,
+                warm_samples=0,
+                limit=3,
+            ).run()

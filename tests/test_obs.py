@@ -404,8 +404,12 @@ class TestSearchTimer:
         with timer:
             pass
         stats = timer.stats(100)
-        assert set(stats) == {"elapsed_s", "evals_per_sec"}
+        # "batch" is always present (all-zero on scalar runs) so the
+        # SearchResult.stats schema is uniform across every searcher.
+        assert set(stats) == {"elapsed_s", "evals_per_sec", "batch"}
         assert stats["elapsed_s"] >= 0.0
+        assert stats["batch"]["candidates"] == 0
+        assert stats["batch"]["prune_rate"] == 0.0
 
     def test_payload_reports_cache_deltas(self):
         evaluator = _FakeEvaluator()

@@ -130,7 +130,7 @@ class TestSearchSpans:
             result = random_search(
                 space, toy_evaluator, seed=0, max_evaluations=200
             )
-        if "batch" not in result.stats:
+        if not result.stats["batch"]["candidates"]:
             pytest.skip("batch path unsupported for this mapspace")
         assert registry.counter("batch.batches").total() > 0
         assert (
@@ -200,8 +200,13 @@ class TestStatsSchemaStability:
         assert STATS_TOP_KEYS <= set(stats)
         if expect_cache:
             assert set(stats["cache"]) == CACHE_KEYS
+        # The batch sub-dict is schema-uniform: always present with the
+        # full key set; all-zero counters on paths the engine never ran.
+        assert set(stats["batch"]) == BATCH_KEYS
         if expect_batch:
-            assert set(stats["batch"]) == BATCH_KEYS
+            assert stats["batch"]["candidates"] > 0
+        else:
+            assert stats["batch"]["candidates"] == 0
 
     @pytest.mark.parametrize("with_obs", [False, True])
     def test_schema_across_paths(self, toy_arch, vector100, with_obs):
@@ -252,9 +257,14 @@ class TestStatsSchemaStability:
 
         self._check(scalar.stats, expect_cache=False, expect_batch=False)
         self._check(cached.stats, expect_cache=True, expect_batch=False)
-        if "batch" in batched.stats:
-            self._check(batched.stats, expect_cache=False, expect_batch=True)
-        self._check(pooled.stats, expect_cache=True, expect_batch=False)
+        engine_ran = batched.stats["batch"]["candidates"] > 0
+        self._check(
+            batched.stats, expect_cache=False, expect_batch=engine_ran
+        )
+        pool_engine_ran = pooled.stats["batch"]["candidates"] > 0
+        self._check(
+            pooled.stats, expect_cache=True, expect_batch=pool_engine_ran
+        )
 
 
 class TestTraceFileFromSearch:

@@ -36,9 +36,9 @@ class TestIndividualInvariants:
         assert checked > 0
         assert violations == []
 
-    def test_seed_determinism_covers_all_five_searchers(self):
+    def test_seed_determinism_covers_all_six_searchers(self):
         checked, violations = check_seed_determinism(seed=0)
-        assert checked == 5
+        assert checked == 6
         assert violations == []
 
     @pytest.mark.parametrize("seed", [1, 2])
