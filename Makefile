@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test coverage verify-diff verify-smoke bench bench-fast bench-cache bench-batch bench-bnb campaign-smoke obs-smoke examples experiments clean
+.PHONY: install test coverage verify-diff verify-smoke bench bench-fast bench-cache bench-batch bench-bnb bench-bnb-parallel campaign-smoke obs-smoke examples experiments clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -58,6 +58,14 @@ bench-batch:
 # Refreshes BENCH_branch_bound.json (the perf trajectory record).
 bench-bnb:
 	$(PYTHON) -m pytest benchmarks/test_perf_branch_bound.py --benchmark-only -s
+
+# Smoke benchmark for parallel branch-and-bound: 4-worker subtree
+# work-sharing must beat the serial walk by >= 1.8x on a ResNet-50
+# layer's Eyeriss mapspace with a bit-identical optimum (the speedup
+# gate skips on < 4 cores; exactness is always asserted).
+# Refreshes BENCH_branch_bound_parallel.json.
+bench-bnb-parallel:
+	$(PYTHON) -m pytest benchmarks/test_perf_branch_bound_parallel.py --benchmark-only -s
 
 # End-to-end robustness smoke: runs a tiny campaign, SIGKILLs it mid-run,
 # resumes from the journal, and checks best-EDP parity plus fault-injection

@@ -98,6 +98,7 @@ def test_resnet_layer_branch_bound_2x(benchmark):
             "priced": pruned.num_evaluated,
             "subtrees_pruned": bnb["subtrees_pruned"],
             "nodes_expanded": bnb["nodes_expanded"],
+            "leaves_deferred": bnb["leaves_deferred"],
             "bound_tightness": bnb["bound_tightness"],
             "best_edp": pruned.best_metric,
         },

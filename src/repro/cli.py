@@ -149,15 +149,25 @@ def _format_search_stats(stats: Dict) -> List[str]:
             f"scalar-fallback={batch['fallback']:,}"
         )
     bnb = stats.get("bnb")
-    if bnb and bnb.get("nodes_expanded"):
+    # Gate on either counter: a parallel (or shallow) run can defer every
+    # top-level subtree straight to leaf pricing without expanding a node.
+    if bnb and (bnb.get("nodes_expanded") or bnb.get("leaves_deferred")):
         tightness = bnb.get("bound_tightness")
         tightness_part = (
             f"  bound-tightness={tightness:.1%}" if tightness is not None else ""
         )
         lines.append(
             f"  bnb: {bnb['nodes_expanded']:,} nodes expanded  "
+            f"leaves-deferred={bnb.get('leaves_deferred', 0):,}  "
             f"subtrees-pruned={bnb['subtrees_pruned']:,}  "
             f"infeasible={bnb['infeasible_subtrees']:,}{tightness_part}"
+        )
+    pool = stats.get("pool")
+    if pool:
+        lines.append(
+            f"  pool: {pool['workers']} workers  "
+            f"depth={pool['partition_depth']}  units={pool['num_units']:,}  "
+            f"transport={pool.get('transport') or 'n/a'}"
         )
     for row in stats.get("workers", ()):
         hit_rate = row.get("cache_hit_rate")
@@ -204,12 +214,12 @@ def _cmd_search(args: argparse.Namespace) -> int:
         if args.arch == "eyeriss" and args.row_stationary
         else None
     )
-    if args.workers > 1:
-        if args.searcher != "random":
-            raise SystemExit(
-                "--workers > 1 drives the parallel random search; combine "
-                "it with --searcher random (the default) only"
-            )
+    if args.workers > 1 and args.searcher not in ("random", "branch-bound"):
+        raise SystemExit(
+            "--workers > 1 drives the parallel random or branch-bound "
+            "search; combine it with --searcher random or branch-bound"
+        )
+    if args.workers > 1 and args.searcher == "random":
         from repro.model.eval_cache import DEFAULT_CACHE_SIZE
         from repro.search.parallel import parallel_random_search
 
@@ -241,6 +251,8 @@ def _cmd_search(args: argparse.Namespace) -> int:
             constraints=constraints,
             use_batch=not args.no_batch,
             batch_size=args.batch_size,
+            workers=args.workers,
+            start_method=args.start_method,
         )
     if result.best is None:
         print("no valid mapping found", file=sys.stderr)
@@ -729,7 +741,9 @@ def build_parser() -> argparse.ArgumentParser:
     search.add_argument("--seed", type=int, default=0)
     search.add_argument(
         "--workers", type=int, default=1,
-        help="independent parallel search processes (paper: 24 threads)",
+        help="parallel search processes: independent seeded runs for "
+        "random (paper: 24 threads), shared-incumbent subtree "
+        "work-sharing for branch-bound (bit-identical to serial)",
     )
     search.add_argument(
         "--start-method", choices=["fork", "spawn"], default=None,

@@ -50,6 +50,11 @@ class MapperConfig:
             when it supports the triple (bit-exact; falls back to the
             scalar evaluator otherwise).
         batch_size: candidates per packed batch on the batch path.
+        workers: process count for the branch-bound strategy (subtree
+            work-sharing with a shared incumbent; results stay
+            bit-identical to the serial walk). Other strategies ignore it.
+        start_method: multiprocessing start method override for
+            ``workers > 1`` ("fork" or "spawn"; auto-laddered when None).
     """
 
     kind: Union[str, MapspaceKind] = MapspaceKind.RUBY_S
@@ -61,6 +66,8 @@ class MapperConfig:
     constraints: Optional[ConstraintSet] = None
     use_batch: bool = True
     batch_size: int = 512
+    workers: int = 1
+    start_method: Optional[str] = None
 
 
 class Mapper:
@@ -126,6 +133,8 @@ class Mapper:
                 seed=effective_seed,
                 use_batch=self.config.use_batch,
                 batch_size=self.config.batch_size,
+                workers=self.config.workers,
+                start_method=self.config.start_method,
             ).run()
         if strategy == "genetic":
             return GeneticSearch(
@@ -166,6 +175,8 @@ def find_best_mapping(
     strategy: str = "random",
     use_batch: bool = True,
     batch_size: int = 512,
+    workers: int = 1,
+    start_method: Optional[str] = None,
 ) -> SearchResult:
     """One-call mapping search (see :class:`MapperConfig` for parameters)."""
     config = MapperConfig(
@@ -178,5 +189,7 @@ def find_best_mapping(
         constraints=constraints,
         use_batch=use_batch,
         batch_size=batch_size,
+        workers=workers,
+        start_method=start_method,
     )
     return Mapper(arch, workload, config).run()

@@ -415,10 +415,40 @@ class MapSpace:
             [prefix or {}], batch_size=batch_size
         )
 
+    def partition_prefixes(
+        self, dims: Sequence[str]
+    ) -> List[Tuple[Tuple[int, ...], Dict[str, DimChain]]]:
+        """Partition the chain product into subtree work units over ``dims``.
+
+        The cross product of the named dimensions' menus defines disjoint
+        subtrees that jointly cover the whole enumerable space; units
+        whose prefix already violates a joint fanout cap are dropped (no
+        completion of theirs is enumerable). Each surviving unit is
+        returned as ``(indices, prefix)`` — the menu-index tuple along
+        ``dims`` plus the pinned-chain dict ready for
+        :meth:`prefix_feasible` / :meth:`iter_prefix_batches` — so a
+        parallel driver can bound, order, and dispatch them as jobs while
+        workers reconstruct the same unit from the tiny index tuple.
+        """
+        menus = dict(self.dim_chain_menus())
+        menu_list = [(dim, menus[dim]) for dim in dims]
+        units: List[Tuple[Tuple[int, ...], Dict[str, DimChain]]] = []
+        for combo in itertools.product(
+            *(range(len(menu)) for _, menu in menu_list)
+        ):
+            prefix = {
+                dim: menu[k] for (dim, menu), k in zip(menu_list, combo)
+            }
+            if not self.prefix_feasible(prefix):
+                continue
+            units.append((combo, prefix))
+        return units
+
     def iter_prefix_batches(
         self,
         prefixes: Sequence[Optional[Dict[str, DimChain]]],
         batch_size: int = 512,
+        tags: Optional[Sequence[int]] = None,
     ) -> Iterator["object"]:
         """Enumerate many prefixes' completions into *shared* packed batches.
 
@@ -427,12 +457,20 @@ class MapSpace:
         still produces full-width batches — one partial batch per call,
         not one per subtree. Within each prefix the candidate order
         matches :meth:`iter_batches` exactly.
+
+        ``tags`` — when given, one int per prefix — stamps every row of a
+        yielded batch with its source prefix's tag in ``batch.tags``, so
+        callers that pack many subtrees into one batch can recover which
+        subtree an improving row came from (provenance survives the
+        fanout filter, which silently drops rows).
         """
         layout = self.batch_layout()
         if layout is None:
             raise MapspaceError("batch enumeration requires NumPy")
         if batch_size < 1:
             raise MapspaceError("batch_size must be >= 1")
+        if tags is not None and len(tags) != len(prefixes):
+            raise MapspaceError("tags must align one-to-one with prefixes")
         import numpy as np
 
         from repro.model.batch import MappingBatch
@@ -474,8 +512,12 @@ class MapSpace:
         pos = np.broadcast_to(layout.grid_pos[None, :, :], shape)
         bounds = np.ones(shape, dtype=np.int64)
         rems = np.ones(shape, dtype=np.int64)
+        tag_buf = (
+            np.zeros(batch_size, dtype=np.int64) if tags is not None else None
+        )
         fill = 0
-        for prefix in prefixes:
+        for prefix_index, prefix in enumerate(prefixes):
+            row_tag = tags[prefix_index] if tags is not None else 0
             prefix = prefix or {}
             per_dim = [
                 (
@@ -508,6 +550,8 @@ class MapSpace:
                 for d, (_, chain_bounds, chain_rems) in enumerate(combo):
                     bounds[fill, :, d] = chain_bounds
                     rems[fill, :, d] = chain_rems
+                if tag_buf is not None:
+                    tag_buf[fill] = row_tag
                 fill += 1
                 if fill == batch_size:
                     _obs.inc("mapspace.batches")
@@ -518,9 +562,12 @@ class MapSpace:
                         rems=rems,
                         pos=pos,
                         fallback=np.zeros(batch_size, dtype=bool),
+                        tags=tag_buf,
                     )
                     bounds = np.ones(shape, dtype=np.int64)
                     rems = np.ones(shape, dtype=np.int64)
+                    if tag_buf is not None:
+                        tag_buf = np.zeros(batch_size, dtype=np.int64)
                     fill = 0
         if fill:
             _obs.inc("mapspace.batches")
@@ -531,6 +578,7 @@ class MapSpace:
                 rems=rems[:fill],
                 pos=pos[:fill],
                 fallback=np.zeros(fill, dtype=bool),
+                tags=tag_buf[:fill] if tag_buf is not None else None,
             )
 
     def _fanout_ok(

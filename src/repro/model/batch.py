@@ -383,6 +383,10 @@ class MappingBatch:
     pos: Any
     fallback: Any
     mappings: Optional[List[Mapping]] = None
+    #: Optional per-row provenance stamped by
+    #: :meth:`MapSpace.iter_prefix_batches` (the source prefix's tag);
+    #: pricing kernels ignore it.
+    tags: Any = None
 
     @property
     def size(self) -> int:
@@ -393,6 +397,72 @@ class MappingBatch:
         if self.mappings is not None:
             return self.mappings[index]
         return self.layout.materialize(self.bounds[index], self.rems[index])
+
+    def to_shared(self, allow_shm: bool = True):
+        """Ship this batch's SoA arrays through one shared-memory segment.
+
+        Returns ``(bundle, descriptor)``: the driver keeps ``bundle``
+        alive until every worker is done (and then ``release()``-s it,
+        exactly once); ``descriptor`` is a small picklable dict a worker
+        hands to :meth:`from_shared`. Enumerated batches carry a
+        row-constant broadcast of the layout's virtual position grid —
+        that case is detected and shipped as a flag instead of ``n``
+        materialized copies. Degrades to a pickle payload when shared
+        memory is unavailable (see :class:`repro.model.shm.ShmArrayBundle`).
+        """
+        from repro.model.shm import ShmArrayBundle
+
+        if self.mappings is not None and bool(self.fallback.any()):
+            raise ValueError(
+                "cannot transport a batch whose fallback rows need their "
+                "original Mapping objects; re-pack without fallback rows"
+            )
+        grid_pos = (
+            self.pos.ndim == 3
+            and self.pos.strides[0] == 0
+            and bool(np.array_equal(self.pos[0], self.layout.grid_pos))
+        )
+        arrays = {
+            "bounds": self.bounds,
+            "rems": self.rems,
+            "fallback": self.fallback,
+        }
+        if not grid_pos:
+            arrays["pos"] = self.pos
+        if self.tags is not None:
+            arrays["tags"] = self.tags
+        bundle = ShmArrayBundle.share(arrays, allow_shm=allow_shm)
+        descriptor = {"bundle": bundle.handle, "grid_pos": grid_pos}
+        return bundle, descriptor
+
+    @classmethod
+    def from_shared(cls, layout: BatchLayout, descriptor):
+        """Attach a transported batch (worker side).
+
+        Returns ``(batch, bundle)``; the caller must keep ``bundle``
+        referenced while the batch is in use, and may ``close()`` it only
+        after dropping every view (accessing a view whose mapping was
+        closed is undefined behavior). Pool workers can simply leave the
+        mapping open for the process lifetime — the driver's single
+        ``unlink`` is what prevents ``/dev/shm`` leaks.
+        """
+        from repro.model.shm import ShmArrayBundle
+
+        bundle = ShmArrayBundle.attach(descriptor["bundle"])
+        bounds = bundle.arrays["bounds"]
+        if descriptor["grid_pos"]:
+            pos = np.broadcast_to(layout.grid_pos[None, :, :], bounds.shape)
+        else:
+            pos = bundle.arrays["pos"]
+        batch = cls(
+            layout=layout,
+            bounds=bounds,
+            rems=bundle.arrays["rems"],
+            pos=pos,
+            fallback=bundle.arrays["fallback"],
+            tags=bundle.arrays.get("tags"),
+        )
+        return batch, bundle
 
 
 def pack_mappings(layout: BatchLayout, mappings: Sequence[Mapping]) -> MappingBatch:
@@ -1243,9 +1313,16 @@ class PartialBoundEngine:
         key = (dim, idx, cut, parent, inner, cutoff)
         cached = self._factor_cache.get(key)
         if cached is None:
-            cached = self._projection_factor(
-                dim, self.menus[dim][idx], cut, parent, inner, cutoff
-            )
+            # A preloaded (or previously built) cutoff table already holds
+            # every value of this factor — workers seeded via
+            # :meth:`preload_tables` never replay the Python fold.
+            table = self._factor_table_cache.get((dim, idx, cut, parent, inner))
+            if table is not None:
+                cached = int(table[cutoff + 1])
+            else:
+                cached = self._projection_factor(
+                    dim, self.menus[dim][idx], cut, parent, inner, cutoff
+                )
             self._factor_cache[key] = cached
         return cached
 
@@ -1256,10 +1333,14 @@ class PartialBoundEngine:
         key = (dim, cut, parent, inner, cutoff)
         cached = self._factor_min_cache.get(key)
         if cached is None:
-            cached = min(
-                self._factor(dim, idx, cut, parent, inner, cutoff)
-                for idx in range(len(self.menus[dim]))
-            )
+            table = self._factor_min_table_cache.get((dim, cut, parent, inner))
+            if table is not None:
+                cached = int(table[cutoff + 1])
+            else:
+                cached = min(
+                    self._factor(dim, idx, cut, parent, inner, cutoff)
+                    for idx in range(len(self.menus[dim]))
+                )
             self._factor_min_cache[key] = cached
         return cached
 
@@ -1333,6 +1414,72 @@ class PartialBoundEngine:
             )
             self._factor_menu_table_cache[key] = table
         return table
+
+    # -- cross-process table transport -----------------------------------
+    #
+    # Building the factor tables is the engine's only Python-loop-heavy
+    # work (a _projection_factor replay per (dim, chain, cutoff) tuple);
+    # everything else in __init__ is a few small folds. The parallel
+    # branch-and-bound driver therefore builds the tables once, exports
+    # them as a flat dict of int64 arrays, and ships them to workers as
+    # shared-memory views — each worker's engine starts bound-ready
+    # without replaying a single fold.
+
+    def precompute_tables(self) -> None:
+        """Eagerly build every factor table the tree walk can request."""
+        layout = self.layout
+        for meta in layout.tensors:
+            for parent, child in meta.boundaries:
+                cut = layout.num_levels if child is None else child
+                inners = (False, True) if child is not None else (False,)
+                for d in meta.irrelevant_idx:
+                    dim = layout.dims[d]
+                    for inner in inners:
+                        self._factor_menu_table(dim, cut, parent, inner)
+                        self._factor_min_table(dim, cut, parent, inner)
+
+    def export_tables(self) -> Dict[str, Any]:
+        """All factor tables as a flat ``{key: int64 array}`` dict.
+
+        Keys encode the cache key (``kind|dim|cut|parent|inner``); the
+        dict round-trips through :class:`repro.model.shm.ShmArrayBundle`
+        into :meth:`preload_tables` on the worker side.
+        """
+        self.precompute_tables()
+        arrays: Dict[str, Any] = {}
+        for (dim, cut, parent, inner), table in sorted(
+            self._factor_menu_table_cache.items()
+        ):
+            arrays[f"menu|{dim}|{cut}|{parent}|{int(inner)}"] = table
+        for (dim, cut, parent, inner), table in sorted(
+            self._factor_min_table_cache.items()
+        ):
+            arrays[f"min|{dim}|{cut}|{parent}|{int(inner)}"] = table
+        return arrays
+
+    def preload_tables(self, arrays: Dict[str, Any]) -> int:
+        """Seed the factor-table caches from exported arrays (zero-copy).
+
+        Accepts the dict produced by :meth:`export_tables` (typically as
+        attached shared-memory views). Per-chain rows of each menu table
+        are installed too, so both the vectorized and the scalar factor
+        paths hit without ever replaying the Python fold. Returns the
+        number of tables installed.
+        """
+        loaded = 0
+        for name, table in arrays.items():
+            kind, dim, cut, parent, inner = name.split("|")
+            key = (dim, int(cut), int(parent), bool(int(inner)))
+            if kind == "menu":
+                self._factor_menu_table_cache[key] = table
+                for idx in range(table.shape[0]):
+                    self._factor_table_cache[(dim, idx) + key[1:]] = table[idx]
+            elif kind == "min":
+                self._factor_min_table_cache[key] = table
+            else:
+                continue
+            loaded += 1
+        return loaded
 
     def suffix_bounds(
         self, assigned: Dict[str, int], objective: str = "edp"

@@ -36,16 +36,27 @@ Search order and exactness:
   :class:`~repro.search.exhaustive.ExhaustiveSearch` — asserted by the
   ``branch-bound-parity`` invariant in :mod:`repro.verify.invariants`.
 
+The walk itself lives in :class:`_SubtreeWalker`, parameterized by an
+*incumbent cell* (:class:`~repro.search.worker_pool.LocalIncumbent` here;
+:class:`~repro.search.worker_pool.SharedIncumbent` when
+:mod:`repro.search.branch_bound_parallel` fans subtrees over a worker
+pool with ``workers > 1``). Serial search reads and writes the local cell
+exactly where it used to read ``best_metric``, so the trajectory — and
+the returned best — is unchanged; parallel workers read the shared cell
+at the same points, which makes every cross-process cut subject to the
+same ``PRUNE_MARGIN`` guard and keeps the best-EDP bit-identical.
+
 When the batch engine does not support the (arch, workload, evaluator)
 triple, the search degrades to the scalar exhaustive sweep — same result,
-no subtree pruning — and reports ``mode="scalar-fallback"``.
+no subtree pruning — and reports ``mode="scalar-fallback"`` (``workers``
+is ignored on that path).
 """
 
 from __future__ import annotations
 
 import heapq
 import random
-from typing import Dict, List, Optional, Tuple, Union
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro import obs
 from repro.exceptions import SearchError
@@ -53,6 +64,7 @@ from repro.mapspace.generator import MapSpace
 from repro.model.evaluator import Evaluation, Evaluator
 from repro.obs import SearchTimer
 from repro.search.result import ConvergencePoint, SearchResult
+from repro.search.worker_pool import LocalIncumbent
 from repro.utils.rng import make_rng
 
 #: Default number of warm-start samples seeding the incumbent.
@@ -70,6 +82,374 @@ DEFAULT_LEAF_WIDTH = 4_096
 FLUSH_ROWS_FACTOR = 8
 
 
+def dims_branch_order(menus: Sequence[Tuple[str, Tuple]]) -> List[Tuple[str, Tuple]]:
+    """Branch the widest menus first: that is where bounds can cut the
+    largest subtrees, and it keeps the frontier small. Ties break on
+    workload dim order, so the trajectory is fully deterministic — and
+    identical between the serial walk and the parallel partitioning."""
+    return sorted(menus, key=lambda pair: (-len(pair[1]), pair[0]))
+
+
+class _SubtreeWalker:
+    """Best-first walk of a prefix (sub)tree against an incumbent cell.
+
+    One implementation serves both regimes: the serial search walks the
+    whole tree with a :class:`LocalIncumbent`, and each parallel worker
+    walks its assigned top-level subtree with a
+    :class:`~repro.search.worker_pool.SharedIncumbent`. The walker keeps
+    a cached cut metric (``_cut``) refreshed from the incumbent at every
+    node pop, flush, and batch — the points where the serial search read
+    ``best_metric`` — and re-reads it whenever an ``offer`` loses a race,
+    so pruning is never done against anything but a real candidate's
+    true metric. Under the local cell this is bit-for-bit the original
+    serial trajectory.
+
+    Alongside the incumbent the walker tracks its own best candidate
+    (evaluation, metric, chains, and menu-index signature in workload dim
+    order) so a parallel driver can re-price every worker's claim and
+    return a bit-identical best metric regardless of race timing.
+    """
+
+    def __init__(
+        self,
+        mapspace: MapSpace,
+        engine,
+        evaluator: Evaluator,
+        bound_engine,
+        dims_order: Sequence[Tuple[str, Tuple]],
+        objective: str,
+        leaf_width: int,
+        batch_size: int,
+        limit: Optional[int],
+        incumbent,
+    ) -> None:
+        self.mapspace = mapspace
+        self.engine = engine
+        self.evaluator = evaluator
+        self.bound_engine = bound_engine
+        self.dims_order = list(dims_order)
+        self.objective = objective
+        self.leaf_width = leaf_width
+        self.batch_size = batch_size
+        self.limit = limit
+        self.incumbent = incumbent
+        self.menu_by_dim = dict(self.dims_order)
+        self.num_dims = len(self.dims_order)
+        #: Workload dim order — the canonical signature axis (matches
+        #: ``dim_chain_menus`` and the batch layout's dim columns).
+        self.workload_dims = [dim for dim, _ in mapspace.dim_chain_menus()]
+        # suffix_product[k] = candidates (pre-fanout-filter) below depth k.
+        suffix = [1] * (self.num_dims + 1)
+        for k in range(self.num_dims - 1, -1, -1):
+            suffix[k] = suffix[k + 1] * len(self.dims_order[k][1])
+        self.suffix_product = suffix
+
+        self.evaluations = 0
+        self.num_valid = 0
+        self.nodes_expanded = 0
+        self.leaves_deferred = 0
+        self.subtrees_pruned = 0
+        self.infeasible_subtrees = 0
+        self.best: Optional[Evaluation] = None
+        self.best_metric = float("inf")
+        self.best_chains: Optional[Dict[str, object]] = None
+        self.best_signature: Optional[Tuple[int, ...]] = None
+        self.curve: List[ConvergencePoint] = []
+
+        self._cut = float(incumbent.read())
+        # Leaf subtrees are buffered and flushed together so their rows
+        # pack into shared full-width batches (a per-leaf iter_batches
+        # call would emit mostly-empty batches and the per-batch kernel
+        # overhead would swamp the pruning win).
+        self._leaf_buffer: List[Tuple[float, Tuple[int, ...]]] = []
+        self._leaf_rows = 0
+        self._flush_rows = FLUSH_ROWS_FACTOR * batch_size
+        self._counter = 1
+
+    # -- improvements ----------------------------------------------------
+
+    def _consider(
+        self,
+        metric: float,
+        make_evaluation: Callable[[], Evaluation],
+        chains: Optional[Dict[str, object]] = None,
+        signature: Optional[Tuple[int, ...]] = None,
+    ) -> bool:
+        """Offer a true candidate metric to the incumbent.
+
+        The evaluation is materialized only when the candidate beats the
+        cached cut (same laziness as before). A losing offer — possible
+        only under a shared incumbent, when another worker posted a
+        better true metric first — refreshes the cut instead.
+        """
+        if not metric < self._cut:
+            return False
+
+        evaluation = make_evaluation()
+        if signature is None:
+            signature = (-1,) * len(self.workload_dims)
+        if not self.incumbent.offer(metric, signature):
+            self._cut = float(self.incumbent.read())
+            return False
+        self._cut = metric
+        self.best = evaluation
+        self.best_metric = metric
+        self.best_chains = dict(chains) if chains is not None else None
+        self.best_signature = tuple(int(x) for x in signature)
+        self.curve.append(
+            ConvergencePoint(evaluations=self.evaluations, best_metric=metric)
+        )
+        obs.inc("search.improvements", driver="branch-bound")
+        obs.set_gauge("search.best_metric", metric, driver="branch-bound")
+        return True
+
+    def price_mappings(self, mappings, chains_list=None) -> None:
+        """Price assembled mappings through the engine (no row pruning).
+
+        Used for the warm start and for the parallel driver's final
+        re-price of worker claims; every improving candidate goes through
+        :meth:`_consider`, so order decides ties deterministically.
+        """
+        outcomes = self.engine.evaluate_mappings(
+            mappings, objective=self.objective, prune=False
+        )
+        for i, (mapping, outcome) in enumerate(zip(mappings, outcomes)):
+            self.evaluations += 1
+            if not outcome.valid:
+                continue
+            self.num_valid += 1
+
+            def make_evaluation(outcome=outcome, mapping=mapping):
+                if outcome.evaluation is not None:
+                    return outcome.evaluation
+                return self.evaluator.evaluate_fresh(mapping)
+
+            self._consider(
+                float(outcome.metric),
+                make_evaluation,
+                chains=chains_list[i] if chains_list is not None else None,
+            )
+
+    # -- the walk --------------------------------------------------------
+
+    def walk(self, root_indices: Tuple[int, ...] = ()) -> float:
+        """Best-first walk of the subtree rooted at ``root_indices``
+        (menu indices along ``dims_order``; empty = the whole tree).
+        Returns the root's bound. Buffered leaves are flushed before
+        returning, so the walker's best is final when this returns.
+        """
+        from repro.model.batch import PRUNE_MARGIN
+
+        dims_order = self.dims_order
+        root_assigned = {
+            dims_order[i][0]: k for i, k in enumerate(root_indices)
+        }
+        root_bound = self.bound_engine.bound(root_assigned, self.objective)
+        # Heap entries: (bound, insertion counter, chain-index tuple
+        # along dims_order). The counter makes ties deterministic.
+        heap: List[Tuple[float, int, Tuple[int, ...]]] = [
+            (root_bound, 0, tuple(root_indices))
+        ]
+        while heap:
+            node_bound, _, indices = heapq.heappop(heap)
+            self._cut = float(self.incumbent.read())
+            if (
+                self._cut != float("inf")
+                and node_bound * (1.0 - PRUNE_MARGIN) >= self._cut
+            ):
+                # Best-first: every remaining node's bound is at least
+                # this one, so the whole frontier is proved prunable.
+                pruned_now = 1 + len(heap)
+                self.subtrees_pruned += pruned_now
+                obs.inc("search.subtrees_pruned", pruned_now,
+                        driver="branch-bound")
+                heap.clear()
+                break
+            depth = len(indices)
+            if depth == self.num_dims or (
+                self.suffix_product[depth] <= self.leaf_width
+            ):
+                # Deferred, not expanded: the node's completions will be
+                # priced (or cut) at flush time. Counted separately from
+                # expansions so both stats stay meaningful.
+                self.leaves_deferred += 1
+                self._leaf_buffer.append((node_bound, indices))
+                self._leaf_rows += self.suffix_product[depth]
+                if self._leaf_rows >= self._flush_rows:
+                    self.flush_leaves()
+                continue
+            self.nodes_expanded += 1
+            dim, menu = dims_order[depth]
+            prefix = {
+                dims_order[i][0]: dims_order[i][1][k]
+                for i, k in enumerate(indices)
+            }
+            assigned = {
+                dims_order[i][0]: k for i, k in enumerate(indices)
+            }
+            # One vectorized call prices the whole menu of children —
+            # per-child scalar bounds were the walk's hotspot.
+            child_bounds = self.bound_engine.child_bounds(
+                assigned, dim, self.objective
+            )
+            for k, chain in enumerate(menu):
+                prefix[dim] = chain
+                if not self.mapspace.prefix_feasible(prefix):
+                    # No completion fits the fanout caps; not a bound
+                    # decision, so counted separately.
+                    self.infeasible_subtrees += 1
+                    continue
+                child_bound = float(child_bounds[k])
+                if (
+                    self._cut != float("inf")
+                    and child_bound * (1.0 - PRUNE_MARGIN) >= self._cut
+                ):
+                    self.subtrees_pruned += 1
+                    obs.inc("search.subtrees_pruned",
+                            driver="branch-bound")
+                    continue
+                heapq.heappush(
+                    heap, (child_bound, self._counter, indices + (k,))
+                )
+                self._counter += 1
+
+        # Leaves buffered after the last threshold flush (including any
+        # left when the frontier drained) still need pricing; the flush
+        # re-checks their bounds against the final incumbent.
+        self.flush_leaves()
+        return root_bound
+
+    def flush_leaves(self) -> None:
+        """Price every buffered leaf subtree through shared batches.
+
+        At flush time each leaf's stored bound is re-checked against the
+        incumbent — which usually improved since the leaf was popped —
+        and surviving leaves get a dense per-completion bound sweep
+        (:meth:`suffix_bounds`): complete assignments are the tightest
+        bounds the engine can state, and a cell cut there is never even
+        enumerated into a batch.
+        """
+        import numpy as np
+
+        from repro.model.batch import PRUNE_MARGIN
+
+        if not self._leaf_buffer:
+            return
+        self._cut = float(self.incumbent.read())
+        dims_order = self.dims_order
+        pinned: List[Dict[str, object]] = []
+        pinned_sigs: List[Tuple[int, ...]] = []
+        for leaf_bound, leaf_indices in self._leaf_buffer:
+            if (
+                self._cut != float("inf")
+                and leaf_bound * (1.0 - PRUNE_MARGIN) >= self._cut
+            ):
+                self.subtrees_pruned += 1
+                obs.inc("search.subtrees_pruned", driver="branch-bound")
+                continue
+            assigned = {
+                dims_order[i][0]: k for i, k in enumerate(leaf_indices)
+            }
+            if len(leaf_indices) == self.num_dims:
+                pinned.append(
+                    {
+                        dims_order[i][0]: dims_order[i][1][k]
+                        for i, k in enumerate(leaf_indices)
+                    }
+                )
+                pinned_sigs.append(
+                    tuple(assigned[dim] for dim in self.workload_dims)
+                )
+                continue
+            cells = self.bound_engine.suffix_bounds(assigned, self.objective)
+            free = [
+                dim
+                for dim in self.bound_engine.layout.dims
+                if dim not in assigned
+            ]
+            flat = cells.reshape(-1)
+            if self._cut != float("inf"):
+                keep = np.flatnonzero(
+                    flat * (1.0 - PRUNE_MARGIN) < self._cut
+                )
+                cut = flat.size - keep.size
+                if cut:
+                    self.subtrees_pruned += cut
+                    obs.inc(
+                        "search.subtrees_pruned", cut,
+                        driver="branch-bound",
+                    )
+            else:
+                keep = np.arange(flat.size)
+            base = {
+                dims_order[i][0]: dims_order[i][1][k]
+                for i, k in enumerate(leaf_indices)
+            }
+            for flat_idx in keep:
+                cell = np.unravel_index(int(flat_idx), cells.shape)
+                full = dict(base)
+                sig_map = dict(assigned)
+                for dim, idx in zip(free, cell):
+                    full[dim] = self.menu_by_dim[dim][idx]
+                    sig_map[dim] = int(idx)
+                pinned.append(full)
+                pinned_sigs.append(
+                    tuple(sig_map[dim] for dim in self.workload_dims)
+                )
+        self._leaf_buffer.clear()
+        self._leaf_rows = 0
+        if not pinned:
+            return
+        with obs.trace("search.leaf_flush", subtrees=len(pinned)):
+            for batch in self.mapspace.iter_prefix_batches(
+                pinned,
+                batch_size=self.batch_size,
+                tags=list(range(len(pinned))),
+            ):
+                if (
+                    self.limit is not None
+                    and self.evaluations + batch.size > self.limit
+                ):
+                    raise SearchError(
+                        f"branch-and-bound search exceeded limit of "
+                        f"{self.limit} priced mappings"
+                    )
+                self._cut = float(self.incumbent.read())
+                outcome = self.engine.evaluate_batch(
+                    batch,
+                    objective=self.objective,
+                    incumbent=self._cut,
+                    prune=True,
+                )
+                obs.inc(
+                    "search.candidates", batch.size, driver="branch-bound"
+                )
+                for i in range(batch.size):
+                    self.evaluations += 1
+                    if not outcome.valid[i]:
+                        continue
+                    self.num_valid += 1
+                    if outcome.pruned[i]:
+                        continue
+                    metric = float(outcome.metric[i])
+                    tag = int(batch.tags[i])
+
+                    def make_evaluation(outcome=outcome, batch=batch, i=i):
+                        evaluation = outcome.evaluations.get(i)
+                        if evaluation is not None:
+                            return evaluation
+                        return self.evaluator.evaluate_fresh(
+                            batch.mapping_at(i)
+                        )
+
+                    self._consider(
+                        metric,
+                        make_evaluation,
+                        chains=pinned[tag],
+                        signature=pinned_sigs[tag],
+                    )
+
+
 class BranchBoundSearch:
     """Exact best-first branch-and-bound over the per-dimension prefix tree.
 
@@ -84,11 +464,19 @@ class BranchBoundSearch:
             as packed batches instead of being branched further.
         batch_size: candidates per packed leaf batch.
         limit: safety cap on *priced* candidates (pruned subtrees are
-            free); exceeding it raises. ``None`` disables the cap.
+            free); exceeding it raises. ``None`` disables the cap. With
+            ``workers > 1`` the cap applies per work unit, not globally.
         seed: RNG seed or generator (consumed only by the warm start).
         use_batch: allow the vectorized engine; without it (or NumPy, or
             an unsupported evaluator config) the search falls back to the
             scalar exhaustive sweep.
+        workers: fan top-level subtrees over a process pool when > 1
+            (see :mod:`repro.search.branch_bound_parallel`); the best
+            metric is bit-identical to the serial walk. Ignored on the
+            scalar-fallback path.
+        start_method: force a multiprocessing start method ("fork" or
+            "spawn") for ``workers > 1``; by default each is tried in
+            that order before degrading to sequential execution.
     """
 
     def __init__(
@@ -102,6 +490,8 @@ class BranchBoundSearch:
         limit: Optional[int] = 10_000_000,
         seed: Optional[Union[int, random.Random]] = None,
         use_batch: bool = True,
+        workers: int = 1,
+        start_method: Optional[str] = None,
     ) -> None:
         if warm_samples < 0:
             raise SearchError("warm_samples must be >= 0")
@@ -109,6 +499,8 @@ class BranchBoundSearch:
             raise SearchError("leaf_width must be >= 1")
         if batch_size < 1:
             raise SearchError("batch_size must be >= 1")
+        if workers < 1:
+            raise SearchError("workers must be >= 1")
         self.mapspace = mapspace
         self.evaluator = evaluator
         self.objective = objective
@@ -118,6 +510,8 @@ class BranchBoundSearch:
         self.limit = limit
         self.rng = make_rng(seed)
         self.use_batch = use_batch
+        self.workers = workers
+        self.start_method = start_method
 
     def _batch_engine(self):
         """The batch engine, or None when this search must run scalar."""
@@ -135,6 +529,10 @@ class BranchBoundSearch:
         engine = self._batch_engine()
         if engine is None:
             return self._run_scalar_fallback()
+        if self.workers > 1:
+            from repro.search.branch_bound_parallel import run_parallel_tree
+
+            return run_parallel_tree(self, engine)
         return self._run_tree(engine)
 
     # -- scalar fallback -------------------------------------------------
@@ -164,261 +562,58 @@ class BranchBoundSearch:
 
     # -- the tree walk ---------------------------------------------------
 
+    def _warm_start(self, walker: _SubtreeWalker) -> Optional[float]:
+        """Seed the incumbent so bounds bite immediately.
+
+        Runs on the walker so improvements flow through the same
+        incumbent protocol (and curve/obs hooks) as tree candidates.
+        """
+        if not self.warm_samples:
+            return None
+        mapspace = self.mapspace
+        with obs.trace("search.warm_start", samples=self.warm_samples):
+            chain_sets = [
+                mapspace.sample_chains(self.rng)
+                for _ in range(self.warm_samples)
+            ]
+            mappings = [
+                mapspace.assemble(chains, rng=None) for chains in chain_sets
+            ]
+            walker.price_mappings(mappings, chains_list=chain_sets)
+        obs.inc("search.candidates", self.warm_samples,
+                driver="branch-bound")
+        return walker.best_metric if walker.best is not None else None
+
     def _run_tree(self, engine) -> SearchResult:
-        from repro.model.batch import PRUNE_MARGIN, PartialBoundEngine
+        from repro.model.batch import PartialBoundEngine
 
         mapspace = self.mapspace
         menus = mapspace.dim_chain_menus()
-        menu_by_dim = dict(menus)
         bound_engine = PartialBoundEngine(engine, menus)
-        # Branch the widest menus first: that is where bounds can cut the
-        # largest subtrees, and it keeps the frontier small. Ties break on
-        # workload dim order, so the trajectory is fully deterministic.
-        dims_order: List[Tuple[str, Tuple]] = sorted(
-            menus, key=lambda pair: (-len(pair[1]), pair[0])
-        )
-        num_dims = len(dims_order)
-        # suffix_product[k] = candidates (pre-fanout-filter) below depth k.
-        suffix_product = [1] * (num_dims + 1)
-        for k in range(num_dims - 1, -1, -1):
-            suffix_product[k] = suffix_product[k + 1] * len(dims_order[k][1])
-
-        best: Optional[Evaluation] = None
-        best_metric = float("inf")
-        evaluations = 0
-        num_valid = 0
-        curve: List[ConvergencePoint] = []
-        nodes_expanded = 0
-        subtrees_pruned = 0
-        infeasible_subtrees = 0
-        warm_metric: Optional[float] = None
-
-        def improve(metric: float, evaluation: Evaluation) -> None:
-            nonlocal best, best_metric
-            best = evaluation
-            best_metric = metric
-            curve.append(
-                ConvergencePoint(evaluations=evaluations, best_metric=metric)
-            )
-            obs.inc("search.improvements", driver="branch-bound")
-            obs.set_gauge("search.best_metric", metric, driver="branch-bound")
-
-        # Leaf subtrees are buffered and flushed together so their rows
-        # pack into shared full-width batches (a per-leaf iter_batches
-        # call would emit mostly-empty batches and the per-batch kernel
-        # overhead would swamp the pruning win). At flush time each leaf's
-        # stored bound is re-checked against the incumbent — which usually
-        # improved since the leaf was popped — and surviving leaves get a
-        # dense per-completion bound sweep (suffix_bounds): complete
-        # assignments are the tightest bounds the engine can state, and a
-        # cell cut there is never even enumerated into a batch.
-        leaf_buffer: List[Tuple[float, Tuple[int, ...]]] = []
-        leaf_rows = 0
-        flush_rows = FLUSH_ROWS_FACTOR * self.batch_size
-
-        def flush_leaves(engine, bound_engine) -> None:
-            nonlocal evaluations, num_valid, subtrees_pruned, leaf_rows
-            import numpy as np
-
-            from repro.model.batch import PRUNE_MARGIN
-
-            if not leaf_buffer:
-                return
-            pinned: List[Dict[str, object]] = []
-            for leaf_bound, leaf_indices in leaf_buffer:
-                if (
-                    best_metric != float("inf")
-                    and leaf_bound * (1.0 - PRUNE_MARGIN) >= best_metric
-                ):
-                    subtrees_pruned += 1
-                    obs.inc("search.subtrees_pruned", driver="branch-bound")
-                    continue
-                assigned = {
-                    dims_order[i][0]: k for i, k in enumerate(leaf_indices)
-                }
-                if len(leaf_indices) == num_dims:
-                    pinned.append(
-                        {
-                            dims_order[i][0]: dims_order[i][1][k]
-                            for i, k in enumerate(leaf_indices)
-                        }
-                    )
-                    continue
-                cells = bound_engine.suffix_bounds(assigned, self.objective)
-                free = [
-                    dim
-                    for dim in bound_engine.layout.dims
-                    if dim not in assigned
-                ]
-                flat = cells.reshape(-1)
-                if best_metric != float("inf"):
-                    keep = np.flatnonzero(
-                        flat * (1.0 - PRUNE_MARGIN) < best_metric
-                    )
-                    cut = flat.size - keep.size
-                    if cut:
-                        subtrees_pruned += cut
-                        obs.inc(
-                            "search.subtrees_pruned", cut,
-                            driver="branch-bound",
-                        )
-                else:
-                    keep = np.arange(flat.size)
-                base = {
-                    dims_order[i][0]: dims_order[i][1][k]
-                    for i, k in enumerate(leaf_indices)
-                }
-                for flat_idx in keep:
-                    cell = np.unravel_index(int(flat_idx), cells.shape)
-                    full = dict(base)
-                    for dim, idx in zip(free, cell):
-                        full[dim] = menu_by_dim[dim][idx]
-                    pinned.append(full)
-            leaf_buffer.clear()
-            leaf_rows = 0
-            if not pinned:
-                return
-            with obs.trace("search.leaf_flush", subtrees=len(pinned)):
-                for batch in self.mapspace.iter_prefix_batches(
-                    pinned, batch_size=self.batch_size
-                ):
-                    if (
-                        self.limit is not None
-                        and evaluations + batch.size > self.limit
-                    ):
-                        raise SearchError(
-                            f"branch-and-bound search exceeded limit of "
-                            f"{self.limit} priced mappings"
-                        )
-                    outcome = engine.evaluate_batch(
-                        batch,
-                        objective=self.objective,
-                        incumbent=best_metric,
-                        prune=True,
-                    )
-                    obs.inc(
-                        "search.candidates", batch.size, driver="branch-bound"
-                    )
-                    for i in range(batch.size):
-                        evaluations += 1
-                        if not outcome.valid[i]:
-                            continue
-                        num_valid += 1
-                        if outcome.pruned[i]:
-                            continue
-                        metric = float(outcome.metric[i])
-                        if metric < best_metric:
-                            evaluation = outcome.evaluations.get(i)
-                            if evaluation is None:
-                                evaluation = self.evaluator.evaluate_fresh(
-                                    batch.mapping_at(i)
-                                )
-                            improve(metric, evaluation)
+        dims_order = dims_branch_order(menus)
 
         timer = SearchTimer(self.evaluator, driver="branch-bound")
         with timer, obs.trace(
             "search.run", driver="branch-bound", mode="batch",
             objective=self.objective,
         ):
-            # Warm start: seed the incumbent so bounds bite immediately.
-            if self.warm_samples:
-                with obs.trace("search.warm_start", samples=self.warm_samples):
-                    chain_sets = [
-                        mapspace.sample_chains(self.rng)
-                        for _ in range(self.warm_samples)
-                    ]
-                    mappings = [
-                        mapspace.assemble(chains, rng=None)
-                        for chains in chain_sets
-                    ]
-                    outcomes = engine.evaluate_mappings(
-                        mappings, objective=self.objective, prune=False
-                    )
-                for mapping, outcome in zip(mappings, outcomes):
-                    evaluations += 1
-                    if not outcome.valid:
-                        continue
-                    num_valid += 1
-                    if outcome.metric < best_metric:
-                        evaluation = outcome.evaluation
-                        if evaluation is None:
-                            evaluation = self.evaluator.evaluate_fresh(mapping)
-                        improve(outcome.metric, evaluation)
-                warm_metric = best_metric if best is not None else None
-                obs.inc("search.candidates", self.warm_samples,
-                        driver="branch-bound")
-
-            root_bound = bound_engine.bound({}, self.objective)
-            # Heap entries: (bound, insertion counter, chain-index tuple
-            # along dims_order). The counter makes ties deterministic.
-            heap: List[Tuple[float, int, Tuple[int, ...]]] = [
-                (root_bound, 0, ())
-            ]
-            counter = 1
-            while heap:
-                node_bound, _, indices = heapq.heappop(heap)
-                if (
-                    best_metric != float("inf")
-                    and node_bound * (1.0 - PRUNE_MARGIN) >= best_metric
-                ):
-                    # Best-first: every remaining node's bound is at least
-                    # this one, so the whole frontier is proved prunable.
-                    pruned_now = 1 + len(heap)
-                    subtrees_pruned += pruned_now
-                    obs.inc("search.subtrees_pruned", pruned_now,
-                            driver="branch-bound")
-                    heap.clear()
-                    break
-                depth = len(indices)
-                if depth == num_dims or suffix_product[depth] <= self.leaf_width:
-                    leaf_buffer.append((node_bound, indices))
-                    leaf_rows += suffix_product[depth]
-                    if leaf_rows >= flush_rows:
-                        flush_leaves(engine, bound_engine)
-                    continue
-                nodes_expanded += 1
-                dim, menu = dims_order[depth]
-                prefix = {
-                    dims_order[i][0]: dims_order[i][1][k]
-                    for i, k in enumerate(indices)
-                }
-                assigned = {
-                    dims_order[i][0]: k for i, k in enumerate(indices)
-                }
-                # One vectorized call prices the whole menu of children —
-                # per-child scalar bounds were the walk's hotspot.
-                child_bounds = bound_engine.child_bounds(
-                    assigned, dim, self.objective
-                )
-                for k, chain in enumerate(menu):
-                    prefix[dim] = chain
-                    if not mapspace.prefix_feasible(prefix):
-                        # No completion fits the fanout caps; not a bound
-                        # decision, so counted separately.
-                        infeasible_subtrees += 1
-                        continue
-                    child_bound = float(child_bounds[k])
-                    if (
-                        best_metric != float("inf")
-                        and child_bound * (1.0 - PRUNE_MARGIN) >= best_metric
-                    ):
-                        subtrees_pruned += 1
-                        obs.inc("search.subtrees_pruned",
-                                driver="branch-bound")
-                        continue
-                    heapq.heappush(
-                        heap, (child_bound, counter, indices + (k,))
-                    )
-                    counter += 1
-
-            # Leaves buffered after the last threshold flush (including
-            # any left when the frontier drained) still need pricing; the
-            # flush re-checks their bounds against the final incumbent.
-            flush_leaves(engine, bound_engine)
-
+            walker = _SubtreeWalker(
+                mapspace,
+                engine,
+                self.evaluator,
+                bound_engine,
+                dims_order,
+                objective=self.objective,
+                leaf_width=self.leaf_width,
+                batch_size=self.batch_size,
+                limit=self.limit,
+                incumbent=LocalIncumbent(len(menus)),
+            )
+            warm_metric = self._warm_start(walker)
+            root_bound = walker.walk(())
             tightness = (
-                root_bound / best_metric
-                if best is not None and best_metric > 0
+                root_bound / walker.best_metric
+                if walker.best is not None and walker.best_metric > 0
                 else None
             )
             if tightness is not None:
@@ -426,27 +621,30 @@ class BranchBoundSearch:
                     "search.bound_tightness", tightness, driver="branch-bound"
                 )
 
-        stats = timer.stats(evaluations, engine=engine)
+        stats = timer.stats(walker.evaluations, engine=engine)
         stats["bnb"] = _bnb_stats(
-            nodes_expanded=nodes_expanded,
-            subtrees_pruned=subtrees_pruned,
-            infeasible_subtrees=infeasible_subtrees,
+            nodes_expanded=walker.nodes_expanded,
+            leaves_deferred=walker.leaves_deferred,
+            subtrees_pruned=walker.subtrees_pruned,
+            infeasible_subtrees=walker.infeasible_subtrees,
             root_bound=root_bound,
             bound_tightness=tightness,
             warm_start_metric=warm_metric,
         )
         return SearchResult(
-            best=best,
+            best=walker.best,
             objective=self.objective,
-            num_evaluated=evaluations,
-            num_valid=num_valid,
+            num_evaluated=walker.evaluations,
+            num_valid=walker.num_valid,
             terminated_by="exhausted",
-            curve=curve,
+            curve=walker.curve,
             stats=stats,
         )
 
+
 def _bnb_stats(
     nodes_expanded: int = 0,
+    leaves_deferred: int = 0,
     subtrees_pruned: int = 0,
     infeasible_subtrees: int = 0,
     root_bound: Optional[float] = None,
@@ -456,6 +654,7 @@ def _bnb_stats(
     """The ``bnb`` stats sub-dict (uniform keys on every path)."""
     return {
         "nodes_expanded": nodes_expanded,
+        "leaves_deferred": leaves_deferred,
         "subtrees_pruned": subtrees_pruned,
         "infeasible_subtrees": infeasible_subtrees,
         "root_bound": root_bound,
@@ -474,6 +673,8 @@ def branch_bound_search(
     limit: Optional[int] = 10_000_000,
     seed: Optional[Union[int, random.Random]] = None,
     use_batch: bool = True,
+    workers: int = 1,
+    start_method: Optional[str] = None,
 ) -> SearchResult:
     """One-shot functional wrapper around :class:`BranchBoundSearch`."""
     return BranchBoundSearch(
@@ -486,4 +687,6 @@ def branch_bound_search(
         limit=limit,
         seed=seed,
         use_batch=use_batch,
+        workers=workers,
+        start_method=start_method,
     ).run()

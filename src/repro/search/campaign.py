@@ -261,11 +261,11 @@ def _job_entry(job: CampaignJob, attempt: int, fault_plan, conn) -> None:
 
 def _pick_context(start_method: Optional[str]):
     """Choose a multiprocessing context (fork, then spawn) or inline mode."""
-    from repro.search.parallel import _spawn_usable
+    from repro.search.worker_pool import spawn_usable
 
     methods = (start_method,) if start_method else ("fork", "spawn")
     for method in methods:
-        if method == "spawn" and not _spawn_usable():
+        if method == "spawn" and not spawn_usable():
             logger.warning("campaign: spawn skipped (__main__ not importable)")
             continue
         try:

@@ -18,8 +18,6 @@ records which mode actually ran.
 from __future__ import annotations
 
 import logging
-import os
-import sys
 from typing import Any, Dict, List, Optional, Tuple, Union
 
 from repro import obs
@@ -32,53 +30,24 @@ from repro.mapspace.factory import make_mapspace
 from repro.mapspace.generator import MapspaceKind
 from repro.model.eval_cache import DEFAULT_CACHE_SIZE, EvaluationCache
 from repro.model.evaluator import Evaluator
-from repro.obs import MetricsRegistry, SearchTimer
+from repro.obs import SearchTimer
 from repro.search.random_search import DEFAULT_PATIENCE, RandomSearch
 from repro.search.result import SearchResult
+from repro.search.worker_pool import (
+    OBS_SNAPSHOT_KEY as _OBS_SNAPSHOT_KEY,
+    collect_worker_obs,
+    run_jobs,
+    run_under_worker_obs,
+)
 from repro.utils.rng import make_rng
 
 logger = logging.getLogger(__name__)
 
-#: Start methods tried, in order, when the caller does not force one.
-#: ``fork`` is cheapest (no re-import, no pickling of the initializer
-#: state); ``spawn`` is the portable fallback (and the only option on
-#: Windows and recent macOS defaults).
-_START_METHODS = ("fork", "spawn")
 
-# Per-process search configuration installed by the pool initializer so
-# spawn-started workers (which re-import this module) can rebuild their
-# stack without re-pickling the shared state for every job.
-_WORKER_STATE: Optional[Dict[str, Any]] = None
-
-
-def _init_worker(state: Dict[str, Any]) -> None:
-    """Pool initializer: stash the shared search configuration."""
-    global _WORKER_STATE
-    _WORKER_STATE = state
-
-
-def _spawn_usable() -> bool:
-    """True when ``spawn`` workers can bootstrap.
-
-    Spawned children re-import ``__main__``; from an interactive session
-    (REPL, stdin script) there is no importable main module, the children
-    die during bootstrap, and the pool respawns them forever — a hang, not
-    an exception. Detect that case up front and fall through to the next
-    execution mode instead.
-    """
-    main = sys.modules.get("__main__")
-    if main is None or getattr(main, "__spec__", None) is not None:
-        return True  # `python -m ...` (and pytest): importable by spec.
-    main_file = getattr(main, "__file__", None)
-    return bool(main_file) and os.path.exists(main_file)
-
-
-def _run_one(job: Tuple[int, int]) -> Tuple[int, SearchResult]:
-    """Worker entry point: run one seeded search from the installed state."""
+def _pool_entry(state: Dict[str, Any], job: Tuple[int, int]) -> SearchResult:
+    """Pool entry point: run one ``(index, seed)`` job."""
     index, seed = job
-    if _WORKER_STATE is None:  # pragma: no cover - initializer always runs
-        raise SearchError("worker state not initialized")
-    return index, _search_once_indexed(_WORKER_STATE, index, seed)
+    return _search_once_indexed(state, index, seed)
 
 
 def _search_once_indexed(
@@ -98,13 +67,6 @@ def _search_once_indexed(
         raise WorkerError(
             index, seed, f"{type(error).__name__}: {error}"
         ) from error
-
-
-#: Transient ``SearchResult.stats`` key a worker uses to ship its private
-#: metrics-registry snapshot back to the driver; popped (and merged into
-#: the ambient registry) before the merged stats are assembled, so it is
-#: never visible to callers.
-_OBS_SNAPSHOT_KEY = "_obs_registry"
 
 
 def _search_once(state: Dict[str, Any], seed: int) -> SearchResult:
@@ -162,12 +124,9 @@ def _search_once(state: Dict[str, Any], seed: int) -> SearchResult:
             f"parallel search supports the 'random' and 'branch-bound' "
             f"strategies, not {strategy!r}"
         )
-    if not state.get("obs"):
-        return search.run()
-    registry = MetricsRegistry()
-    with obs.obs_scope(registry=registry):
-        result = search.run()
-    result.stats[_OBS_SNAPSHOT_KEY] = registry.snapshot()
+    result, snapshot = run_under_worker_obs(bool(state.get("obs")), search.run)
+    if snapshot is not None:
+        result.stats[_OBS_SNAPSHOT_KEY] = snapshot
     return result
 
 
@@ -240,12 +199,14 @@ def parallel_random_search(
     with timer, obs.trace(
         "search.run", driver="parallel", workers=workers, objective=objective
     ):
-        if workers == 1:
-            results = [_search_once_indexed(state, 0, seeds[0])]
-            pool_mode = "sequential"
-        else:
-            results, pool_mode = _map_jobs(state, seeds, workers, start_method)
-    _collect_worker_obs(results)
+        results, pool_mode, _ = run_jobs(
+            _pool_entry,
+            state,
+            list(enumerate(seeds)),
+            workers,
+            start_method=start_method,
+        )
+    collect_worker_obs([result.stats for result in results])
     merged = _merge(results, objective)
     merged.stats.update(
         _pool_stats(results, seeds, pool_mode, timer.elapsed_s)
@@ -254,76 +215,6 @@ def parallel_random_search(
     obs.inc("search.evaluations", merged.num_evaluated, driver="parallel")
     obs.observe("search.run_seconds", timer.elapsed_s, driver="parallel")
     return merged
-
-
-def _collect_worker_obs(results: List[SearchResult]) -> None:
-    """Merge worker registry snapshots into the driver's ambient registry.
-
-    Each worker accumulated metrics into its own process-local registry
-    (see :func:`_search_once`); fold those counts into whichever registry
-    the caller's :func:`~repro.obs.scope.obs_scope` installed, and strip
-    the transport key so the stats payload keeps its documented shape.
-    """
-    context = obs.active_obs()
-    for result in results:
-        snapshot = result.stats.pop(_OBS_SNAPSHOT_KEY, None)
-        if snapshot is not None and context is not None:
-            context.registry.merge(snapshot)
-
-
-def _map_jobs(
-    state: Dict[str, Any],
-    seeds: List[int],
-    workers: int,
-    start_method: Optional[str] = None,
-) -> Tuple[List[SearchResult], str]:
-    """Fan the seeded jobs over a process pool; returns (results, mode).
-
-    Jobs are ``(index, seed)`` pairs consumed via ``imap_unordered`` (with
-    a chunksize that amortizes IPC for large job lists) and re-sorted by
-    index afterwards, so the result order — and therefore tie-breaking in
-    :func:`_merge` — is identical across pool modes. Every candidate start
-    method is tried before giving up on parallelism; the sequential
-    fallback still runs all jobs.
-    """
-    jobs = list(enumerate(seeds))
-    methods = (start_method,) if start_method else _START_METHODS
-    for method in methods:
-        if method == "spawn" and not _spawn_usable():
-            logger.warning(
-                "spawn start method skipped: __main__ is not importable "
-                "(interactive session?)"
-            )
-            continue
-        try:
-            import multiprocessing
-
-            context = multiprocessing.get_context(method)
-        except (ImportError, ValueError) as error:
-            logger.debug("start method %r unavailable: %s", method, error)
-            continue
-        try:
-            chunksize = max(1, len(jobs) // (workers * 4))
-            with context.Pool(
-                processes=workers,
-                initializer=_init_worker,
-                initargs=(state,),
-            ) as pool:
-                indexed = list(
-                    pool.imap_unordered(_run_one, jobs, chunksize=chunksize)
-                )
-            indexed.sort(key=lambda pair: pair[0])
-            logger.info("parallel search ran %d jobs via %s", len(jobs), method)
-            return [result for _, result in indexed], method
-        except (OSError, ValueError, RuntimeError) as error:
-            logger.warning(
-                "start method %r failed (%s); trying next option", method, error
-            )
-    # No usable pool: degrade gracefully but still run every job.
-    logger.warning("no multiprocessing start method usable; running sequentially")
-    return [
-        _search_once_indexed(state, index, seed) for index, seed in jobs
-    ], "sequential"
 
 
 def _pool_stats(

@@ -378,10 +378,16 @@ class TestBranchBoundSearch:
             "batches", "candidates", "pruned", "prune_rate", "fallback",
         }
         assert set(result.stats["bnb"]) == {
-            "nodes_expanded", "subtrees_pruned", "infeasible_subtrees",
-            "root_bound", "bound_tightness", "warm_start_metric",
+            "nodes_expanded", "leaves_deferred", "subtrees_pruned",
+            "infeasible_subtrees", "root_bound", "bound_tightness",
+            "warm_start_metric",
         }
         assert result.stats["bnb"]["root_bound"] is not None
+        # Leaf-buffered nodes are deferrals, not expansions: both stats
+        # count real events (a deferred leaf used to short-circuit the
+        # expansion counter via `continue`, leaving nodes_expanded == 1
+        # next to hundreds of thousands of pruned subtrees).
+        assert result.stats["bnb"]["leaves_deferred"] > 0
 
     def test_warm_start_disabled_still_exact(self, toy_arch, vector100):
         exact = ExhaustiveSearch(

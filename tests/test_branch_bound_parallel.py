@@ -1,0 +1,179 @@
+"""Parallel branch-and-bound: exactness, stats, and observability merge.
+
+The contract under test: ``workers > 1`` is a pure performance knob.
+Subtree work-sharing over a cross-process shared incumbent must return
+the bit-identical best metric as the serial walk (the driver re-prices
+every worker claim, so incumbent race timing cannot leak into the
+answer), expose the same stats schema plus a ``pool`` payload, and merge
+per-worker observability counters into the driver's registry exactly
+like the parallel random search does.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.arch import eyeriss_like, toy_glb_architecture
+from repro.exceptions import SearchError
+from repro.mapspace import MapspaceKind
+from repro.mapspace.factory import make_mapspace
+from repro.model import Evaluator
+from repro.obs import MetricsRegistry, obs_scope
+from repro.problem import GemmLayer
+from repro.search import BranchBoundSearch
+from repro.search.exhaustive import ExhaustiveSearch
+
+
+def _toy_fixture(kind=MapspaceKind.PFM):
+    arch = toy_glb_architecture(num_pes=6, glb_bytes=1024)
+    workload = GemmLayer("g6x4x2", m=6, n=4, k=2).workload()
+    space = make_mapspace(arch, workload, kind)
+    return space, Evaluator(arch, workload)
+
+
+def _eyeriss_fixture():
+    arch = eyeriss_like()
+    workload = GemmLayer("g8x4x4", m=8, n=4, k=4).workload()
+    space = make_mapspace(arch, workload, MapspaceKind.PFM)
+    return space, Evaluator(arch, workload)
+
+
+class TestParallelParity:
+    """workers > 1 never changes the answer."""
+
+    @pytest.mark.parametrize("kind", [MapspaceKind.PFM, MapspaceKind.RUBY_S])
+    def test_toy_matches_serial_and_exhaustive(self, kind):
+        space, evaluator = _toy_fixture(kind)
+        exhaustive = ExhaustiveSearch(space, evaluator, limit=200_000).run()
+        serial = BranchBoundSearch(space, evaluator, seed=0).run()
+        parallel = BranchBoundSearch(
+            space, evaluator, seed=0, workers=2
+        ).run()
+        assert serial.best_metric == exhaustive.best_metric
+        assert parallel.best_metric == serial.best_metric
+
+    def test_eyeriss_matches_serial(self):
+        space, evaluator = _eyeriss_fixture()
+        serial = BranchBoundSearch(space, evaluator, seed=0).run()
+        parallel = BranchBoundSearch(
+            space, evaluator, seed=0, workers=2
+        ).run()
+        assert parallel.best_metric == serial.best_metric
+        assert parallel.terminated_by == "exhausted"
+
+    def test_walk_mode_matches_serial(self):
+        # A tiny leaf width forces worker-side subtree walks (with the
+        # factor tables shipped through shared memory) instead of
+        # driver-enumerated price batches.
+        space, evaluator = _eyeriss_fixture()
+        serial = BranchBoundSearch(
+            space, evaluator, seed=0, leaf_width=4, batch_size=16
+        ).run()
+        parallel = BranchBoundSearch(
+            space, evaluator, seed=0, workers=2, leaf_width=4, batch_size=16
+        ).run()
+        assert parallel.best_metric == serial.best_metric
+        kinds = {
+            row["kind"] for row in parallel.stats["pool"]["units"]
+        }
+        assert kinds == {"walk"}
+        bnb = parallel.stats["bnb"]
+        # Deep walks must both expand interior nodes and defer leaves —
+        # the two counters are distinct stats and both must register.
+        assert bnb["nodes_expanded"] > 0
+        assert bnb["leaves_deferred"] > 0
+
+    def test_seed_determinism_across_runs(self):
+        space, evaluator = _eyeriss_fixture()
+        a = BranchBoundSearch(space, evaluator, seed=3, workers=2).run()
+        b = BranchBoundSearch(space, evaluator, seed=3, workers=2).run()
+        assert a.best_metric == b.best_metric
+        assert a.stats["bnb"] == b.stats["bnb"]
+
+
+class TestParallelStats:
+    def test_pool_payload_schema(self):
+        space, evaluator = _eyeriss_fixture()
+        result = BranchBoundSearch(space, evaluator, seed=0, workers=2).run()
+        assert result.stats["pool_mode"] in ("fork", "spawn", "sequential")
+        pool = result.stats["pool"]
+        assert pool["workers"] == 2
+        assert pool["partition_depth"] >= 1
+        assert pool["num_units"] == len(pool["units"])
+        assert pool["transport"] in ("shm", "pickle", None)
+        for row in pool["units"]:
+            assert row["kind"] in ("walk", "price")
+            assert row["evaluations"] >= 0
+            assert row["elapsed_s"] >= 0.0
+
+    def test_stats_schema_matches_serial(self):
+        space, evaluator = _eyeriss_fixture()
+        serial = BranchBoundSearch(space, evaluator, seed=0).run()
+        parallel = BranchBoundSearch(
+            space, evaluator, seed=0, workers=2
+        ).run()
+        assert set(parallel.stats["bnb"]) == set(serial.stats["bnb"])
+        assert set(parallel.stats["batch"]) == set(serial.stats["batch"])
+        # Parallel runs additionally expose the pool breakdown.
+        assert "pool" in parallel.stats and "pool" not in serial.stats
+
+    def test_sequential_fallback_when_pool_unusable(self, monkeypatch):
+        def explode(*args, **kwargs):
+            raise ValueError("no process pools here")
+
+        monkeypatch.setattr(
+            "multiprocessing.get_context", explode, raising=True
+        )
+        space, evaluator = _eyeriss_fixture()
+        serial = BranchBoundSearch(space, evaluator, seed=0).run()
+        result = BranchBoundSearch(
+            space, evaluator, seed=0, workers=2
+        ).run()
+        assert result.stats["pool_mode"] == "sequential"
+        assert result.best_metric == serial.best_metric
+
+    def test_rejects_bad_workers(self):
+        space, evaluator = _toy_fixture()
+        with pytest.raises(SearchError):
+            BranchBoundSearch(space, evaluator, workers=0)
+
+
+class TestObsMerge:
+    """Per-worker registries must sum into the driver scope."""
+
+    def test_subtrees_pruned_counter_merges(self):
+        space, evaluator = _eyeriss_fixture()
+        registry = MetricsRegistry()
+        with obs_scope(registry=registry):
+            result = BranchBoundSearch(
+                space, evaluator, seed=0, workers=2, leaf_width=4,
+                batch_size=16,
+            ).run()
+        bnb = result.stats["bnb"]
+        assert bnb["subtrees_pruned"] > 0
+        # The registry total spans driver-side partition pruning plus
+        # every worker's walk — it must equal the merged stats counter.
+        merged = registry.counter("search.subtrees_pruned").value(
+            driver="branch-bound"
+        )
+        assert merged == bnb["subtrees_pruned"]
+
+    def test_improvements_and_evaluations_reach_driver_scope(self):
+        space, evaluator = _eyeriss_fixture()
+        registry = MetricsRegistry()
+        with obs_scope(registry=registry):
+            result = BranchBoundSearch(
+                space, evaluator, seed=0, workers=2
+            ).run()
+        assert (
+            registry.counter("search.evaluations").value(
+                driver="branch-bound"
+            )
+            == result.num_evaluated
+        )
+        assert (
+            registry.counter("search.improvements").value(
+                driver="branch-bound"
+            )
+            > 0
+        )

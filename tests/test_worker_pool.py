@@ -1,0 +1,195 @@
+"""Unit tests for the reusable worker pool and the incumbent protocol.
+
+:mod:`repro.search.worker_pool` is shared infrastructure for every
+parallel searcher, so its contracts are pinned independently of any one
+driver: dispatch-order results across all pool modes, context-matched
+shared-state construction, the fork→spawn→sequential ladder, worker
+error propagation (never swallowed by the ladder), and the strictly-
+monotone incumbent cell in both its local and cross-process forms.
+"""
+
+from __future__ import annotations
+
+import math
+import multiprocessing
+
+import pytest
+
+from repro import obs
+from repro.exceptions import SearchError, WorkerError
+from repro.obs import MetricsRegistry, obs_scope
+from repro.search.worker_pool import (
+    OBS_SNAPSHOT_KEY,
+    LocalIncumbent,
+    SharedIncumbent,
+    collect_worker_obs,
+    run_jobs,
+    run_under_worker_obs,
+)
+
+
+def _square_entry(state, job):
+    return state.get("offset", 0) + job * job
+
+
+def _incumbent_entry(state, job):
+    incumbent = state["incumbent"]
+    incumbent.offer(float(job), (job,))
+    return incumbent.read()
+
+
+def _failing_entry(state, job):
+    if job == state["bad_job"]:
+        raise WorkerError(job, 0, "synthetic unit failure")
+    return job
+
+
+class TestRunJobs:
+    def test_sequential_for_single_worker(self):
+        results, mode, shared = run_jobs(
+            _square_entry, {"offset": 1}, [1, 2, 3], workers=1
+        )
+        assert results == [2, 5, 10]
+        assert mode == "sequential"
+        assert shared == {}
+
+    def test_pool_results_in_dispatch_order(self):
+        jobs = list(range(12))
+        results, mode, _ = run_jobs(
+            _square_entry, {}, jobs, workers=2, start_method="fork"
+        )
+        assert mode == "fork"
+        assert results == [job * job for job in jobs]
+
+    def test_shared_factory_merges_into_state(self):
+        calls = []
+
+        def factory(ctx):
+            calls.append(ctx)
+            return {"incumbent": LocalIncumbent(1)}
+
+        results, mode, shared = run_jobs(
+            _incumbent_entry, {}, [5, 3, 9], workers=1,
+            shared_factory=factory,
+        )
+        assert mode == "sequential"
+        assert calls == [None]
+        # One incumbent instance spans all sequential jobs: monotone min.
+        assert results == [5.0, 3.0, 3.0]
+        assert shared["incumbent"].peek() == (3.0, (3,))
+
+    def test_shared_incumbent_tightens_across_pool(self):
+        results, mode, shared = run_jobs(
+            _incumbent_entry, {}, [8, 6, 4, 2], workers=2,
+            start_method="fork",
+            shared_factory=SharedIncumbent.factory(1),
+        )
+        assert mode == "fork"
+        # Every read is <= the job's own offer (some other worker may
+        # have tightened further), and the final cell holds the min.
+        assert all(
+            value <= job for value, job in zip(results, [8, 6, 4, 2])
+        )
+        assert shared["incumbent"].peek() == (2.0, (2,))
+
+    def test_ladder_falls_back_to_sequential(self, monkeypatch):
+        def explode(*args, **kwargs):
+            raise ValueError("no contexts available")
+
+        monkeypatch.setattr(
+            "multiprocessing.get_context", explode, raising=True
+        )
+        results, mode, _ = run_jobs(
+            _square_entry, {}, [1, 2, 3, 4], workers=4
+        )
+        assert mode == "sequential"
+        assert results == [1, 4, 9, 16]
+
+    def test_worker_error_not_swallowed_by_ladder(self):
+        # WorkerError subclasses SearchError, not RuntimeError: the
+        # ladder's except clause must let it propagate instead of
+        # retrying the failed attempt on the next start method.
+        with pytest.raises(WorkerError) as info:
+            run_jobs(
+                _failing_entry, {"bad_job": 2}, [1, 2, 3], workers=2,
+                start_method="fork",
+            )
+        assert info.value.index == 2
+
+    def test_rejects_bad_workers(self):
+        with pytest.raises(SearchError):
+            run_jobs(_square_entry, {}, [1], workers=0)
+
+
+class TestIncumbents:
+    @pytest.mark.parametrize(
+        "make",
+        [
+            lambda: LocalIncumbent(2),
+            lambda: SharedIncumbent(
+                multiprocessing.get_context("fork"), 2
+            ),
+        ],
+        ids=["local", "shared"],
+    )
+    def test_protocol(self, make):
+        cell = make()
+        assert cell.read() == math.inf
+        assert cell.peek() == (math.inf, (-1, -1))
+        assert cell.offer(10.0, (1, 2)) is True
+        assert cell.read() == 10.0
+        # Equal offers lose: strictly-better keeps the cell monotone and
+        # the accept return value meaningful for cut bookkeeping.
+        assert cell.offer(10.0, (3, 4)) is False
+        assert cell.offer(11.0, (3, 4)) is False
+        assert cell.peek() == (10.0, (1, 2))
+        assert cell.offer(9.5, (5, 6)) is True
+        assert cell.peek() == (9.5, (5, 6))
+
+    def test_factory_is_context_matched(self):
+        build = SharedIncumbent.factory(3, 42.0)
+        local = build(None)["incumbent"]
+        assert isinstance(local, LocalIncumbent)
+        assert local.read() == 42.0
+        ctx = multiprocessing.get_context("fork")
+        shared = build(ctx)["incumbent"]
+        assert isinstance(shared, SharedIncumbent)
+        assert shared.peek() == (42.0, (-1, -1, -1))
+
+
+class TestObsSnapshots:
+    def _work(self):
+        obs.inc("search.subtrees_pruned", 7, driver="branch-bound")
+        return "done"
+
+    def test_disabled_returns_no_snapshot(self):
+        result, snapshot = run_under_worker_obs(False, self._work)
+        assert result == "done"
+        assert snapshot is None
+
+    def test_snapshot_roundtrip_merges_into_driver_scope(self):
+        result, snapshot = run_under_worker_obs(True, self._work)
+        assert result == "done"
+        assert snapshot is not None
+        stats_a = {OBS_SNAPSHOT_KEY: snapshot, "other": 1}
+        _, snapshot_b = run_under_worker_obs(True, self._work)
+        stats_b = {OBS_SNAPSHOT_KEY: snapshot_b}
+        registry = MetricsRegistry()
+        with obs_scope(registry=registry):
+            collect_worker_obs([stats_a, stats_b])
+        # Transport keys are stripped; counters sum across workers.
+        assert OBS_SNAPSHOT_KEY not in stats_a
+        assert OBS_SNAPSHOT_KEY not in stats_b
+        assert stats_a["other"] == 1
+        assert (
+            registry.counter("search.subtrees_pruned").value(
+                driver="branch-bound"
+            )
+            == 14
+        )
+
+    def test_collect_safe_without_active_scope(self):
+        _, snapshot = run_under_worker_obs(True, self._work)
+        stats = {OBS_SNAPSHOT_KEY: snapshot}
+        collect_worker_obs([stats])
+        assert OBS_SNAPSHOT_KEY not in stats
