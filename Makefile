@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test coverage verify-diff verify-smoke bench bench-fast bench-cache bench-batch bench-bnb bench-bnb-parallel campaign-smoke obs-smoke examples experiments clean
+.PHONY: install test coverage verify-diff verify-smoke bench bench-fast bench-cache bench-batch bench-bnb bench-bnb-parallel bench-record bench-compare campaign-smoke obs-smoke examples experiments clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -67,6 +67,21 @@ bench-bnb:
 bench-bnb-parallel:
 	$(PYTHON) -m pytest benchmarks/test_perf_branch_bound_parallel.py --benchmark-only -s
 
+# Append the current BENCH_*.json payloads as one machine-tagged record
+# to the BENCH_HISTORY.jsonl regression ledger (run after the bench-*
+# suites refresh the payloads).
+bench-record:
+	$(PYTHON) -m repro bench record BENCH_batch_eval.json \
+	    BENCH_branch_bound.json BENCH_branch_bound_parallel.json
+
+# Benchmark regression gate: diff the newest ledger record against its
+# (same-machine) baseline and exit nonzero on any >= 20% slowdown, then
+# self-test the gate on throwaway ledgers with an injected regression.
+# See docs/observability.md ("Benchmark ledger").
+bench-compare:
+	$(PYTHON) -m repro bench compare
+	$(PYTHON) scripts/bench_compare_smoke.py
+
 # End-to-end robustness smoke: runs a tiny campaign, SIGKILLs it mid-run,
 # resumes from the journal, and checks best-EDP parity plus fault-injection
 # retry/quarantine semantics. See scripts/campaign_smoke.py.
@@ -75,7 +90,9 @@ campaign-smoke:
 
 # End-to-end observability smoke: runs a traced toy search and validates
 # the span schema, duration nesting, metric counts against the search's
-# own report, and the `repro obs` CLI. See scripts/obs_smoke.py.
+# own report, and the `repro obs` CLI; then launches a CLI search with
+# --serve-metrics 0 and scrapes /progress + /metrics mid-run (nonzero,
+# monotone progress fraction). See scripts/obs_smoke.py.
 obs-smoke:
 	$(PYTHON) scripts/obs_smoke.py
 

@@ -1,0 +1,130 @@
+#!/usr/bin/env python
+"""End-to-end smoke test for the benchmark regression gate
+(``make bench-compare``).
+
+Builds throwaway ledgers from synthetic benchmark payloads and checks
+that ``repro bench compare`` draws the line exactly where the CI gate
+needs it:
+
+1. two statistically-identical runs compare clean (exit 0);
+2. an injected >= 20% slowdown — throughput down 30%, wall-clock up
+   50% — trips the gate (exit 1);
+3. a 10% wobble stays under the default 20% threshold (exit 0);
+4. a one-record ledger refuses to compare (exit 10, ``BenchLedgerError``)
+   rather than reporting a hollow pass.
+
+The real ledger lives in ``BENCH_HISTORY.jsonl`` at the repo root and is
+appended by ``repro bench record`` after the ``make bench-*`` suites.
+
+Runs in well under a second; exits nonzero on any failure.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import tempfile
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+SRC = REPO / "src"
+sys.path.insert(0, str(SRC))
+
+from repro.cli import main as cli_main  # noqa: E402
+
+
+def fail(message: str) -> None:
+    print(f"FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check(condition: bool, message: str) -> None:
+    if not condition:
+        fail(message)
+
+
+def payloads(slowdown: float = 1.0) -> dict:
+    """Synthetic benchmark payloads; ``slowdown`` scales every timing in
+    the bad direction (throughputs divided, wall-clocks multiplied)."""
+    return {
+        "BENCH_batch_eval.json": {
+            "benchmark": "batch_eval",
+            "cases": {
+                "toy_exhaustive": {
+                    "batch_mappings_per_sec": 140000.0 / slowdown,
+                    "scalar_mappings_per_sec": 14000.0 / slowdown,
+                    "speedup": 10.0,
+                    "num_mappings": 1315,
+                }
+            },
+        },
+        "BENCH_branch_bound.json": {
+            "benchmark": "branch_bound",
+            "cases": {
+                "conv5_expand_pfm": {
+                    "branch_bound_s": 1.8 * slowdown,
+                    "exhaustive_s": 5.4 * slowdown,
+                    "speedup": 3.0,
+                    "candidates": 446145,
+                }
+            },
+        },
+    }
+
+
+def record(tmp: Path, ledger: Path, tag: str, slowdown: float = 1.0) -> None:
+    sources = []
+    for name, payload in payloads(slowdown).items():
+        path = tmp / f"{tag}_{name}"
+        path.write_text(json.dumps(payload))
+        sources.append(str(path))
+    code = cli_main(
+        ["bench", "record", *sources, "--ledger", str(ledger), "--note", tag]
+    )
+    check(code == 0, f"bench record ({tag}) exited {code}")
+
+
+def compare(ledger: Path) -> int:
+    return cli_main(["bench", "compare", "--ledger", str(ledger)])
+
+
+def main() -> None:
+    with tempfile.TemporaryDirectory() as tmpdir:
+        tmp = Path(tmpdir)
+
+        # -- 1. identical runs compare clean ---------------------------
+        steady = tmp / "steady.jsonl"
+        record(tmp, steady, "baseline")
+        record(tmp, steady, "rerun")
+        code = compare(steady)
+        check(code == 0, f"identical runs flagged (exit {code})")
+        print("steady: identical runs compare clean (exit 0)")
+
+        # -- 2. an injected >=20% slowdown trips the gate --------------
+        regressed = tmp / "regressed.jsonl"
+        record(tmp, regressed, "baseline")
+        record(tmp, regressed, "slow", slowdown=1.5)
+        code = compare(regressed)
+        check(code == 1, f"injected 50% slowdown not caught (exit {code})")
+        print("gate: injected slowdown caught (exit 1)")
+
+        # -- 3. sub-threshold noise passes -----------------------------
+        noisy = tmp / "noisy.jsonl"
+        record(tmp, noisy, "baseline")
+        record(tmp, noisy, "wobble", slowdown=1.1)
+        code = compare(noisy)
+        check(code == 0, f"10% wobble tripped the 20% gate (exit {code})")
+        print("noise: 10% wobble passes the 20% threshold (exit 0)")
+
+        # -- 4. nothing to compare is an error, not a pass -------------
+        lonely = tmp / "lonely.jsonl"
+        record(tmp, lonely, "only")
+        code = compare(lonely)
+        check(code == 10, f"one-record ledger exited {code}, want 10")
+        print("ledger: single record refuses to compare (exit 10)")
+
+    print("OK: bench-compare smoke passed")
+
+
+if __name__ == "__main__":
+    main()

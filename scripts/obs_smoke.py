@@ -13,7 +13,11 @@ checks the full observability contract:
 4. ``repro obs dump`` and ``repro obs summarize`` both accept the file;
 5. with no scope active, instrumentation publishes nothing (the
    near-zero-overhead guarantee is a behavioural one: no ambient scope
-   means no registry traffic at all).
+   means no registry traffic at all);
+6. a real CLI search launched with ``--serve-metrics 0`` serves live
+   ``/progress`` (nonzero, monotonically nondecreasing fraction while
+   the search is still running) and ``/metrics`` (Prometheus text with
+   the live progress gauge) from its ephemeral port.
 
 Runs in a few seconds; exits nonzero on any failure.
 """
@@ -25,6 +29,8 @@ import os
 import subprocess
 import sys
 import tempfile
+import time
+import urllib.request
 from collections import defaultdict
 from pathlib import Path
 
@@ -161,7 +167,115 @@ def main() -> None:
     check(not leaked, f"instrumentation leaked metrics without a scope: {leaked}")
     print("overhead: no scope active -> no registry traffic")
 
+    # -- 6. live endpoints on a real CLI search ------------------------
+    check_live_endpoints()
+
     print("OK: observability smoke passed")
+
+
+def _http_get(url: str, timeout: float = 5.0) -> str:
+    with urllib.request.urlopen(url, timeout=timeout) as response:
+        return response.read().decode("utf-8")
+
+
+def check_live_endpoints() -> None:
+    """Launch ``repro search --serve-metrics 0`` and scrape it mid-run.
+
+    The scalar (``--no-batch``) random search over a big GEMM runs for
+    many seconds, leaving a wide window to observe a fraction that is
+    nonzero, strictly below 1, and monotonically nondecreasing across
+    polls — i.e. genuinely live progress, not a post-hoc summary.
+    """
+    proc = subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro",
+            "search",
+            "--gemm",
+            "M=256,N=64,K=256",
+            "--kind",
+            "ruby-s",
+            "--searcher",
+            "random",
+            "--budget",
+            "500000",
+            "--patience",
+            "500000",
+            "--no-batch",
+            "--serve-metrics",
+            "0",
+        ],
+        env=_env(),
+        cwd=REPO,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+    )
+    try:
+        url = None
+        deadline = time.time() + 30.0
+        while time.time() < deadline:
+            line = proc.stdout.readline()
+            check(
+                bool(line) or proc.poll() is None,
+                "search exited before announcing its telemetry URL",
+            )
+            if line.startswith("serving live telemetry at "):
+                url = line.split(" at ", 1)[1].strip()
+                break
+        check(url is not None, "no 'serving live telemetry at' line on stdout")
+        print(f"live: search serving at {url}")
+
+        def progress_fraction():
+            payload = json.loads(_http_get(url + "/progress"))
+            check(payload["schema"] == 1, "/progress schema != 1")
+            searches = [
+                s for s in payload["searches"] if s["driver"] == "random"
+            ]
+            if not searches or searches[0]["fraction"] is None:
+                return None
+            return searches[0]["fraction"]
+
+        fraction = None
+        while time.time() < deadline:
+            check(proc.poll() is None, "search finished before a mid-run poll")
+            fraction = progress_fraction()
+            if fraction:
+                break
+            time.sleep(0.05)
+        check(
+            fraction is not None and 0.0 < fraction < 1.0,
+            f"no mid-run progress fraction observed (got {fraction})",
+        )
+
+        later = progress_fraction()
+        check(
+            later is not None and later >= fraction,
+            f"progress fraction moved backwards: {fraction} -> {later}",
+        )
+        print(
+            f"live: /progress fraction {fraction:.3g} -> {later:.3g} "
+            "(nonzero, monotone, mid-run)"
+        )
+
+        metrics = _http_get(url + "/metrics")
+        check(
+            "repro_search_progress_fraction" in metrics,
+            "/metrics is missing the live progress gauge",
+        )
+        check(
+            "# TYPE" in metrics and "repro_evaluator_evals_total" in metrics,
+            "/metrics is not Prometheus text exposition",
+        )
+        print("live: /metrics serves Prometheus text with progress gauge")
+    finally:
+        proc.terminate()
+        try:
+            proc.wait(timeout=10)
+        except subprocess.TimeoutExpired:
+            proc.kill()
+            proc.wait()
 
 
 if __name__ == "__main__":

@@ -15,6 +15,10 @@ Commands:
   ``campaign status``; ``status --follow`` polls a live journal).
 * ``obs`` — inspect a span-trace JSONL written via ``--trace``
   (``obs dump``, ``obs summarize``).
+* ``bench`` — benchmark regression ledger: ``bench record`` normalizes
+  BENCH_*.json payloads into a machine-tagged JSONL history,
+  ``bench compare`` diffs the latest record against its baseline and
+  exits nonzero on a thresholded regression.
 * ``verify`` — differential verification: cross-check the scalar, cached,
   batch, and reference-simulator evaluation paths on generated mappings
   and run the metamorphic invariant suite (``--quick`` / ``--deep``
@@ -22,15 +26,18 @@ Commands:
   ``docs/verification.md``.
 
 ``search``, ``experiment``, and the ``campaign`` run/resume commands
-accept ``--trace PATH`` (stream span records as JSONL) and
+accept ``--trace PATH`` (stream span records as JSONL),
 ``--metrics-out PATH`` (write the metrics-registry snapshot as JSON on
-exit); see ``docs/observability.md``.
+exit), ``--serve-metrics PORT`` (serve live ``/metrics`` + ``/progress``
+HTTP endpoints for the run's duration; 0 picks an ephemeral port), and
+``--progress`` (live search-progress/ETA line on stderr); see
+``docs/observability.md``.
 
 Failures exit with per-error-class status codes (SpecError=2,
 InvalidMappingError=3, MapspaceError=4, SearchError=5,
 EvaluationError=6, JobTimeoutError=7, CampaignError=8,
-VerificationError=9) and a one-line stderr message; pass ``--debug`` for
-the full traceback.
+VerificationError=9, BenchLedgerError=10) and a one-line stderr
+message; pass ``--debug`` for the full traceback.
 """
 
 from __future__ import annotations
@@ -183,22 +190,56 @@ def _format_search_stats(stats: Dict) -> List[str]:
 
 @contextmanager
 def _obs_session(args: argparse.Namespace) -> Iterator[None]:
-    """Route a command through ``obs_scope`` when ``--trace`` or
-    ``--metrics-out`` was given; a no-op otherwise.
+    """Route a command through ``obs_scope`` when any observability flag
+    (``--trace``, ``--metrics-out``, ``--serve-metrics``, ``--progress``)
+    was given; a no-op otherwise.
 
-    The registry snapshot is written (and the tracer closed) after the
-    command body finishes, so the JSON artifacts reflect the whole run.
+    The registry snapshot is written (and the tracer closed, the HTTP
+    server and progress printer stopped) after the command body
+    finishes, so the JSON artifacts reflect the whole run.
     """
     trace = getattr(args, "trace", None)
     metrics_out = getattr(args, "metrics_out", None)
-    if not trace and not metrics_out:
+    serve = getattr(args, "serve_metrics", None)
+    progress = getattr(args, "progress", False)
+    if not trace and not metrics_out and serve is None and not progress:
         yield
         return
-    from repro.obs import MetricsRegistry, obs_scope
+    from repro.obs import (
+        MetricsRegistry,
+        ObsServer,
+        ProgressPrinter,
+        Tracer,
+        obs_scope,
+    )
 
     registry = MetricsRegistry()
-    with obs_scope(registry=registry, trace_path=trace or None):
-        yield
+    # An explicit tracer feeds live spans to the server's /flame even
+    # when no --trace file was asked for; with --trace it streams the
+    # JSONL too. obs_scope adopts (and does not close) a caller-owned
+    # tracer, so close it in the finally below.
+    tracer = Tracer(trace or None, registry=registry)
+    server = (
+        ObsServer(registry, tracer=tracer, port=int(serve))
+        if serve is not None
+        else None
+    )
+    printer = ProgressPrinter() if progress else None
+    try:
+        with obs_scope(registry=registry, tracer=tracer):
+            if server is not None:
+                server.start()
+                # Parsed by tooling (obs_smoke) — keep the format stable.
+                print(f"serving live telemetry at {server.url}", flush=True)
+            if printer is not None:
+                printer.start()
+            yield
+    finally:
+        if printer is not None:
+            printer.stop()
+        if server is not None:
+            server.stop()
+        tracer.close()
     if metrics_out:
         save_json(registry.to_json(), metrics_out)
         print(f"metrics saved to {metrics_out}")
@@ -573,14 +614,18 @@ def _heartbeat_part(counters: Dict, job_id: str) -> str:
 
 def _cmd_campaign_status(args: argparse.Namespace) -> int:
     from repro.exceptions import CampaignError
-    from repro.search.campaign import campaign_status
+    from repro.search.campaign import CampaignStatusTracker
 
     follow = getattr(args, "follow", False)
     interval = getattr(args, "interval", 2.0)
+    # One tracker for the whole follow loop: each poll reads only the
+    # journal bytes appended since the last one (torn tails wait for
+    # their newline), instead of re-parsing the file every tick.
+    tracker = CampaignStatusTracker(args.journal)
     first = True
     while True:
         try:
-            status = campaign_status(args.journal)
+            status = tracker.poll()
         except CampaignError:
             # Following a campaign whose journal has not appeared yet (or
             # is still empty) should wait, not die.
@@ -622,6 +667,39 @@ def _cmd_obs(args: argparse.Namespace) -> int:
         print(flame_summary(records))
     for problem in problems:
         print(f"warning: {problem}", file=sys.stderr)
+    return 0
+
+
+# -------------------------------------------------------------------- bench
+
+
+def _cmd_bench_record(args: argparse.Namespace) -> int:
+    from repro.obs.bench import record_benchmarks
+
+    record = record_benchmarks(args.files, args.ledger, note=args.note)
+    print(
+        f"recorded {len(record['entries'])} metric(s) from "
+        f"{', '.join(record['sources'])} into {args.ledger}"
+    )
+    return 0
+
+
+def _cmd_bench_compare(args: argparse.Namespace) -> int:
+    from repro.obs.bench import compare_ledger, format_comparison
+
+    comparison = compare_ledger(
+        args.ledger,
+        threshold=args.threshold,
+        prefer_same_machine=not args.any_machine,
+    )
+    print(format_comparison(comparison))
+    if not comparison.ok:
+        print(
+            f"bench compare: {len(comparison.regressions)} regression(s) "
+            f"beyond {args.threshold:.0%}",
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 
@@ -708,6 +786,17 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument(
             "--metrics-out",
             help="write the metrics-registry snapshot JSON here on exit",
+        )
+        p.add_argument(
+            "--serve-metrics", type=int, default=None, metavar="PORT",
+            help="serve live /metrics, /progress, and /flame HTTP "
+            "endpoints on 127.0.0.1:PORT for the run's duration "
+            "(0 picks an ephemeral port; the resolved URL is printed)",
+        )
+        p.add_argument(
+            "--progress", action="store_true",
+            help="render a live progress/ETA line on stderr while the "
+            "search runs",
         )
 
     def add_common(p: argparse.ArgumentParser) -> None:
@@ -918,6 +1007,46 @@ def build_parser() -> argparse.ArgumentParser:
     )
     obs_summarize.add_argument("trace_file", help="span-trace JSONL path")
     obs_summarize.set_defaults(func=_cmd_obs)
+
+    bench = sub.add_parser(
+        "bench", help="benchmark regression ledger (record / compare)"
+    )
+    bench_sub = bench.add_subparsers(dest="bench_command", required=True)
+    bench_record = bench_sub.add_parser(
+        "record",
+        help="normalize BENCH_*.json payloads and append one ledger record",
+    )
+    bench_record.add_argument(
+        "files", nargs="+", help="benchmark JSON payloads (BENCH_*.json)"
+    )
+    bench_record.add_argument(
+        "--ledger", default="BENCH_HISTORY.jsonl",
+        help="ledger path (append-only JSONL; default BENCH_HISTORY.jsonl)",
+    )
+    bench_record.add_argument(
+        "--note", default=None,
+        help="freeform annotation stored with the record (e.g. a commit)",
+    )
+    bench_record.set_defaults(func=_cmd_bench_record)
+    bench_compare = bench_sub.add_parser(
+        "compare",
+        help="diff the newest ledger record against its baseline; exits 1 "
+        "on a thresholded regression",
+    )
+    bench_compare.add_argument(
+        "--ledger", default="BENCH_HISTORY.jsonl",
+        help="ledger path (default BENCH_HISTORY.jsonl)",
+    )
+    bench_compare.add_argument(
+        "--threshold", type=float, default=0.2,
+        help="relative worsening that counts as a regression (default 0.2)",
+    )
+    bench_compare.add_argument(
+        "--any-machine", action="store_true",
+        help="allow a baseline from a different host (timings across "
+        "machines are noisy; same-host baselines are preferred by default)",
+    )
+    bench_compare.set_defaults(func=_cmd_bench_compare)
 
     verify = sub.add_parser(
         "verify",

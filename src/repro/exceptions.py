@@ -142,6 +142,15 @@ class VerificationError(ReproError):
     exit_code = 9
 
 
+class BenchLedgerError(ReproError):
+    """The benchmark ledger cannot answer the question asked of it:
+    nothing recordable in the given payloads, or fewer than two records
+    to compare. Distinct from a *regression*, which ``repro bench
+    compare`` reports through its exit status, not an exception."""
+
+    exit_code = 10
+
+
 class JobCrashError(CampaignError):
     """A campaign job's worker process died without reporting a result."""
 

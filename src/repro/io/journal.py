@@ -34,7 +34,7 @@ import json
 import logging
 import os
 from pathlib import Path
-from typing import Any, Dict, List, Union
+from typing import Any, Dict, List, Tuple, Union
 
 from repro.exceptions import CampaignError
 
@@ -102,6 +102,48 @@ class Journal:
                     f"{number + 1}: {error}"
                 ) from error
         return records
+
+    def read_incremental(
+        self, offset: int = 0
+    ) -> Tuple[List[Dict[str, Any]], int]:
+        """Records appended at or after byte ``offset``; returns
+        ``(records, new_offset)``.
+
+        Only complete (newline-terminated) lines are consumed: a torn
+        trailing line — the one write in flight if the driver dies — is
+        left unconsumed, so the *next* poll picks it up once the
+        terminator lands. This is what live followers
+        (``campaign status --follow``) use instead of re-reading the
+        whole journal every poll. ``new_offset`` is the byte position
+        after the last consumed line; pass it back on the next call.
+
+        Appends are single fsynced writes, so a newline-terminated line
+        that still fails to parse is real corruption, not a torn write,
+        and raises :class:`CampaignError`.
+        """
+        if not self.exists():
+            return [], offset
+        with open(self.path, "rb") as handle:
+            handle.seek(offset)
+            data = handle.read()
+        records: List[Dict[str, Any]] = []
+        consumed = 0
+        while True:
+            newline = data.find(b"\n", consumed)
+            if newline < 0:
+                break
+            line = data[consumed:newline]
+            consumed = newline + 1
+            if not line.strip():
+                continue
+            try:
+                records.append(json.loads(line.decode("utf-8")))
+            except (json.JSONDecodeError, UnicodeDecodeError) as error:
+                raise CampaignError(
+                    f"journal {self.path}: corrupt record at byte "
+                    f"{offset + consumed - len(line) - 1}: {error}"
+                ) from error
+        return records, offset + consumed
 
     def terminal_jobs(self) -> Dict[str, Dict[str, Any]]:
         """Latest terminal (``kind == "job"``) record per job id."""

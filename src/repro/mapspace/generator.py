@@ -217,6 +217,20 @@ class MapSpace:
             ]
         return self._dim_chain_menus
 
+    def enumeration_upper_bound(self) -> int:
+        """Cheap upper bound on the flat enumeration: the menu-size
+        product *before* joint-fanout filtering.
+
+        Costs one multiply per dimension (menus are cached), unlike
+        :meth:`count_completions`, which walks the whole product. Used as
+        the total-work estimate for exhaustive-search progress tracking —
+        an over-estimate only tightens to 1.0 when the run finishes.
+        """
+        total = 1
+        for _, menu in self.dim_chain_menus():
+            total *= len(menu)
+        return total
+
     def prefix_feasible(self, chains: Dict[str, DimChain]) -> bool:
         """True when some completion of ``chains`` can fit the fanout caps.
 

@@ -15,18 +15,30 @@ Three layers, all opt-in and near-free when disabled:
   code calls unconditionally.
 
 :class:`~repro.obs.timing.SearchTimer` is the shared run-timing helper
-every search driver uses to build ``SearchResult.stats``.
+every search driver uses to build ``SearchResult.stats``; it owns the
+run's :class:`~repro.obs.progress.ProgressTracker` (totals, ETA,
+convergence timeline). :class:`~repro.obs.server.ObsServer` serves the
+live ``/metrics`` / ``/progress`` / ``/flame`` endpoints, and
+:mod:`repro.obs.bench` keeps the benchmark-regression ledger.
 
-See ``docs/observability.md`` for the metric-name and span taxonomy.
+See ``docs/observability.md`` for the metric-name and span taxonomy,
+the live-endpoint routes, and the ledger format.
 """
 
 from repro.obs.metrics import (
     DEFAULT_BUCKETS,
+    TIMING_BUCKETS,
     Counter,
     Gauge,
     Histogram,
     MetricsRegistry,
     default_registry,
+)
+from repro.obs.progress import (
+    ProgressPrinter,
+    ProgressTracker,
+    active_trackers,
+    empty_progress_stats,
 )
 from repro.obs.scope import (
     ObsContext,
@@ -37,7 +49,8 @@ from repro.obs.scope import (
     set_gauge,
     trace,
 )
-from repro.obs.timing import SearchTimer, empty_batch_stats
+from repro.obs.server import ObsServer
+from repro.obs.timing import SearchTimer, empty_batch_stats, empty_bnb_stats
 from repro.obs.tracing import (
     SPAN_REQUIRED_KEYS,
     Span,
@@ -49,13 +62,20 @@ from repro.obs.tracing import (
 
 __all__ = [
     "DEFAULT_BUCKETS",
+    "TIMING_BUCKETS",
     "Counter",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
     "ObsContext",
+    "ObsServer",
+    "ProgressPrinter",
+    "ProgressTracker",
     "SearchTimer",
+    "active_trackers",
     "empty_batch_stats",
+    "empty_bnb_stats",
+    "empty_progress_stats",
     "Span",
     "SPAN_REQUIRED_KEYS",
     "Tracer",

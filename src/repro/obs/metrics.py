@@ -25,7 +25,7 @@ payload for ``--metrics-out``) and :meth:`MetricsRegistry.to_prometheus`
 
 from __future__ import annotations
 
-import json
+import re
 import threading
 from typing import Any, Dict, Iterable, Optional, Sequence, Tuple
 
@@ -36,6 +36,16 @@ DEFAULT_BUCKETS: Tuple[float, ...] = tuple(
     round(10.0 ** (exponent / 2.0), 12) for exponent in range(-10, 5)
 )
 
+#: Finer buckets for duration series: two per decade, 100 ns .. 100 s.
+#: Sub-10 µs work — cache probes, single spans, per-batch slices — all
+#: collapsed into DEFAULT_BUCKETS' lowest bucket; duration histograms
+#: (``span.duration_seconds``, ``search.run_seconds``) use this grid
+#: instead. Every observer of one series must pass the same buckets or
+#: cross-process snapshot merges will (deliberately) refuse to rebin.
+TIMING_BUCKETS: Tuple[float, ...] = tuple(
+    round(10.0 ** (exponent / 2.0), 16) for exponent in range(-14, 5)
+)
+
 LabelKey = Tuple[Tuple[str, str], ...]
 
 
@@ -44,11 +54,37 @@ def _label_key(labels: Dict[str, Any]) -> LabelKey:
     return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
 
 
+def _escape_label_value(value: str) -> str:
+    """Prometheus label-value escaping: backslash, double-quote, newline."""
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def _unescape_label_value(value: str) -> str:
+    """Invert :func:`_escape_label_value` (single left-to-right scan, so
+    ``\\\\n`` decodes to backslash + ``n``, not a newline)."""
+    out = []
+    index = 0
+    while index < len(value):
+        char = value[index]
+        if char == "\\" and index + 1 < len(value):
+            nxt = value[index + 1]
+            out.append("\n" if nxt == "n" else nxt)
+            index += 2
+        else:
+            out.append(char)
+            index += 1
+    return "".join(out)
+
+
 def _label_text(key: LabelKey) -> str:
     """Prometheus-style ``{a="x",b="y"}`` rendering ('' when unlabeled)."""
     if not key:
         return ""
-    inner = ",".join(f'{name}="{value}"' for name, value in key)
+    inner = ",".join(
+        f'{name}="{_escape_label_value(value)}"' for name, value in key
+    )
     return "{" + inner + "}"
 
 
@@ -351,16 +387,23 @@ def _merge_le(label_text: str, bound: Any) -> str:
     return label_text[:-1] + "," + le + "}"
 
 
+_LABEL_PAIR_RE = re.compile(r'([A-Za-z0-9_.]+)="((?:[^"\\]|\\.)*)"')
+
+
 def _parse_label_text(label_text: str) -> LabelKey:
-    """Invert :func:`_label_text` (snapshot keys round-trip through it)."""
+    """Invert :func:`_label_text` (snapshot keys round-trip through it).
+
+    Values are matched as quoted strings with escape-aware regexes
+    rather than split on commas, so label values containing commas,
+    quotes, backslashes, or newlines survive the snapshot/merge cycle.
+    """
     if not label_text:
         return ()
     inner = label_text.strip()[1:-1]
-    pairs = []
-    for chunk in inner.split(","):
-        name, _, value = chunk.partition("=")
-        pairs.append((name, json.loads(value)))
-    return tuple(pairs)
+    return tuple(
+        (match.group(1), _unescape_label_value(match.group(2)))
+        for match in _LABEL_PAIR_RE.finditer(inner)
+    )
 
 
 _DEFAULT_REGISTRY = MetricsRegistry()

@@ -68,9 +68,16 @@ def obs_scope(
     global _ACTIVE
     if tracer is not None and trace_path is not None:
         raise ValueError("pass either tracer or trace_path, not both")
-    owned_tracer = Tracer(trace_path) if trace_path is not None else None
+    resolved_registry = registry if registry is not None else default_registry()
+    # The owned tracer feeds span durations back into the same registry
+    # (span.duration_seconds), so a bare trace_path gets both views.
+    owned_tracer = (
+        Tracer(trace_path, registry=resolved_registry)
+        if trace_path is not None
+        else None
+    )
     context = ObsContext(
-        registry=registry if registry is not None else default_registry(),
+        registry=resolved_registry,
         tracer=tracer if tracer is not None else owned_tracer,
     )
     previous = _ACTIVE
@@ -100,11 +107,23 @@ def set_gauge(name: str, value: float, **labels: Any) -> None:
         context.registry.gauge(name).set(value, **labels)
 
 
-def observe(name: str, value: float, **labels: Any) -> None:
-    """Record a histogram observation (no-op when inactive)."""
+def observe(
+    name: str, value: float, buckets: Optional[Any] = None, **labels: Any
+) -> None:
+    """Record a histogram observation (no-op when inactive).
+
+    ``buckets`` overrides the instrument's bucket grid on first use
+    (ignored if the histogram already exists — buckets are fixed at
+    construction so cross-process merges never have to rebin). Every
+    caller observing one series should pass the same grid.
+    """
     context = _ACTIVE
     if context is not None:
-        context.registry.histogram(name).observe(value, **labels)
+        if buckets is not None:
+            histogram = context.registry.histogram(name, buckets=buckets)
+        else:
+            histogram = context.registry.histogram(name)
+        histogram.observe(value, **labels)
 
 
 def trace(name: str, **attrs: Any):

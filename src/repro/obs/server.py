@@ -1,0 +1,199 @@
+"""Live telemetry over HTTP: ``/metrics``, ``/progress``, ``/flame``.
+
+The ROADMAP's mapper-as-a-service direction needs the service's missing
+sense: what is this process doing *right now*? :class:`ObsServer` is a
+dependency-free stdlib :class:`~http.server.ThreadingHTTPServer` run as
+a daemon thread inside any search / experiment / campaign process (the
+CLI's ``--serve-metrics PORT`` flag), exposing read-only views of the
+in-process observability state:
+
+===============  =========================================================
+route            payload
+===============  =========================================================
+``/healthz``     ``ok`` (liveness probe)
+``/metrics``     Prometheus text exposition of the scoped registry
+``/metrics.json``  the ``to_json()`` envelope (``{"schema": 1, ...}``)
+``/progress``    JSON: every live :class:`ProgressTracker` snapshot —
+                 fraction, ETA, throughput, convergence timeline
+``/flame``       flame-style text rollup of the in-memory span stream
+===============  =========================================================
+
+Everything is a snapshot read of already-thread-safe structures — the
+server never blocks or mutates the search it observes, and when the flag
+is off no server (and no thread) exists at all, preserving the layer's
+zero-cost-when-off rule. The server binds ``127.0.0.1`` by default and
+serves whatever the process already collects; it performs no
+authentication, so bind wider interfaces deliberately.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, Optional
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.progress import active_trackers
+from repro.obs.tracing import Tracer, flame_summary
+
+logger = logging.getLogger(__name__)
+
+#: Versioned envelope field for the ``/progress`` payload.
+PROGRESS_SCHEMA = 1
+
+#: Content type for Prometheus text exposition (format version 0.0.4).
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+def progress_payload() -> Dict[str, Any]:
+    """The ``/progress`` JSON body: one snapshot per live tracker.
+
+    Schema (documented in docs/observability.md): ``{"schema": 1,
+    "time": <epoch>, "searches": [ProgressTracker.snapshot(), ...]}``.
+    """
+    return {
+        "schema": PROGRESS_SCHEMA,
+        "time": time.time(),
+        "searches": [tracker.snapshot() for tracker in active_trackers()],
+    }
+
+
+class _ObsRequestHandler(BaseHTTPRequestHandler):
+    """Routes GETs to snapshot views; everything else is a 404/405."""
+
+    server_version = "repro-obs"
+
+    # The handler reaches its registry/tracer through self.server
+    # (ThreadingHTTPServer instantiates handlers per request).
+
+    def do_GET(self) -> None:  # noqa: N802 (BaseHTTPRequestHandler API)
+        path = self.path.split("?", 1)[0].rstrip("/") or "/"
+        try:
+            if path in ("/", "/healthz"):
+                self._send(200, "text/plain; charset=utf-8", "ok\n")
+            elif path == "/metrics":
+                body = self.server.obs_registry.to_prometheus()
+                self._send(200, PROMETHEUS_CONTENT_TYPE, body)
+            elif path == "/metrics.json":
+                body = json.dumps(self.server.obs_registry.to_json())
+                self._send(200, "application/json", body)
+            elif path == "/progress":
+                body = json.dumps(progress_payload())
+                self._send(200, "application/json", body)
+            elif path == "/flame":
+                tracer = self.server.obs_tracer
+                if tracer is None:
+                    body = "(no tracer attached)\n"
+                else:
+                    body = flame_summary(tracer.snapshot_records()) + "\n"
+                self._send(200, "text/plain; charset=utf-8", body)
+            else:
+                self._send(404, "text/plain; charset=utf-8", "not found\n")
+        except Exception:  # pragma: no cover - defensive: never kill the probe
+            logger.exception("obs server failed serving %s", self.path)
+            try:
+                self._send(500, "text/plain; charset=utf-8", "error\n")
+            except OSError:
+                pass
+
+    def _send(self, status: int, content_type: str, body: str) -> None:
+        payload = body.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(payload)))
+        self.end_headers()
+        self.wfile.write(payload)
+
+    def log_message(self, format: str, *args: Any) -> None:
+        # Scrapes are high-frequency noise; keep them off stderr.
+        logger.debug("obs server: " + format, *args)
+
+
+class _ObsHTTPServer(ThreadingHTTPServer):
+    daemon_threads = True
+    # Searches outlive sockets; rebinding the same port across runs must
+    # not fail on TIME_WAIT.
+    allow_reuse_address = True
+
+    obs_registry: MetricsRegistry
+    obs_tracer: Optional[Tracer]
+
+
+class ObsServer:
+    """The live-telemetry endpoint bundle, run as a daemon thread.
+
+    Args:
+        registry: metrics source for ``/metrics`` / ``/metrics.json``
+            (typically the registry the ambient scope installs).
+        tracer: span source for ``/flame``; ``None`` serves a
+            placeholder body.
+        host: bind address (loopback by default).
+        port: TCP port; ``0`` picks an ephemeral port — read the bound
+            one back from :attr:`port` (the CLI prints the resolved URL
+            so tooling can scrape it).
+    """
+
+    def __init__(
+        self,
+        registry: MetricsRegistry,
+        tracer: Optional[Tracer] = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self.registry = registry
+        self.tracer = tracer
+        self._requested = (host, int(port))
+        self._httpd: Optional[_ObsHTTPServer] = None
+        self._thread: Optional[threading.Thread] = None
+
+    def start(self) -> "ObsServer":
+        """Bind and begin serving in a daemon thread (idempotent)."""
+        if self._httpd is not None:
+            return self
+        httpd = _ObsHTTPServer(self._requested, _ObsRequestHandler)
+        httpd.obs_registry = self.registry
+        httpd.obs_tracer = self.tracer
+        self._httpd = httpd
+        self._thread = threading.Thread(
+            target=httpd.serve_forever,
+            name="obs-server",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Shut the listener down and join the serving thread."""
+        if self._httpd is not None:
+            self._httpd.shutdown()
+            self._httpd.server_close()
+            self._httpd = None
+        if self._thread is not None:
+            self._thread.join(timeout=2.0)
+            self._thread = None
+
+    @property
+    def host(self) -> str:
+        if self._httpd is not None:
+            return self._httpd.server_address[0]
+        return self._requested[0]
+
+    @property
+    def port(self) -> int:
+        """The bound port (resolves ``port=0`` after :meth:`start`)."""
+        if self._httpd is not None:
+            return self._httpd.server_address[1]
+        return self._requested[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def __enter__(self) -> "ObsServer":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()

@@ -4,16 +4,22 @@ Every searcher used to hand-roll the same four lines — snapshot the
 evaluation-cache counters, ``started = time.perf_counter()``, run,
 ``elapsed = time.perf_counter() - started`` — and then hand-build its
 stats dict. :class:`SearchTimer` is that block as one reusable context
-manager: it owns the monotonic clock, the cache baseline, and the
-``SearchResult.stats`` payload (keys unchanged: ``elapsed_s``,
-``evals_per_sec``, optional ``cache`` and ``batch`` sub-dicts), and it
-mirrors the run into the ambient metrics registry when an
+manager: it owns the monotonic clock, the cache baseline, the run's
+:class:`~repro.obs.progress.ProgressTracker`, and the
+``SearchResult.stats`` payload (``elapsed_s``, ``evals_per_sec``, plus
+``cache``/``batch``/``bnb``/``progress`` sub-dicts), and it mirrors the
+run into the ambient metrics registry when an
 :func:`~repro.obs.scope.obs_scope` is active:
 
-    timer = SearchTimer(evaluator, driver="random")
+    timer = SearchTimer(evaluator, driver="random", total_units=budget)
     with timer:
-        ...draw and evaluate candidates...
+        ...timer.progress.advance(batch_size) as work completes...
     stats = timer.stats(num_evaluated, engine=batch_engine)
+
+Because the timer *always* owns a tracker and *always* emits the
+``progress`` (and zeroed ``bnb``) sub-dicts, every searcher's stats
+payload has an identical top-level key set by construction — there is
+no per-driver schema to drift (the stats-schema test pins this).
 """
 
 from __future__ import annotations
@@ -22,6 +28,8 @@ import time
 from typing import Any, Dict, Optional
 
 from repro.obs import scope as _scope
+from repro.obs.metrics import TIMING_BUCKETS
+from repro.obs.progress import ProgressTracker
 
 
 def empty_batch_stats() -> Dict[str, Any]:
@@ -40,6 +48,26 @@ def empty_batch_stats() -> Dict[str, Any]:
     }
 
 
+def empty_bnb_stats() -> Dict[str, Any]:
+    """The all-zero ``bnb`` stats sub-dict of a non-tree run.
+
+    Same key set as :func:`repro.search.branch_bound._bnb_stats` (the
+    builder branch-and-bound overwrites this with), kept here so
+    :meth:`SearchTimer.stats` can emit the sub-dict for every searcher
+    without importing the search layer — the stats-schema test asserts
+    the two key sets stay identical.
+    """
+    return {
+        "nodes_expanded": 0,
+        "leaves_deferred": 0,
+        "subtrees_pruned": 0,
+        "infeasible_subtrees": 0,
+        "root_bound": None,
+        "bound_tightness": None,
+        "warm_start_metric": None,
+    }
+
+
 class SearchTimer:
     """Times one search run and builds its throughput-stats payload.
 
@@ -48,10 +76,21 @@ class SearchTimer:
             baselined on construction so shared caches report per-run
             deltas, exactly like the old hand-rolled blocks.
         driver: label attached to the mirrored registry metrics
-            (``search.evaluations{driver="random"}`` etc.).
+            (``search.evaluations{driver="random"}`` etc.) and to the
+            run's progress tracker.
+        total_units: total-work estimate handed to the owned
+            :class:`~repro.obs.progress.ProgressTracker` (``None`` =
+            unknown). Searchers advance ``timer.progress`` as work
+            completes; exiting the timer finishes the tracker (snapping
+            the fraction to 1.0 when a total is known).
     """
 
-    def __init__(self, evaluator: Any = None, driver: str = "search") -> None:
+    def __init__(
+        self,
+        evaluator: Any = None,
+        driver: str = "search",
+        total_units: Optional[float] = None,
+    ) -> None:
         self.driver = driver
         self.cache = getattr(evaluator, "cache", None)
         self.cache_baseline = (
@@ -61,6 +100,7 @@ class SearchTimer:
         )
         self.elapsed_s: float = 0.0
         self._started: Optional[float] = None
+        self.progress = ProgressTracker(driver=driver, total_units=total_units)
 
     def __enter__(self) -> "SearchTimer":
         self._started = time.perf_counter()
@@ -69,6 +109,8 @@ class SearchTimer:
     def __exit__(self, exc_type, exc, tb) -> None:
         if self._started is not None:
             self.elapsed_s = time.perf_counter() - self._started
+        if exc_type is None:
+            self.progress.finish()
 
     def stats(
         self, num_evaluated: int, engine: Any = None
@@ -78,10 +120,11 @@ class SearchTimer:
         Args:
             num_evaluated: mappings drawn during the run.
             engine: the run's :class:`~repro.model.batch.BatchEvaluator`,
-                if one was used. The ``batch`` sub-dict is **always**
-                present with the full key set — all-zero counters on
-                scalar runs — so consumers (CLI footers, campaign
-                aggregation) never have to special-case key existence.
+                if one was used. The ``batch``, ``bnb``, and ``progress``
+                sub-dicts are **always** present with their full key
+                sets — all-zero/empty on runs that didn't exercise them —
+                so consumers (CLI footers, campaign aggregation) never
+                have to special-case key existence.
         """
         from repro.search.result import throughput_stats
 
@@ -91,6 +134,8 @@ class SearchTimer:
         payload["batch"] = (
             engine.stats_payload() if engine is not None else empty_batch_stats()
         )
+        payload["bnb"] = empty_bnb_stats()
+        payload["progress"] = self.progress.stats_payload()
         self._publish(payload, num_evaluated)
         return payload
 
@@ -101,7 +146,12 @@ class SearchTimer:
         driver = self.driver
         _scope.inc("search.runs", driver=driver)
         _scope.inc("search.evaluations", num_evaluated, driver=driver)
-        _scope.observe("search.run_seconds", self.elapsed_s, driver=driver)
+        _scope.observe(
+            "search.run_seconds",
+            self.elapsed_s,
+            buckets=TIMING_BUCKETS,
+            driver=driver,
+        )
         cache = payload.get("cache")
         if cache is not None:
             _scope.inc("cache.hits", cache["hits"], driver=driver)

@@ -24,6 +24,7 @@ from pathlib import Path
 from typing import Any, Dict, List, Optional, Union
 
 from repro.io.journal import JOURNAL_SCHEMA, Journal
+from repro.obs.metrics import TIMING_BUCKETS, MetricsRegistry
 
 
 class Span:
@@ -74,11 +75,22 @@ class Tracer:
     Args:
         path: JSONL output file. ``None`` keeps spans in memory only
             (``records`` still accumulates, for tests and in-process
-            summaries).
+            summaries — it is what the live ``/flame`` endpoint rolls
+            up).
+        registry: when given, every closed span also lands one
+            observation in the ``span.duration_seconds`` histogram
+            (labeled by span name, on the fine :data:`TIMING_BUCKETS`
+            grid), so span latency distributions are scrapeable without
+            parsing the trace.
     """
 
-    def __init__(self, path: Optional[Union[str, Path]] = None) -> None:
+    def __init__(
+        self,
+        path: Optional[Union[str, Path]] = None,
+        registry: Optional[MetricsRegistry] = None,
+    ) -> None:
         self.path = Path(path) if path is not None else None
+        self.registry = registry
         self.records: List[Dict[str, Any]] = []
         self._lock = threading.Lock()
         self._local = threading.local()
@@ -144,6 +156,17 @@ class Tracer:
             if self._handle is not None:
                 self._handle.write(json.dumps(record, sort_keys=True) + "\n")
                 self._handle.flush()
+        if self.registry is not None:
+            self.registry.histogram(
+                "span.duration_seconds", buckets=TIMING_BUCKETS
+            ).observe(record["duration_s"], name=span.name)
+
+    def snapshot_records(self) -> List[Dict[str, Any]]:
+        """A consistent copy of the in-memory span records (safe to read
+        while other threads are still closing spans — the live ``/flame``
+        endpoint uses this)."""
+        with self._lock:
+            return list(self.records)
 
     def close(self) -> None:
         """Flush and release the output file (idempotent)."""

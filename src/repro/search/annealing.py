@@ -97,11 +97,19 @@ class SimulatedAnnealing:
         evaluations = 0
         num_valid = 0
         curve = []
-        timer = SearchTimer(self.evaluator, driver="annealing")
+        # Nominal plan: one seed draw + `steps` neighbors per restart.
+        # Infeasible-seed retries can exceed it; the tracker clamps the
+        # fraction at 1.0 and finish() snaps short runs up to it.
+        timer = SearchTimer(
+            self.evaluator,
+            driver="annealing",
+            total_units=self.restarts * (self.steps + 1),
+        )
         engine = self._batch_engine()
 
         def evaluate(genome):
             nonlocal evaluations, num_valid, best, best_metric
+            timer.progress.advance(1)
             mapping = self.mapspace.assemble(genome, self.rng)
             if engine is not None:
                 # Batch-of-one: the Metropolis chain is sequential, but
@@ -133,6 +141,7 @@ class SimulatedAnnealing:
                 )
                 obs.inc("search.improvements", driver="annealing")
                 obs.set_gauge("search.best_metric", metric, driver="annealing")
+                timer.progress.improved(metric)
             return metric
 
         with timer, obs.trace(

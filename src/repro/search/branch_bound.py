@@ -122,6 +122,7 @@ class _SubtreeWalker:
         batch_size: int,
         limit: Optional[int],
         incumbent,
+        tracker=None,
     ) -> None:
         self.mapspace = mapspace
         self.engine = engine
@@ -133,6 +134,10 @@ class _SubtreeWalker:
         self.batch_size = batch_size
         self.limit = limit
         self.incumbent = incumbent
+        #: Optional ProgressTracker advanced as cells are covered (serial
+        #: search passes the timer's; parallel workers leave it None and
+        #: the driver advances per arriving unit instead).
+        self.tracker = tracker
         self.menu_by_dim = dict(self.dims_order)
         self.num_dims = len(self.dims_order)
         #: Workload dim order — the canonical signature axis (matches
@@ -150,6 +155,12 @@ class _SubtreeWalker:
         self.leaves_deferred = 0
         self.subtrees_pruned = 0
         self.infeasible_subtrees = 0
+        #: Pre-filter cells this walker has resolved (priced, pruned, or
+        #: proved infeasible). Every cell of a walked subtree is counted
+        #: exactly once, so a completed ``walk(root)`` accumulates exactly
+        #: ``suffix_product[len(root)]`` — the progress-total invariant
+        #: the branch-bound tests pin.
+        self.cells_covered = 0.0
         self.best: Optional[Evaluation] = None
         self.best_metric = float("inf")
         self.best_chains: Optional[Dict[str, object]] = None
@@ -165,6 +176,14 @@ class _SubtreeWalker:
         self._leaf_rows = 0
         self._flush_rows = FLUSH_ROWS_FACTOR * batch_size
         self._counter = 1
+
+    def _cover(self, cells: float) -> None:
+        """Account ``cells`` pre-filter candidates as resolved."""
+        if cells <= 0:
+            return
+        self.cells_covered += cells
+        if self.tracker is not None:
+            self.tracker.advance(cells)
 
     # -- improvements ----------------------------------------------------
 
@@ -201,6 +220,8 @@ class _SubtreeWalker:
         )
         obs.inc("search.improvements", driver="branch-bound")
         obs.set_gauge("search.best_metric", metric, driver="branch-bound")
+        if self.tracker is not None:
+            self.tracker.improved(metric)
         return True
 
     def price_mappings(self, mappings, chains_list=None) -> None:
@@ -263,6 +284,12 @@ class _SubtreeWalker:
                 self.subtrees_pruned += pruned_now
                 obs.inc("search.subtrees_pruned", pruned_now,
                         driver="branch-bound")
+                self._cover(
+                    self.suffix_product[len(indices)]
+                    + sum(
+                        self.suffix_product[len(entry[2])] for entry in heap
+                    )
+                )
                 heap.clear()
                 break
             depth = len(indices)
@@ -298,6 +325,7 @@ class _SubtreeWalker:
                     # No completion fits the fanout caps; not a bound
                     # decision, so counted separately.
                     self.infeasible_subtrees += 1
+                    self._cover(self.suffix_product[depth + 1])
                     continue
                 child_bound = float(child_bounds[k])
                 if (
@@ -307,6 +335,7 @@ class _SubtreeWalker:
                     self.subtrees_pruned += 1
                     obs.inc("search.subtrees_pruned",
                             driver="branch-bound")
+                    self._cover(self.suffix_product[depth + 1])
                     continue
                 heapq.heappush(
                     heap, (child_bound, self._counter, indices + (k,))
@@ -346,6 +375,7 @@ class _SubtreeWalker:
             ):
                 self.subtrees_pruned += 1
                 obs.inc("search.subtrees_pruned", driver="branch-bound")
+                self._cover(self.suffix_product[len(leaf_indices)])
                 continue
             assigned = {
                 dims_order[i][0]: k for i, k in enumerate(leaf_indices)
@@ -379,6 +409,8 @@ class _SubtreeWalker:
                         "search.subtrees_pruned", cut,
                         driver="branch-bound",
                     )
+                    # Each cut cell is one complete assignment.
+                    self._cover(cut)
             else:
                 keep = np.arange(flat.size)
             base = {
@@ -400,6 +432,7 @@ class _SubtreeWalker:
         self._leaf_rows = 0
         if not pinned:
             return
+        rows_priced = 0
         with obs.trace("search.leaf_flush", subtrees=len(pinned)):
             for batch in self.mapspace.iter_prefix_batches(
                 pinned,
@@ -424,6 +457,8 @@ class _SubtreeWalker:
                 obs.inc(
                     "search.candidates", batch.size, driver="branch-bound"
                 )
+                rows_priced += batch.size
+                self._cover(batch.size)
                 for i in range(batch.size):
                     self.evaluations += 1
                     if not outcome.valid[i]:
@@ -448,6 +483,9 @@ class _SubtreeWalker:
                         chains=pinned[tag],
                         signature=pinned_sigs[tag],
                     )
+        # Pinned cells the joint-fanout filter dropped never became rows;
+        # they are resolved all the same.
+        self._cover(len(pinned) - rows_priced)
 
 
 class BranchBoundSearch:
@@ -592,7 +630,15 @@ class BranchBoundSearch:
         bound_engine = PartialBoundEngine(engine, menus)
         dims_order = dims_branch_order(menus)
 
-        timer = SearchTimer(self.evaluator, driver="branch-bound")
+        # Total work = the pre-filter menu product: every cell is either
+        # priced, pruned, or proved infeasible exactly once, so the
+        # walker's covered-cells accounting lands exactly on this number.
+        total_cells = 1
+        for _, menu in menus:
+            total_cells *= len(menu)
+        timer = SearchTimer(
+            self.evaluator, driver="branch-bound", total_units=total_cells
+        )
         with timer, obs.trace(
             "search.run", driver="branch-bound", mode="batch",
             objective=self.objective,
@@ -608,6 +654,7 @@ class BranchBoundSearch:
                 batch_size=self.batch_size,
                 limit=self.limit,
                 incumbent=LocalIncumbent(len(menus)),
+                tracker=timer.progress,
             )
             warm_metric = self._warm_start(walker)
             root_bound = walker.walk(())

@@ -291,7 +291,15 @@ def run_parallel_tree(search, engine) -> SearchResult:
     num_dims = len(menus)
     workers = search.workers
 
-    timer = SearchTimer(evaluator, driver="branch-bound")
+    # Progress total: the pre-filter menu product (every full assignment
+    # the partition covers). Partition-time pruning and per-unit arrivals
+    # advance against it driver-side; workers never touch the tracker.
+    total_units = 1
+    for _, menu in menus:
+        total_units *= len(menu)
+    timer = SearchTimer(
+        evaluator, driver="branch-bound", total_units=total_units
+    )
     bundles: List[ShmArrayBundle] = []
     try:
         with timer, obs.trace(
@@ -312,6 +320,7 @@ def run_parallel_tree(search, engine) -> SearchResult:
                 batch_size=search.batch_size,
                 limit=search.limit,
                 incumbent=LocalIncumbent(num_dims),
+                tracker=timer.progress,
             )
             warm_metric = search._warm_start(walker)
             root_bound = float(bound_engine.bound({}, search.objective))
@@ -330,6 +339,10 @@ def run_parallel_tree(search, engine) -> SearchResult:
             for i in range(depth):
                 total_cells *= len(dims_order[i][1])
             walker.infeasible_subtrees += total_cells - len(units)
+            # Every infeasible partition cell resolves a whole subtree.
+            walker._cover(
+                (total_cells - len(units)) * walker.suffix_product[depth]
+            )
 
             # Bound every unit; prune against the warm incumbent before
             # dispatch; order the rest so workers start on promising
@@ -348,6 +361,7 @@ def run_parallel_tree(search, engine) -> SearchResult:
                     and unit_bound * (1.0 - PRUNE_MARGIN) >= cut
                 ):
                     walker.subtrees_pruned += 1
+                    walker._cover(walker.suffix_product[depth])
                     obs.inc("search.subtrees_pruned", driver="branch-bound")
                     continue
                 bounded.append((unit_bound, indices, prefix))
@@ -416,6 +430,26 @@ def run_parallel_tree(search, engine) -> SearchResult:
                 "obs": obs.active_obs() is not None,
                 "seed": 0,
             }
+            # Stream per-unit completion into the driver's tracker as
+            # results arrive: a finished walk unit resolves its whole
+            # subtree, a priced batch resolves one cell per row. Claimed
+            # metrics feed the convergence timeline live; the post-hoc
+            # re-price below still decides the actual best.
+            seen_best = float(walker.best_metric)
+
+            def _on_unit_result(result: Dict[str, Any]) -> None:
+                nonlocal seen_best
+                if result["kind"] == "walk":
+                    timer.progress.advance(walker.suffix_product[depth])
+                else:
+                    timer.progress.advance(
+                        result["counters"]["evaluations"]
+                    )
+                metric = result["metric"]
+                if metric < seen_best:
+                    seen_best = metric
+                    timer.progress.improved(float(metric))
+
             if jobs:
                 results, pool_mode, _ = run_jobs(
                     _unit_entry,
@@ -426,6 +460,7 @@ def run_parallel_tree(search, engine) -> SearchResult:
                     shared_factory=SharedIncumbent.factory(
                         num_dims, float(walker.best_metric)
                     ),
+                    on_result=_on_unit_result,
                 )
             else:
                 results, pool_mode = [], "sequential"
@@ -485,6 +520,18 @@ def run_parallel_tree(search, engine) -> SearchResult:
             if claim_mappings:
                 walker.price_mappings(
                     claim_mappings, chains_list=claim_chains
+                )
+            if price_mode and bounded:
+                # Cells the joint-fanout filter dropped during driver-side
+                # enumeration never became priced rows; resolve the
+                # remainder so the fraction reaches 1.0.
+                rows_priced = sum(
+                    result["counters"]["evaluations"]
+                    for result in results
+                    if result["kind"] == "price"
+                )
+                walker._cover(
+                    len(bounded) * walker.suffix_product[depth] - rows_priced
                 )
 
             tightness = (

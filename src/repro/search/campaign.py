@@ -50,6 +50,7 @@ from repro.exceptions import (
     SearchError,
 )
 from repro.io.journal import TERMINAL_STATUSES, Journal
+from repro.obs import ProgressTracker
 from repro.mapspace.constraints import ConstraintSet
 from repro.mapspace.generator import MapspaceKind
 from repro.problem.workload import Workload
@@ -403,6 +404,12 @@ def run_campaign(
     running: Dict[str, _Running] = {}
     budget_left = max_jobs if max_jobs is not None else None
 
+    # One unit per job; journal-replayed jobs count as already done, so a
+    # resumed campaign starts at the fraction it previously reached.
+    tracker = ProgressTracker(driver="campaign", total_units=len(jobs))
+    if replayed:
+        tracker.advance(len(replayed))
+
     def beat(event: str, job_id: str, attempt: int) -> None:
         """Record one lifecycle event: registry counter + journal record."""
         obs.inc("campaign.events", event=event)
@@ -446,6 +453,7 @@ def run_campaign(
             record["monotonic_s"] = time.monotonic()
             journal.append(record)
         fresh[job.job_id] = outcome
+        tracker.advance(1)
         if budget_left is not None:
             budget_left -= 1
 
@@ -610,6 +618,9 @@ def run_campaign(
         if outcome is not None:
             outcomes.append(outcome)
     complete = len(outcomes) == len(jobs)
+    if complete:
+        # Early-stopped runs (max_jobs) keep their honest fraction.
+        tracker.finish()
     return CampaignResult(
         outcomes=outcomes,
         journal_path=str(journal_path) if journal_path is not None else None,
@@ -619,6 +630,104 @@ def run_campaign(
 
 
 # ------------------------------------------------------------------ status
+
+
+class CampaignStatusTracker:
+    """Incremental campaign-status folder for live followers.
+
+    Holds the folded state (expected jobs, attempt counts, terminal
+    records, heartbeat counters) plus the journal byte offset already
+    consumed. Each :meth:`poll` reads only the records appended since
+    the previous poll (via :meth:`~repro.io.journal.Journal.read_incremental`,
+    which tolerates a torn trailing line by leaving it for the next
+    poll) and returns the same summary dict :func:`campaign_status`
+    produces — so ``campaign status --follow`` costs O(new records) per
+    tick instead of re-reading the whole journal.
+    """
+
+    def __init__(self, journal_path: Union[str, Path]) -> None:
+        self.journal_path = journal_path
+        self._journal = Journal(journal_path)
+        self._offset = 0
+        self._expected: List[str] = []
+        self._attempts: Dict[str, int] = {}
+        self._terminal: Dict[str, Dict[str, Any]] = {}
+        self._counters: Dict[str, Dict[str, int]] = {}
+        self._config: Dict[str, Any] = {}
+        self._seen_any = False
+
+    def poll(self) -> Dict[str, Any]:
+        """Fold any new journal records and return the current summary."""
+        if not self._journal.exists():
+            raise CampaignError(f"no journal at {self.journal_path}")
+        records, self._offset = self._journal.read_incremental(self._offset)
+        for record in records:
+            self._fold(record)
+            self._seen_any = True
+        if not self._seen_any:
+            raise CampaignError(f"journal {self.journal_path} is empty")
+        return self._summary()
+
+    def _fold(self, record: Dict[str, Any]) -> None:
+        kind = record.get("kind")
+        if kind == "campaign":
+            self._config = record.get("config", self._config) or self._config
+            for job_id in record.get("jobs", ()):
+                if job_id not in self._expected:
+                    self._expected.append(job_id)
+        elif kind == "attempt":
+            job_id = record["job_id"]
+            self._attempts[job_id] = self._attempts.get(job_id, 0) + 1
+            if job_id not in self._expected:
+                self._expected.append(job_id)
+        elif kind == "heartbeat":
+            job_id = record["job_id"]
+            event = record.get("event", "unknown")
+            per_job = self._counters.setdefault(job_id, {})
+            per_job[event] = per_job.get(event, 0) + 1
+            if job_id not in self._expected:
+                self._expected.append(job_id)
+        elif kind == "job":
+            job_id = record["job_id"]
+            if record.get("status") in TERMINAL_STATUSES:
+                self._terminal[job_id] = record
+            if job_id not in self._expected:
+                self._expected.append(job_id)
+
+    def _summary(self) -> Dict[str, Any]:
+        ok = sorted(
+            j for j, r in self._terminal.items() if r["status"] == "ok"
+        )
+        quarantined = sorted(
+            j
+            for j, r in self._terminal.items()
+            if r["status"] == "quarantined"
+        )
+        pendings = [j for j in self._expected if j not in self._terminal]
+        # Every started attempt eventually lands either a failed-attempt
+        # record or a terminal record; a surplus of starts means an
+        # attempt is in flight at the journal's tail.
+        running = [
+            j
+            for j in pendings
+            if self._counters.get(j, {}).get("start", 0)
+            > self._attempts.get(j, 0)
+        ]
+        return {
+            "journal": str(self.journal_path),
+            "config": self._config,
+            "total": len(self._expected),
+            "ok": ok,
+            "quarantined": quarantined,
+            "pending": pendings,
+            "running": running,
+            "failed_attempts": dict(self._attempts),
+            "counters": {
+                job_id: dict(events)
+                for job_id, events in self._counters.items()
+            },
+            "complete": not pendings,
+        }
 
 
 def campaign_status(journal_path: Union[str, Path]) -> Dict[str, Any]:
@@ -634,68 +743,12 @@ def campaign_status(journal_path: Union[str, Path]) -> Dict[str, Any]:
     latest started attempt has neither failed nor reached a terminal
     record yet — i.e. what is in flight *right now* while the journal is
     still being written.
+
+    One-shot wrapper over :class:`CampaignStatusTracker`; followers that
+    poll repeatedly should hold a tracker instead so each poll reads
+    only the journal's new tail.
     """
-    journal = Journal(journal_path)
-    if not journal.exists():
-        raise CampaignError(f"no journal at {journal_path}")
-    records = journal.read()
-    if not records:
-        raise CampaignError(f"journal {journal_path} is empty")
-    expected: List[str] = []
-    attempts: Dict[str, int] = {}
-    terminal: Dict[str, Dict[str, Any]] = {}
-    counters: Dict[str, Dict[str, int]] = {}
-    config: Dict[str, Any] = {}
-    for record in records:
-        kind = record.get("kind")
-        if kind == "campaign":
-            config = record.get("config", config) or config
-            for job_id in record.get("jobs", ()):
-                if job_id not in expected:
-                    expected.append(job_id)
-        elif kind == "attempt":
-            job_id = record["job_id"]
-            attempts[job_id] = attempts.get(job_id, 0) + 1
-            if job_id not in expected:
-                expected.append(job_id)
-        elif kind == "heartbeat":
-            job_id = record["job_id"]
-            event = record.get("event", "unknown")
-            per_job = counters.setdefault(job_id, {})
-            per_job[event] = per_job.get(event, 0) + 1
-            if job_id not in expected:
-                expected.append(job_id)
-        elif kind == "job":
-            job_id = record["job_id"]
-            if record.get("status") in TERMINAL_STATUSES:
-                terminal[job_id] = record
-            if job_id not in expected:
-                expected.append(job_id)
-    ok = sorted(j for j, r in terminal.items() if r["status"] == "ok")
-    quarantined = sorted(
-        j for j, r in terminal.items() if r["status"] == "quarantined"
-    )
-    pendings = [j for j in expected if j not in terminal]
-    # Every started attempt eventually lands either a failed-attempt
-    # record or a terminal record; a surplus of starts means an attempt
-    # is in flight at the journal's tail.
-    running = [
-        j
-        for j in pendings
-        if counters.get(j, {}).get("start", 0) > attempts.get(j, 0)
-    ]
-    return {
-        "journal": str(journal_path),
-        "config": config,
-        "total": len(expected),
-        "ok": ok,
-        "quarantined": quarantined,
-        "pending": pendings,
-        "running": running,
-        "failed_attempts": attempts,
-        "counters": counters,
-        "complete": not pendings,
-    }
+    return CampaignStatusTracker(journal_path).poll()
 
 
 # ------------------------------------------- experiment-driver integration

@@ -85,7 +85,13 @@ class ExhaustiveSearch:
         # Clamp so the limit check below always fires before a batch that
         # would push past the cap is priced (and bound batch memory).
         batch_size = max(1, min(self.batch_size, self.limit + 1))
-        timer = SearchTimer(self.evaluator, driver="exhaustive")
+        # Pre-filter menu product: cheap, and only an over-estimate —
+        # finish() snaps the progress fraction to 1.0 at the end.
+        timer = SearchTimer(
+            self.evaluator,
+            driver="exhaustive",
+            total_units=self.mapspace.enumeration_upper_bound(),
+        )
         with timer, obs.trace(
             "search.run", driver="exhaustive", mode="batch",
             objective=self.objective,
@@ -104,6 +110,7 @@ class ExhaustiveSearch:
                         prune=self.prune,
                     )
                 obs.inc("search.candidates", batch.size, driver="exhaustive")
+                timer.progress.advance(batch.size)
                 for i in range(batch.size):
                     evaluations += 1
                     if not outcome.valid[i]:
@@ -129,6 +136,7 @@ class ExhaustiveSearch:
                         obs.set_gauge(
                             "search.best_metric", metric, driver="exhaustive"
                         )
+                        timer.progress.improved(metric)
         return SearchResult(
             best=best,
             objective=self.objective,
@@ -145,7 +153,18 @@ class ExhaustiveSearch:
         num_valid = 0
         evaluations = 0
         curve = []
-        timer = SearchTimer(self.evaluator, driver="exhaustive")
+        # Permutation sweeps multiply the space by per-level orderings the
+        # menu product doesn't see — leave their total unknown rather than
+        # report a fraction that sails past 1.0.
+        timer = SearchTimer(
+            self.evaluator,
+            driver="exhaustive",
+            total_units=(
+                None
+                if self.permutations
+                else self.mapspace.enumeration_upper_bound()
+            ),
+        )
         with timer, obs.trace(
             "search.run", driver="exhaustive", mode="scalar",
             objective=self.objective,
@@ -165,6 +184,7 @@ class ExhaustiveSearch:
                         "mappings"
                     )
                 evaluation = self.evaluator.evaluate(mapping)
+                timer.progress.advance(1)
                 if not evaluation.valid:
                     continue
                 num_valid += 1
@@ -181,6 +201,7 @@ class ExhaustiveSearch:
                     obs.set_gauge(
                         "search.best_metric", metric, driver="exhaustive"
                     )
+                    timer.progress.improved(metric)
             obs.inc("search.candidates", evaluations, driver="exhaustive")
         return SearchResult(
             best=best,

@@ -98,7 +98,11 @@ class GeneticSearch:
     def run(self) -> SearchResult:
         """Evolve the population and return the best mapping found."""
         engine = self._batch_engine()
-        timer = SearchTimer(self.evaluator, driver="genetic")
+        timer = SearchTimer(
+            self.evaluator,
+            driver="genetic",
+            total_units=(self.generations + 1) * self.population_size,
+        )
         evaluations = 0
         num_valid = 0
         best: Optional[Evaluation] = None
@@ -156,8 +160,10 @@ class GeneticSearch:
                     obs.set_gauge(
                         "search.best_metric", metric, driver="genetic"
                     )
+                    timer.progress.improved(metric)
                 metrics.append(metric)
             obs.inc("search.candidates", len(genomes), driver="genetic")
+            timer.progress.advance(len(genomes))
             return metrics
 
         with timer, obs.trace(

@@ -18,6 +18,7 @@ records which mode actually ran.
 from __future__ import annotations
 
 import logging
+import math
 from typing import Any, Dict, List, Optional, Tuple, Union
 
 from repro import obs
@@ -30,7 +31,7 @@ from repro.mapspace.factory import make_mapspace
 from repro.mapspace.generator import MapspaceKind
 from repro.model.eval_cache import DEFAULT_CACHE_SIZE, EvaluationCache
 from repro.model.evaluator import Evaluator
-from repro.obs import SearchTimer
+from repro.obs import SearchTimer, TIMING_BUCKETS
 from repro.search.random_search import DEFAULT_PATIENCE, RandomSearch
 from repro.search.result import SearchResult
 from repro.search.worker_pool import (
@@ -195,7 +196,29 @@ def parallel_random_search(
         "strategy": strategy,
         "obs": obs.active_obs() is not None,
     }
-    timer = SearchTimer(driver="parallel")
+    # Workers report whole results, not per-candidate ticks, so the
+    # driver-side tracker advances in worker-sized strides as each stream
+    # finishes. The nominal total is every worker spending its full
+    # budget; patience stops spend less, and finish() snaps the fraction.
+    # Branch-and-bound workers have no per-worker budget — leave the
+    # total unknown and report rate/ETA only.
+    timer = SearchTimer(
+        driver="parallel",
+        total_units=(
+            workers * max_evaluations if strategy == "random" else None
+        ),
+    )
+    pool_best = math.inf
+
+    def _on_result(result: SearchResult) -> None:
+        nonlocal pool_best
+        timer.progress.advance(result.num_evaluated)
+        if result.best is not None:
+            metric = result.best.metric(objective)
+            if metric < pool_best:
+                pool_best = metric
+                timer.progress.improved(metric)
+
     with timer, obs.trace(
         "search.run", driver="parallel", workers=workers, objective=objective
     ):
@@ -205,15 +228,22 @@ def parallel_random_search(
             list(enumerate(seeds)),
             workers,
             start_method=start_method,
+            on_result=_on_result,
         )
     collect_worker_obs([result.stats for result in results])
     merged = _merge(results, objective)
     merged.stats.update(
         _pool_stats(results, seeds, pool_mode, timer.elapsed_s)
     )
+    merged.stats["progress"] = timer.progress.stats_payload()
     obs.inc("search.runs", driver="parallel")
     obs.inc("search.evaluations", merged.num_evaluated, driver="parallel")
-    obs.observe("search.run_seconds", timer.elapsed_s, driver="parallel")
+    obs.observe(
+        "search.run_seconds",
+        timer.elapsed_s,
+        buckets=TIMING_BUCKETS,
+        driver="parallel",
+    )
     return merged
 
 

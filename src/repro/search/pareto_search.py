@@ -123,35 +123,45 @@ class ParetoSearch:
 
     def run(self) -> ParetoSearchResult:
         result = ParetoSearchResult()
-        timer = SearchTimer(self.evaluator, driver="pareto")
+        timer = SearchTimer(
+            self.evaluator, driver="pareto", total_units=self.max_evaluations
+        )
         engine = self._batch_engine()
         with timer, obs.trace(
             "search.run", driver="pareto",
             mode="batch" if engine is not None else "scalar",
         ):
             if engine is not None:
-                frontier = self._run_batched(engine, result)
+                frontier = self._run_batched(engine, result, timer)
             else:
-                frontier = self._run_scalar(result)
+                frontier = self._run_scalar(result, timer)
             obs.inc("search.candidates", result.num_evaluated, driver="pareto")
         frontier.sort(key=lambda e: (e.energy_pj, e.cycles))
         result.frontier = frontier
         result.stats = timer.stats(result.num_evaluated, engine=engine)
         return result
 
-    def _run_scalar(self, result: ParetoSearchResult) -> List[Evaluation]:
+    def _run_scalar(
+        self, result: ParetoSearchResult, timer: SearchTimer
+    ) -> List[Evaluation]:
         frontier: List[Evaluation] = []
         for _ in range(self.max_evaluations):
             mapping = self.mapspace.sample(self.rng)
             evaluation = self.evaluator.evaluate(mapping)
             result.num_evaluated += 1
+            timer.progress.advance(1)
             if not evaluation.valid:
                 continue
             result.num_valid += 1
-            self._admit(frontier, evaluation)
+            if self._admit(frontier, evaluation):
+                # No scalar incumbent in a multi-objective search: the
+                # convergence timeline records frontier growth instead.
+                timer.progress.improved(float(len(frontier)))
         return frontier
 
-    def _run_batched(self, engine, result: ParetoSearchResult) -> List[Evaluation]:
+    def _run_batched(
+        self, engine, result: ParetoSearchResult, timer: SearchTimer
+    ) -> List[Evaluation]:
         frontier: List[Evaluation] = []
         remaining = self.max_evaluations
         while remaining > 0:
@@ -161,6 +171,7 @@ class ParetoSearch:
             ]
             outcomes = engine.evaluate_mappings(mappings, prune=False)
             result.num_evaluated += chunk_size
+            timer.progress.advance(chunk_size)
             remaining -= chunk_size
             for mapping, outcome in zip(mappings, outcomes):
                 if not outcome.valid:
@@ -177,14 +188,19 @@ class ParetoSearch:
                 evaluation = outcome.evaluation
                 if evaluation is None:
                     evaluation = self.evaluator.evaluate_fresh(mapping)
-                self._admit(frontier, evaluation)
+                if self._admit(frontier, evaluation):
+                    timer.progress.improved(float(len(frontier)))
         return frontier
 
     @staticmethod
-    def _admit(frontier: List[Evaluation], evaluation: Evaluation) -> None:
+    def _admit(
+        frontier: List[Evaluation], evaluation: Evaluation
+    ) -> bool:
+        """Admit a non-dominated evaluation; True when the frontier grew."""
         if any(_dominates(kept, evaluation) for kept in frontier):
-            return
+            return False
         frontier[:] = [
             kept for kept in frontier if not _dominates(evaluation, kept)
         ]
         frontier.append(evaluation)
+        return True

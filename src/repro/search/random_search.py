@@ -101,7 +101,9 @@ class RandomSearch:
         evaluations = 0
         curve = []
         terminated_by = "budget"
-        timer = SearchTimer(self.evaluator, driver="random")
+        timer = SearchTimer(
+            self.evaluator, driver="random", total_units=self.max_evaluations
+        )
         with timer, obs.trace(
             "search.run", driver="random", mode="batch",
             objective=self.objective,
@@ -127,6 +129,7 @@ class RandomSearch:
                         prune=True,
                     )
                 obs.inc("search.candidates", chunk, driver="random")
+                timer.progress.advance(chunk)
                 stop = False
                 for mapping, outcome in zip(mappings, outcomes):
                     evaluations += 1
@@ -151,6 +154,7 @@ class RandomSearch:
                             "search.best_metric", outcome.metric,
                             driver="random",
                         )
+                        timer.progress.improved(outcome.metric)
                     else:
                         consecutive_non_improving += 1
                         if (
@@ -180,7 +184,9 @@ class RandomSearch:
         num_valid = 0
         curve = []
         terminated_by = "budget"
-        timer = SearchTimer(self.evaluator, driver="random")
+        timer = SearchTimer(
+            self.evaluator, driver="random", total_units=self.max_evaluations
+        )
         with timer, obs.trace(
             "search.run", driver="random", mode="scalar",
             objective=self.objective,
@@ -188,6 +194,7 @@ class RandomSearch:
             for evaluations in range(1, self.max_evaluations + 1):
                 mapping = self.mapspace.sample(self.rng)
                 evaluation = self.evaluator.evaluate(mapping)
+                timer.progress.advance(1)
                 if not evaluation.valid:
                     continue
                 num_valid += 1
@@ -205,6 +212,7 @@ class RandomSearch:
                     obs.set_gauge(
                         "search.best_metric", metric, driver="random"
                     )
+                    timer.progress.improved(metric)
                 else:
                     consecutive_non_improving += 1
                     if (

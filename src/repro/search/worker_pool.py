@@ -99,6 +99,7 @@ def run_jobs(
     workers: int,
     start_method: Optional[str] = None,
     shared_factory: Optional[Callable[[Any], Dict[str, Any]]] = None,
+    on_result: Optional[Callable[[Any], None]] = None,
 ) -> Tuple[List[Any], str, Dict[str, Any]]:
     """Fan ``jobs`` over a process pool; returns (results, mode, shared).
 
@@ -116,6 +117,13 @@ def run_jobs(
     primitives: a SemLock born under ``fork`` raises if shipped into a
     ``spawn`` pool. The dict from the attempt that actually ran is
     returned so the driver can read the shared objects afterwards.
+
+    ``on_result(result)`` — when given — is called in the driver process
+    once per job **as its result arrives** (completion order on the pool
+    path, dispatch order sequentially), before the sorted result list is
+    assembled. This is the hook parallel drivers use to stream per-unit
+    progress into a live tracker; exceptions it raises propagate and
+    abort the run, so callbacks should be cheap and non-throwing.
 
     Every candidate start method is tried before giving up on
     parallelism; the sequential fallback still runs all jobs in-process.
@@ -149,13 +157,15 @@ def run_jobs(
                     initializer=_init_pool_worker,
                     initargs=(entry, full_state),
                 ) as pool:
-                    indexed = list(
-                        pool.imap_unordered(
-                            _run_pool_job,
-                            list(enumerate(job_list)),
-                            chunksize=chunksize,
-                        )
-                    )
+                    indexed = []
+                    for pair in pool.imap_unordered(
+                        _run_pool_job,
+                        list(enumerate(job_list)),
+                        chunksize=chunksize,
+                    ):
+                        indexed.append(pair)
+                        if on_result is not None:
+                            on_result(pair[1])
                 indexed.sort(key=lambda pair: pair[0])
                 logger.info(
                     "worker pool ran %d jobs via %s", len(job_list), method
@@ -172,11 +182,13 @@ def run_jobs(
         )
     shared = factory(None)
     full_state = {**state, **shared} if shared else state
-    return (
-        [entry(full_state, job) for job in job_list],
-        "sequential",
-        shared,
-    )
+    results = []
+    for job in job_list:
+        result = entry(full_state, job)
+        results.append(result)
+        if on_result is not None:
+            on_result(result)
+    return results, "sequential", shared
 
 
 class LocalIncumbent:

@@ -436,3 +436,129 @@ class TestHeartbeats:
         counter = registry.counter("campaign.events")
         assert counter.value(event="start") == 1.0
         assert counter.value(event="ok") == 1.0
+
+
+class TestJournalIncremental:
+    """Byte-offset tail reads powering `campaign status --follow`."""
+
+    def test_growing_journal_consumed_in_pieces(self, tmp_path):
+        journal = Journal(tmp_path / "j.jsonl")
+        journal.append({"kind": "campaign", "config": {}, "jobs": ["a"]})
+        records, offset = journal.read_incremental(0)
+        assert [r["kind"] for r in records] == ["campaign"]
+        assert offset > 0
+
+        # Nothing new: same offset back, no records re-read.
+        again, same = journal.read_incremental(offset)
+        assert again == []
+        assert same == offset
+
+        journal.append({"kind": "heartbeat", "event": "start", "job_id": "a"})
+        journal.append({"kind": "job", "job_id": "a", "status": "ok"})
+        fresh, advanced = journal.read_incremental(offset)
+        assert [r["kind"] for r in fresh] == ["heartbeat", "job"]
+        assert advanced > offset
+
+    def test_missing_journal_returns_offset_unchanged(self, tmp_path):
+        journal = Journal(tmp_path / "absent.jsonl")
+        assert journal.read_incremental(17) == ([], 17)
+
+    def test_torn_tail_left_for_next_poll(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        journal = Journal(path)
+        journal.append({"kind": "job", "job_id": "a", "status": "ok"})
+        with open(path, "a") as handle:
+            handle.write('{"kind": "job", "job_id": "b", "sta')
+
+        records, offset = journal.read_incremental(0)
+        assert [r["job_id"] for r in records] == ["a"]
+        # The torn line is unconsumed: polling again yields nothing yet.
+        assert journal.read_incremental(offset) == ([], offset)
+
+        with open(path, "a") as handle:
+            handle.write('tus": "ok"}\n')
+        completed, final = journal.read_incremental(offset)
+        assert [r["job_id"] for r in completed] == ["b"]
+        assert completed[0]["status"] == "ok"
+        assert final > offset
+
+    def test_complete_corrupt_line_raises(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        path.write_text("definitely not json\n")
+        with pytest.raises(CampaignError, match="corrupt record"):
+            Journal(path).read_incremental(0)
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        path.write_text('\n{"kind": "job", "job_id": "a", "status": "ok"}\n\n')
+        records, offset = Journal(path).read_incremental(0)
+        assert len(records) == 1
+        assert offset == path.stat().st_size
+
+
+class TestCampaignStatusTracker:
+    def test_follow_matches_full_status_as_journal_grows(self, tmp_path):
+        from repro.search.campaign import CampaignStatusTracker
+
+        path = tmp_path / "j.jsonl"
+        jobs = [_job("a", 60), _job("b", 100)]
+        run_campaign(jobs, journal_path=path, max_jobs=1)
+
+        tracker = CampaignStatusTracker(path)
+        partial = tracker.poll()
+        assert partial == campaign_status(path)
+        assert not partial["complete"]
+        assert len(partial["ok"]) == 1
+
+        # Re-polling a quiet journal folds nothing and stays identical.
+        assert tracker.poll() == partial
+
+        run_campaign(jobs, journal_path=path)
+        final = tracker.poll()
+        assert final == campaign_status(path)
+        assert final["complete"]
+        assert sorted(final["ok"]) == ["a", "b"]
+
+    def test_poll_tolerates_torn_tail_then_consumes_it(self, tmp_path):
+        from repro.search.campaign import CampaignStatusTracker
+
+        path = tmp_path / "j.jsonl"
+        journal = Journal(path)
+        journal.append({"kind": "campaign", "config": {}, "jobs": ["a", "b"]})
+        journal.append({"kind": "job", "job_id": "a", "status": "ok"})
+        tracker = CampaignStatusTracker(path)
+        assert tracker.poll()["ok"] == ["a"]
+
+        with open(path, "a") as handle:
+            handle.write('{"kind": "job", "job_id": "b", "sta')
+        torn = tracker.poll()
+        assert torn["ok"] == ["a"]
+        assert "b" in torn["pending"]
+
+        with open(path, "a") as handle:
+            handle.write('tus": "ok"}\n')
+        healed = tracker.poll()
+        assert sorted(healed["ok"]) == ["a", "b"]
+        assert healed["complete"]
+
+    def test_poll_missing_journal_raises(self, tmp_path):
+        from repro.search.campaign import CampaignStatusTracker
+
+        tracker = CampaignStatusTracker(tmp_path / "absent.jsonl")
+        with pytest.raises(CampaignError, match="no journal"):
+            tracker.poll()
+
+    def test_poll_empty_journal_raises_until_first_record(self, tmp_path):
+        from repro.search.campaign import CampaignStatusTracker
+
+        path = tmp_path / "j.jsonl"
+        path.write_text("")
+        tracker = CampaignStatusTracker(path)
+        with pytest.raises(CampaignError, match="is empty"):
+            tracker.poll()
+        Journal(path).append(
+            {"kind": "campaign", "config": {}, "jobs": ["a"]}
+        )
+        status = tracker.poll()
+        assert status["total"] == 1
+        assert status["pending"] == ["a"]

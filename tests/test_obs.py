@@ -200,6 +200,77 @@ class TestExporters:
         assert MetricsRegistry().to_prometheus() == ""
 
 
+class TestPrometheusExposition:
+    """Exposition-format correctness: escaping, cumulative buckets,
+    sum/count consistency (satellite: exposition tests)."""
+
+    def test_label_values_escaped(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc(1, driver='we"ird\\x', note="a\nb")
+        text = registry.to_prometheus()
+        assert 'driver="we\\"ird\\\\x"' in text
+        assert 'note="a\\nb"' in text
+
+    def test_escaped_label_values_roundtrip_through_merge(self):
+        child = MetricsRegistry()
+        labels = {"driver": 'x,"weird\\', "note": "line\nbreak"}
+        child.counter("c").inc(3, **labels)
+        child.gauge("g").set(1.5, **labels)
+        parent = MetricsRegistry()
+        parent.merge(child.snapshot())
+        assert parent.counter("c").value(**labels) == 3.0
+        assert parent.gauge("g").value(**labels) == 1.5
+
+    def test_bucket_series_cumulative_monotone_ending_at_inf(self):
+        import re
+
+        from repro.obs import TIMING_BUCKETS
+
+        registry = MetricsRegistry()
+        histogram = registry.histogram(
+            "span.duration_seconds", buckets=TIMING_BUCKETS
+        )
+        for value in (1e-7, 3e-6, 4e-5, 0.002, 0.7, 250.0):
+            histogram.observe(value, name="s")
+        text = registry.to_prometheus()
+        bucket_counts = [
+            int(match.group(2))
+            for match in re.finditer(
+                r'repro_span_duration_seconds_bucket\{name="s",'
+                r'le="([^"]+)"\} (\d+)',
+                text,
+            )
+        ]
+        assert len(bucket_counts) == len(TIMING_BUCKETS) + 1
+        assert bucket_counts == sorted(bucket_counts)
+        assert 'le="+Inf"} 6' in text
+        assert 'repro_span_duration_seconds_count{name="s"} 6' in text
+
+    def test_sum_and_count_consistent(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("h", buckets=(1.0, 2.0))
+        values = (0.25, 0.5, 1.5, 3.0)
+        for value in values:
+            histogram.observe(value)
+        text = registry.to_prometheus()
+        assert f"repro_h_count {len(values)}" in text
+        assert f"repro_h_sum {sum(values)}" in text
+
+    def test_timing_buckets_resolve_sub_10us_spans(self):
+        # The finer grid exists so micro-spans do not collapse into one
+        # bucket: distinct sub-10µs values must land in distinct buckets.
+        from repro.obs import TIMING_BUCKETS
+
+        assert TIMING_BUCKETS[0] < 1e-6
+        registry = MetricsRegistry()
+        histogram = registry.histogram("h", buckets=TIMING_BUCKETS)
+        histogram.observe(2e-7)
+        histogram.observe(2e-6)
+        counts = registry.snapshot()["histograms"]["h"]["series"][""]["counts"]
+        occupied = [i for i, count in enumerate(counts) if count]
+        assert len(occupied) == 2
+
+
 class TestTracer:
     def test_nested_spans_record_parentage(self):
         tracer = Tracer()
@@ -404,12 +475,21 @@ class TestSearchTimer:
         with timer:
             pass
         stats = timer.stats(100)
-        # "batch" is always present (all-zero on scalar runs) so the
-        # SearchResult.stats schema is uniform across every searcher.
-        assert set(stats) == {"elapsed_s", "evals_per_sec", "batch"}
+        # "batch"/"bnb"/"progress" are always present (all-zero / empty on
+        # runs that never touch them) so the SearchResult.stats schema is
+        # uniform across every searcher.
+        assert set(stats) == {
+            "elapsed_s",
+            "evals_per_sec",
+            "batch",
+            "bnb",
+            "progress",
+        }
         assert stats["elapsed_s"] >= 0.0
         assert stats["batch"]["candidates"] == 0
         assert stats["batch"]["prune_rate"] == 0.0
+        assert stats["bnb"]["nodes_expanded"] == 0
+        assert stats["progress"]["completed_units"] == 0
 
     def test_payload_reports_cache_deltas(self):
         evaluator = _FakeEvaluator()

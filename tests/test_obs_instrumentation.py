@@ -267,6 +267,53 @@ class TestStatsSchemaStability:
         )
 
 
+class TestUniformStatsSchema:
+    """All six searchers emit one top-level stats key set (satellite:
+    schema uniformity, including the ``progress`` sub-dict)."""
+
+    def test_six_searchers_identical_top_level_keys(self, toy_arch, vector100):
+        from repro.obs import empty_bnb_stats, empty_progress_stats
+        from repro.search.branch_bound import BranchBoundSearch
+        from repro.search.pareto_search import ParetoSearch
+
+        space = pfm_mapspace(toy_arch, vector100)
+
+        def evaluator():
+            return Evaluator(toy_arch, vector100)
+
+        stats_by_driver = {
+            "random": random_search(
+                space, evaluator(), seed=0, max_evaluations=50
+            ).stats,
+            "exhaustive": exhaustive_search(space, evaluator()).stats,
+            "genetic": GeneticSearch(
+                space, evaluator(), population_size=8, generations=2, seed=0
+            ).run().stats,
+            "annealing": SimulatedAnnealing(
+                space, evaluator(), steps=20, seed=0
+            ).run().stats,
+            "branch-bound": BranchBoundSearch(
+                space, evaluator(), seed=0
+            ).run().stats,
+            "pareto": ParetoSearch(
+                space, evaluator(), max_evaluations=50, seed=0
+            ).run().stats,
+        }
+        baseline = set(stats_by_driver["random"])
+        for driver, stats in stats_by_driver.items():
+            assert set(stats) == baseline, driver
+            assert set(stats["progress"]) == set(empty_progress_stats())
+            assert set(stats["bnb"]) == set(empty_bnb_stats())
+            assert stats["progress"]["completed_units"] > 0
+
+    def test_empty_bnb_stats_matches_branch_bound_schema(self):
+        from repro.obs import empty_bnb_stats
+        from repro.search.branch_bound import _bnb_stats
+
+        assert set(empty_bnb_stats()) == set(_bnb_stats())
+        assert empty_bnb_stats() == _bnb_stats()
+
+
 class TestTraceFileFromSearch:
     def test_trace_written_and_valid(self, tmp_path, toy_arch, vector100):
         from repro.obs import validate_span

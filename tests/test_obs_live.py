@@ -1,0 +1,390 @@
+"""Live-telemetry unit tests: ProgressTracker, ProgressPrinter, ObsServer.
+
+The tracker math (fractions, EWMA ETA, ring buffer, weak registry) is
+tested with an injected clock; the HTTP endpoints are exercised against a
+real ObsServer bound to an ephemeral loopback port via urllib, so the
+tests cover exactly what a Prometheus scrape or a ``/progress`` poller
+would see.
+"""
+
+import gc
+import io
+import json
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.obs import (
+    MetricsRegistry,
+    ObsServer,
+    ProgressPrinter,
+    ProgressTracker,
+    Tracer,
+    active_trackers,
+    default_registry,
+    empty_progress_stats,
+    obs_scope,
+)
+from repro.obs.server import PROMETHEUS_CONTENT_TYPE, progress_payload
+
+
+class FakeClock:
+    """Deterministic monotonic clock for tracker tests."""
+
+    def __init__(self, now: float = 0.0) -> None:
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+
+class TestProgressTracker:
+    def test_fraction_none_without_total(self):
+        tracker = ProgressTracker(driver="t", clock=FakeClock())
+        tracker.advance(10)
+        assert tracker.fraction() is None
+        assert tracker.eta_seconds() is None
+        payload = tracker.stats_payload()
+        assert payload["total_units"] is None
+        assert payload["completed_units"] == 10.0
+
+    def test_negative_advance_raises(self):
+        tracker = ProgressTracker(driver="t", total_units=10)
+        with pytest.raises(ValueError):
+            tracker.advance(-1)
+
+    def test_fraction_clamped_to_one(self):
+        tracker = ProgressTracker(driver="t", total_units=10)
+        tracker.advance(25)
+        assert tracker.fraction() == 1.0
+
+    def test_ewma_rate_and_eta(self):
+        clock = FakeClock()
+        tracker = ProgressTracker(driver="t", total_units=100, clock=clock)
+        clock.now = 1.0
+        tracker.advance(10)
+        payload = tracker.stats_payload()
+        # 10 units over 1s -> first EWMA sample is the raw rate.
+        assert payload["rate_units_per_s"] == pytest.approx(10.0)
+        assert payload["eta_s"] == pytest.approx(9.0)
+        assert payload["fraction"] == pytest.approx(0.1)
+
+    def test_eta_none_before_rate_window_elapses(self):
+        clock = FakeClock()
+        tracker = ProgressTracker(driver="t", total_units=100, clock=clock)
+        clock.now = 0.05  # below RATE_INTERVAL_S: no rate sample yet
+        tracker.advance(5)
+        assert tracker.eta_seconds() is None
+
+    def test_finish_snaps_completed_and_clears_eta(self):
+        clock = FakeClock()
+        tracker = ProgressTracker(driver="t", total_units=100, clock=clock)
+        clock.now = 1.0
+        tracker.advance(10)
+        assert tracker.eta_seconds() is not None
+        clock.now = 2.0
+        tracker.finish()
+        assert tracker.done
+        assert tracker.fraction() == 1.0
+        assert tracker.eta_seconds() is None
+        assert tracker.stats_payload()["completed_units"] == 100.0
+        # elapsed freezes at finish time.
+        clock.now = 50.0
+        assert tracker.elapsed_seconds() == pytest.approx(2.0)
+
+    def test_timeline_ring_buffer_bound(self):
+        clock = FakeClock()
+        tracker = ProgressTracker(
+            driver="t", total_units=10, timeline_capacity=4, clock=clock
+        )
+        for i in range(10):
+            clock.now = float(i)
+            tracker.improved(100.0 - i)
+        snap = tracker.snapshot()
+        assert snap["improvements"] == 10
+        timeline = snap["timeline"]
+        assert len(timeline) == 4
+        # Only the most recent improvements survive.
+        assert [point[1] for point in timeline] == [94.0, 93.0, 92.0, 91.0]
+        assert snap["best_metric"] == 91.0
+
+    def test_stats_payload_matches_empty_schema(self):
+        tracker = ProgressTracker(driver="t")
+        assert set(tracker.stats_payload()) == set(empty_progress_stats())
+
+    def test_snapshot_is_json_serializable(self):
+        clock = FakeClock()
+        tracker = ProgressTracker(driver="t", total_units=8, clock=clock)
+        clock.now = 1.0
+        tracker.advance(4)
+        tracker.improved(3.5)
+        text = json.dumps(tracker.snapshot())
+        parsed = json.loads(text)
+        assert parsed["driver"] == "t"
+        assert parsed["timeline"] == [[1.0, 3.5]]
+
+    def test_weak_registry_drops_collected_trackers(self):
+        tracker = ProgressTracker(driver="weakreg-unique")
+        assert any(
+            t.driver == "weakreg-unique" for t in active_trackers()
+        )
+        del tracker
+        gc.collect()
+        assert not any(
+            t.driver == "weakreg-unique" for t in active_trackers()
+        )
+
+    def test_active_trackers_sorted_by_creation(self):
+        first = ProgressTracker(driver="order-a")
+        time.sleep(0.002)
+        second = ProgressTracker(driver="order-b")
+        live = [
+            t for t in active_trackers() if t.driver.startswith("order-")
+        ]
+        assert live == [first, second]
+
+    def test_no_gauge_traffic_without_scope(self):
+        default_registry().reset()
+        tracker = ProgressTracker(driver="t", total_units=10)
+        tracker.advance(5)
+        tracker.finish()
+        assert default_registry().names() == []
+
+    def test_gauges_published_under_scope(self):
+        clock = FakeClock()
+        registry = MetricsRegistry()
+        with obs_scope(registry=registry):
+            tracker = ProgressTracker(
+                driver="scoped", total_units=10, clock=clock
+            )
+            clock.now = 1.0
+            tracker.advance(5)
+        fraction = registry.gauge("search.progress_fraction").value(
+            driver="scoped"
+        )
+        assert fraction == pytest.approx(0.5)
+        assert registry.gauge("search.eta_seconds").value(
+            driver="scoped"
+        ) == pytest.approx(1.0)
+
+    def test_set_total_reestimates(self):
+        tracker = ProgressTracker(driver="t")
+        tracker.advance(5)
+        assert tracker.fraction() is None
+        tracker.set_total(20)
+        assert tracker.fraction() == pytest.approx(0.25)
+        tracker.set_total(None)
+        assert tracker.fraction() is None
+
+
+class TestProgressPrinter:
+    def _tracker(self, fraction_total=100):
+        clock = FakeClock()
+        tracker = ProgressTracker(
+            driver="printer", total_units=fraction_total, clock=clock
+        )
+        clock.now = 1.0
+        tracker.advance(25)
+        tracker.improved(1.25e-3)
+        return tracker
+
+    def test_compose_shows_fraction_eta_and_best(self):
+        tracker = self._tracker()
+        line = ProgressPrinter._compose([tracker])
+        assert "printer" in line
+        assert "25.0%" in line
+        assert "(25/100)" in line
+        assert "eta 3.0s" in line
+        assert "best 1.2500e-03" in line
+
+    def test_compose_units_only_without_total(self):
+        tracker = ProgressTracker(driver="unbounded", clock=FakeClock())
+        tracker.advance(42)
+        line = ProgressPrinter._compose([tracker])
+        assert "unbounded 42 units" in line
+
+    def test_compose_skips_done_trackers(self):
+        tracker = self._tracker()
+        tracker.finish()
+        assert ProgressPrinter._compose([tracker]) == ""
+
+    def test_render_once_repaints_one_line(self, monkeypatch):
+        tracker = self._tracker()
+        monkeypatch.setattr(
+            "repro.obs.progress.active_trackers", lambda: [tracker]
+        )
+        stream = io.StringIO()
+        printer = ProgressPrinter(stream=stream)
+        printer.render_once()
+        output = stream.getvalue()
+        assert output.startswith("\r")
+        assert "printer" in output
+
+    def test_render_once_silent_with_no_trackers(self, monkeypatch):
+        monkeypatch.setattr(
+            "repro.obs.progress.active_trackers", lambda: []
+        )
+        stream = io.StringIO()
+        ProgressPrinter(stream=stream).render_once()
+        assert stream.getvalue() == ""
+
+    def test_render_pads_over_previous_longer_line(self, monkeypatch):
+        long_tracker = self._tracker()
+        stream = io.StringIO()
+        printer = ProgressPrinter(stream=stream)
+        monkeypatch.setattr(
+            "repro.obs.progress.active_trackers", lambda: [long_tracker]
+        )
+        printer.render_once()
+        first = stream.getvalue()
+        monkeypatch.setattr(
+            "repro.obs.progress.active_trackers", lambda: []
+        )
+        printer.render_once()
+        second = stream.getvalue()[len(first):]
+        # The repaint blanks out the previous, longer line.
+        assert second.startswith("\r")
+        assert set(second[1:]) == {" "}
+        assert len(second) - 1 >= len(first) - 1
+
+    def test_stop_terminates_line_after_writes(self, monkeypatch):
+        tracker = self._tracker()
+        monkeypatch.setattr(
+            "repro.obs.progress.active_trackers", lambda: [tracker]
+        )
+        stream = io.StringIO()
+        printer = ProgressPrinter(stream=stream, interval_s=0.01)
+        printer.start()
+        deadline = time.time() + 2.0
+        while "printer" not in stream.getvalue() and time.time() < deadline:
+            time.sleep(0.01)
+        printer.stop()
+        assert stream.getvalue().endswith("\n")
+
+
+def _get(url):
+    with urllib.request.urlopen(url, timeout=5) as response:
+        return (
+            response.status,
+            response.headers.get("Content-Type"),
+            response.read().decode("utf-8"),
+        )
+
+
+@pytest.fixture
+def live_server():
+    registry = MetricsRegistry()
+    registry.counter("search.runs").inc(3.0, driver="random")
+    registry.gauge("search.best_metric").set(1.5, driver="random")
+    registry.histogram("span.duration_seconds").observe(0.25, name="s")
+    server = ObsServer(registry)
+    server.start()
+    yield server
+    server.stop()
+
+
+class TestObsServer:
+    def test_ephemeral_port_resolves_after_start(self, live_server):
+        assert live_server.port != 0
+        assert live_server.url.startswith("http://127.0.0.1:")
+
+    def test_start_is_idempotent(self, live_server):
+        port = live_server.port
+        live_server.start()
+        assert live_server.port == port
+
+    def test_healthz(self, live_server):
+        status, ctype, body = _get(live_server.url + "/healthz")
+        assert status == 200
+        assert body == "ok\n"
+        # Root and trailing-slash forms route identically.
+        assert _get(live_server.url + "/")[2] == "ok\n"
+        assert _get(live_server.url + "/healthz/")[2] == "ok\n"
+
+    def test_metrics_prometheus_exposition(self, live_server):
+        status, ctype, body = _get(live_server.url + "/metrics")
+        assert status == 200
+        assert ctype == PROMETHEUS_CONTENT_TYPE
+        assert 'repro_search_runs_total{driver="random"} 3' in body
+        assert "# TYPE repro_search_runs_total counter" in body
+
+    def test_metrics_json_envelope(self, live_server):
+        status, ctype, body = _get(live_server.url + "/metrics.json")
+        assert status == 200
+        assert ctype == "application/json"
+        payload = json.loads(body)
+        assert payload["schema"] == 1
+        assert "metrics" in payload
+
+    def test_progress_endpoint_reports_live_tracker(self, live_server):
+        clock = FakeClock()
+        tracker = ProgressTracker(
+            driver="served-search", total_units=200, clock=clock
+        )
+        clock.now = 1.0
+        tracker.advance(50)
+        tracker.improved(2.5)
+        status, ctype, body = _get(live_server.url + "/progress")
+        assert status == 200
+        assert ctype == "application/json"
+        payload = json.loads(body)
+        assert payload["schema"] == 1
+        snapshots = {
+            snap["driver"]: snap for snap in payload["searches"]
+        }
+        snap = snapshots["served-search"]
+        assert snap["fraction"] == pytest.approx(0.25)
+        assert snap["improvements"] == 1
+        assert snap["timeline"] == [[1.0, 2.5]]
+        assert snap["done"] is False
+        del tracker
+
+    def test_progress_fraction_monotone_across_polls(self, live_server):
+        clock = FakeClock()
+        tracker = ProgressTracker(
+            driver="mono-search", total_units=100, clock=clock
+        )
+
+        def fraction():
+            _, _, body = _get(live_server.url + "/progress")
+            snaps = json.loads(body)["searches"]
+            return next(
+                s["fraction"] for s in snaps if s["driver"] == "mono-search"
+            )
+
+        observed = []
+        for step in range(1, 5):
+            clock.now = float(step)
+            tracker.advance(20)
+            observed.append(fraction())
+        assert observed == sorted(observed)
+        assert observed[-1] == pytest.approx(0.8)
+
+    def test_flame_placeholder_without_tracer(self, live_server):
+        status, _, body = _get(live_server.url + "/flame")
+        assert status == 200
+        assert "no tracer attached" in body
+
+    def test_flame_with_tracer(self):
+        registry = MetricsRegistry()
+        tracer = Tracer()
+        with tracer.span("search.run", driver="random"):
+            with tracer.span("search.generation"):
+                pass
+        with ObsServer(registry, tracer=tracer) as server:
+            status, _, body = _get(server.url + "/flame")
+        assert status == 200
+        assert "search.run" in body
+
+    def test_unknown_path_404(self, live_server):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _get(live_server.url + "/nope")
+        assert excinfo.value.code == 404
+
+    def test_progress_payload_shape(self):
+        payload = progress_payload()
+        assert payload["schema"] == 1
+        assert isinstance(payload["time"], float)
+        assert isinstance(payload["searches"], list)
