@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test coverage verify-diff verify-smoke bench bench-fast bench-cache bench-batch bench-bnb bench-bnb-parallel bench-record bench-compare campaign-smoke obs-smoke examples experiments clean
+.PHONY: install test coverage verify-diff verify-smoke bench bench-fast bench-cache bench-batch bench-bnb bench-bnb-parallel bench-record bench-compare campaign-smoke obs-smoke service-smoke examples experiments clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -95,6 +95,15 @@ campaign-smoke:
 # monotone progress fraction). See scripts/obs_smoke.py.
 obs-smoke:
 	$(PYTHON) scripts/obs_smoke.py
+
+# End-to-end mapper-service smoke: launches `repro serve`, drives 20
+# concurrent clients (coalescing + shared warm cache asserted), checks
+# bit-identical best-EDP parity against a direct in-process search,
+# records a service_latency bench payload through the ledger, and
+# SIGKILLs the server mid-queue to prove --resume loses no accepted
+# job. See scripts/service_smoke.py and docs/service.md.
+service-smoke:
+	$(PYTHON) scripts/service_smoke.py
 
 examples:
 	@for f in examples/*.py; do echo "== $$f =="; $(PYTHON) $$f; done

@@ -19,6 +19,10 @@ Commands:
   BENCH_*.json payloads into a machine-tagged JSONL history,
   ``bench compare`` diffs the latest record against its baseline and
   exits nonzero on a thresholded regression.
+* ``serve`` — run the mapper-as-a-service HTTP server: JSON search
+  requests over ``POST /v1/search`` with job polling, request
+  coalescing, admission control, a warm evaluator cache, and journaled
+  crash recovery (``--journal`` + ``--resume``); see ``docs/service.md``.
 * ``verify`` — differential verification: cross-check the scalar, cached,
   batch, and reference-simulator evaluation paths on generated mappings
   and run the metamorphic invariant suite (``--quick`` / ``--deep``
@@ -766,6 +770,49 @@ def _cmd_verify(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.exceptions import SpecError
+    from repro.obs import MetricsRegistry, Tracer, obs_scope
+    from repro.service import MappingService
+
+    if args.resume and not args.journal:
+        raise SpecError("--resume needs --journal (nothing to recover from)")
+    registry = MetricsRegistry()
+    # Live tracer (no output file) feeds the listener's /flame view.
+    tracer = Tracer(None, registry=registry)
+    service = MappingService(
+        registry,
+        tracer=tracer,
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        queue_limit=args.queue_limit,
+        journal_path=args.journal,
+        resume=args.resume,
+        pool_size=args.pool_size,
+        cache_entries=args.cache_entries,
+    )
+    try:
+        # The scope stays installed for the server's lifetime so worker
+        # threads record into the registry the listener exposes.
+        with obs_scope(registry=registry, tracer=tracer), service:
+            if service.recovered:
+                print(
+                    f"recovered {service.recovered} unfinished job(s) "
+                    f"from {args.journal}"
+                )
+            # Parsed by tooling (service_smoke) — keep the format stable.
+            print(f"serving mapper API at {service.url}", flush=True)
+            try:
+                while True:
+                    time.sleep(1.0)
+            except KeyboardInterrupt:
+                print("shutting down", file=sys.stderr)
+    finally:
+        tracer.close()
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Build the argparse CLI (search / evaluate / experiment)."""
     parser = argparse.ArgumentParser(
@@ -1082,6 +1129,45 @@ def build_parser() -> argparse.ArgumentParser:
         help="re-run a dumped counterexample JSON instead of sweeping",
     )
     verify.set_defaults(func=_cmd_verify)
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the mapper-as-a-service HTTP server "
+        "(POST /v1/search; see docs/service.md)",
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve.add_argument(
+        "--port", type=int, default=0,
+        help="TCP port; 0 picks an ephemeral port (printed at startup)",
+    )
+    serve.add_argument(
+        "--workers", type=int, default=2,
+        help="search worker threads (default 2)",
+    )
+    serve.add_argument(
+        "--queue-limit", type=int, default=32,
+        help="queued-job bound; submissions beyond it get HTTP 429 "
+        "with a Retry-After hint (default 32)",
+    )
+    serve.add_argument(
+        "--journal", default=None,
+        help="service journal JSONL; accepted requests and outcomes are "
+        "fsynced here so --resume survives a crash",
+    )
+    serve.add_argument(
+        "--resume", action="store_true",
+        help="re-enqueue journaled jobs that never finished",
+    )
+    serve.add_argument(
+        "--pool-size", type=int, default=None,
+        help="warm (arch, workload) evaluator entries kept across "
+        "requests (default 8)",
+    )
+    serve.add_argument(
+        "--cache-entries", type=int, default=None,
+        help="evaluation-cache bound per pool entry (default 20000)",
+    )
+    serve.set_defaults(func=_cmd_serve)
 
     return parser
 

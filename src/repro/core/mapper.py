@@ -71,7 +71,24 @@ class MapperConfig:
 
 
 class Mapper:
-    """Find good mappings of a workload onto an architecture."""
+    """Find good mappings of a workload onto an architecture.
+
+    Args:
+        arch: the accelerator.
+        workload: the tensor operation.
+        config: search configuration (defaults to :class:`MapperConfig`).
+        energy_table: optional pre-built energy table (ignored when an
+            ``evaluator`` is injected — it already owns one).
+        evaluator: optional pre-built evaluator for this exact
+            (arch, workload) pair. Long-lived drivers — the mapper
+            service — inject one carrying a shared
+            :class:`~repro.model.eval_cache.EvaluationCache`, so repeated
+            requests hit the cached fast path instead of re-pricing.
+        batch_engine: optional pre-built (or shared)
+            :class:`~repro.model.batch.BatchEvaluator` handed through to
+            the batch-capable searchers; must have been built against
+            this mapper's mapspace layout.
+    """
 
     def __init__(
         self,
@@ -79,11 +96,18 @@ class Mapper:
         workload: Workload,
         config: Optional[MapperConfig] = None,
         energy_table: Optional[EnergyTable] = None,
+        evaluator: Optional[Evaluator] = None,
+        batch_engine=None,
     ) -> None:
         self.arch = arch
         self.workload = workload
         self.config = config or MapperConfig()
-        self.evaluator = Evaluator(arch, workload, energy_table)
+        self.evaluator = (
+            evaluator
+            if evaluator is not None
+            else Evaluator(arch, workload, energy_table)
+        )
+        self.batch_engine = batch_engine
         self.mapspace = make_mapspace(
             arch, workload, self.config.kind, self.config.constraints
         )
@@ -114,6 +138,7 @@ class Mapper:
                 seed=effective_seed,
                 use_batch=self.config.use_batch,
                 batch_size=self.config.batch_size,
+                batch_engine=self.batch_engine,
             ).run()
         if strategy == "exhaustive":
             return ExhaustiveSearch(
@@ -122,6 +147,7 @@ class Mapper:
                 objective=self.config.objective,
                 use_batch=self.config.use_batch,
                 batch_size=self.config.batch_size,
+                batch_engine=self.batch_engine,
             ).run()
         if strategy == "branch-bound":
             from repro.search.branch_bound import BranchBoundSearch
@@ -144,6 +170,7 @@ class Mapper:
                 seed=effective_seed,
                 use_batch=self.config.use_batch,
                 batch_size=self.config.batch_size,
+                batch_engine=self.batch_engine,
             ).run()
         if strategy == "annealing":
             from repro.search.annealing import SimulatedAnnealing
@@ -156,6 +183,7 @@ class Mapper:
                 seed=effective_seed,
                 use_batch=self.config.use_batch,
                 batch_size=self.config.batch_size,
+                batch_engine=self.batch_engine,
             ).run()
         raise SearchError(
             f"unknown strategy {strategy!r}; use random, exhaustive, "

@@ -23,12 +23,19 @@ class ReproError(Exception):
     #: override with distinct nonzero codes; see ``repro.cli.main``.
     exit_code = 1
 
+    #: HTTP response status the mapper service maps this error class to
+    #: (``repro.service``). Caller-input errors override with 4xx codes;
+    #: everything else is a server-side 500-family failure.
+    http_status = 500
+
     def payload(self) -> Dict[str, Any]:
-        """Machine-readable description (journaled by the campaign layer)."""
+        """Machine-readable description (journaled by the campaign layer
+        and returned as the service's JSON error body)."""
         return {
             "type": type(self).__name__,
             "message": str(self),
             "exit_code": self.exit_code,
+            "http_status": self.http_status,
         }
 
 
@@ -36,24 +43,28 @@ class SpecError(ReproError):
     """An architecture, workload, or mapping specification is malformed."""
 
     exit_code = 2
+    http_status = 400
 
 
 class InvalidMappingError(ReproError):
     """A mapping violates a hard constraint (coverage, capacity, fanout)."""
 
     exit_code = 3
+    http_status = 400
 
 
 class MapspaceError(ReproError):
     """A mapspace cannot be constructed or sampled for the given inputs."""
 
     exit_code = 4
+    http_status = 400
 
 
 class SearchError(ReproError):
     """A search failed to produce any valid mapping."""
 
     exit_code = 5
+    http_status = 422
 
 
 class WorkerError(SearchError):
@@ -97,6 +108,7 @@ class JobTimeoutError(ReproError):
     """A campaign job exceeded its per-job wall-clock budget."""
 
     exit_code = 7
+    http_status = 504
 
     def __init__(self, job_id: str, timeout_s: float, attempt: int = 0) -> None:
         super().__init__(
@@ -149,6 +161,52 @@ class BenchLedgerError(ReproError):
     compare`` reports through its exit status, not an exception."""
 
     exit_code = 10
+
+
+class ServiceError(ReproError):
+    """The mapper service cannot serve: bad server state, an
+    unrecoverable job-table inconsistency, or a malformed service journal.
+    Per-request failures are *recorded* on the job and returned through
+    its status payload — this class is for the service machinery itself."""
+
+    exit_code = 11
+    http_status = 503
+
+
+class AdmissionError(ServiceError):
+    """The service declined a request at admission (queue full).
+
+    Maps to HTTP 429 with a ``Retry-After`` hint derived from the current
+    queue depth and recent per-job latency — backpressure, not failure:
+    the request was never accepted, so nothing needs cleanup.
+    """
+
+    http_status = 429
+
+    def __init__(
+        self, queue_depth: int, limit: int, retry_after_s: float = 1.0
+    ) -> None:
+        super().__init__(
+            f"search queue is full ({queue_depth}/{limit} jobs); "
+            f"retry in {retry_after_s:g}s"
+        )
+        self.queue_depth = queue_depth
+        self.limit = limit
+        self.retry_after_s = retry_after_s
+
+    def __reduce__(self):
+        return (type(self), (self.queue_depth, self.limit, self.retry_after_s))
+
+    def payload(self) -> Dict[str, Any]:
+        data = super().payload()
+        data.update(
+            {
+                "queue_depth": self.queue_depth,
+                "limit": self.limit,
+                "retry_after_s": self.retry_after_s,
+            }
+        )
+        return data
 
 
 class JobCrashError(CampaignError):

@@ -33,6 +33,7 @@ from __future__ import annotations
 import json
 import logging
 import os
+import threading
 from pathlib import Path
 from typing import Any, Dict, List, Tuple, Union
 
@@ -51,6 +52,13 @@ class Journal:
 
     def __init__(self, path: Union[str, Path]) -> None:
         self.path = Path(path)
+        # In-process append serialization. Single appends are one
+        # O_APPEND write each, but the mapper service shares one Journal
+        # across worker threads, and interleaved open/write/fsync
+        # sequences through one instance must not tear each other's
+        # lines. Cross-process writers still rely on O_APPEND atomicity
+        # of the single line write.
+        self._lock = threading.Lock()
 
     def exists(self) -> bool:
         return self.path.exists()
@@ -60,17 +68,19 @@ class Journal:
 
         The line is written with one ``write`` call and fsynced before
         returning, so a driver killed right after :meth:`append` still
-        leaves the record recoverable on disk.
+        leaves the record recoverable on disk. Appends through one
+        :class:`Journal` instance are thread-safe.
         """
         record = dict(record)
         record.setdefault("schema", JOURNAL_SCHEMA)
         line = json.dumps(record, sort_keys=True)
-        if self.path.parent and not self.path.parent.exists():
-            self.path.parent.mkdir(parents=True, exist_ok=True)
-        with open(self.path, "a") as handle:
-            handle.write(line + "\n")
-            handle.flush()
-            os.fsync(handle.fileno())
+        with self._lock:
+            if self.path.parent and not self.path.parent.exists():
+                self.path.parent.mkdir(parents=True, exist_ok=True)
+            with open(self.path, "a") as handle:
+                handle.write(line + "\n")
+                handle.flush()
+                os.fsync(handle.fileno())
 
     def read(self) -> List[Dict[str, Any]]:
         """All records, oldest first; a torn trailing line is dropped.

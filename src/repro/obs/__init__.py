@@ -38,7 +38,9 @@ from repro.obs.progress import (
     ProgressPrinter,
     ProgressTracker,
     active_trackers,
+    current_progress_owner,
     empty_progress_stats,
+    progress_owner,
 )
 from repro.obs.scope import (
     ObsContext,
@@ -73,6 +75,8 @@ __all__ = [
     "ProgressTracker",
     "SearchTimer",
     "active_trackers",
+    "current_progress_owner",
+    "progress_owner",
     "empty_batch_stats",
     "empty_bnb_stats",
     "empty_progress_stats",

@@ -66,6 +66,14 @@ _TRACKED_METRICS: Dict[str, Dict[str, bool]] = {
         "serial_s": False,
         "speedup": True,
     },
+    # Mapper-service load profile (scripts/service_smoke.py): end-to-end
+    # request latency quantiles (submit -> terminal, queue wait included)
+    # and completed-search throughput under concurrent clients.
+    "service_latency": {
+        "p50_s": False,
+        "p95_s": False,
+        "throughput_rps": True,
+    },
 }
 
 

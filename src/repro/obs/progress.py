@@ -39,7 +39,8 @@ import threading
 import time
 import weakref
 from collections import deque
-from typing import Any, Callable, Dict, List, Optional, TextIO
+from contextlib import contextmanager
+from typing import Any, Callable, Dict, Iterator, List, Optional, TextIO
 
 from repro.obs import scope as _scope
 
@@ -59,12 +60,47 @@ RATE_ALPHA = 0.3
 _TRACKERS_LOCK = threading.Lock()
 _TRACKERS: "weakref.WeakSet[ProgressTracker]" = weakref.WeakSet()
 
+# Ambient per-thread tracker owner. Drivers that run many searches
+# concurrently in one process (the mapper service's worker threads) tag
+# each run with a job id here; trackers created inside the scope pick the
+# tag up, so live consumers can tell concurrent searches apart without
+# threading an id through every searcher signature.
+_OWNER = threading.local()
 
-def active_trackers() -> List["ProgressTracker"]:
+
+@contextmanager
+def progress_owner(owner: Optional[str]) -> Iterator[None]:
+    """Tag trackers created in this thread's ``with`` body with ``owner``.
+
+    Nested scopes restore the previous owner on exit; ``None`` clears the
+    tag. Owners are thread-local, so concurrent service workers cannot
+    contaminate each other's runs.
+    """
+    previous = getattr(_OWNER, "value", None)
+    _OWNER.value = owner
+    try:
+        yield
+    finally:
+        _OWNER.value = previous
+
+
+def current_progress_owner() -> Optional[str]:
+    """The owner tag installed by the innermost :func:`progress_owner`."""
+    return getattr(_OWNER, "value", None)
+
+
+def active_trackers(owner: Optional[str] = None) -> List["ProgressTracker"]:
     """Live trackers in creation order (weakly held — GC'd trackers
-    vanish). The ``/progress`` endpoint and the TTY printer poll this."""
+    vanish). The ``/progress`` endpoint and the TTY printer poll this.
+
+    Args:
+        owner: return only trackers tagged with this owner (see
+            :func:`progress_owner`); ``None`` returns every live tracker.
+    """
     with _TRACKERS_LOCK:
         trackers = list(_TRACKERS)
+    if owner is not None:
+        trackers = [t for t in trackers if t.owner == owner]
     return sorted(trackers, key=lambda t: t.created_s)
 
 
@@ -97,6 +133,10 @@ class ProgressTracker:
             completed-work and the timeline still accumulate.
         timeline_capacity: convergence ring-buffer bound.
         clock: monotonic clock override (tests only).
+        owner: identity tag for live consumers that must tell concurrent
+            runs apart (the service tags each search with its job id).
+            Defaults to the ambient :func:`progress_owner` tag, so
+            searchers need no signature change to be taggable.
     """
 
     def __init__(
@@ -105,8 +145,10 @@ class ProgressTracker:
         total_units: Optional[float] = None,
         timeline_capacity: int = DEFAULT_TIMELINE_CAPACITY,
         clock: Callable[[], float] = time.monotonic,
+        owner: Optional[str] = None,
     ) -> None:
         self.driver = driver
+        self.owner = owner if owner is not None else current_progress_owner()
         self._clock = clock
         self.created_s = time.time()
         self._lock = threading.Lock()
@@ -239,6 +281,7 @@ class ProgressTracker:
             end = self._finished if self._finished is not None else self._clock()
             return {
                 "driver": self.driver,
+                "owner": self.owner,
                 "total_units": self._total,
                 "completed_units": self._completed,
                 "fraction": self._fraction_locked(),
@@ -255,17 +298,25 @@ class ProgressTracker:
 
     def _publish(self) -> None:
         """Mirror fraction/ETA into the ambient registry (no-op when no
-        scope is active, preserving the zero-traffic guarantee)."""
+        scope is active, preserving the zero-traffic guarantee).
+
+        Owned trackers add a ``job`` label: two concurrent searches with
+        the same driver would otherwise fight over one gauge series, so
+        each would read the other's fraction (the cross-contamination the
+        service regression test pins). Unowned trackers keep the original
+        single-series shape.
+        """
         if _scope.active_obs() is None:
             return
+        labels = {"driver": self.driver}
+        if self.owner is not None:
+            labels["job"] = self.owner
         fraction = self.fraction()
         if fraction is not None:
-            _scope.set_gauge(
-                "search.progress_fraction", fraction, driver=self.driver
-            )
+            _scope.set_gauge("search.progress_fraction", fraction, **labels)
         eta = self.eta_seconds()
         if eta is not None:
-            _scope.set_gauge("search.eta_seconds", eta, driver=self.driver)
+            _scope.set_gauge("search.eta_seconds", eta, **labels)
 
 
 class ProgressPrinter:

@@ -59,6 +59,7 @@ class SimulatedAnnealing:
         seed: Optional[Union[int, random.Random]] = None,
         use_batch: bool = True,
         batch_size: int = 512,
+        batch_engine=None,
     ) -> None:
         if steps < 1:
             raise SearchError("steps must be >= 1")
@@ -78,11 +79,19 @@ class SimulatedAnnealing:
         self.rng = make_rng(seed)
         self.use_batch = use_batch
         self.batch_size = batch_size
+        self.batch_engine = batch_engine
 
     def _batch_engine(self):
         """The batch engine, or None when this search must run scalar."""
         if not self.use_batch:
             return None
+        if self.batch_engine is not None:
+            # Injected shared engine (see RandomSearch._batch_engine).
+            return (
+                self.batch_engine
+                if getattr(self.batch_engine, "supported", False)
+                else None
+            )
         layout = self.mapspace.batch_layout()
         if layout is None:
             return None

@@ -46,6 +46,7 @@ class ExhaustiveSearch:
         use_batch: bool = True,
         batch_size: int = 512,
         prune: bool = True,
+        batch_engine=None,
     ) -> None:
         self.mapspace = mapspace
         self.evaluator = evaluator
@@ -55,6 +56,7 @@ class ExhaustiveSearch:
         self.use_batch = use_batch
         self.batch_size = batch_size
         self.prune = prune
+        self.batch_engine = batch_engine
 
     def _batch_engine(self):
         """The batch engine, or None when this sweep must run scalar."""
@@ -62,6 +64,13 @@ class ExhaustiveSearch:
             # Permutation sweeps leave the columnar grid (several temporal
             # loops per level per dim) — enumerate them scalar.
             return None
+        if self.batch_engine is not None:
+            # Injected shared engine (see RandomSearch._batch_engine).
+            return (
+                self.batch_engine
+                if getattr(self.batch_engine, "supported", False)
+                else None
+            )
         layout = self.mapspace.batch_layout()
         if layout is None:
             return None

@@ -60,6 +60,7 @@ class RandomSearch:
         seed: Optional[Union[int, random.Random]] = None,
         use_batch: bool = True,
         batch_size: int = 512,
+        batch_engine=None,
     ) -> None:
         if max_evaluations < 1:
             raise SearchError("max_evaluations must be >= 1")
@@ -73,11 +74,22 @@ class RandomSearch:
         self.rng = make_rng(seed)
         self.use_batch = use_batch
         self.batch_size = batch_size
+        self.batch_engine = batch_engine
 
     def _batch_engine(self):
         """The batch engine, or None when this search must run scalar."""
         if not self.use_batch:
             return None
+        if self.batch_engine is not None:
+            # An injected engine (the service's shared cross-job batching
+            # layer) skips construction; it must match this mapspace's
+            # layout, which the service guarantees by keying engines on
+            # the same (arch, workload, kind, constraints) signature.
+            return (
+                self.batch_engine
+                if getattr(self.batch_engine, "supported", False)
+                else None
+            )
         layout = self.mapspace.batch_layout()
         if layout is None:
             return None

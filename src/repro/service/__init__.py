@@ -1,0 +1,57 @@
+"""Mapper-as-a-service: a long-lived search server over the library.
+
+``repro serve`` turns the one-shot :func:`~repro.core.mapper.find_best_mapping`
+flow into a process that accepts JSON search requests over HTTP, runs them
+on a bounded worker pool behind admission control, coalesces identical
+in-flight requests, keeps evaluators (and their evaluation caches) warm
+across requests, and journals accepted work so ``--resume`` recovers after
+a crash. See docs/service.md for the API and operational policies.
+"""
+
+from repro.service.admission import (
+    DEFAULT_QUEUE_LIMIT,
+    PRIORITY_RANK,
+    AdmissionController,
+    validate_priority,
+)
+from repro.service.coalesce import (
+    EvaluatorPool,
+    SharedBatchEngine,
+    ThreadSafeEvaluationCache,
+    canonical_signature,
+    pair_signature,
+)
+from repro.service.jobs import (
+    JobManager,
+    SearchSpec,
+    ServiceJob,
+    parse_search_spec,
+    result_payload,
+)
+from repro.service.server import (
+    SERVICE_SCHEMA,
+    MappingService,
+    error_response,
+    service_routes,
+)
+
+__all__ = [
+    "AdmissionController",
+    "DEFAULT_QUEUE_LIMIT",
+    "EvaluatorPool",
+    "JobManager",
+    "MappingService",
+    "PRIORITY_RANK",
+    "SERVICE_SCHEMA",
+    "SearchSpec",
+    "ServiceJob",
+    "SharedBatchEngine",
+    "ThreadSafeEvaluationCache",
+    "canonical_signature",
+    "error_response",
+    "pair_signature",
+    "parse_search_spec",
+    "result_payload",
+    "service_routes",
+    "validate_priority",
+]

@@ -1,0 +1,118 @@
+"""Admission control for the mapper service: bounded queues, honest 429s.
+
+A long-lived search server dies one of two ways under load: it accepts
+everything and OOMs/queues unboundedly, or it drops requests with no
+signal about when to come back. Admission control is the third option —
+a hard queue-depth bound enforced *before* a request is accepted, with a
+``Retry-After`` hint computed from the latency the service is actually
+observing, so well-behaved clients converge on the service's real
+throughput instead of hammering it.
+
+The controller is deliberately small: one lock, one bounded deque of
+recent per-job wall-clocks, one decision method. Priorities do not buy
+admission — a full queue 429s a ``high`` request too (otherwise high
+traffic could starve the queue bound into meaninglessness); they only
+reorder what was already admitted (see :mod:`repro.service.jobs`).
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from collections import deque
+from typing import Deque, Dict, Optional
+
+from repro.exceptions import AdmissionError, SpecError
+
+#: Request priorities, best first. The rank is the heap key prefix in
+#: the job queue; admission itself is priority-blind.
+PRIORITY_RANK: Dict[str, int] = {"high": 0, "normal": 1, "low": 2}
+
+DEFAULT_PRIORITY = "normal"
+
+#: Default bound on queued (admitted but not yet running) requests.
+DEFAULT_QUEUE_LIMIT = 32
+
+#: Fallback per-job latency estimate before the service has completed
+#: anything — better to overestimate Retry-After on a cold server than
+#: to invite an immediate retry storm.
+COLD_START_LATENCY_S = 2.0
+
+#: Recent-latency window for the Retry-After estimate.
+LATENCY_WINDOW = 64
+
+
+def validate_priority(priority: Optional[str]) -> str:
+    """Normalize and validate a request priority (SpecError on junk)."""
+    if priority is None:
+        return DEFAULT_PRIORITY
+    if priority not in PRIORITY_RANK:
+        raise SpecError(
+            f"unknown priority {priority!r}; use one of "
+            f"{sorted(PRIORITY_RANK)}"
+        )
+    return priority
+
+
+class AdmissionController:
+    """Queue-depth admission with a latency-derived Retry-After hint.
+
+    Args:
+        queue_limit: maximum queued (not yet running) jobs; a submit that
+            would exceed it raises :class:`~repro.exceptions.AdmissionError`
+            (HTTP 429).
+        min_retry_after_s: floor for the Retry-After hint.
+    """
+
+    def __init__(
+        self,
+        queue_limit: int = DEFAULT_QUEUE_LIMIT,
+        min_retry_after_s: float = 1.0,
+    ) -> None:
+        if queue_limit < 1:
+            raise SpecError(f"queue_limit must be >= 1, got {queue_limit}")
+        self.queue_limit = queue_limit
+        self.min_retry_after_s = min_retry_after_s
+        self._lock = threading.Lock()
+        self._latencies: Deque[float] = deque(maxlen=LATENCY_WINDOW)
+        self.rejected = 0
+
+    def observe_latency(self, seconds: float) -> None:
+        """Feed one completed job's wall-clock into the estimate."""
+        with self._lock:
+            self._latencies.append(max(0.0, float(seconds)))
+
+    def mean_latency_s(self) -> float:
+        """Recent mean per-job latency (cold-start fallback when empty)."""
+        with self._lock:
+            if not self._latencies:
+                return COLD_START_LATENCY_S
+            return sum(self._latencies) / len(self._latencies)
+
+    def retry_after_s(self, queue_depth: int, workers: int) -> float:
+        """How long until a queue this deep likely has room.
+
+        ``depth / workers`` rounds of the recent mean latency must drain
+        before a new slot opens; the floor keeps the hint useful when
+        jobs are sub-second.
+        """
+        rounds = math.ceil(max(1, queue_depth) / max(1, workers))
+        return max(self.min_retry_after_s, rounds * self.mean_latency_s())
+
+    def admit(self, queue_depth: int, workers: int) -> None:
+        """Raise :class:`AdmissionError` if the queue is at its bound.
+
+        Called with the submit lock held (the depth must not race the
+        insert); counts the rejection so ``/v1/stats`` and the
+        ``service.rejected`` metric agree.
+        """
+        if queue_depth < self.queue_limit:
+            return
+        retry_after = round(self.retry_after_s(queue_depth, workers), 3)
+        with self._lock:
+            self.rejected += 1
+        raise AdmissionError(
+            queue_depth=queue_depth,
+            limit=self.queue_limit,
+            retry_after_s=retry_after,
+        )

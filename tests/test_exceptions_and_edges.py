@@ -127,6 +127,7 @@ class TestErrorPayloadsAndExitCodes:
             "type": "MapspaceError",
             "message": "no factorization",
             "exit_code": 4,
+            "http_status": 400,
         }
 
     def test_worker_error_payload_and_pickle(self):
